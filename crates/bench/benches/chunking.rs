@@ -1,0 +1,44 @@
+//! Chunking substrate micro-benchmarks: fixed-size vs content-defined.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ef_chunking::{Chunker, FixedChunker, GearChunkerBuilder};
+
+fn test_data(len: usize) -> Vec<u8> {
+    let mut state = 0x1234_5678_u64;
+    (0..len)
+        .map(|_| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 56) as u8
+        })
+        .collect()
+}
+
+fn bench_chunkers(c: &mut Criterion) {
+    let data = test_data(4 << 20);
+    let mut group = c.benchmark_group("chunking");
+    group.throughput(Throughput::Bytes(data.len() as u64));
+
+    for size in [4 * 1024, 128 * 1024] {
+        let chunker = FixedChunker::new(size).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("fixed", size),
+            &data,
+            |b, d| b.iter(|| chunker.chunk(d).len()),
+        );
+    }
+
+    let cdc = GearChunkerBuilder::new()
+        .min_size(2 * 1024)
+        .target_size(8 * 1024)
+        .max_size(64 * 1024)
+        .build()
+        .unwrap();
+    group.bench_with_input(BenchmarkId::new("gear-cdc", 8192), &data, |b, d| {
+        b.iter(|| cdc.chunk(d).len())
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_chunkers);
+criterion_main!(benches);

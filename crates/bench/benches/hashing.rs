@@ -1,0 +1,19 @@
+//! SHA-256 micro-benchmarks (the in-repo implementation).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ef_chunking::Sha256;
+
+fn bench_sha256(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sha256");
+    for size in [64usize, 4 * 1024, 128 * 1024] {
+        let data = vec![0xabu8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::new("digest", size), &data, |b, d| {
+            b.iter(|| Sha256::digest(d))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sha256);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Distributed key-value store micro-benchmarks: the dedup primitive
+//! (lookup + insert) on an in-process cluster.
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ef_kvstore::{ClusterConfig, LocalCluster};
+use ef_netsim::NodeId;
+
+fn bench_check_and_insert(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kvstore");
+    for nodes in [3usize, 10, 20] {
+        group.bench_with_input(
+            BenchmarkId::new("check-and-insert", nodes),
+            &nodes,
+            |b, &n| {
+                let mut cluster = LocalCluster::new(
+                    (0..n as u32).map(NodeId).collect(),
+                    ClusterConfig::default(),
+                );
+                let mut i = 0u64;
+                b.iter(|| {
+                    i = i.wrapping_add(1);
+                    cluster
+                        .check_and_insert(
+                            NodeId((i % n as u64) as u32),
+                            &i.to_be_bytes(),
+                            Bytes::from_static(&[1]),
+                        )
+                        .unwrap()
+                })
+            },
+        );
+    }
+    group.bench_function("duplicate-lookup-10", |b| {
+        let mut cluster =
+            LocalCluster::new((0..10u32).map(NodeId).collect(), ClusterConfig::default());
+        cluster
+            .put(NodeId(0), b"hot-key", Bytes::from_static(&[1]))
+            .unwrap();
+        b.iter(|| cluster.get(NodeId(3), b"hot-key").unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_check_and_insert);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! SNOD2 model micro-benchmarks: Theorem 1 evaluation and full partition
+//! costing — the inner loop of every partitioner.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use efdedup::experiments::{scale_instance, DatasetKind};
+use efdedup::partition::Partition;
+
+fn bench_model(c: &mut Criterion) {
+    let mut group = c.benchmark_group("snod2-model");
+    for n in [20usize, 100, 500] {
+        let inst = scale_instance(DatasetKind::Accelerometer, n, 100.0, 0.001, 20, 7);
+        let set: Vec<usize> = (0..n / 2).collect();
+        group.bench_with_input(BenchmarkId::new("dedup-ratio", n), &inst, |b, inst| {
+            b.iter(|| inst.dedup_ratio(&set))
+        });
+        let rings: Vec<Vec<usize>> = (0..10)
+            .map(|r| (0..n).filter(|i| i % 10 == r).collect())
+            .collect();
+        let partition = Partition::new(rings).unwrap();
+        group.bench_with_input(BenchmarkId::new("total-cost", n), &inst, |b, inst| {
+            b.iter(|| inst.total_cost(&partition))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_model);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Partitioner micro-benchmarks: SMART and its variants at testbed and
+//! simulation scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use efdedup::experiments::{scale_instance, DatasetKind};
+use efdedup::partition::{
+    DedupOnly, EqualSizeGreedy, MatchingPartitioner, NetworkOnly, Partitioner, SmartGreedy,
+};
+
+fn bench_partitioners(c: &mut Criterion) {
+    let mut group = c.benchmark_group("partitioning");
+    group.sample_size(10);
+    for n in [20usize, 100] {
+        let inst = scale_instance(DatasetKind::Accelerometer, n, 100.0, 0.001, 10, 7);
+        let algos: Vec<(&str, Box<dyn Partitioner>)> = vec![
+            ("smart", Box::new(SmartGreedy)),
+            ("equal-size", Box::new(EqualSizeGreedy)),
+            ("matching", Box::new(MatchingPartitioner::default())),
+            ("network-only", Box::new(NetworkOnly)),
+            ("dedup-only", Box::new(DedupOnly)),
+        ];
+        for (name, algo) in &algos {
+            group.bench_with_input(BenchmarkId::new(*name, n), &inst, |b, inst| {
+                b.iter(|| algo.partition(inst, 5).ring_count())
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_partitioners);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Consistent-hash-ring micro-benchmarks: replica lookup and membership
+//! change.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ef_kvstore::HashRing;
+use ef_netsim::NodeId;
+
+fn bench_ring(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hash-ring");
+    for nodes in [5usize, 20, 100] {
+        let ring = HashRing::with_nodes((0..nodes as u32).map(NodeId), 64);
+        group.bench_with_input(
+            BenchmarkId::new("replicas-rf2", nodes),
+            &ring,
+            |b, ring| {
+                let mut i = 0u64;
+                b.iter(|| {
+                    i = i.wrapping_add(1);
+                    ring.replicas(&i.to_be_bytes(), 2)
+                })
+            },
+        );
+    }
+    group.bench_function("add-remove-node-100", |b| {
+        b.iter(|| {
+            let mut ring = HashRing::with_nodes((0..100u32).map(NodeId), 64);
+            ring.remove_node(NodeId(50));
+            ring.add_node(NodeId(50));
+            ring.len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ring);
+criterion_main!(benches);

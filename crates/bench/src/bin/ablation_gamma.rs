@@ -1,0 +1,52 @@
+//! Ablation: the chunk-hash replication factor γ.
+//!
+//! γ controls the local-lookup probability `γ/|P|` (Eq. 2) and the
+//! ring's failure tolerance. The paper's testbed fixes γ = 2; this
+//! ablation sweeps γ and reports measured local-lookup fraction, network
+//! cost, and throughput on the 20-node testbed.
+
+use ef_bench::{fmt, header, quick_mode};
+use ef_netsim::NetworkConfig;
+use efdedup::experiments::{instance_for, testbed, DatasetKind};
+use efdedup::partition::{Partitioner, SmartGreedy};
+use efdedup::system::{run_system, Strategy, SystemConfig, Workload};
+
+fn main() {
+    let nodes = 20;
+    let chunks = if quick_mode() { 400 } else { 2_000 };
+    let network = testbed(nodes, NetworkConfig::paper_testbed());
+    let dataset = DatasetKind::Accelerometer.build(nodes, 42);
+    let workload = Workload::from_dataset(&dataset, nodes, chunks, 0);
+
+    header("Ablation: replication factor gamma (ds1, 20 nodes, 5 rings)");
+    println!(
+        "{:>6} {:>14} {:>16} {:>14} {:>12}",
+        "gamma", "local-lookup", "network (ms)", "thr (MB/s)", "dedup"
+    );
+    for gamma in [1usize, 2, 3, 4] {
+        let inst = instance_for(&dataset, &network, 0.02, gamma, 10.0);
+        let partition = SmartGreedy.partition(&inst, 5);
+        let cfg = SystemConfig {
+            replication_factor: gamma,
+            ..SystemConfig::paper_testbed()
+        };
+        let m = run_system(&network, &workload, &Strategy::Smart(partition), &cfg);
+        let local: f64 = m
+            .nodes
+            .iter()
+            .map(|n| n.local_lookup_fraction)
+            .sum::<f64>()
+            / m.nodes.len() as f64;
+        println!(
+            "{gamma:>6} {:>13.1}% {} {} {}",
+            local * 100.0,
+            fmt(m.network_cost_ms),
+            fmt(m.aggregate_throughput_mbps),
+            fmt(m.dedup_ratio)
+        );
+    }
+    println!(
+        "\nexpected: local fraction tracks gamma/|ring|, network cost falls with gamma\n\
+         (more replicas -> more local lookups), at gamma x index storage per ring"
+    );
+}

@@ -1,0 +1,66 @@
+//! Ablation: every partitioning algorithm head-to-head.
+//!
+//! SMART (portfolio greedy) against its own variants (equal-size,
+//! matching-based) and the structural baselines, on the 20-node testbed
+//! instance and a 100-node simulation instance: aggregate cost and
+//! wall-clock partitioning time.
+
+use ef_bench::{fmt, header, quick_mode};
+use ef_netsim::NetworkConfig;
+use efdedup::experiments::{instance_for, scale_instance, testbed, DatasetKind};
+use efdedup::model::Snod2Instance;
+use efdedup::partition::{
+    DedupOnly, EqualSizeGreedy, MatchingPartitioner, NetworkOnly, Partitioner,
+    RandomPartitioner, SingleRing, SmartGreedy,
+};
+
+fn run_table(title: &str, inst: &Snod2Instance, rings: usize) {
+    header(title);
+    println!(
+        "{:<16} {:>14} {:>14} {:>14} {:>10} {:>10}",
+        "algorithm", "storage", "network", "aggregate", "rings", "time(ms)"
+    );
+    let algos: Vec<Box<dyn Partitioner>> = vec![
+        Box::new(SmartGreedy),
+        Box::new(EqualSizeGreedy),
+        Box::new(MatchingPartitioner::default()),
+        Box::new(NetworkOnly),
+        Box::new(DedupOnly),
+        Box::new(RandomPartitioner { seed: 7 }),
+        Box::new(SingleRing),
+    ];
+    for algo in &algos {
+        let start = std::time::Instant::now();
+        let p = algo.partition(inst, rings);
+        let elapsed = start.elapsed().as_secs_f64() * 1e3;
+        let c = inst.total_cost(&p);
+        println!(
+            "{:<16} {} {} {} {:>10} {:>10.1}",
+            algo.name(),
+            fmt(c.storage),
+            fmt(c.network),
+            fmt(c.aggregate),
+            p.ring_count(),
+            elapsed
+        );
+    }
+}
+
+fn main() {
+    let network = testbed(20, NetworkConfig::paper_testbed());
+    let dataset = DatasetKind::Accelerometer.build(20, 42);
+    let inst = instance_for(&dataset, &network, 0.02, 2, 10.0);
+    run_table(
+        "Ablation: partitioners on the 20-node testbed (ds1, alpha=0.02, 5 rings)",
+        &inst,
+        5,
+    );
+
+    let n = if quick_mode() { 60 } else { 100 };
+    let scale = scale_instance(DatasetKind::TrafficVideo, n, 100.0, 0.001, 20, 42);
+    run_table(
+        &format!("Ablation: partitioners at simulation scale (ds2, {n} nodes, 10 rings)"),
+        &scale,
+        10,
+    );
+}

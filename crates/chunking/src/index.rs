@@ -1,0 +1,212 @@
+//! The dedup index abstraction.
+//!
+//! A chunk index answers "has this chunk hash been seen before?" and
+//! records new hashes. In EF-dedup the index of a D2-ring lives in a
+//! distributed key-value store spread over the ring's edge nodes
+//! (`ef-kvstore`); for local measurement (ground truth in Algorithm 1, unit
+//! tests) an in-memory implementation suffices.
+
+use crate::chunk::ChunkHash;
+use std::collections::HashSet;
+
+/// A deduplication index over chunk hashes.
+///
+/// The contract mirrors the Dedup Agent's lookup-then-insert step: the
+/// combined [`ChunkIndex::insert`] returns whether the hash was *newly*
+/// inserted, so `true` means "unique chunk — upload it".
+pub trait ChunkIndex {
+    /// Returns `true` when `hash` is already present.
+    fn contains(&self, hash: &ChunkHash) -> bool;
+
+    /// Inserts `hash`; returns `true` when it was not present before
+    /// (i.e. this chunk is unique and must be uploaded).
+    fn insert(&mut self, hash: ChunkHash) -> bool;
+
+    /// Number of distinct hashes stored.
+    fn len(&self) -> usize;
+
+    /// True when no hashes are stored.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A process-local chunk index backed by a hash set.
+///
+/// # Example
+///
+/// ```
+/// use ef_chunking::{ChunkIndex, InMemoryChunkIndex, ChunkHash};
+///
+/// let mut idx = InMemoryChunkIndex::new();
+/// let h = ChunkHash::of(b"chunk");
+/// assert!(idx.insert(h));   // first sight: unique
+/// assert!(!idx.insert(h));  // duplicate
+/// assert!(idx.contains(&h));
+/// assert_eq!(idx.len(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct InMemoryChunkIndex {
+    set: HashSet<ChunkHash>,
+}
+
+impl InMemoryChunkIndex {
+    /// Creates an empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Iterates over the stored hashes in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = &ChunkHash> {
+        self.set.iter()
+    }
+}
+
+impl ChunkIndex for InMemoryChunkIndex {
+    fn contains(&self, hash: &ChunkHash) -> bool {
+        self.set.contains(hash)
+    }
+
+    fn insert(&mut self, hash: ChunkHash) -> bool {
+        self.set.insert(hash)
+    }
+
+    fn len(&self) -> usize {
+        self.set.len()
+    }
+}
+
+impl Extend<ChunkHash> for InMemoryChunkIndex {
+    fn extend<T: IntoIterator<Item = ChunkHash>>(&mut self, iter: T) {
+        self.set.extend(iter);
+    }
+}
+
+impl FromIterator<ChunkHash> for InMemoryChunkIndex {
+    fn from_iter<T: IntoIterator<Item = ChunkHash>>(iter: T) -> Self {
+        InMemoryChunkIndex {
+            set: iter.into_iter().collect(),
+        }
+    }
+}
+
+/// Measures the deduplication ratio of `data` under `chunker`: original
+/// size divided by the total size of unique chunks.
+///
+/// This is the "ground truth" measurement Algorithm 1 compares the
+/// analytical model against (the paper uses duperemove for this step).
+///
+/// Returns 1.0 for empty input.
+///
+/// # Example
+///
+/// ```
+/// use ef_chunking::{FixedChunker, dedup_ratio};
+///
+/// let chunker = FixedChunker::new(4).unwrap();
+/// // Two identical 4-byte blocks + one unique: 12 bytes stored as 8.
+/// let ratio = dedup_ratio(&chunker, &[b"aaaa".as_slice(), b"aaaa", b"bbbb"].concat());
+/// assert!((ratio - 1.5).abs() < 1e-9);
+/// ```
+pub fn dedup_ratio<C: crate::chunk::Chunker>(chunker: &C, data: &[u8]) -> f64 {
+    if data.is_empty() {
+        return 1.0;
+    }
+    let mut idx = InMemoryChunkIndex::new();
+    let mut unique_bytes = 0usize;
+    for chunk in chunker.chunk(data) {
+        if idx.insert(chunk.hash) {
+            unique_bytes += chunk.len();
+        }
+    }
+    data.len() as f64 / unique_bytes as f64
+}
+
+/// Measures the joint dedup ratio of several byte streams chunked
+/// independently but deduplicated against a shared index — exactly how a
+/// D2-ring deduplicates the flows of its member nodes.
+///
+/// Returns 1.0 when all inputs are empty.
+pub fn joint_dedup_ratio<C: crate::chunk::Chunker>(chunker: &C, sources: &[&[u8]]) -> f64 {
+    let total: usize = sources.iter().map(|s| s.len()).sum();
+    if total == 0 {
+        return 1.0;
+    }
+    let mut idx = InMemoryChunkIndex::new();
+    let mut unique_bytes = 0usize;
+    for src in sources {
+        for chunk in chunker.chunk(src) {
+            if idx.insert(chunk.hash) {
+                unique_bytes += chunk.len();
+            }
+        }
+    }
+    total as f64 / unique_bytes as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixed::FixedChunker;
+
+    #[test]
+    fn insert_reports_novelty() {
+        let mut idx = InMemoryChunkIndex::new();
+        let a = ChunkHash::of(b"a");
+        assert!(idx.insert(a));
+        assert!(!idx.insert(a));
+        assert_eq!(idx.len(), 1);
+        assert!(!idx.is_empty());
+    }
+
+    #[test]
+    fn collect_and_extend() {
+        let hashes: Vec<ChunkHash> = (0..10u8).map(|i| ChunkHash::of(&[i])).collect();
+        let mut idx: InMemoryChunkIndex = hashes.iter().copied().collect();
+        assert_eq!(idx.len(), 10);
+        idx.extend(hashes.iter().copied());
+        assert_eq!(idx.len(), 10);
+        assert_eq!(idx.iter().count(), 10);
+    }
+
+    #[test]
+    fn dedup_ratio_all_unique_is_one() {
+        let chunker = FixedChunker::new(4).unwrap();
+        let data: Vec<u8> = (0..64u8).collect();
+        assert!((dedup_ratio(&chunker, &data) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dedup_ratio_all_same() {
+        let chunker = FixedChunker::new(4).unwrap();
+        let data = vec![5u8; 40]; // 10 identical chunks
+        assert!((dedup_ratio(&chunker, &data) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dedup_ratio_empty_is_one() {
+        let chunker = FixedChunker::new(4).unwrap();
+        assert_eq!(dedup_ratio(&chunker, b""), 1.0);
+        assert_eq!(joint_dedup_ratio(&chunker, &[]), 1.0);
+    }
+
+    #[test]
+    fn joint_ratio_exceeds_individual_for_correlated_sources() {
+        let chunker = FixedChunker::new(4).unwrap();
+        let a = vec![1u8; 40];
+        let b = vec![1u8; 40]; // identical to a
+        let individual = dedup_ratio(&chunker, &a);
+        let joint = joint_dedup_ratio(&chunker, &[&a, &b]);
+        assert!(joint > individual);
+        assert!((joint - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn joint_ratio_uncorrelated_sources() {
+        let chunker = FixedChunker::new(1).unwrap();
+        let a = [1u8, 2, 3];
+        let b = [4u8, 5, 6];
+        let joint = joint_dedup_ratio(&chunker, &[&a, &b]);
+        assert!((joint - 1.0).abs() < 1e-9);
+    }
+}

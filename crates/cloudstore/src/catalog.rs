@@ -1,0 +1,250 @@
+//! File manifests and the restore path.
+//!
+//! Deduplicated storage keeps one copy of every chunk plus, per file, a
+//! *manifest* — the ordered list of chunk hashes that reconstitutes the
+//! file. The catalog is what makes the dedup system a storage system: a
+//! stored file must come back byte-exact, and deleting a file must free
+//! exactly the chunks no other file references.
+
+use crate::store::ChunkStore;
+use ef_chunking::{ChunkHash, Chunker};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifies a stored file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct FileId(pub u64);
+
+impl fmt::Display for FileId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "file-{}", self.0)
+    }
+}
+
+/// A file recipe: ordered chunk references and the original length.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Manifest {
+    /// Ordered chunk hashes with their lengths.
+    pub chunks: Vec<(ChunkHash, u32)>,
+    /// Original file length in bytes.
+    pub total_len: u64,
+}
+
+impl Manifest {
+    /// Number of chunks in the recipe.
+    pub fn chunk_count(&self) -> usize {
+        self.chunks.len()
+    }
+}
+
+/// Error restoring a file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RestoreError {
+    /// No manifest under this id.
+    UnknownFile(FileId),
+    /// A referenced chunk is missing from the store (corruption).
+    MissingChunk(ChunkHash),
+}
+
+impl fmt::Display for RestoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RestoreError::UnknownFile(id) => write!(f, "unknown file {id}"),
+            RestoreError::MissingChunk(h) => write!(f, "missing chunk {h}"),
+        }
+    }
+}
+
+impl std::error::Error for RestoreError {}
+
+/// A deduplicating file catalog over a [`ChunkStore`].
+///
+/// See the [crate-level example](crate).
+#[derive(Debug, Clone, Default)]
+pub struct FileCatalog {
+    store: ChunkStore,
+    manifests: HashMap<FileId, Manifest>,
+    next_id: u64,
+}
+
+impl FileCatalog {
+    /// Creates an empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Chunks `data` with `chunker`, stores the unique chunks, and
+    /// records a manifest. Returns the new file's id.
+    pub fn store_file<C: Chunker>(&mut self, chunker: &C, data: &[u8]) -> FileId {
+        let mut manifest = Manifest {
+            chunks: Vec::new(),
+            total_len: data.len() as u64,
+        };
+        for chunk in chunker.chunk(data) {
+            manifest
+                .chunks
+                .push((chunk.hash, chunk.len() as u32));
+            self.store.put(chunk.hash, chunk.data);
+        }
+        let id = FileId(self.next_id);
+        self.next_id += 1;
+        self.manifests.insert(id, manifest);
+        id
+    }
+
+    /// Stores a file from externally produced chunk hashes + payloads
+    /// (the upload path from the edge: the ring ships unique chunks, the
+    /// manifest references all of them).
+    pub fn store_manifest(
+        &mut self,
+        chunks: Vec<(ChunkHash, bytes::Bytes)>,
+    ) -> FileId {
+        let mut manifest = Manifest {
+            chunks: Vec::new(),
+            total_len: chunks.iter().map(|(_, b)| b.len() as u64).sum(),
+        };
+        for (hash, data) in chunks {
+            manifest.chunks.push((hash, data.len() as u32));
+            self.store.put(hash, data);
+        }
+        let id = FileId(self.next_id);
+        self.next_id += 1;
+        self.manifests.insert(id, manifest);
+        id
+    }
+
+    /// Reassembles a file byte-exact.
+    ///
+    /// # Errors
+    ///
+    /// [`RestoreError::UnknownFile`] or [`RestoreError::MissingChunk`].
+    pub fn restore_file(&self, id: FileId) -> Result<Vec<u8>, RestoreError> {
+        let manifest = self
+            .manifests
+            .get(&id)
+            .ok_or(RestoreError::UnknownFile(id))?;
+        let mut out = Vec::with_capacity(manifest.total_len as usize);
+        for (hash, len) in &manifest.chunks {
+            let data = self
+                .store
+                .get(hash)
+                .ok_or(RestoreError::MissingChunk(*hash))?;
+            debug_assert_eq!(data.len(), *len as usize);
+            out.extend_from_slice(&data);
+        }
+        Ok(out)
+    }
+
+    /// Deletes a file, releasing its chunk references (space shared with
+    /// other files survives). Returns `true` when the file existed.
+    pub fn delete_file(&mut self, id: FileId) -> bool {
+        let Some(manifest) = self.manifests.remove(&id) else {
+            return false;
+        };
+        for (hash, _) in &manifest.chunks {
+            self.store.release(hash);
+        }
+        true
+    }
+
+    /// The manifest of a file.
+    pub fn manifest(&self, id: FileId) -> Option<&Manifest> {
+        self.manifests.get(&id)
+    }
+
+    /// Number of stored files.
+    pub fn file_count(&self) -> usize {
+        self.manifests.len()
+    }
+
+    /// The underlying chunk store (statistics, durability integration).
+    pub fn store(&self) -> &ChunkStore {
+        &self.store
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ef_chunking::FixedChunker;
+
+    #[test]
+    fn store_restore_roundtrip() {
+        let chunker = FixedChunker::new(16).unwrap();
+        let mut catalog = FileCatalog::new();
+        let data: Vec<u8> = (0..1000u32).map(|i| (i % 251) as u8).collect();
+        let id = catalog.store_file(&chunker, &data);
+        assert_eq!(catalog.restore_file(id).unwrap(), data);
+        assert_eq!(catalog.file_count(), 1);
+        assert_eq!(
+            catalog.manifest(id).unwrap().chunk_count(),
+            data.len().div_ceil(16)
+        );
+    }
+
+    #[test]
+    fn duplicate_files_share_chunks() {
+        let chunker = FixedChunker::new(8).unwrap();
+        let mut catalog = FileCatalog::new();
+        let data = vec![7u8; 800];
+        let a = catalog.store_file(&chunker, &data);
+        let b = catalog.store_file(&chunker, &data);
+        // 100 identical chunks, stored once.
+        assert_eq!(catalog.store().stats().unique_chunks, 1);
+        assert_eq!(catalog.restore_file(a).unwrap(), data);
+        assert_eq!(catalog.restore_file(b).unwrap(), data);
+    }
+
+    #[test]
+    fn delete_frees_only_unshared_space() {
+        let chunker = FixedChunker::new(8).unwrap();
+        let mut catalog = FileCatalog::new();
+        let shared = vec![1u8; 80];
+        let mut mixed = shared.clone();
+        mixed.extend_from_slice(&[2u8; 80]);
+        let a = catalog.store_file(&chunker, &shared);
+        let b = catalog.store_file(&chunker, &mixed);
+        let before = catalog.store().stats().physical_bytes;
+        assert!(catalog.delete_file(b));
+        let after = catalog.store().stats().physical_bytes;
+        // Only the unshared 8-byte [2;8] chunk is freed.
+        assert_eq!(before - after, 8);
+        assert_eq!(catalog.restore_file(a).unwrap(), shared);
+        assert!(!catalog.delete_file(b), "double delete");
+    }
+
+    #[test]
+    fn restore_unknown_file_errors() {
+        let catalog = FileCatalog::new();
+        assert!(matches!(
+            catalog.restore_file(FileId(9)).unwrap_err(),
+            RestoreError::UnknownFile(FileId(9))
+        ));
+    }
+
+    #[test]
+    fn store_manifest_path() {
+        let mut catalog = FileCatalog::new();
+        let payloads: Vec<bytes::Bytes> = (0..5u8)
+            .map(|i| bytes::Bytes::from(vec![i; 32]))
+            .collect();
+        let chunks: Vec<(ChunkHash, bytes::Bytes)> = payloads
+            .iter()
+            .map(|b| (ChunkHash::of(b), b.clone()))
+            .collect();
+        let id = catalog.store_manifest(chunks);
+        let restored = catalog.restore_file(id).unwrap();
+        let expected: Vec<u8> = payloads.iter().flat_map(|b| b.to_vec()).collect();
+        assert_eq!(restored, expected);
+    }
+
+    #[test]
+    fn empty_file_roundtrip() {
+        let chunker = FixedChunker::new(8).unwrap();
+        let mut catalog = FileCatalog::new();
+        let id = catalog.store_file(&chunker, b"");
+        assert_eq!(catalog.restore_file(id).unwrap(), Vec::<u8>::new());
+        assert!(catalog.delete_file(id));
+    }
+}

@@ -1,0 +1,389 @@
+//! Durable chunk placement across cloud storage nodes: γ-way replication
+//! or Reed–Solomon erasure coding (the paper's future-work extension).
+
+use bytes::Bytes;
+use ef_chunking::ChunkHash;
+use ef_erasure::ReedSolomon;
+use std::collections::HashMap;
+use std::fmt;
+
+/// The durability scheme for stored chunks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Durability {
+    /// Keep `copies` full replicas (storage overhead `copies`×,
+    /// tolerates `copies − 1` node losses).
+    Replicated {
+        /// Number of full copies.
+        copies: usize,
+    },
+    /// Reed–Solomon `(k, m)`: `k` data + `m` parity shards (overhead
+    /// `1 + m/k`×, tolerates `m` node losses).
+    ErasureCoded {
+        /// Data shards.
+        k: usize,
+        /// Parity shards.
+        m: usize,
+    },
+}
+
+impl Durability {
+    /// Storage overhead factor relative to the raw payload.
+    pub fn overhead(&self) -> f64 {
+        match self {
+            Durability::Replicated { copies } => *copies as f64,
+            Durability::ErasureCoded { k, m } => 1.0 + *m as f64 / *k as f64,
+        }
+    }
+
+    /// Number of node losses the scheme tolerates.
+    pub fn fault_tolerance(&self) -> usize {
+        match self {
+            Durability::Replicated { copies } => copies - 1,
+            Durability::ErasureCoded { m, .. } => *m,
+        }
+    }
+
+    fn fragments(&self) -> usize {
+        match self {
+            Durability::Replicated { copies } => *copies,
+            Durability::ErasureCoded { k, m } => k + m,
+        }
+    }
+}
+
+/// Errors from the durable store.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DurableError {
+    /// Scheme/node-count combination is infeasible.
+    InvalidConfig(String),
+    /// The chunk is not stored.
+    UnknownChunk(ChunkHash),
+    /// Too many fragments are on failed nodes to reconstruct.
+    Unrecoverable(ChunkHash),
+}
+
+impl fmt::Display for DurableError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DurableError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            DurableError::UnknownChunk(h) => write!(f, "unknown chunk {h}"),
+            DurableError::Unrecoverable(h) => {
+                write!(f, "chunk {h} unrecoverable: too many fragments lost")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DurableError {}
+
+/// A chunk store spread over `nodes` cloud storage nodes under a
+/// [`Durability`] scheme.
+///
+/// # Example
+///
+/// ```
+/// use ef_cloudstore::{Durability, DurableStore};
+/// use ef_chunking::ChunkHash;
+/// use bytes::Bytes;
+///
+/// // 6 storage nodes, RS(4,2): 1.5x overhead, tolerates 2 failures.
+/// let mut store = DurableStore::new(6, Durability::ErasureCoded { k: 4, m: 2 })?;
+/// let data = Bytes::from_static(b"valuable chunk bytes");
+/// let hash = ChunkHash::of(&data);
+/// store.put(hash, data.clone())?;
+/// store.fail_node(0);
+/// store.fail_node(3);
+/// assert_eq!(store.get(&hash)?, data);
+/// # Ok::<(), ef_cloudstore::DurableError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct DurableStore {
+    durability: Durability,
+    rs: Option<ReedSolomon>,
+    /// Per storage node: fragment index → bytes.
+    nodes: Vec<HashMap<ChunkHash, Bytes>>,
+    failed: Vec<bool>,
+    /// Chunk metadata: original length + home node offset.
+    chunks: HashMap<ChunkHash, ChunkMeta>,
+    next_spread: usize,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct ChunkMeta {
+    len: usize,
+    /// First node holding a fragment; fragment `f` lives on node
+    /// `(base + f) % nodes`.
+    base: usize,
+}
+
+impl DurableStore {
+    /// Creates a store over `node_count` storage nodes.
+    ///
+    /// # Errors
+    ///
+    /// [`DurableError::InvalidConfig`] when the scheme needs more
+    /// fragments than there are nodes, or parameters are degenerate.
+    pub fn new(node_count: usize, durability: Durability) -> Result<Self, DurableError> {
+        let fragments = durability.fragments();
+        if fragments == 0 {
+            return Err(DurableError::InvalidConfig("zero fragments".into()));
+        }
+        if fragments > node_count {
+            return Err(DurableError::InvalidConfig(format!(
+                "{fragments} fragments need at least {fragments} nodes, have {node_count}"
+            )));
+        }
+        let rs = match durability {
+            Durability::Replicated { copies } => {
+                if copies == 0 {
+                    return Err(DurableError::InvalidConfig("zero copies".into()));
+                }
+                None
+            }
+            Durability::ErasureCoded { k, m } => Some(
+                ReedSolomon::new(k, m)
+                    .map_err(|e| DurableError::InvalidConfig(e.to_string()))?,
+            ),
+        };
+        Ok(DurableStore {
+            durability,
+            rs,
+            nodes: vec![HashMap::new(); node_count],
+            failed: vec![false; node_count],
+            chunks: HashMap::new(),
+            next_spread: 0,
+        })
+    }
+
+    /// The configured durability scheme.
+    pub fn durability(&self) -> Durability {
+        self.durability
+    }
+
+    /// Stores a chunk (idempotent: re-putting an existing hash is a
+    /// no-op).
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible for valid stores; `Result` for uniformity.
+    pub fn put(&mut self, hash: ChunkHash, data: Bytes) -> Result<(), DurableError> {
+        if self.chunks.contains_key(&hash) {
+            return Ok(());
+        }
+        let base = self.next_spread;
+        self.next_spread = (self.next_spread + 1) % self.nodes.len();
+        let fragments: Vec<Bytes> = match &self.rs {
+            None => {
+                let copies = self.durability.fragments();
+                std::iter::repeat(data.clone()).take(copies).collect()
+            }
+            Some(rs) => rs
+                .encode(&data)
+                .expect("encode of in-memory data cannot fail")
+                .into_iter()
+                .map(Bytes::from)
+                .collect(),
+        };
+        for (f, frag) in fragments.into_iter().enumerate() {
+            let node = (base + f) % self.nodes.len();
+            self.nodes[node].insert(hash, frag);
+        }
+        self.chunks.insert(
+            hash,
+            ChunkMeta {
+                len: data.len(),
+                base,
+            },
+        );
+        Ok(())
+    }
+
+    /// Reads a chunk, reconstructing from surviving fragments.
+    ///
+    /// # Errors
+    ///
+    /// [`DurableError::UnknownChunk`] or [`DurableError::Unrecoverable`].
+    pub fn get(&self, hash: &ChunkHash) -> Result<Bytes, DurableError> {
+        let meta = self
+            .chunks
+            .get(hash)
+            .ok_or(DurableError::UnknownChunk(*hash))?;
+        let fragments = self.durability.fragments();
+        match &self.rs {
+            None => {
+                // Any surviving replica serves.
+                for f in 0..fragments {
+                    let node = (meta.base + f) % self.nodes.len();
+                    if !self.failed[node] {
+                        if let Some(data) = self.nodes[node].get(hash) {
+                            return Ok(data.clone());
+                        }
+                    }
+                }
+                Err(DurableError::Unrecoverable(*hash))
+            }
+            Some(rs) => {
+                let mut shards: Vec<Option<Vec<u8>>> = Vec::with_capacity(fragments);
+                for f in 0..fragments {
+                    let node = (meta.base + f) % self.nodes.len();
+                    if self.failed[node] {
+                        shards.push(None);
+                    } else {
+                        shards.push(self.nodes[node].get(hash).map(|b| b.to_vec()));
+                    }
+                }
+                rs.reconstruct(&shards, meta.len)
+                    .map(Bytes::from)
+                    .map_err(|_| DurableError::Unrecoverable(*hash))
+            }
+        }
+    }
+
+    /// Marks a storage node failed (its fragments become unreadable).
+    ///
+    /// # Panics
+    ///
+    /// Panics for an out-of-range node index.
+    pub fn fail_node(&mut self, node: usize) {
+        self.failed[node] = true;
+    }
+
+    /// Recovers a failed node (its fragments become readable again; a
+    /// real system would re-replicate — our fragments are retained).
+    ///
+    /// # Panics
+    ///
+    /// Panics for an out-of-range node index.
+    pub fn recover_node(&mut self, node: usize) {
+        self.failed[node] = false;
+    }
+
+    /// Total physical bytes across all storage nodes.
+    pub fn physical_bytes(&self) -> u64 {
+        self.nodes
+            .iter()
+            .flat_map(|n| n.values())
+            .map(|b| b.len() as u64)
+            .sum()
+    }
+
+    /// Total logical (original chunk) bytes stored.
+    pub fn logical_bytes(&self) -> u64 {
+        self.chunks.values().map(|m| m.len as u64).sum()
+    }
+
+    /// Distinct chunks stored.
+    pub fn chunk_count(&self) -> usize {
+        self.chunks.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chunk(i: u32) -> (ChunkHash, Bytes) {
+        let b = Bytes::from(vec![(i % 251) as u8; 64 + (i as usize % 32)]);
+        (ChunkHash::of(&b), b)
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(DurableStore::new(2, Durability::ErasureCoded { k: 4, m: 2 }).is_err());
+        assert!(DurableStore::new(2, Durability::Replicated { copies: 3 }).is_err());
+        assert!(DurableStore::new(6, Durability::ErasureCoded { k: 4, m: 2 }).is_ok());
+        assert!(DurableStore::new(3, Durability::Replicated { copies: 3 }).is_ok());
+    }
+
+    #[test]
+    fn replication_tolerates_copies_minus_one() {
+        let mut s = DurableStore::new(4, Durability::Replicated { copies: 3 }).unwrap();
+        let (h, b) = chunk(1);
+        s.put(h, b.clone()).unwrap();
+        s.fail_node(0);
+        s.fail_node(1);
+        assert_eq!(s.get(&h).unwrap(), b);
+    }
+
+    #[test]
+    fn erasure_tolerates_m_failures_everywhere() {
+        let mut s = DurableStore::new(6, Durability::ErasureCoded { k: 4, m: 2 }).unwrap();
+        let payloads: Vec<(ChunkHash, Bytes)> = (0..40).map(chunk).collect();
+        for (h, b) in &payloads {
+            s.put(*h, b.clone()).unwrap();
+        }
+        s.fail_node(1);
+        s.fail_node(4);
+        for (h, b) in &payloads {
+            assert_eq!(&s.get(h).unwrap(), b);
+        }
+    }
+
+    #[test]
+    fn beyond_tolerance_is_unrecoverable_for_some_chunk() {
+        let mut s = DurableStore::new(6, Durability::ErasureCoded { k: 4, m: 2 }).unwrap();
+        let payloads: Vec<(ChunkHash, Bytes)> = (0..20).map(chunk).collect();
+        for (h, b) in &payloads {
+            s.put(*h, b.clone()).unwrap();
+        }
+        for n in 0..3 {
+            s.fail_node(n);
+        }
+        // With 3 of 6 nodes down and 6 fragments per chunk, every chunk
+        // lost 3 > m fragments.
+        for (h, _) in &payloads {
+            assert!(matches!(
+                s.get(h).unwrap_err(),
+                DurableError::Unrecoverable(_)
+            ));
+        }
+        // Recovery restores readability.
+        s.recover_node(0);
+        for (h, b) in &payloads {
+            assert_eq!(&s.get(h).unwrap(), b);
+        }
+    }
+
+    #[test]
+    fn erasure_overhead_below_replication() {
+        let mut rep = DurableStore::new(6, Durability::Replicated { copies: 3 }).unwrap();
+        let mut ec = DurableStore::new(6, Durability::ErasureCoded { k: 4, m: 2 }).unwrap();
+        for i in 0..50 {
+            let (h, b) = chunk(i);
+            rep.put(h, b.clone()).unwrap();
+            ec.put(h, b).unwrap();
+        }
+        assert_eq!(rep.logical_bytes(), ec.logical_bytes());
+        let rep_factor = rep.physical_bytes() as f64 / rep.logical_bytes() as f64;
+        let ec_factor = ec.physical_bytes() as f64 / ec.logical_bytes() as f64;
+        assert!((rep_factor - 3.0).abs() < 1e-9);
+        // Same fault tolerance (2 losses) at roughly half the overhead;
+        // shard padding adds a little over the ideal 1.5.
+        assert!(ec_factor < 1.6, "erasure factor {ec_factor}");
+        assert_eq!(
+            rep.durability().fault_tolerance(),
+            ec.durability().fault_tolerance()
+        );
+    }
+
+    #[test]
+    fn put_is_idempotent() {
+        let mut s = DurableStore::new(3, Durability::Replicated { copies: 2 }).unwrap();
+        let (h, b) = chunk(9);
+        s.put(h, b.clone()).unwrap();
+        let before = s.physical_bytes();
+        s.put(h, b).unwrap();
+        assert_eq!(s.physical_bytes(), before);
+        assert_eq!(s.chunk_count(), 1);
+    }
+
+    #[test]
+    fn unknown_chunk_errors() {
+        let s = DurableStore::new(3, Durability::Replicated { copies: 2 }).unwrap();
+        let (h, _) = chunk(5);
+        assert!(matches!(
+            s.get(&h).unwrap_err(),
+            DurableError::UnknownChunk(_)
+        ));
+    }
+}

@@ -1,0 +1,40 @@
+//! # ef-cloudstore — the central cloud's storage endpoint
+//!
+//! In EF-dedup the edge rings suppress duplicates and forward unique
+//! chunks to the central cloud "for further storage and processing"
+//! (paper Sec. I/IV). This crate implements that endpoint as a real
+//! storage system rather than a byte counter:
+//!
+//! * [`ChunkStore`] — content-addressed, reference-counted chunk storage
+//!   with garbage collection on release,
+//! * [`Manifest`] / [`FileCatalog`] — file recipes (ordered chunk lists)
+//!   and a catalog that stores files through a chunker and **restores
+//!   them byte-exact**,
+//! * [`DurableStore`] — chunk placement across cloud storage nodes under
+//!   either γ-way [`Durability::Replicated`] or Reed–Solomon
+//!   [`Durability::ErasureCoded`] (the paper's future-work extension),
+//!   surviving node failures within the configured tolerance.
+//!
+//! # Example
+//!
+//! ```
+//! use ef_cloudstore::FileCatalog;
+//! use ef_chunking::FixedChunker;
+//!
+//! let chunker = FixedChunker::new(8).unwrap();
+//! let mut catalog = FileCatalog::new();
+//! let data = b"hello dedup hello dedup!".to_vec();
+//! let id = catalog.store_file(&chunker, &data);
+//! assert_eq!(catalog.restore_file(id).unwrap(), data);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod catalog;
+mod durable;
+mod store;
+
+pub use catalog::{FileCatalog, FileId, Manifest, RestoreError};
+pub use durable::{Durability, DurableError, DurableStore};
+pub use store::{ChunkStore, ChunkStoreStats};

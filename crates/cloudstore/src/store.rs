@@ -1,0 +1,214 @@
+//! Content-addressed, reference-counted chunk storage.
+
+use bytes::Bytes;
+use ef_chunking::ChunkHash;
+use std::collections::HashMap;
+
+/// Aggregate statistics of a [`ChunkStore`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChunkStoreStats {
+    /// Distinct chunks currently stored.
+    pub unique_chunks: usize,
+    /// Physical bytes stored (unique chunk payloads).
+    pub physical_bytes: u64,
+    /// Logical bytes referenced (payload bytes × references).
+    pub logical_bytes: u64,
+    /// Total references across chunks.
+    pub references: u64,
+}
+
+impl ChunkStoreStats {
+    /// The store-level dedup ratio: logical / physical bytes (1.0 when
+    /// empty).
+    pub fn dedup_ratio(&self) -> f64 {
+        if self.physical_bytes == 0 {
+            1.0
+        } else {
+            self.logical_bytes as f64 / self.physical_bytes as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    data: Bytes,
+    refs: u64,
+}
+
+/// A content-addressed chunk store with reference counting.
+///
+/// Each `put` of a hash increments its reference count; `release`
+/// decrements and garbage-collects at zero. File deletion therefore
+/// reclaims exactly the space no surviving file still needs.
+///
+/// # Example
+///
+/// ```
+/// use ef_cloudstore::ChunkStore;
+/// use ef_chunking::ChunkHash;
+/// use bytes::Bytes;
+///
+/// let mut store = ChunkStore::new();
+/// let payload = Bytes::from_static(b"chunk-bytes");
+/// let hash = ChunkHash::of(&payload);
+/// assert!(store.put(hash, payload.clone()));  // stored
+/// assert!(!store.put(hash, payload));         // deduplicated
+/// assert_eq!(store.stats().unique_chunks, 1);
+/// assert_eq!(store.stats().references, 2);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ChunkStore {
+    entries: HashMap<ChunkHash, Entry>,
+    physical_bytes: u64,
+    logical_bytes: u64,
+}
+
+impl ChunkStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Stores (or references) a chunk. Returns `true` when the payload
+    /// was physically stored, `false` when it deduplicated against an
+    /// existing copy.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `hash` does not match `data` (a corrupted upload) —
+    /// in debug builds only, as the check hashes the payload.
+    pub fn put(&mut self, hash: ChunkHash, data: Bytes) -> bool {
+        debug_assert_eq!(hash, ChunkHash::of(&data), "hash/payload mismatch");
+        self.logical_bytes += data.len() as u64;
+        match self.entries.get_mut(&hash) {
+            Some(entry) => {
+                entry.refs += 1;
+                false
+            }
+            None => {
+                self.physical_bytes += data.len() as u64;
+                self.entries.insert(hash, Entry { data, refs: 1 });
+                true
+            }
+        }
+    }
+
+    /// Reads a chunk's payload.
+    pub fn get(&self, hash: &ChunkHash) -> Option<Bytes> {
+        self.entries.get(hash).map(|e| e.data.clone())
+    }
+
+    /// True when the chunk is stored.
+    pub fn contains(&self, hash: &ChunkHash) -> bool {
+        self.entries.contains_key(hash)
+    }
+
+    /// Drops one reference; the chunk is garbage-collected when the
+    /// count reaches zero. Returns `true` when the payload was freed.
+    ///
+    /// # Panics
+    ///
+    /// Panics when releasing a hash that is not stored (a refcounting
+    /// bug in the caller).
+    pub fn release(&mut self, hash: &ChunkHash) -> bool {
+        let entry = self
+            .entries
+            .get_mut(hash)
+            .expect("release of unknown chunk");
+        entry.refs -= 1;
+        self.logical_bytes -= entry.data.len() as u64;
+        if entry.refs == 0 {
+            let len = entry.data.len() as u64;
+            self.entries.remove(hash);
+            self.physical_bytes -= len;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> ChunkStoreStats {
+        ChunkStoreStats {
+            unique_chunks: self.entries.len(),
+            physical_bytes: self.physical_bytes,
+            logical_bytes: self.logical_bytes,
+            references: self.entries.values().map(|e| e.refs).sum(),
+        }
+    }
+
+    /// Iterates over stored hashes in unspecified order.
+    pub fn hashes(&self) -> impl Iterator<Item = &ChunkHash> {
+        self.entries.keys()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chunk(s: &str) -> (ChunkHash, Bytes) {
+        let b = Bytes::copy_from_slice(s.as_bytes());
+        (ChunkHash::of(&b), b)
+    }
+
+    #[test]
+    fn put_dedups_and_counts() {
+        let mut store = ChunkStore::new();
+        let (h, b) = chunk("aaaa");
+        assert!(store.put(h, b.clone()));
+        assert!(!store.put(h, b.clone()));
+        assert!(!store.put(h, b));
+        let s = store.stats();
+        assert_eq!(s.unique_chunks, 1);
+        assert_eq!(s.references, 3);
+        assert_eq!(s.physical_bytes, 4);
+        assert_eq!(s.logical_bytes, 12);
+        assert!((s.dedup_ratio() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn release_garbage_collects_at_zero() {
+        let mut store = ChunkStore::new();
+        let (h, b) = chunk("bbbb");
+        store.put(h, b.clone());
+        store.put(h, b);
+        assert!(!store.release(&h)); // one ref left
+        assert!(store.contains(&h));
+        assert!(store.release(&h)); // freed
+        assert!(!store.contains(&h));
+        assert_eq!(store.stats(), ChunkStoreStats::default());
+    }
+
+    #[test]
+    fn get_returns_payload() {
+        let mut store = ChunkStore::new();
+        let (h, b) = chunk("content");
+        store.put(h, b.clone());
+        assert_eq!(store.get(&h), Some(b));
+        let (other, _) = chunk("other");
+        assert_eq!(store.get(&other), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "release of unknown chunk")]
+    fn release_unknown_panics() {
+        let (h, _) = chunk("x");
+        ChunkStore::new().release(&h);
+    }
+
+    #[test]
+    fn empty_store_ratio_is_one() {
+        assert_eq!(ChunkStore::new().stats().dedup_ratio(), 1.0);
+    }
+
+    #[test]
+    fn hashes_iterates_all() {
+        let mut store = ChunkStore::new();
+        for s in ["a", "b", "c"] {
+            let (h, b) = chunk(s);
+            store.put(h, b);
+        }
+        assert_eq!(store.hashes().count(), 3);
+    }
+}

@@ -1,0 +1,89 @@
+//! Metrics produced by a system run.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-node pipeline metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct NodeMetrics {
+    /// Chunks this node processed.
+    pub chunks: u64,
+    /// Chunks found unique (uploaded to the cloud).
+    pub unique_chunks: u64,
+    /// Mean hash-lookup network cost per chunk (RTT ms; 0 when local).
+    pub avg_lookup_ms: f64,
+    /// Fraction of lookups answered by a local replica.
+    pub local_lookup_fraction: f64,
+    /// Steady-state per-chunk pipeline time (seconds).
+    pub chunk_time_secs: f64,
+    /// The node's dedup throughput in MB/s (input bytes processed per
+    /// second, the paper's metric).
+    pub throughput_mbps: f64,
+}
+
+/// System-level metrics of one experiment run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SystemMetrics {
+    /// Strategy label ("SMART", "Cloud-Assisted", "Cloud-Only", …).
+    pub strategy: String,
+    /// Total input bytes across all nodes.
+    pub total_input_bytes: u64,
+    /// Total chunks across all nodes.
+    pub total_chunks: u64,
+    /// Distinct chunks within each dedup scope, summed over scopes
+    /// (rings for EF-dedup, global for the cloud strategies).
+    pub unique_chunks: u64,
+    /// Measured dedup ratio: `total_chunks / unique_chunks`.
+    pub dedup_ratio: f64,
+    /// Bytes that crossed the WAN to the central cloud.
+    pub wan_bytes: u64,
+    /// Transient storage the dedup scopes hold (unique chunks × chunk
+    /// size) — the `U` proxy of Eq. (1).
+    pub storage_bytes: u64,
+    /// Total measured hash-lookup network cost (Σ RTT ms over all
+    /// non-local lookups) — the `V` proxy of Eq. (2).
+    pub network_cost_ms: f64,
+    /// Wall time to drain every node's workload (seconds).
+    pub makespan_secs: f64,
+    /// Aggregate dedup throughput: total input bytes / makespan (MB/s).
+    pub aggregate_throughput_mbps: f64,
+    /// Mean per-node throughput (MB/s).
+    pub mean_node_throughput_mbps: f64,
+    /// Per-node details.
+    pub nodes: Vec<NodeMetrics>,
+}
+
+impl SystemMetrics {
+    /// The Eq. (3) aggregate cost of this run in storage-byte units:
+    /// `storage_bytes + alpha_bytes_per_ms * network_cost_ms`.
+    ///
+    /// `alpha` here scales measured network milliseconds into byte-
+    /// equivalents, mirroring the paper's trade-off factor.
+    pub fn aggregate_cost(&self, alpha: f64) -> f64 {
+        self.storage_bytes as f64 + alpha * self.network_cost_ms
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregate_cost_composes() {
+        let m = SystemMetrics {
+            strategy: "test".into(),
+            total_input_bytes: 0,
+            total_chunks: 0,
+            unique_chunks: 0,
+            dedup_ratio: 1.0,
+            wan_bytes: 0,
+            storage_bytes: 1_000,
+            network_cost_ms: 50.0,
+            makespan_secs: 1.0,
+            aggregate_throughput_mbps: 0.0,
+            mean_node_throughput_mbps: 0.0,
+            nodes: Vec::new(),
+        };
+        assert_eq!(m.aggregate_cost(0.0), 1_000.0);
+        assert_eq!(m.aggregate_cost(2.0), 1_100.0);
+    }
+}

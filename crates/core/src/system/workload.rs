@@ -1,0 +1,195 @@
+//! Workloads: per-node chunk-hash streams.
+
+use ef_chunking::{ChunkHash, Chunker};
+use ef_datagen::datasets::Dataset;
+use ef_datagen::ChunkRef;
+
+/// A per-node stream of chunk hashes to deduplicate.
+///
+/// Two construction paths:
+///
+/// * [`Workload::from_dataset`] — draws chunk *references* from a
+///   dataset's generative model and hashes their canonical encoding. This
+///   skips byte materialization, so large sweeps stay fast, while
+///   preserving the exact equality structure (same reference ⇔ same
+///   hash).
+/// * [`Workload::from_streams`] — chunks and hashes real byte streams.
+///
+/// A unit test in this module proves both paths yield identical
+/// uniqueness structure on the same draws.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    per_node: Vec<Vec<ChunkHash>>,
+    chunk_size: usize,
+}
+
+impl Workload {
+    /// Builds a workload directly from per-node hash streams.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `per_node` is empty or `chunk_size` is zero.
+    pub fn new(per_node: Vec<Vec<ChunkHash>>, chunk_size: usize) -> Self {
+        assert!(!per_node.is_empty(), "workload needs at least one node");
+        assert!(chunk_size > 0, "chunk size must be positive");
+        Workload {
+            per_node,
+            chunk_size,
+        }
+    }
+
+    /// Draws `chunks_per_node` chunks for each of `nodes` sources from
+    /// `dataset` at `time_slot`, hashing the canonical reference encoding.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `nodes` is zero or exceeds the dataset's source count,
+    /// or `chunks_per_node` is zero.
+    pub fn from_dataset(
+        dataset: &Dataset,
+        nodes: usize,
+        chunks_per_node: usize,
+        time_slot: u32,
+    ) -> Self {
+        assert!(nodes > 0, "need at least one node");
+        assert!(
+            nodes <= dataset.model().source_count(),
+            "dataset has only {} sources",
+            dataset.model().source_count()
+        );
+        assert!(chunks_per_node > 0, "need at least one chunk per node");
+        let per_node = (0..nodes)
+            .map(|n| {
+                dataset
+                    .draw_file_refs(n, time_slot, 0, chunks_per_node)
+                    .into_iter()
+                    .map(hash_ref)
+                    .collect()
+            })
+            .collect();
+        Workload {
+            per_node,
+            chunk_size: dataset.model().chunk_size(),
+        }
+    }
+
+    /// Chunks and hashes real byte streams, one per node.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `streams` is empty.
+    pub fn from_streams<C: Chunker>(chunker: &C, streams: &[Vec<u8>]) -> Self {
+        assert!(!streams.is_empty(), "workload needs at least one node");
+        let per_node = streams
+            .iter()
+            .map(|s| chunker.chunk(s).into_iter().map(|c| c.hash).collect())
+            .collect();
+        Workload {
+            per_node,
+            chunk_size: chunker.target_chunk_size(),
+        }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.per_node.len()
+    }
+
+    /// The hash stream of node `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n` is out of range.
+    pub fn stream(&self, n: usize) -> &[ChunkHash] {
+        &self.per_node[n]
+    }
+
+    /// Bytes per chunk.
+    pub fn chunk_size(&self) -> usize {
+        self.chunk_size
+    }
+
+    /// Total chunks across nodes.
+    pub fn total_chunks(&self) -> u64 {
+        self.per_node.iter().map(|s| s.len() as u64).sum()
+    }
+
+    /// Total input bytes across nodes.
+    pub fn total_bytes(&self) -> u64 {
+        self.total_chunks() * self.chunk_size as u64
+    }
+}
+
+/// Canonical hash of a chunk reference: equals the hash structure of the
+/// materialized chunk without paying materialization.
+fn hash_ref(r: ChunkRef) -> ChunkHash {
+    let mut buf = [0u8; 12];
+    buf[..4].copy_from_slice(&r.pool.to_be_bytes());
+    buf[4..].copy_from_slice(&r.index.to_be_bytes());
+    ChunkHash::of(&buf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ef_chunking::FixedChunker;
+    use ef_datagen::datasets;
+
+    #[test]
+    fn dataset_and_byte_paths_have_identical_uniqueness() {
+        let ds = datasets::accelerometer(4, 5);
+        let fast = Workload::from_dataset(&ds, 4, 150, 0);
+
+        // Materialize the same draws into bytes and chunk them.
+        let streams: Vec<Vec<u8>> = (0..4)
+            .map(|n| {
+                ds.draw_file_refs(n, 0, 0, 150)
+                    .into_iter()
+                    .flat_map(|r| ds.materialize(r))
+                    .collect()
+            })
+            .collect();
+        let chunker = FixedChunker::new(ds.model().chunk_size()).unwrap();
+        let slow = Workload::from_streams(&chunker, &streams);
+
+        assert_eq!(fast.total_chunks(), slow.total_chunks());
+        // Uniqueness structure must agree per node and globally.
+        for n in 0..4 {
+            let fa: std::collections::HashSet<_> = fast.stream(n).iter().collect();
+            let sl: std::collections::HashSet<_> = slow.stream(n).iter().collect();
+            assert_eq!(fa.len(), sl.len(), "node {n} distinct count differs");
+        }
+        let fa: std::collections::HashSet<_> =
+            (0..4).flat_map(|n| fast.stream(n)).collect();
+        let sl: std::collections::HashSet<_> =
+            (0..4).flat_map(|n| slow.stream(n)).collect();
+        assert_eq!(fa.len(), sl.len(), "global distinct count differs");
+    }
+
+    #[test]
+    fn workload_accessors() {
+        let ds = datasets::traffic_video(3, 1);
+        let w = Workload::from_dataset(&ds, 3, 10, 0);
+        assert_eq!(w.node_count(), 3);
+        assert_eq!(w.stream(0).len(), 10);
+        assert_eq!(w.total_chunks(), 30);
+        assert_eq!(w.total_bytes(), 30 * ds.model().chunk_size() as u64);
+    }
+
+    #[test]
+    fn same_slot_same_workload() {
+        let ds = datasets::accelerometer(2, 9);
+        let a = Workload::from_dataset(&ds, 2, 20, 1);
+        let b = Workload::from_dataset(&ds, 2, 20, 1);
+        assert_eq!(a.stream(0), b.stream(0));
+        let c = Workload::from_dataset(&ds, 2, 20, 2);
+        assert_ne!(a.stream(0), c.stream(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "only")]
+    fn too_many_nodes_rejected() {
+        let ds = datasets::accelerometer(2, 9);
+        Workload::from_dataset(&ds, 5, 10, 0);
+    }
+}

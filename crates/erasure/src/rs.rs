@@ -1,0 +1,362 @@
+//! Systematic Reed–Solomon codes built from a Vandermonde-derived
+//! encoding matrix.
+
+use crate::gf256;
+use crate::matrix::Matrix;
+use std::fmt;
+
+/// Errors from code construction, encoding, or reconstruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodeError {
+    /// `k` or `m` is zero, or `k + m > 255` (the field size bounds the
+    /// number of distinct shard indices).
+    InvalidParameters {
+        /// Data shards requested.
+        k: usize,
+        /// Parity shards requested.
+        m: usize,
+    },
+    /// Fewer than `k` shards were present at reconstruction.
+    NotEnoughShards {
+        /// Shards present.
+        present: usize,
+        /// Shards required.
+        required: usize,
+    },
+    /// Present shards disagree on length.
+    ShardSizeMismatch,
+    /// The wrong number of shard slots was supplied.
+    WrongShardCount {
+        /// Slots supplied.
+        got: usize,
+        /// Slots expected (`k + m`).
+        expected: usize,
+    },
+    /// The requested data length exceeds what the shards can hold.
+    BadDataLength,
+}
+
+impl fmt::Display for CodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodeError::InvalidParameters { k, m } => {
+                write!(f, "invalid code parameters k={k}, m={m}")
+            }
+            CodeError::NotEnoughShards { present, required } => {
+                write!(f, "only {present} shards present, {required} required")
+            }
+            CodeError::ShardSizeMismatch => write!(f, "shards have inconsistent sizes"),
+            CodeError::WrongShardCount { got, expected } => {
+                write!(f, "expected {expected} shard slots, got {got}")
+            }
+            CodeError::BadDataLength => write!(f, "data length exceeds shard capacity"),
+        }
+    }
+}
+
+impl std::error::Error for CodeError {}
+
+/// A systematic `(k, m)` Reed–Solomon code: `k` data shards, `m` parity
+/// shards, tolerating the loss of any `m` shards.
+///
+/// See the [crate-level example](crate).
+#[derive(Debug, Clone)]
+pub struct ReedSolomon {
+    k: usize,
+    m: usize,
+    /// `(k+m) × k` encoding matrix whose top `k × k` block is identity.
+    encode: Matrix,
+}
+
+impl ReedSolomon {
+    /// Creates a `(k, m)` code.
+    ///
+    /// # Errors
+    ///
+    /// [`CodeError::InvalidParameters`] when `k == 0`, `m == 0`, or
+    /// `k + m > 255`.
+    pub fn new(k: usize, m: usize) -> Result<Self, CodeError> {
+        if k == 0 || m == 0 || k + m > 255 {
+            return Err(CodeError::InvalidParameters { k, m });
+        }
+        // Systematic construction: V is (k+m) x k Vandermonde; E = V ·
+        // (top k rows of V)⁻¹ has an identity top block, and any k of its
+        // rows remain invertible.
+        let v = Matrix::vandermonde(k + m, k);
+        let top = v.select_rows(&(0..k).collect::<Vec<_>>());
+        let top_inv = top
+            .inverted()
+            .expect("vandermonde top block is invertible");
+        let encode = v.mul(&top_inv);
+        Ok(ReedSolomon { k, m, encode })
+    }
+
+    /// Data shards `k`.
+    pub fn data_shards(&self) -> usize {
+        self.k
+    }
+
+    /// Parity shards `m`.
+    pub fn parity_shards(&self) -> usize {
+        self.m
+    }
+
+    /// Total shards `k + m`.
+    pub fn total_shards(&self) -> usize {
+        self.k + self.m
+    }
+
+    /// Storage overhead factor `1 + m/k`.
+    pub fn overhead(&self) -> f64 {
+        1.0 + self.m as f64 / self.k as f64
+    }
+
+    /// Encodes `data` into `k + m` equal-size shards (the first `k` carry
+    /// the data itself, zero-padded).
+    ///
+    /// # Errors
+    ///
+    /// Never fails for valid codes; the `Result` keeps the signature
+    /// uniform with [`ReedSolomon::reconstruct`].
+    pub fn encode(&self, data: &[u8]) -> Result<Vec<Vec<u8>>, CodeError> {
+        let shard_len = data.len().div_ceil(self.k).max(1);
+        let mut shards: Vec<Vec<u8>> = Vec::with_capacity(self.k + self.m);
+        for i in 0..self.k {
+            let start = (i * shard_len).min(data.len());
+            let end = ((i + 1) * shard_len).min(data.len());
+            let mut shard = data[start..end].to_vec();
+            shard.resize(shard_len, 0);
+            shards.push(shard);
+        }
+        for p in 0..self.m {
+            let row = self.encode.row(self.k + p).to_vec();
+            let mut parity = vec![0u8; shard_len];
+            for (c, coeff) in row.iter().enumerate() {
+                if *coeff != 0 {
+                    for (byte, src) in parity.iter_mut().zip(&shards[c]) {
+                        *byte = gf256::add(*byte, gf256::mul(*coeff, *src));
+                    }
+                }
+            }
+            shards.push(parity);
+        }
+        Ok(shards)
+    }
+
+    /// Reconstructs the original `data_len` bytes from any `k` surviving
+    /// shards (missing slots are `None`).
+    ///
+    /// # Errors
+    ///
+    /// [`CodeError::WrongShardCount`], [`CodeError::NotEnoughShards`],
+    /// [`CodeError::ShardSizeMismatch`], or [`CodeError::BadDataLength`].
+    pub fn reconstruct(
+        &self,
+        shards: &[Option<Vec<u8>>],
+        data_len: usize,
+    ) -> Result<Vec<u8>, CodeError> {
+        if shards.len() != self.total_shards() {
+            return Err(CodeError::WrongShardCount {
+                got: shards.len(),
+                expected: self.total_shards(),
+            });
+        }
+        let present: Vec<usize> = shards
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|_| i))
+            .collect();
+        if present.len() < self.k {
+            return Err(CodeError::NotEnoughShards {
+                present: present.len(),
+                required: self.k,
+            });
+        }
+        let shard_len = shards[present[0]].as_ref().expect("present").len();
+        for &i in &present {
+            if shards[i].as_ref().expect("present").len() != shard_len {
+                return Err(CodeError::ShardSizeMismatch);
+            }
+        }
+        if data_len > shard_len * self.k {
+            return Err(CodeError::BadDataLength);
+        }
+
+        // Use the first k present shards; invert their encoding rows.
+        let use_rows: Vec<usize> = present[..self.k].to_vec();
+        let sub = self.encode.select_rows(&use_rows);
+        let decode = sub
+            .inverted()
+            .expect("any k rows of the systematic matrix are invertible");
+
+        // data_shard[r] = Σ_c decode[r][c] * received[use_rows[c]]
+        let mut out = Vec::with_capacity(shard_len * self.k);
+        for r in 0..self.k {
+            let mut shard = vec![0u8; shard_len];
+            for c in 0..self.k {
+                let coeff = decode.get(r, c);
+                if coeff != 0 {
+                    let src = shards[use_rows[c]].as_ref().expect("present");
+                    for (byte, s) in shard.iter_mut().zip(src) {
+                        *byte = gf256::add(*byte, gf256::mul(coeff, *s));
+                    }
+                }
+            }
+            out.extend_from_slice(&shard);
+        }
+        out.truncate(data_len);
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_data(len: usize) -> Vec<u8> {
+        (0..len).map(|i| (i * 31 % 251) as u8).collect()
+    }
+
+    #[test]
+    fn parameter_validation() {
+        assert!(ReedSolomon::new(0, 1).is_err());
+        assert!(ReedSolomon::new(1, 0).is_err());
+        assert!(ReedSolomon::new(200, 56).is_err());
+        assert!(ReedSolomon::new(200, 55).is_ok());
+        let rs = ReedSolomon::new(4, 2).unwrap();
+        assert_eq!(rs.data_shards(), 4);
+        assert_eq!(rs.parity_shards(), 2);
+        assert_eq!(rs.total_shards(), 6);
+        assert!((rs.overhead() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn systematic_property() {
+        // The first k shards are the data itself (padded).
+        let rs = ReedSolomon::new(3, 2).unwrap();
+        let data = sample_data(30);
+        let shards = rs.encode(&data).unwrap();
+        assert_eq!(shards[0], &data[0..10]);
+        assert_eq!(shards[1], &data[10..20]);
+        assert_eq!(shards[2], &data[20..30]);
+    }
+
+    #[test]
+    fn no_loss_roundtrip() {
+        let rs = ReedSolomon::new(5, 3).unwrap();
+        let data = sample_data(1000);
+        let shards = rs.encode(&data).unwrap();
+        let received: Vec<Option<Vec<u8>>> = shards.into_iter().map(Some).collect();
+        assert_eq!(rs.reconstruct(&received, 1000).unwrap(), data);
+    }
+
+    #[test]
+    fn tolerates_any_m_losses() {
+        let rs = ReedSolomon::new(4, 2).unwrap();
+        let data = sample_data(333);
+        let shards = rs.encode(&data).unwrap();
+        // Every pair of lost shards.
+        for a in 0..6 {
+            for b in (a + 1)..6 {
+                let mut received: Vec<Option<Vec<u8>>> =
+                    shards.iter().cloned().map(Some).collect();
+                received[a] = None;
+                received[b] = None;
+                let restored = rs.reconstruct(&received, 333).unwrap();
+                assert_eq!(restored, data, "losing shards {a},{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn too_many_losses_detected() {
+        let rs = ReedSolomon::new(4, 2).unwrap();
+        let shards = rs.encode(&sample_data(100)).unwrap();
+        let mut received: Vec<Option<Vec<u8>>> = shards.into_iter().map(Some).collect();
+        received[0] = None;
+        received[1] = None;
+        received[2] = None;
+        assert!(matches!(
+            rs.reconstruct(&received, 100).unwrap_err(),
+            CodeError::NotEnoughShards {
+                present: 3,
+                required: 4
+            }
+        ));
+    }
+
+    #[test]
+    fn shard_slot_and_size_validation() {
+        let rs = ReedSolomon::new(2, 1).unwrap();
+        let shards = rs.encode(b"hello world").unwrap();
+        let mut received: Vec<Option<Vec<u8>>> = shards.into_iter().map(Some).collect();
+        assert!(matches!(
+            rs.reconstruct(&received[..2], 11).unwrap_err(),
+            CodeError::WrongShardCount { got: 2, expected: 3 }
+        ));
+        received[1] = Some(vec![0; 99]);
+        assert_eq!(
+            rs.reconstruct(&received, 11).unwrap_err(),
+            CodeError::ShardSizeMismatch
+        );
+    }
+
+    #[test]
+    fn bad_data_length_detected() {
+        let rs = ReedSolomon::new(2, 1).unwrap();
+        let shards = rs.encode(b"abcd").unwrap();
+        let received: Vec<Option<Vec<u8>>> = shards.into_iter().map(Some).collect();
+        assert!(matches!(
+            rs.reconstruct(&received, 1000).unwrap_err(),
+            CodeError::BadDataLength
+        ));
+    }
+
+    #[test]
+    fn tiny_and_empty_inputs() {
+        let rs = ReedSolomon::new(4, 2).unwrap();
+        for len in [0usize, 1, 3, 4, 5] {
+            let data = sample_data(len);
+            let shards = rs.encode(&data).unwrap();
+            assert_eq!(shards.len(), 6);
+            let mut received: Vec<Option<Vec<u8>>> =
+                shards.into_iter().map(Some).collect();
+            received[1] = None;
+            received[4] = None;
+            assert_eq!(rs.reconstruct(&received, len).unwrap(), data, "len {len}");
+        }
+    }
+
+    #[test]
+    fn parity_only_reconstruction() {
+        // Reconstruct purely from parity + one data shard: k=2, m=2,
+        // lose both... no: lose k-1 data shards and use parity.
+        let rs = ReedSolomon::new(2, 2).unwrap();
+        let data = sample_data(64);
+        let shards = rs.encode(&data).unwrap();
+        let mut received: Vec<Option<Vec<u8>>> = shards.into_iter().map(Some).collect();
+        received[0] = None;
+        received[1] = None; // all data shards gone
+        let restored = rs.reconstruct(&received, 64).unwrap();
+        assert_eq!(restored, data);
+    }
+
+    #[test]
+    fn error_display_nonempty() {
+        for e in [
+            CodeError::InvalidParameters { k: 0, m: 0 },
+            CodeError::NotEnoughShards {
+                present: 1,
+                required: 2,
+            },
+            CodeError::ShardSizeMismatch,
+            CodeError::WrongShardCount {
+                got: 1,
+                expected: 2,
+            },
+            CodeError::BadDataLength,
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

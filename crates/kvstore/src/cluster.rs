@@ -1,0 +1,590 @@
+//! `LocalCluster`: an in-process cluster with instant message delivery.
+//!
+//! This driver runs the node state machines with zero-latency message
+//! delivery. It is the *functional* face of the store — the D2-ring dedup
+//! index uses it to decide chunk uniqueness — while `SimCluster` prices the
+//! same operations in simulated time and `ThreadedCluster` runs them with
+//! real concurrency.
+
+use crate::msg::{ClientOp, OpResult, Outbound};
+use crate::node::{Consistency, NodeState};
+use crate::ring::HashRing;
+use bytes::Bytes;
+use ef_netsim::NodeId;
+use std::collections::{BTreeMap, HashSet, VecDeque};
+use std::fmt;
+
+/// Configuration shared by every cluster driver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClusterConfig {
+    /// Chunk-hash replication factor γ (the paper's testbed uses 2).
+    pub replication_factor: usize,
+    /// Coordinator consistency level (Cassandra's default is ONE).
+    pub consistency: Consistency,
+    /// Virtual nodes per physical node.
+    pub vnodes: usize,
+    /// Memtable flush threshold per node, in bytes.
+    pub memtable_flush_bytes: usize,
+}
+
+impl Default for ClusterConfig {
+    /// The paper's deployment: γ=2, consistency ONE, 64 vnodes.
+    fn default() -> Self {
+        ClusterConfig {
+            replication_factor: 2,
+            consistency: Consistency::One,
+            vnodes: 64,
+            memtable_flush_bytes: 4 << 20,
+        }
+    }
+}
+
+/// Errors surfaced by cluster client operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClusterError {
+    /// The consistency level could not be met.
+    Unavailable {
+        /// Acks received.
+        acks: usize,
+        /// Acks required.
+        required: usize,
+    },
+    /// The chosen coordinator is not a cluster member (or is down).
+    NoSuchCoordinator(NodeId),
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::Unavailable { acks, required } => {
+                write!(f, "unavailable: {acks} of {required} required acks")
+            }
+            ClusterError::NoSuchCoordinator(n) => {
+                write!(f, "coordinator {n} is not an available cluster member")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+/// An in-process store cluster with instant message delivery.
+///
+/// See the [crate-level example](crate).
+#[derive(Debug)]
+pub struct LocalCluster {
+    nodes: BTreeMap<NodeId, NodeState>,
+    config: ClusterConfig,
+    ring: HashRing,
+    down: HashSet<NodeId>,
+    /// Messages delivered (diagnostics; remote hops only).
+    messages_delivered: u64,
+}
+
+impl LocalCluster {
+    /// Creates a cluster over the given member nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `members` is empty or contains duplicates.
+    pub fn new(members: Vec<NodeId>, config: ClusterConfig) -> Self {
+        assert!(!members.is_empty(), "cluster needs at least one node");
+        let unique: HashSet<_> = members.iter().collect();
+        assert_eq!(unique.len(), members.len(), "duplicate member node");
+        let ring = HashRing::with_nodes(members.iter().copied(), config.vnodes);
+        let nodes = members
+            .into_iter()
+            .map(|id| {
+                (
+                    id,
+                    NodeState::new(
+                        id,
+                        ring.clone(),
+                        config.replication_factor,
+                        config.consistency,
+                        config.memtable_flush_bytes,
+                    ),
+                )
+            })
+            .collect();
+        LocalCluster {
+            nodes,
+            config,
+            ring,
+            down: HashSet::new(),
+            messages_delivered: 0,
+        }
+    }
+
+    /// The cluster configuration.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.config
+    }
+
+    /// The shared ring view.
+    pub fn ring(&self) -> &HashRing {
+        &self.ring
+    }
+
+    /// Member ids in order.
+    pub fn members(&self) -> Vec<NodeId> {
+        self.nodes.keys().copied().collect()
+    }
+
+    /// Remote (node-to-node) messages delivered so far.
+    pub fn messages_delivered(&self) -> u64 {
+        self.messages_delivered
+    }
+
+    /// Access a member's state (diagnostics/tests).
+    pub fn node(&self, id: NodeId) -> Option<&NodeState> {
+        self.nodes.get(&id)
+    }
+
+    /// Mutable access to a member's state (tests, rebalancing).
+    pub fn node_mut(&mut self, id: NodeId) -> Option<&mut NodeState> {
+        self.nodes.get_mut(&id)
+    }
+
+    /// Reads `key` through `coordinator`.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::NoSuchCoordinator`] when the coordinator is unknown
+    /// or down; [`ClusterError::Unavailable`] when too few replicas
+    /// answered.
+    pub fn get(&mut self, coordinator: NodeId, key: &[u8]) -> Result<Option<Bytes>, ClusterError> {
+        match self.run_op(coordinator, ClientOp::Get(Bytes::copy_from_slice(key)))? {
+            OpResult::Value(v) => Ok(v),
+            OpResult::Written => unreachable!("read returned write result"),
+            OpResult::Unavailable { acks, required } => {
+                Err(ClusterError::Unavailable { acks, required })
+            }
+        }
+    }
+
+    /// Writes `key = value` through `coordinator`.
+    ///
+    /// # Errors
+    ///
+    /// See [`LocalCluster::get`].
+    pub fn put(
+        &mut self,
+        coordinator: NodeId,
+        key: &[u8],
+        value: Bytes,
+    ) -> Result<(), ClusterError> {
+        match self.run_op(
+            coordinator,
+            ClientOp::Put(Bytes::copy_from_slice(key), value),
+        )? {
+            OpResult::Written => Ok(()),
+            OpResult::Value(_) => unreachable!("write returned read result"),
+            OpResult::Unavailable { acks, required } => {
+                Err(ClusterError::Unavailable { acks, required })
+            }
+        }
+    }
+
+    /// Deletes `key` through `coordinator`.
+    ///
+    /// # Errors
+    ///
+    /// See [`LocalCluster::get`].
+    pub fn delete(&mut self, coordinator: NodeId, key: &[u8]) -> Result<(), ClusterError> {
+        match self.run_op(coordinator, ClientOp::Delete(Bytes::copy_from_slice(key)))? {
+            OpResult::Written => Ok(()),
+            OpResult::Value(_) => unreachable!("delete returned read result"),
+            OpResult::Unavailable { acks, required } => {
+                Err(ClusterError::Unavailable { acks, required })
+            }
+        }
+    }
+
+    /// The dedup primitive: returns `true` (unique) and records the key
+    /// when absent; returns `false` (duplicate) when present.
+    ///
+    /// # Errors
+    ///
+    /// See [`LocalCluster::get`].
+    pub fn check_and_insert(
+        &mut self,
+        coordinator: NodeId,
+        key: &[u8],
+        value: Bytes,
+    ) -> Result<bool, ClusterError> {
+        if self.get(coordinator, key)?.is_some() {
+            return Ok(false);
+        }
+        self.put(coordinator, key, value)?;
+        Ok(true)
+    }
+
+    fn run_op(&mut self, coordinator: NodeId, op: ClientOp) -> Result<OpResult, ClusterError> {
+        if self.down.contains(&coordinator) || !self.nodes.contains_key(&coordinator) {
+            return Err(ClusterError::NoSuchCoordinator(coordinator));
+        }
+        let (op_id, outbound, completion) = self
+            .nodes
+            .get_mut(&coordinator)
+            .expect("checked membership")
+            .begin(op);
+        let mut result = completion.map(|c| c.result);
+        let mut queue: VecDeque<(NodeId, Outbound)> = outbound
+            .into_iter()
+            .map(|ob| (coordinator, ob))
+            .collect();
+        // Pump until quiescent so replication completes even after the
+        // client-visible completion (Cassandra's async replica writes).
+        while let Some((from, ob)) = queue.pop_front() {
+            if self.down.contains(&ob.to) {
+                // Dropped on the floor; the failure detector already
+                // resolved pending ops when the node was marked down.
+                continue;
+            }
+            let Some(dest) = self.nodes.get_mut(&ob.to) else {
+                continue;
+            };
+            self.messages_delivered += 1;
+            let to = ob.to;
+            let (outs, comps) = dest.on_message(from, ob.msg);
+            for o in outs {
+                queue.push_back((to, o));
+            }
+            for c in comps {
+                if c.op_id == op_id && result.is_none() {
+                    result = Some(c.result);
+                }
+            }
+        }
+        Ok(result.expect("instant delivery always resolves the op"))
+    }
+
+    /// Marks a node down cluster-wide: every peer's failure detector fires
+    /// and future messages to it are dropped.
+    pub fn set_down(&mut self, node: NodeId) {
+        if !self.down.insert(node) {
+            return;
+        }
+        for (id, state) in self.nodes.iter_mut() {
+            if *id != node {
+                state.mark_down(node);
+            }
+        }
+    }
+
+    /// Brings a node back up; peers replay their parked hints to it.
+    pub fn set_up(&mut self, node: NodeId) {
+        if !self.down.remove(&node) {
+            return;
+        }
+        let peer_ids: Vec<NodeId> = self.nodes.keys().copied().collect();
+        let mut replays: Vec<(NodeId, Vec<Outbound>)> = Vec::new();
+        for id in peer_ids {
+            if id != node {
+                if let Some(state) = self.nodes.get_mut(&id) {
+                    let out = state.mark_up(node);
+                    if !out.is_empty() {
+                        replays.push((id, out));
+                    }
+                }
+            }
+        }
+        for (from, outs) in replays {
+            for ob in outs {
+                if let Some(dest) = self.nodes.get_mut(&ob.to) {
+                    self.messages_delivered += 1;
+                    let (extra, _) = dest.on_message(from, ob.msg);
+                    debug_assert!(extra.is_empty(), "hint replay should not cascade");
+                }
+            }
+        }
+    }
+
+    /// True when the node is currently marked down.
+    pub fn is_down(&self, node: NodeId) -> bool {
+        self.down.contains(&node)
+    }
+
+    /// Adds a new member node and rebalances data onto it.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the node is already a member.
+    pub fn add_node(&mut self, node: NodeId) {
+        assert!(
+            !self.nodes.contains_key(&node),
+            "node {node} already a member"
+        );
+        self.ring.add_node(node);
+        let state = NodeState::new(
+            node,
+            self.ring.clone(),
+            self.config.replication_factor,
+            self.config.consistency,
+            self.config.memtable_flush_bytes,
+        );
+        self.nodes.insert(node, state);
+        let ring = self.ring.clone();
+        for s in self.nodes.values_mut() {
+            s.update_ring(ring.clone());
+        }
+        self.rebalance();
+    }
+
+    /// Removes a member node (graceful decommission) and rebalances its
+    /// data to the surviving replicas.
+    ///
+    /// # Panics
+    ///
+    /// Panics when removing the last member.
+    pub fn remove_node(&mut self, node: NodeId) {
+        assert!(self.nodes.len() > 1, "cannot remove the last member");
+        let Some(_) = self.nodes.remove(&node) else {
+            return;
+        };
+        self.ring.remove_node(node);
+        self.down.remove(&node);
+        let ring = self.ring.clone();
+        for s in self.nodes.values_mut() {
+            s.update_ring(ring.clone());
+        }
+        // Note: the decommissioned node's data survives on its replicas
+        // (γ ≥ 2); rebalance re-establishes full replication.
+        self.rebalance();
+    }
+
+    /// Re-establishes the placement invariant after membership changes:
+    /// every live key is stored on exactly its current replica set.
+    pub fn rebalance(&mut self) {
+        // Gather the union of live data.
+        let mut all: BTreeMap<Bytes, Bytes> = BTreeMap::new();
+        for state in self.nodes.values() {
+            for (k, v) in state.storage().iter_live() {
+                all.entry(k).or_insert(v);
+            }
+        }
+        let rf = self.config.replication_factor;
+        for (k, v) in all {
+            let replicas = self.ring.replicas(&k, rf);
+            for (id, state) in self.nodes.iter_mut() {
+                let should_have = replicas.contains(id);
+                let has = state.storage_mut().contains(&k);
+                if should_have && !has {
+                    state.storage_mut().put(k.clone(), v.clone());
+                } else if !should_have && has {
+                    state.storage_mut().delete(k.clone());
+                }
+            }
+        }
+    }
+
+    /// Total live keys across all members (counting replicas).
+    pub fn total_replica_entries(&self) -> usize {
+        self.nodes
+            .values()
+            .map(|s| s.storage().stats().live_keys)
+            .sum()
+    }
+
+    /// Number of distinct live keys in the cluster.
+    pub fn distinct_keys(&self) -> usize {
+        let mut keys: HashSet<Bytes> = HashSet::new();
+        for state in self.nodes.values() {
+            for (k, _) in state.storage().iter_live() {
+                keys.insert(k);
+            }
+        }
+        keys.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cluster(n: u32) -> LocalCluster {
+        LocalCluster::new((0..n).map(NodeId).collect(), ClusterConfig::default())
+    }
+
+    #[test]
+    fn put_get_any_coordinator() {
+        let mut c = cluster(5);
+        c.put(NodeId(0), b"k1", Bytes::from_static(b"v1")).unwrap();
+        for coord in 0..5 {
+            assert_eq!(
+                c.get(NodeId(coord), b"k1").unwrap(),
+                Some(Bytes::from_static(b"v1")),
+                "coordinator {coord}"
+            );
+        }
+    }
+
+    #[test]
+    fn replication_factor_respected() {
+        let mut c = cluster(5);
+        for i in 0..200u32 {
+            c.put(NodeId(i % 5), &i.to_be_bytes(), Bytes::from_static(b"x"))
+                .unwrap();
+        }
+        assert_eq!(c.distinct_keys(), 200);
+        // Every key on exactly rf=2 replicas.
+        assert_eq!(c.total_replica_entries(), 400);
+    }
+
+    #[test]
+    fn delete_propagates() {
+        let mut c = cluster(3);
+        c.put(NodeId(0), b"k", Bytes::from_static(b"v")).unwrap();
+        c.delete(NodeId(1), b"k").unwrap();
+        assert_eq!(c.get(NodeId(2), b"k").unwrap(), None);
+    }
+
+    #[test]
+    fn check_and_insert_semantics() {
+        let mut c = cluster(3);
+        assert!(c.check_and_insert(NodeId(0), b"h", Bytes::from_static(b"1")).unwrap());
+        assert!(!c.check_and_insert(NodeId(1), b"h", Bytes::from_static(b"1")).unwrap());
+        assert!(!c.check_and_insert(NodeId(2), b"h", Bytes::from_static(b"1")).unwrap());
+    }
+
+    #[test]
+    fn survives_single_node_failure_with_rf2() {
+        let mut c = cluster(5);
+        for i in 0..100u32 {
+            c.put(NodeId(0), &i.to_be_bytes(), Bytes::from_static(b"v"))
+                .unwrap();
+        }
+        c.set_down(NodeId(3));
+        // Every key still readable through any up coordinator (the
+        // surviving replica answers).
+        for i in 0..100u32 {
+            let coord = NodeId(if i % 5 == 3 { 0 } else { i % 5 });
+            assert_eq!(
+                c.get(coord, &i.to_be_bytes()).unwrap(),
+                Some(Bytes::from_static(b"v")),
+                "key {i} lost after failure"
+            );
+        }
+    }
+
+    #[test]
+    fn down_coordinator_rejected() {
+        let mut c = cluster(3);
+        c.set_down(NodeId(1));
+        let err = c.get(NodeId(1), b"k").unwrap_err();
+        assert!(matches!(err, ClusterError::NoSuchCoordinator(n) if n == NodeId(1)));
+        assert!(!err.to_string().is_empty());
+    }
+
+    #[test]
+    fn hinted_handoff_restores_replication() {
+        let mut c = cluster(3);
+        c.set_down(NodeId(2));
+        for i in 0..100u32 {
+            c.put(NodeId(0), &i.to_be_bytes(), Bytes::from_static(b"v"))
+                .unwrap();
+        }
+        // Node 2 missed its writes.
+        let before = c.node(NodeId(2)).unwrap().storage().stats().live_keys;
+        assert_eq!(before, 0);
+        c.set_up(NodeId(2));
+        // Hints replayed: node 2 holds exactly the keys it replicates.
+        let after = c.node(NodeId(2)).unwrap().storage().stats().live_keys;
+        let expected: usize = (0..100u32)
+            .filter(|i| {
+                c.ring()
+                    .replicas(&i.to_be_bytes(), 2)
+                    .contains(&NodeId(2))
+            })
+            .count();
+        assert_eq!(after, expected, "hint replay incomplete");
+    }
+
+    #[test]
+    fn add_node_rebalances() {
+        let mut c = cluster(3);
+        for i in 0..300u32 {
+            c.put(NodeId(0), &i.to_be_bytes(), Bytes::from_static(b"v"))
+                .unwrap();
+        }
+        c.add_node(NodeId(3));
+        // Placement invariant: each key lives exactly on its replicas.
+        assert_eq!(c.total_replica_entries(), 600);
+        for i in 0..300u32 {
+            assert_eq!(
+                c.get(NodeId(3), &i.to_be_bytes()).unwrap(),
+                Some(Bytes::from_static(b"v"))
+            );
+        }
+        // The new node actually took ownership of some keys.
+        let owned = c.node(NodeId(3)).unwrap().storage().stats().live_keys;
+        assert!(owned > 0, "new node owns nothing");
+    }
+
+    #[test]
+    fn remove_node_keeps_data() {
+        let mut c = cluster(4);
+        for i in 0..300u32 {
+            c.put(NodeId(0), &i.to_be_bytes(), Bytes::from_static(b"v"))
+                .unwrap();
+        }
+        c.remove_node(NodeId(2));
+        assert_eq!(c.members().len(), 3);
+        for i in 0..300u32 {
+            assert_eq!(
+                c.get(NodeId(0), &i.to_be_bytes()).unwrap(),
+                Some(Bytes::from_static(b"v")),
+                "key {i} lost on decommission"
+            );
+        }
+        assert_eq!(c.total_replica_entries(), 600);
+    }
+
+    #[test]
+    fn single_node_cluster_works() {
+        let mut c = LocalCluster::new(
+            vec![NodeId(7)],
+            ClusterConfig {
+                replication_factor: 2, // capped at member count
+                ..ClusterConfig::default()
+            },
+        );
+        c.put(NodeId(7), b"k", Bytes::from_static(b"v")).unwrap();
+        assert_eq!(c.get(NodeId(7), b"k").unwrap(), Some(Bytes::from_static(b"v")));
+    }
+
+    #[test]
+    fn write_message_count_matches_remote_replicas() {
+        // Every write sends one ReplicaWrite + one WriteAck per remote
+        // replica, independent of the consistency level (replication is
+        // always full; consistency only changes when the client unblocks).
+        let mut c = LocalCluster::new(
+            (0..5).map(NodeId).collect(),
+            ClusterConfig {
+                replication_factor: 3,
+                consistency: Consistency::All,
+                ..ClusterConfig::default()
+            },
+        );
+        let mut expected = 0u64;
+        for i in 0..50u32 {
+            let key = i.to_be_bytes();
+            let remote = c
+                .ring()
+                .replicas(&key, 3)
+                .iter()
+                .filter(|r| **r != NodeId(0))
+                .count() as u64;
+            expected += remote * 2;
+            c.put(NodeId(0), &key, Bytes::from_static(b"v")).unwrap();
+        }
+        assert_eq!(c.messages_delivered(), expected);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate member")]
+    fn duplicate_members_rejected() {
+        LocalCluster::new(vec![NodeId(0), NodeId(0)], ClusterConfig::default());
+    }
+}

@@ -1,0 +1,211 @@
+//! Heartbeat-based failure detection.
+//!
+//! The cluster drivers in this crate mark nodes down through an oracle
+//! (`set_down`) for deterministic tests; a deployed ring needs to
+//! *detect* failures. [`HeartbeatDetector`] is the standard mechanism
+//! Cassandra's gossip layer builds on: every peer is expected to be
+//! heard from within a timeout; silence marks it suspect, and hearing
+//! from it again revives it. The detector is driven by simulated time so
+//! detection behaviour is reproducible.
+
+use ef_netsim::NodeId;
+use ef_simcore::{SimDuration, SimTime};
+use std::collections::BTreeMap;
+
+/// The liveness verdict for a peer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Liveness {
+    /// Heard from within the timeout.
+    Alive,
+    /// Silent past the timeout.
+    Suspect,
+}
+
+/// A per-node heartbeat failure detector.
+///
+/// # Example
+///
+/// ```
+/// use ef_kvstore::{HeartbeatDetector, Liveness};
+/// use ef_netsim::NodeId;
+/// use ef_simcore::{SimDuration, SimTime};
+///
+/// let mut fd = HeartbeatDetector::new(SimDuration::from_millis(500));
+/// fd.watch(NodeId(1), SimTime::ZERO);
+/// fd.heartbeat(NodeId(1), SimTime::from_nanos(100_000_000));
+/// assert_eq!(fd.liveness(NodeId(1), SimTime::from_nanos(200_000_000)), Liveness::Alive);
+/// // 600ms of silence after the last heartbeat:
+/// assert_eq!(fd.liveness(NodeId(1), SimTime::from_nanos(700_000_000)), Liveness::Suspect);
+/// ```
+#[derive(Debug, Clone)]
+pub struct HeartbeatDetector {
+    timeout: SimDuration,
+    last_heard: BTreeMap<NodeId, SimTime>,
+    /// Peers currently considered suspect (for edge-triggered events).
+    suspected: BTreeMap<NodeId, bool>,
+}
+
+impl HeartbeatDetector {
+    /// Creates a detector that suspects peers silent for longer than
+    /// `timeout`.
+    ///
+    /// # Panics
+    ///
+    /// Panics for a zero timeout.
+    pub fn new(timeout: SimDuration) -> Self {
+        assert!(!timeout.is_zero(), "timeout must be positive");
+        HeartbeatDetector {
+            timeout,
+            last_heard: BTreeMap::new(),
+            suspected: BTreeMap::new(),
+        }
+    }
+
+    /// Starts watching a peer, treating `now` as its first sign of life.
+    pub fn watch(&mut self, peer: NodeId, now: SimTime) {
+        self.last_heard.entry(peer).or_insert(now);
+        self.suspected.entry(peer).or_insert(false);
+    }
+
+    /// Stops watching a peer (decommission).
+    pub fn unwatch(&mut self, peer: NodeId) {
+        self.last_heard.remove(&peer);
+        self.suspected.remove(&peer);
+    }
+
+    /// Records a heartbeat from `peer` at `now`.
+    ///
+    /// Unwatched peers are ignored (late heartbeats after decommission).
+    pub fn heartbeat(&mut self, peer: NodeId, now: SimTime) {
+        if let Some(t) = self.last_heard.get_mut(&peer) {
+            *t = (*t).max(now);
+        }
+    }
+
+    /// The verdict for `peer` at `now`.
+    ///
+    /// # Panics
+    ///
+    /// Panics for an unwatched peer.
+    pub fn liveness(&self, peer: NodeId, now: SimTime) -> Liveness {
+        let last = self
+            .last_heard
+            .get(&peer)
+            .unwrap_or_else(|| panic!("peer {peer} is not watched"));
+        if now.saturating_since(*last) > self.timeout {
+            Liveness::Suspect
+        } else {
+            Liveness::Alive
+        }
+    }
+
+    /// Sweeps all watched peers at `now`, returning *edge-triggered*
+    /// transitions: peers that just became suspect and peers that just
+    /// revived, in id order.
+    pub fn sweep(&mut self, now: SimTime) -> (Vec<NodeId>, Vec<NodeId>) {
+        let mut newly_suspect = Vec::new();
+        let mut revived = Vec::new();
+        for (&peer, &last) in &self.last_heard {
+            let suspect_now = now.saturating_since(last) > self.timeout;
+            let was = self.suspected.get_mut(&peer).expect("watched peer");
+            if suspect_now && !*was {
+                *was = true;
+                newly_suspect.push(peer);
+            } else if !suspect_now && *was {
+                *was = false;
+                revived.push(peer);
+            }
+        }
+        (newly_suspect, revived)
+    }
+
+    /// All peers currently in the suspect state (from the last sweep).
+    pub fn suspects(&self) -> Vec<NodeId> {
+        self.suspected
+            .iter()
+            .filter_map(|(&p, &s)| s.then_some(p))
+            .collect()
+    }
+
+    /// The configured timeout.
+    pub fn timeout(&self) -> SimDuration {
+        self.timeout
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> SimTime {
+        SimTime::from_nanos(v * 1_000_000)
+    }
+
+    #[test]
+    fn fresh_peer_is_alive() {
+        let mut fd = HeartbeatDetector::new(SimDuration::from_millis(100));
+        fd.watch(NodeId(1), ms(0));
+        assert_eq!(fd.liveness(NodeId(1), ms(50)), Liveness::Alive);
+        assert_eq!(fd.liveness(NodeId(1), ms(100)), Liveness::Alive);
+        assert_eq!(fd.liveness(NodeId(1), ms(101)), Liveness::Suspect);
+    }
+
+    #[test]
+    fn heartbeat_extends_lease() {
+        let mut fd = HeartbeatDetector::new(SimDuration::from_millis(100));
+        fd.watch(NodeId(1), ms(0));
+        fd.heartbeat(NodeId(1), ms(90));
+        assert_eq!(fd.liveness(NodeId(1), ms(150)), Liveness::Alive);
+        fd.heartbeat(NodeId(1), ms(180));
+        assert_eq!(fd.liveness(NodeId(1), ms(250)), Liveness::Alive);
+        assert_eq!(fd.liveness(NodeId(1), ms(281)), Liveness::Suspect);
+    }
+
+    #[test]
+    fn sweep_is_edge_triggered() {
+        let mut fd = HeartbeatDetector::new(SimDuration::from_millis(100));
+        fd.watch(NodeId(1), ms(0));
+        fd.watch(NodeId(2), ms(0));
+        fd.heartbeat(NodeId(2), ms(150));
+
+        let (down, up) = fd.sweep(ms(200));
+        assert_eq!(down, vec![NodeId(1)]);
+        assert!(up.is_empty());
+        // Repeated sweep: no new events.
+        let (down2, up2) = fd.sweep(ms(210));
+        assert!(down2.is_empty() && up2.is_empty());
+        assert_eq!(fd.suspects(), vec![NodeId(1)]);
+
+        // The peer comes back.
+        fd.heartbeat(NodeId(1), ms(220));
+        let (down3, up3) = fd.sweep(ms(230));
+        assert!(down3.is_empty());
+        assert_eq!(up3, vec![NodeId(1)]);
+        assert!(fd.suspects().is_empty());
+    }
+
+    #[test]
+    fn stale_heartbeats_do_not_rewind() {
+        let mut fd = HeartbeatDetector::new(SimDuration::from_millis(100));
+        fd.watch(NodeId(1), ms(0));
+        fd.heartbeat(NodeId(1), ms(200));
+        fd.heartbeat(NodeId(1), ms(50)); // reordered old heartbeat
+        assert_eq!(fd.liveness(NodeId(1), ms(290)), Liveness::Alive);
+    }
+
+    #[test]
+    fn unwatch_removes_peer() {
+        let mut fd = HeartbeatDetector::new(SimDuration::from_millis(100));
+        fd.watch(NodeId(1), ms(0));
+        fd.unwatch(NodeId(1));
+        fd.heartbeat(NodeId(1), ms(10)); // ignored
+        let (down, up) = fd.sweep(ms(500));
+        assert!(down.is_empty() && up.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "not watched")]
+    fn liveness_of_unwatched_panics() {
+        HeartbeatDetector::new(SimDuration::from_millis(1)).liveness(NodeId(9), ms(0));
+    }
+}

@@ -1,0 +1,188 @@
+//! Wire messages exchanged between store nodes.
+//!
+//! The node state machines are transport-agnostic: they consume
+//! [`Message`]s and emit [`Outbound`]s, and the three cluster drivers
+//! (instant, simulated, threaded) only differ in how they move the
+//! outbounds. Message sizes are modelled explicitly so the simulated
+//! driver can charge bandwidth.
+
+use bytes::Bytes;
+use ef_netsim::NodeId;
+
+/// Identifies one client operation coordinated by a node.
+///
+/// Globally unique: the coordinating node's id is embedded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct OpId {
+    /// The coordinator that created the operation.
+    pub coordinator: NodeId,
+    /// Coordinator-local sequence number.
+    pub seq: u64,
+}
+
+/// A client-visible operation on the store.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClientOp {
+    /// Read a key's value.
+    Get(Bytes),
+    /// Write a key-value pair.
+    Put(Bytes, Bytes),
+    /// Delete a key.
+    Delete(Bytes),
+}
+
+impl ClientOp {
+    /// The key the operation addresses.
+    pub fn key(&self) -> &Bytes {
+        match self {
+            ClientOp::Get(k) | ClientOp::Delete(k) => k,
+            ClientOp::Put(k, _) => k,
+        }
+    }
+
+    /// True for operations that mutate state.
+    pub fn is_write(&self) -> bool {
+        !matches!(self, ClientOp::Get(_))
+    }
+}
+
+/// The outcome of a completed client operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OpResult {
+    /// A read completed; `None` means the key is absent.
+    Value(Option<Bytes>),
+    /// A write or delete was acknowledged by the required replicas.
+    Written,
+    /// The operation could not reach the required number of replicas.
+    Unavailable {
+        /// Acks received before the coordinator gave up.
+        acks: usize,
+        /// Acks required by the consistency level.
+        required: usize,
+    },
+}
+
+/// A completed operation surfaced to the cluster driver.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Completion {
+    /// Which operation finished.
+    pub op_id: OpId,
+    /// Its outcome.
+    pub result: OpResult,
+}
+
+/// Node-to-node messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Message {
+    /// Coordinator → replica: apply a write.
+    ReplicaWrite {
+        /// The coordinated operation.
+        op_id: OpId,
+        /// Key to write.
+        key: Bytes,
+        /// Value, or `None` for a delete (tombstone).
+        value: Option<Bytes>,
+    },
+    /// Replica → coordinator: write applied.
+    WriteAck {
+        /// The coordinated operation.
+        op_id: OpId,
+        /// The acking replica.
+        from: NodeId,
+    },
+    /// Coordinator → replica: read a key.
+    ReplicaRead {
+        /// The coordinated operation.
+        op_id: OpId,
+        /// Key to read.
+        key: Bytes,
+    },
+    /// Replica → coordinator: read result.
+    ReadResp {
+        /// The coordinated operation.
+        op_id: OpId,
+        /// The responding replica.
+        from: NodeId,
+        /// The replica's value for the key.
+        value: Option<Bytes>,
+    },
+    /// Hinted handoff replay: a write the recipient missed while down.
+    HintReplay {
+        /// Key to write.
+        key: Bytes,
+        /// Value, or `None` for a delete.
+        value: Option<Bytes>,
+    },
+}
+
+impl Message {
+    /// Approximate wire size in bytes (header + payload), charged to the
+    /// sender's uplink by the simulated driver.
+    pub fn wire_size(&self) -> u64 {
+        const HEADER: u64 = 48; // envelope, ids, framing
+        let payload = match self {
+            Message::ReplicaWrite { key, value, .. } | Message::HintReplay { key, value } => {
+                key.len() + value.as_ref().map_or(0, Bytes::len)
+            }
+            Message::WriteAck { .. } => 0,
+            Message::ReplicaRead { key, .. } => key.len(),
+            Message::ReadResp { value, .. } => value.as_ref().map_or(0, Bytes::len),
+        };
+        HEADER + payload as u64
+    }
+}
+
+/// A message addressed to a destination node, emitted by a state machine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Outbound {
+    /// Destination node.
+    pub to: NodeId,
+    /// The message.
+    pub msg: Message,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn client_op_key_and_kind() {
+        let k = Bytes::from_static(b"key");
+        assert_eq!(ClientOp::Get(k.clone()).key(), &k);
+        assert!(!ClientOp::Get(k.clone()).is_write());
+        assert!(ClientOp::Put(k.clone(), Bytes::new()).is_write());
+        assert!(ClientOp::Delete(k).is_write());
+    }
+
+    #[test]
+    fn wire_sizes_include_payload() {
+        let op_id = OpId {
+            coordinator: NodeId(0),
+            seq: 1,
+        };
+        let w = Message::ReplicaWrite {
+            op_id,
+            key: Bytes::from_static(b"0123456789"),
+            value: Some(Bytes::from_static(b"0123456789")),
+        };
+        assert_eq!(w.wire_size(), 48 + 20);
+        let ack = Message::WriteAck {
+            op_id,
+            from: NodeId(1),
+        };
+        assert_eq!(ack.wire_size(), 48);
+    }
+
+    #[test]
+    fn op_ids_order_by_coordinator_then_seq() {
+        let a = OpId {
+            coordinator: NodeId(0),
+            seq: 5,
+        };
+        let b = OpId {
+            coordinator: NodeId(1),
+            seq: 0,
+        };
+        assert!(a < b);
+    }
+}

@@ -1,0 +1,592 @@
+//! `SimCluster`: the node state machines driven through the discrete-event
+//! engine with `ef-netsim` delays.
+//!
+//! Where [`LocalCluster`](crate::LocalCluster) answers *what* the store
+//! does, `SimCluster` answers *how long it takes*: every node-to-node
+//! message pays the topology's latency and occupies the sender's uplink
+//! for its serialization time. The dedup system uses it to validate its
+//! analytic lookup-latency model, and the micro-benchmarks use it to
+//! reproduce the paper's observation that remote hash lookups dominate
+//! deduplication latency.
+
+use crate::msg::{ClientOp, Message, OpId, OpResult, Outbound};
+use crate::node::NodeState;
+use crate::cluster::ClusterConfig;
+use crate::ring::HashRing;
+use ef_netsim::{Network, NodeId};
+use ef_simcore::{SimTime, Simulator};
+use std::collections::{BTreeMap, HashMap};
+
+/// A completed operation with its start/finish times.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpLatency {
+    /// The operation.
+    pub op_id: OpId,
+    /// Outcome.
+    pub result: OpResult,
+    /// Submission time.
+    pub started: SimTime,
+    /// Coordinator-side completion time.
+    pub finished: SimTime,
+}
+
+impl OpLatency {
+    /// The client-observed latency.
+    pub fn latency(&self) -> ef_simcore::SimDuration {
+        self.finished - self.started
+    }
+}
+
+#[derive(Debug)]
+enum Event {
+    /// A client operation begins at its coordinator.
+    Start { coordinator: NodeId, op: ClientOp },
+    /// A message arrives at `to`.
+    Deliver {
+        from: NodeId,
+        to: NodeId,
+        msg: Message,
+    },
+    /// `node` broadcasts a heartbeat and re-arms its tick.
+    HeartbeatTick { node: NodeId },
+    /// A heartbeat from `from` arrives at `to`.
+    HeartbeatArrive { from: NodeId, to: NodeId },
+    /// Crash `node` (stops heartbeats, drops its messages).
+    Crash { node: NodeId },
+    /// Revive `node`.
+    Revive { node: NodeId },
+}
+
+/// A store cluster whose messages travel over a simulated network.
+///
+/// # Example
+///
+/// ```
+/// use ef_kvstore::{ClusterConfig, SimCluster};
+/// use ef_netsim::{Network, NetworkConfig, TopologyBuilder};
+/// use ef_simcore::SimTime;
+/// use bytes::Bytes;
+///
+/// let topo = TopologyBuilder::new().edge_site(3).build();
+/// let net = Network::new(topo, NetworkConfig::paper_testbed());
+/// let members = net.topology().edge_nodes();
+/// let mut cluster = SimCluster::new(members.clone(), net, ClusterConfig::default());
+/// cluster.submit(SimTime::ZERO, members[0],
+///     ef_kvstore::ClientOp::Put(Bytes::from_static(b"k"), Bytes::from_static(b"v")));
+/// let latencies = cluster.run();
+/// assert_eq!(latencies.len(), 1);
+/// ```
+#[derive(Debug)]
+pub struct SimCluster {
+    nodes: BTreeMap<NodeId, NodeState>,
+    network: Network,
+    sim: Simulator<Event>,
+    starts: HashMap<OpId, SimTime>,
+    completed: Vec<OpLatency>,
+    /// Gossip-style failure detection (None until enabled).
+    heartbeat_interval: Option<ef_simcore::SimDuration>,
+    detectors: BTreeMap<NodeId, crate::failure::HeartbeatDetector>,
+    crashed: std::collections::HashSet<NodeId>,
+}
+
+impl SimCluster {
+    /// Creates a simulated cluster of `members` over `network`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `members` is empty or a member is not in the network's
+    /// topology.
+    pub fn new(members: Vec<NodeId>, network: Network, config: ClusterConfig) -> Self {
+        assert!(!members.is_empty(), "cluster needs at least one node");
+        for m in &members {
+            assert!(
+                m.index() < network.topology().node_count(),
+                "member {m} not in topology"
+            );
+        }
+        let ring = HashRing::with_nodes(members.iter().copied(), config.vnodes);
+        let nodes = members
+            .into_iter()
+            .map(|id| {
+                (
+                    id,
+                    NodeState::new(
+                        id,
+                        ring.clone(),
+                        config.replication_factor,
+                        config.consistency,
+                        config.memtable_flush_bytes,
+                    ),
+                )
+            })
+            .collect();
+        SimCluster {
+            nodes,
+            network,
+            sim: Simulator::new(),
+            starts: HashMap::new(),
+            completed: Vec::new(),
+            heartbeat_interval: None,
+            detectors: BTreeMap::new(),
+            crashed: std::collections::HashSet::new(),
+        }
+    }
+
+    /// Enables gossip-style failure detection: every node broadcasts a
+    /// heartbeat each `interval`, suspects peers silent past `timeout`,
+    /// marks them down (hinting writes), and revives them on the next
+    /// heartbeat heard.
+    ///
+    /// Call before `run`; ticks start at time zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `timeout <= interval` (a peer would flap every tick).
+    pub fn enable_heartbeats(
+        &mut self,
+        interval: ef_simcore::SimDuration,
+        timeout: ef_simcore::SimDuration,
+    ) {
+        assert!(timeout > interval, "timeout must exceed the interval");
+        self.heartbeat_interval = Some(interval);
+        let members: Vec<NodeId> = self.nodes.keys().copied().collect();
+        for &me in &members {
+            let mut fd = crate::failure::HeartbeatDetector::new(timeout);
+            for &peer in &members {
+                if peer != me {
+                    fd.watch(peer, SimTime::ZERO);
+                }
+            }
+            self.detectors.insert(me, fd);
+            self.sim
+                .schedule_at(SimTime::ZERO, Event::HeartbeatTick { node: me });
+        }
+    }
+
+    /// Schedules a crash of `node` at `at` (requires heartbeats enabled
+    /// for peers to *notice*; messages to a crashed node are dropped
+    /// either way).
+    pub fn crash_at(&mut self, at: SimTime, node: NodeId) {
+        self.sim.schedule_at(at, Event::Crash { node });
+    }
+
+    /// Schedules a revival of `node` at `at`.
+    pub fn revive_at(&mut self, at: SimTime, node: NodeId) {
+        self.sim.schedule_at(at, Event::Revive { node });
+    }
+
+    /// Peers the given node currently suspects (after `run`).
+    pub fn suspects_of(&self, node: NodeId) -> Vec<NodeId> {
+        self.detectors
+            .get(&node)
+            .map(|d| d.suspects())
+            .unwrap_or_default()
+    }
+
+    /// Schedules a client operation at `at` on `coordinator`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `at` is in the simulated past.
+    pub fn submit(&mut self, at: SimTime, coordinator: NodeId, op: ClientOp) {
+        self.sim.schedule_at(at, Event::Start { coordinator, op });
+    }
+
+    /// Runs the simulation to quiescence, returning all completed
+    /// operations sorted by completion time.
+    ///
+    /// # Panics
+    ///
+    /// Panics when heartbeats are enabled — periodic ticks never drain;
+    /// use [`SimCluster::run_until`] instead.
+    pub fn run(&mut self) -> Vec<OpLatency> {
+        assert!(
+            self.heartbeat_interval.is_none(),
+            "heartbeats enabled: use run_until(deadline)"
+        );
+        self.run_until(SimTime::MAX)
+    }
+
+    /// Runs until the queue drains or the next event lies past
+    /// `deadline` (later events stay queued), returning completions so
+    /// far sorted by completion time.
+    pub fn run_until(&mut self, deadline: SimTime) -> Vec<OpLatency> {
+        while let Some(t) = self.sim.peek_time() {
+            if t > deadline {
+                break;
+            }
+            let ev = self.sim.step().expect("peeked event exists");
+            let now = ev.time;
+            match ev.payload {
+                Event::Start { coordinator, op } => {
+                    let node = self
+                        .nodes
+                        .get_mut(&coordinator)
+                        .expect("unknown coordinator");
+                    let (op_id, outbound, completion) = node.begin(op);
+                    self.starts.insert(op_id, now);
+                    if let Some(c) = completion {
+                        self.record(c.op_id, c.result, now);
+                    }
+                    self.dispatch(now, coordinator, outbound);
+                }
+                Event::Deliver { from, to, msg } => {
+                    if self.crashed.contains(&to) {
+                        continue; // dropped on the floor
+                    }
+                    let Some(node) = self.nodes.get_mut(&to) else {
+                        continue;
+                    };
+                    let (outbound, completions) = node.on_message(from, msg);
+                    for c in completions {
+                        self.record(c.op_id, c.result, now);
+                    }
+                    self.dispatch(now, to, outbound);
+                }
+                Event::HeartbeatTick { node } => {
+                    let Some(interval) = self.heartbeat_interval else {
+                        continue;
+                    };
+                    if !self.crashed.contains(&node) {
+                        // Broadcast liveness to every peer.
+                        let peers: Vec<NodeId> = self
+                            .nodes
+                            .keys()
+                            .copied()
+                            .filter(|p| *p != node)
+                            .collect();
+                        for peer in peers {
+                            let arrival = self.network.transfer(now, node, peer, 64);
+                            self.sim.schedule_at(
+                                arrival,
+                                Event::HeartbeatArrive {
+                                    from: node,
+                                    to: peer,
+                                },
+                            );
+                        }
+                        // Sweep the local detector and apply transitions.
+                        let transitions = self
+                            .detectors
+                            .get_mut(&node)
+                            .map(|d| d.sweep(now));
+                        if let Some((down, up)) = transitions {
+                            for dead in down {
+                                let completions = self
+                                    .nodes
+                                    .get_mut(&node)
+                                    .expect("member exists")
+                                    .on_peer_failure(dead);
+                                for c in completions {
+                                    self.record(c.op_id, c.result, now);
+                                }
+                            }
+                            for revived in up {
+                                let outbound = self
+                                    .nodes
+                                    .get_mut(&node)
+                                    .expect("member exists")
+                                    .mark_up(revived);
+                                self.dispatch(now, node, outbound);
+                            }
+                        }
+                    }
+                    self.sim
+                        .schedule_after(interval, Event::HeartbeatTick { node });
+                }
+                Event::HeartbeatArrive { from, to } => {
+                    if !self.crashed.contains(&to) {
+                        if let Some(fd) = self.detectors.get_mut(&to) {
+                            fd.heartbeat(from, now);
+                        }
+                    }
+                }
+                Event::Crash { node } => {
+                    self.crashed.insert(node);
+                }
+                Event::Revive { node } => {
+                    self.crashed.remove(&node);
+                }
+            }
+        }
+        let mut done = std::mem::take(&mut self.completed);
+        done.sort_by_key(|l| (l.finished, l.op_id));
+        done
+    }
+
+    fn dispatch(&mut self, now: SimTime, from: NodeId, outbound: Vec<Outbound>) {
+        for ob in outbound {
+            let arrival = self
+                .network
+                .transfer(now, from, ob.to, ob.msg.wire_size());
+            self.sim.schedule_at(
+                arrival,
+                Event::Deliver {
+                    from,
+                    to: ob.to,
+                    msg: ob.msg,
+                },
+            );
+        }
+    }
+
+    fn record(&mut self, op_id: OpId, result: OpResult, finished: SimTime) {
+        let started = self
+            .starts
+            .remove(&op_id)
+            .expect("completion for unknown op");
+        self.completed.push(OpLatency {
+            op_id,
+            result,
+            started,
+            finished,
+        });
+    }
+
+    /// The simulated network (counters, occupancy).
+    pub fn network(&self) -> &Network {
+        &self.network
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.sim.now()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::Consistency;
+    use bytes::Bytes;
+    use ef_netsim::{NetworkConfig, TopologyBuilder};
+
+    fn edge_network(sites: usize, per_site: usize) -> Network {
+        let mut b = TopologyBuilder::new();
+        for _ in 0..sites {
+            b = b.edge_site(per_site);
+        }
+        Network::new(b.build(), NetworkConfig::paper_testbed())
+    }
+
+    #[test]
+    fn remote_write_pays_network_latency() {
+        let net = edge_network(1, 3);
+        let members = net.topology().edge_nodes();
+        let mut cluster = SimCluster::new(
+            members.clone(),
+            net,
+            ClusterConfig {
+                replication_factor: 2,
+                consistency: Consistency::All,
+                ..ClusterConfig::default()
+            },
+        );
+        cluster.submit(
+            SimTime::ZERO,
+            members[0],
+            ClientOp::Put(Bytes::from_static(b"key"), Bytes::from_static(b"v")),
+        );
+        let done = cluster.run();
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].result, OpResult::Written);
+        // ALL with at least one remote replica costs >= one intra-site RTT
+        // (0.85ms each way).
+        let lat = done[0].latency().as_millis_f64();
+        assert!(lat >= 1.7, "latency {lat}ms too small for a remote ack");
+    }
+
+    #[test]
+    fn local_read_fast_remote_read_slow() {
+        let net = edge_network(2, 2); // two edge clouds, inter-edge 5ms
+        let members = net.topology().edge_nodes();
+        let mut cluster = SimCluster::new(
+            members.clone(),
+            net,
+            ClusterConfig {
+                replication_factor: 1,
+                consistency: Consistency::One,
+                ..ClusterConfig::default()
+            },
+        );
+        // Write 100 keys from node 0, then read them all from node 0:
+        // keys whose single replica is node 0 answer locally (fast), keys
+        // on other nodes need a network round trip.
+        let mut t = SimTime::ZERO;
+        for i in 0..100u32 {
+            cluster.submit(
+                t,
+                members[0],
+                ClientOp::Put(
+                    Bytes::from(i.to_be_bytes().to_vec()),
+                    Bytes::from_static(b"v"),
+                ),
+            );
+            t = t + ef_simcore::SimDuration::from_millis(100);
+        }
+        cluster.run();
+        let mut read_start = t;
+        for i in 0..100u32 {
+            cluster.submit(
+                read_start,
+                members[0],
+                ClientOp::Get(Bytes::from(i.to_be_bytes().to_vec())),
+            );
+            read_start = read_start + ef_simcore::SimDuration::from_millis(100);
+        }
+        let reads = cluster.run();
+        assert_eq!(reads.len(), 100);
+        let mut fast = 0;
+        let mut slow = 0;
+        for r in &reads {
+            assert!(matches!(r.result, OpResult::Value(Some(_))), "read lost a key");
+            let ms = r.latency().as_millis_f64();
+            if ms < 0.5 {
+                fast += 1;
+            } else {
+                slow += 1;
+            }
+        }
+        assert!(fast > 0, "no local reads at all");
+        assert!(slow > 0, "no remote reads at all");
+    }
+
+    #[test]
+    fn cross_site_lookup_slower_than_intra_site() {
+        // Mirrors the paper's core trade-off: a ring spanning edge clouds
+        // pays inter-cloud latency for its hash lookups.
+        let run = |sites: usize, per_site: usize| {
+            let net = edge_network(sites, per_site);
+            let members = net.topology().edge_nodes();
+            let mut cluster = SimCluster::new(
+                members.clone(),
+                net,
+                ClusterConfig {
+                    replication_factor: 2,
+                    consistency: Consistency::All,
+                    ..ClusterConfig::default()
+                },
+            );
+            let mut t = SimTime::ZERO;
+            for i in 0..200u32 {
+                cluster.submit(
+                    t,
+                    members[(i % members.len() as u32) as usize],
+                    ClientOp::Put(
+                        Bytes::from(i.to_be_bytes().to_vec()),
+                        Bytes::from_static(b"v"),
+                    ),
+                );
+                t = t + ef_simcore::SimDuration::from_millis(50);
+            }
+            let done = cluster.run();
+            let total: f64 = done.iter().map(|l| l.latency().as_millis_f64()).sum();
+            total / done.len() as f64
+        };
+        let single_site = run(1, 4);
+        let cross_site = run(4, 1);
+        assert!(
+            cross_site > single_site * 2.0,
+            "cross-site {cross_site}ms vs intra-site {single_site}ms"
+        );
+    }
+
+    #[test]
+    fn gossip_detects_crash_and_revival() {
+        use ef_simcore::SimDuration;
+        let net = edge_network(1, 4);
+        let members = net.topology().edge_nodes();
+        let mut cluster = SimCluster::new(members.clone(), net, ClusterConfig::default());
+        cluster.enable_heartbeats(
+            SimDuration::from_millis(100),
+            SimDuration::from_millis(350),
+        );
+        // Crash node 3 at t=1s, revive at t=3s.
+        cluster.crash_at(SimTime::from_secs_f64(1.0), members[3]);
+        cluster.revive_at(SimTime::from_secs_f64(3.0), members[3]);
+
+        // Shortly after the crash + timeout, peers suspect node 3.
+        cluster.run_until(SimTime::from_secs_f64(2.0));
+        for &peer in &members[..3] {
+            assert_eq!(
+                cluster.suspects_of(peer),
+                vec![members[3]],
+                "peer {peer} did not suspect the crashed node"
+            );
+        }
+        // After revival + a few ticks, everyone trusts node 3 again.
+        cluster.run_until(SimTime::from_secs_f64(4.0));
+        for &peer in &members[..3] {
+            assert!(
+                cluster.suspects_of(peer).is_empty(),
+                "peer {peer} still suspects a revived node"
+            );
+        }
+    }
+
+    #[test]
+    fn writes_during_gossip_detected_outage_hint_and_replay() {
+        use ef_simcore::SimDuration;
+        let net = edge_network(1, 3);
+        let members = net.topology().edge_nodes();
+        let mut cluster = SimCluster::new(
+            members.clone(),
+            net,
+            ClusterConfig {
+                replication_factor: 2,
+                consistency: Consistency::One,
+                ..ClusterConfig::default()
+            },
+        );
+        cluster.enable_heartbeats(
+            SimDuration::from_millis(50),
+            SimDuration::from_millis(200),
+        );
+        cluster.crash_at(SimTime::from_secs_f64(0.5), members[2]);
+        cluster.revive_at(SimTime::from_secs_f64(2.0), members[2]);
+        // Writes land while node 2 is down-and-detected (t in [1.0, 1.5]).
+        let mut t = SimTime::from_secs_f64(1.0);
+        for i in 0..50u32 {
+            cluster.submit(
+                t,
+                members[0],
+                ClientOp::Put(
+                    Bytes::from(i.to_be_bytes().to_vec()),
+                    Bytes::from_static(b"v"),
+                ),
+            );
+            t = t + SimDuration::from_millis(10);
+        }
+        let done = cluster.run_until(SimTime::from_secs_f64(4.0));
+        // All writes completed despite the outage (ONE + hinting).
+        let written = done
+            .iter()
+            .filter(|l| l.result == OpResult::Written)
+            .count();
+        assert_eq!(written, 50, "writes failed during detected outage");
+        // After revival and hint replay, node 2 holds its replica share.
+        let keys_on_2 = cluster
+            .nodes
+            .get(&members[2])
+            .unwrap()
+            .storage()
+            .stats()
+            .live_keys;
+        assert!(keys_on_2 > 0, "hint replay never reached the revived node");
+    }
+
+    #[test]
+    fn network_counters_accumulate() {
+        let net = edge_network(1, 2);
+        let members = net.topology().edge_nodes();
+        let mut cluster = SimCluster::new(members.clone(), net, ClusterConfig::default());
+        cluster.submit(
+            SimTime::ZERO,
+            members[0],
+            ClientOp::Put(Bytes::from_static(b"k"), Bytes::from_static(b"v")),
+        );
+        cluster.run();
+        assert!(cluster.network().messages_sent() > 0);
+        assert!(cluster.network().bytes_sent() > 0);
+    }
+}

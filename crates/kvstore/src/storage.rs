@@ -1,0 +1,327 @@
+//! Per-node storage engine: memtable + immutable segments + tombstones.
+//!
+//! A miniature log-structured engine in the spirit of Cassandra's
+//! memtable/SSTable design, kept entirely in memory (the paper's index
+//! entries are small chunk hashes; edge nodes hold them in RAM). Writes go
+//! to a mutable memtable; when it exceeds a threshold it is frozen into an
+//! immutable segment. Reads consult the memtable first, then segments from
+//! newest to oldest. Deletes write tombstones. Compaction merges all
+//! segments, dropping shadowed values and tombstones.
+
+use bytes::Bytes;
+use std::collections::BTreeMap;
+
+/// A write-side entry: a value or a tombstone.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Slot {
+    Value(Bytes),
+    Tombstone,
+}
+
+/// Counters describing engine state, used by resource accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StorageStats {
+    /// Live key count (excluding tombstones, after shadowing).
+    pub live_keys: usize,
+    /// Bytes of live key+value payload.
+    pub live_bytes: usize,
+    /// Number of frozen segments.
+    pub segments: usize,
+    /// Total entries across memtable and segments (including shadowed and
+    /// tombstones) — the engine's physical footprint.
+    pub physical_entries: usize,
+}
+
+/// An in-memory log-structured key-value engine.
+///
+/// # Example
+///
+/// ```
+/// use ef_kvstore::StorageEngine;
+/// use bytes::Bytes;
+///
+/// let mut s = StorageEngine::new(1024);
+/// s.put(Bytes::from_static(b"k"), Bytes::from_static(b"v"));
+/// assert_eq!(s.get(b"k"), Some(Bytes::from_static(b"v")));
+/// s.delete(Bytes::from_static(b"k"));
+/// assert_eq!(s.get(b"k"), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct StorageEngine {
+    memtable: BTreeMap<Bytes, Slot>,
+    memtable_bytes: usize,
+    /// Frozen segments, oldest first.
+    segments: Vec<BTreeMap<Bytes, Slot>>,
+    flush_threshold_bytes: usize,
+    writes: u64,
+    reads: u64,
+}
+
+impl StorageEngine {
+    /// Creates an engine that freezes its memtable after roughly
+    /// `flush_threshold_bytes` of payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the threshold is zero.
+    pub fn new(flush_threshold_bytes: usize) -> Self {
+        assert!(flush_threshold_bytes > 0, "flush threshold must be positive");
+        StorageEngine {
+            memtable: BTreeMap::new(),
+            memtable_bytes: 0,
+            segments: Vec::new(),
+            flush_threshold_bytes,
+            writes: 0,
+            reads: 0,
+        }
+    }
+
+    /// Writes a key-value pair. Returns `true` when the key was not live
+    /// before (useful for dedup's unique-chunk decision).
+    pub fn put(&mut self, key: Bytes, value: Bytes) -> bool {
+        self.writes += 1;
+        let existed = self.get_slot(&key).is_some();
+        self.memtable_bytes += key.len() + value.len();
+        self.memtable.insert(key, Slot::Value(value));
+        self.maybe_flush();
+        !existed
+    }
+
+    /// Reads the live value of `key`.
+    pub fn get(&mut self, key: &[u8]) -> Option<Bytes> {
+        self.reads += 1;
+        self.get_slot(key)
+    }
+
+    /// Read without bumping counters (internal + put's existence check).
+    fn get_slot(&self, key: &[u8]) -> Option<Bytes> {
+        if let Some(slot) = self.memtable.get(key) {
+            return match slot {
+                Slot::Value(v) => Some(v.clone()),
+                Slot::Tombstone => None,
+            };
+        }
+        for seg in self.segments.iter().rev() {
+            if let Some(slot) = seg.get(key) {
+                return match slot {
+                    Slot::Value(v) => Some(v.clone()),
+                    Slot::Tombstone => None,
+                };
+            }
+        }
+        None
+    }
+
+    /// True when `key` has a live value.
+    pub fn contains(&mut self, key: &[u8]) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Deletes `key` by writing a tombstone.
+    pub fn delete(&mut self, key: Bytes) {
+        self.writes += 1;
+        self.memtable_bytes += key.len();
+        self.memtable.insert(key, Slot::Tombstone);
+        self.maybe_flush();
+    }
+
+    fn maybe_flush(&mut self) {
+        if self.memtable_bytes >= self.flush_threshold_bytes {
+            self.flush();
+        }
+    }
+
+    /// Freezes the current memtable into an immutable segment.
+    pub fn flush(&mut self) {
+        if self.memtable.is_empty() {
+            return;
+        }
+        let frozen = std::mem::take(&mut self.memtable);
+        self.memtable_bytes = 0;
+        self.segments.push(frozen);
+    }
+
+    /// Merges all segments and the memtable into a single segment,
+    /// dropping shadowed entries and tombstones.
+    pub fn compact(&mut self) {
+        self.flush();
+        let mut merged: BTreeMap<Bytes, Slot> = BTreeMap::new();
+        for seg in self.segments.drain(..) {
+            // Later segments shadow earlier ones.
+            for (k, v) in seg {
+                merged.insert(k, v);
+            }
+        }
+        merged.retain(|_, v| matches!(v, Slot::Value(_)));
+        if !merged.is_empty() {
+            self.segments.push(merged);
+        }
+    }
+
+    /// Iterates over all live key-value pairs (newest version wins).
+    pub fn iter_live(&self) -> impl Iterator<Item = (Bytes, Bytes)> + '_ {
+        // Collect shadowing info: newest first, first slot wins.
+        let mut seen: BTreeMap<Bytes, Option<Bytes>> = BTreeMap::new();
+        for (k, v) in &self.memtable {
+            seen.entry(k.clone()).or_insert(match v {
+                Slot::Value(val) => Some(val.clone()),
+                Slot::Tombstone => None,
+            });
+        }
+        for seg in self.segments.iter().rev() {
+            for (k, v) in seg {
+                seen.entry(k.clone()).or_insert(match v {
+                    Slot::Value(val) => Some(val.clone()),
+                    Slot::Tombstone => None,
+                });
+            }
+        }
+        seen.into_iter().filter_map(|(k, v)| v.map(|val| (k, val)))
+    }
+
+    /// Current engine statistics.
+    pub fn stats(&self) -> StorageStats {
+        let mut live_keys = 0;
+        let mut live_bytes = 0;
+        for (k, v) in self.iter_live() {
+            live_keys += 1;
+            live_bytes += k.len() + v.len();
+        }
+        StorageStats {
+            live_keys,
+            live_bytes,
+            segments: self.segments.len(),
+            physical_entries: self.memtable.len()
+                + self.segments.iter().map(|s| s.len()).sum::<usize>(),
+        }
+    }
+
+    /// Total writes accepted.
+    pub fn write_count(&self) -> u64 {
+        self.writes
+    }
+
+    /// Total reads served.
+    pub fn read_count(&self) -> u64 {
+        self.reads
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(s: &str) -> Bytes {
+        Bytes::copy_from_slice(s.as_bytes())
+    }
+
+    #[test]
+    fn put_get_roundtrip() {
+        let mut s = StorageEngine::new(1 << 20);
+        assert!(s.put(b("a"), b("1")));
+        assert!(!s.put(b("a"), b("2"))); // overwrite: key existed
+        assert_eq!(s.get(b"a"), Some(b("2")));
+        assert_eq!(s.get(b"missing"), None);
+    }
+
+    #[test]
+    fn delete_hides_value() {
+        let mut s = StorageEngine::new(1 << 20);
+        s.put(b("a"), b("1"));
+        s.delete(b("a"));
+        assert_eq!(s.get(b"a"), None);
+        assert!(!s.contains(b"a"));
+        // Re-insert after delete counts as new.
+        assert!(s.put(b("a"), b("3")));
+        assert_eq!(s.get(b"a"), Some(b("3")));
+    }
+
+    #[test]
+    fn reads_cross_segment_boundaries() {
+        let mut s = StorageEngine::new(8); // tiny threshold: flush often
+        for i in 0..100u32 {
+            s.put(Bytes::from(i.to_be_bytes().to_vec()), b("v"));
+        }
+        assert!(s.stats().segments > 1, "expected multiple segments");
+        for i in 0..100u32 {
+            assert!(s.contains(&i.to_be_bytes()), "lost key {i}");
+        }
+    }
+
+    #[test]
+    fn newest_segment_shadows_oldest() {
+        let mut s = StorageEngine::new(4);
+        s.put(b("k"), b("old"));
+        s.flush();
+        s.put(b("k"), b("new"));
+        s.flush();
+        assert_eq!(s.get(b"k"), Some(b("new")));
+    }
+
+    #[test]
+    fn tombstone_survives_flush() {
+        let mut s = StorageEngine::new(1 << 20);
+        s.put(b("k"), b("v"));
+        s.flush();
+        s.delete(b("k"));
+        s.flush();
+        assert_eq!(s.get(b"k"), None);
+    }
+
+    #[test]
+    fn compaction_drops_garbage() {
+        let mut s = StorageEngine::new(4);
+        for _ in 0..10 {
+            s.put(b("k"), b("v"));
+        }
+        s.delete(b("k"));
+        s.put(b("live"), b("x"));
+        s.compact();
+        let st = s.stats();
+        assert_eq!(st.live_keys, 1);
+        assert_eq!(st.segments, 1);
+        assert_eq!(st.physical_entries, 1, "garbage not dropped");
+        assert_eq!(s.get(b"live"), Some(b("x")));
+        assert_eq!(s.get(b"k"), None);
+    }
+
+    #[test]
+    fn compact_empty_engine() {
+        let mut s = StorageEngine::new(16);
+        s.compact();
+        assert_eq!(s.stats(), StorageStats::default());
+    }
+
+    #[test]
+    fn iter_live_sees_each_key_once() {
+        let mut s = StorageEngine::new(4);
+        s.put(b("a"), b("1"));
+        s.flush();
+        s.put(b("a"), b("2"));
+        s.put(b("b"), b("3"));
+        let live: Vec<_> = s.iter_live().collect();
+        assert_eq!(live.len(), 2);
+        assert!(live.contains(&(b("a"), b("2"))));
+        assert!(live.contains(&(b("b"), b("3"))));
+    }
+
+    #[test]
+    fn counters_track_operations() {
+        let mut s = StorageEngine::new(1 << 20);
+        s.put(b("a"), b("1"));
+        s.get(b"a");
+        s.get(b"b");
+        s.delete(b("a"));
+        assert_eq!(s.write_count(), 2); // one put + one delete
+        assert_eq!(s.read_count(), 2);
+    }
+
+    #[test]
+    fn stats_live_bytes() {
+        let mut s = StorageEngine::new(1 << 20);
+        s.put(b("key"), b("value"));
+        let st = s.stats();
+        assert_eq!(st.live_keys, 1);
+        assert_eq!(st.live_bytes, 8);
+    }
+}

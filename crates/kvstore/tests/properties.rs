@@ -1,0 +1,139 @@
+//! Property tests for the distributed key-value store.
+
+use bytes::Bytes;
+use ef_kvstore::{ClusterConfig, Consistency, HashRing, LocalCluster};
+use ef_netsim::NodeId;
+use proptest::prelude::*;
+
+proptest! {
+    /// Replica sets are deterministic, distinct, and capped at the
+    /// member count for arbitrary keys and cluster sizes.
+    #[test]
+    fn replica_sets_well_formed(
+        key in proptest::collection::vec(any::<u8>(), 1..64),
+        nodes in 1u32..20,
+        rf in 1usize..5,
+    ) {
+        let ring = HashRing::with_nodes((0..nodes).map(NodeId), 32);
+        let reps = ring.replicas(&key, rf);
+        prop_assert_eq!(reps.len(), rf.min(nodes as usize));
+        let distinct: std::collections::HashSet<_> = reps.iter().collect();
+        prop_assert_eq!(distinct.len(), reps.len());
+        prop_assert_eq!(&ring.replicas(&key, rf), &reps);
+    }
+
+    /// A healthy cluster is a faithful map: last write wins, reads see
+    /// writes, deletes remove — across arbitrary op sequences through
+    /// arbitrary coordinators.
+    #[test]
+    fn cluster_behaves_like_a_map(
+        ops in proptest::collection::vec(
+            (0u8..3, 0u8..16, any::<u8>(), 0u8..5), 1..80),
+        consistency_pick in 0u8..3,
+    ) {
+        let consistency = match consistency_pick {
+            0 => Consistency::One,
+            1 => Consistency::Quorum,
+            _ => Consistency::All,
+        };
+        let mut cluster = LocalCluster::new(
+            (0..5).map(NodeId).collect(),
+            ClusterConfig { consistency, ..ClusterConfig::default() },
+        );
+        let mut model: std::collections::HashMap<u8, u8> = Default::default();
+        for (kind, key, value, coord) in ops {
+            let coordinator = NodeId(u32::from(coord));
+            let k = [key];
+            match kind {
+                0 => {
+                    cluster.put(coordinator, &k, Bytes::from(vec![value])).unwrap();
+                    model.insert(key, value);
+                }
+                1 => {
+                    cluster.delete(coordinator, &k).unwrap();
+                    model.remove(&key);
+                }
+                _ => {
+                    let got = cluster.get(coordinator, &k).unwrap();
+                    let want = model.get(&key).map(|v| Bytes::from(vec![*v]));
+                    prop_assert_eq!(got, want);
+                }
+            }
+        }
+        // Final sweep: every model entry visible from every coordinator.
+        for (key, value) in &model {
+            for c in 0..5u32 {
+                prop_assert_eq!(
+                    cluster.get(NodeId(c), &[*key]).unwrap(),
+                    Some(Bytes::from(vec![*value]))
+                );
+            }
+        }
+    }
+
+    /// Membership churn never loses data: after arbitrary add/remove
+    /// sequences (keeping ≥2 members), every key is readable and lives on
+    /// exactly rf replicas.
+    #[test]
+    fn membership_churn_preserves_data(
+        churn in proptest::collection::vec(any::<bool>(), 1..6),
+        keys in 1u32..60,
+    ) {
+        let mut cluster = LocalCluster::new(
+            (0..4).map(NodeId).collect(),
+            ClusterConfig::default(),
+        );
+        for i in 0..keys {
+            cluster.put(NodeId(i % 4), &i.to_be_bytes(), Bytes::from_static(b"v")).unwrap();
+        }
+        let mut next_new = 10u32;
+        for add in churn {
+            let members = cluster.members();
+            if add {
+                cluster.add_node(NodeId(next_new));
+                next_new += 1;
+            } else if members.len() > 2 {
+                cluster.remove_node(members[members.len() / 2]);
+            }
+        }
+        let coordinator = cluster.members()[0];
+        for i in 0..keys {
+            prop_assert_eq!(
+                cluster.get(coordinator, &i.to_be_bytes()).unwrap(),
+                Some(Bytes::from_static(b"v")),
+                "key {} lost", i
+            );
+        }
+        prop_assert_eq!(
+            cluster.total_replica_entries(),
+            2 * cluster.distinct_keys()
+        );
+    }
+
+    /// Single-failure soundness: with rf=2 and any one node down, all
+    /// previously written keys stay readable from any up coordinator.
+    #[test]
+    fn single_failure_preserves_reads(
+        victim in 0u32..5,
+        keys in 1u32..60,
+    ) {
+        let mut cluster = LocalCluster::new(
+            (0..5).map(NodeId).collect(),
+            ClusterConfig::default(),
+        );
+        for i in 0..keys {
+            cluster.put(NodeId(i % 5), &i.to_be_bytes(), Bytes::from_static(b"v")).unwrap();
+        }
+        cluster.set_down(NodeId(victim));
+        let coordinator = (0..5u32)
+            .map(NodeId)
+            .find(|&n| !cluster.is_down(n))
+            .unwrap();
+        for i in 0..keys {
+            prop_assert_eq!(
+                cluster.get(coordinator, &i.to_be_bytes()).unwrap(),
+                Some(Bytes::from_static(b"v"))
+            );
+        }
+    }
+}

@@ -1,0 +1,259 @@
+//! The network: topology + configuration, with analytic delay queries and
+//! FIFO-occupancy transfers.
+
+use crate::id::NodeId;
+use crate::link::{LinkParams, NetworkConfig};
+use crate::topology::{SiteKind, Topology};
+use ef_simcore::{FifoServer, SimDuration, SimTime};
+use std::collections::HashMap;
+
+/// A simulated network over a [`Topology`].
+///
+/// Two complementary interfaces:
+///
+/// * **Analytic** — [`Network::oneway_delay`] / [`Network::rtt`] /
+///   [`Network::transfer_delay`] return unloaded path delays; and
+///   [`Network::cost_matrix`] derives the SNOD2 `v_ij` inputs (RTT in
+///   milliseconds, the latency-based cost the paper uses).
+/// * **Occupancy** — [`Network::transfer`] pushes bytes through per-node
+///   uplink/downlink FIFO servers, so concurrent flows queue and sustained
+///   load saturates links.
+#[derive(Debug)]
+pub struct Network {
+    topology: Topology,
+    config: NetworkConfig,
+    /// Outgoing serialization server per node (models the NIC/uplink).
+    uplinks: HashMap<NodeId, FifoServer>,
+    bytes_sent: u64,
+    messages_sent: u64,
+}
+
+impl Network {
+    /// Creates a network with the given topology and link configuration.
+    pub fn new(topology: Topology, config: NetworkConfig) -> Self {
+        let uplinks = topology.nodes().map(|n| (n, FifoServer::new())).collect();
+        Network {
+            topology,
+            config,
+            uplinks,
+            bytes_sent: 0,
+            messages_sent: 0,
+        }
+    }
+
+    /// The underlying topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// The link configuration.
+    pub fn config(&self) -> &NetworkConfig {
+        &self.config
+    }
+
+    /// The [`LinkParams`] governing the path from `src` to `dst`.
+    pub fn link(&self, src: NodeId, dst: NodeId) -> LinkParams {
+        if src == dst {
+            return self.config.loopback;
+        }
+        let ss = self.topology.site_of(src);
+        let ds = self.topology.site_of(dst);
+        if ss == ds {
+            return self.config.intra_site;
+        }
+        let sk = self.topology.site_kind(ss);
+        let dk = self.topology.site_kind(ds);
+        match (sk, dk) {
+            (SiteKind::Edge, SiteKind::Edge) => self.config.inter_edge,
+            // Any path touching the central cloud crosses the WAN.
+            _ => self.config.wan,
+        }
+    }
+
+    /// Unloaded one-way propagation latency from `src` to `dst`.
+    pub fn oneway_delay(&self, src: NodeId, dst: NodeId) -> SimDuration {
+        self.link(src, dst).latency
+    }
+
+    /// Unloaded round-trip time between two nodes.
+    pub fn rtt(&self, src: NodeId, dst: NodeId) -> SimDuration {
+        self.oneway_delay(src, dst) + self.oneway_delay(dst, src)
+    }
+
+    /// Unloaded transfer time of `bytes` from `src` to `dst` (latency plus
+    /// serialization, no queueing).
+    pub fn transfer_delay(&self, src: NodeId, dst: NodeId, bytes: u64) -> SimDuration {
+        self.link(src, dst).transfer_delay(bytes)
+    }
+
+    /// Sends `bytes` from `src` to `dst` starting at `now`, occupying the
+    /// sender's uplink for the serialization time. Returns the arrival time
+    /// at `dst`.
+    ///
+    /// Concurrent transfers from the same node queue FIFO behind each
+    /// other, which is what bottlenecks a node's sustained upload rate at
+    /// its link bandwidth.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `src` is unknown or arrivals go backwards in time (see
+    /// [`FifoServer::serve`]).
+    pub fn transfer(&mut self, now: SimTime, src: NodeId, dst: NodeId, bytes: u64) -> SimTime {
+        let link = self.link(src, dst);
+        let serialization = link.serialization_delay(bytes);
+        let uplink = self
+            .uplinks
+            .get_mut(&src)
+            .expect("unknown source node");
+        let sent = uplink.serve(now, serialization);
+        self.bytes_sent += bytes;
+        self.messages_sent += 1;
+        sent + link.latency
+    }
+
+    /// The earliest time `src`'s uplink is free (its current backlog end).
+    pub fn uplink_free_at(&self, src: NodeId) -> SimTime {
+        self.uplinks
+            .get(&src)
+            .map(|s| s.next_free())
+            .unwrap_or(SimTime::ZERO)
+    }
+
+    /// Total bytes pushed through [`Network::transfer`].
+    pub fn bytes_sent(&self) -> u64 {
+        self.bytes_sent
+    }
+
+    /// Total messages pushed through [`Network::transfer`].
+    pub fn messages_sent(&self) -> u64 {
+        self.messages_sent
+    }
+
+    /// Resets occupancy state and counters (e.g. between experiment runs).
+    pub fn reset_occupancy(&mut self) {
+        for s in self.uplinks.values_mut() {
+            s.reset();
+        }
+        self.bytes_sent = 0;
+        self.messages_sent = 0;
+    }
+
+    /// The SNOD2 network-cost matrix `v_ij` over the given nodes: RTT in
+    /// milliseconds between each ordered pair (0 on the diagonal).
+    ///
+    /// The paper measures `v_ij` "by the necessary bandwidth or network
+    /// delay of the non-local hash lookup"; a hash lookup is a
+    /// request/response, hence RTT.
+    pub fn cost_matrix(&self, nodes: &[NodeId]) -> Vec<Vec<f64>> {
+        nodes
+            .iter()
+            .map(|&i| {
+                nodes
+                    .iter()
+                    .map(|&j| {
+                        if i == j {
+                            0.0
+                        } else {
+                            self.rtt(i, j).as_millis_f64()
+                        }
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::TopologyBuilder;
+
+    fn testbed() -> Network {
+        // 2 edge clouds with 2 nodes each + 1 cloud node.
+        let topo = TopologyBuilder::new()
+            .edge_site(2)
+            .edge_site(2)
+            .cloud_site(1)
+            .build();
+        Network::new(topo, NetworkConfig::paper_testbed())
+    }
+
+    #[test]
+    fn path_classification() {
+        let net = testbed();
+        let cfg = net.config();
+        // intra-site
+        assert_eq!(net.link(NodeId(0), NodeId(1)), cfg.intra_site);
+        // inter-edge
+        assert_eq!(net.link(NodeId(0), NodeId(2)), cfg.inter_edge);
+        // WAN (edge → cloud and cloud → edge)
+        assert_eq!(net.link(NodeId(0), NodeId(4)), cfg.wan);
+        assert_eq!(net.link(NodeId(4), NodeId(0)), cfg.wan);
+        // loopback
+        assert_eq!(net.link(NodeId(3), NodeId(3)), cfg.loopback);
+    }
+
+    #[test]
+    fn rtt_is_twice_oneway_for_symmetric_paths() {
+        let net = testbed();
+        let ow = net.oneway_delay(NodeId(0), NodeId(2));
+        assert_eq!(net.rtt(NodeId(0), NodeId(2)), ow + ow);
+    }
+
+    #[test]
+    fn transfer_queues_on_uplink() {
+        let mut net = testbed();
+        // 1.726 Gbps intra-site: 21575000 bytes take ~0.1 s to serialize.
+        let bytes = 21_575_000;
+        let a1 = net.transfer(SimTime::ZERO, NodeId(0), NodeId(1), bytes);
+        let a2 = net.transfer(SimTime::ZERO, NodeId(0), NodeId(1), bytes);
+        let gap = a2 - a1;
+        assert!((gap.as_secs_f64() - 0.1).abs() < 1e-3, "gap {gap}");
+        assert_eq!(net.bytes_sent(), bytes * 2);
+        assert_eq!(net.messages_sent(), 2);
+    }
+
+    #[test]
+    fn transfers_from_different_nodes_do_not_queue() {
+        let mut net = testbed();
+        let bytes = 21_575_000;
+        let a1 = net.transfer(SimTime::ZERO, NodeId(0), NodeId(1), bytes);
+        let a2 = net.transfer(SimTime::ZERO, NodeId(1), NodeId(0), bytes);
+        assert_eq!(a1, a2);
+    }
+
+    #[test]
+    fn cost_matrix_is_symmetric_with_zero_diagonal() {
+        let net = testbed();
+        let nodes: Vec<NodeId> = net.topology().edge_nodes();
+        let m = net.cost_matrix(&nodes);
+        for i in 0..nodes.len() {
+            assert_eq!(m[i][i], 0.0);
+            for j in 0..nodes.len() {
+                assert_eq!(m[i][j], m[j][i]);
+            }
+        }
+        // Intra-site pair cheaper than inter-edge pair.
+        assert!(m[0][1] < m[0][2]);
+    }
+
+    #[test]
+    fn wan_slower_than_edge() {
+        let net = testbed();
+        let edge_rtt = net.rtt(NodeId(0), NodeId(2));
+        let wan_rtt = net.rtt(NodeId(0), NodeId(4));
+        assert!(wan_rtt > edge_rtt);
+        // Paper numbers: 2*12.2 = 24.4 ms WAN RTT.
+        assert!((wan_rtt.as_millis_f64() - 24.4).abs() < 1e-6);
+    }
+
+    #[test]
+    fn reset_clears_counters() {
+        let mut net = testbed();
+        net.transfer(SimTime::ZERO, NodeId(0), NodeId(1), 100);
+        net.reset_occupancy();
+        assert_eq!(net.bytes_sent(), 0);
+        assert_eq!(net.messages_sent(), 0);
+        assert_eq!(net.uplink_free_at(NodeId(0)), SimTime::ZERO);
+    }
+}

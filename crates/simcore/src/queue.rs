@@ -1,0 +1,186 @@
+//! The event queue: a priority queue ordered by simulated time with
+//! deterministic FIFO tie-breaking for events scheduled at the same instant.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An event that has been scheduled onto an [`EventQueue`].
+#[derive(Debug, Clone)]
+pub struct ScheduledEvent<E> {
+    /// The simulated time at which the event fires.
+    pub time: SimTime,
+    /// Monotone sequence number; breaks ties between equal-time events in
+    /// scheduling order.
+    pub seq: u64,
+    /// The user payload.
+    pub payload: E,
+}
+
+struct HeapEntry<E> {
+    time: SimTime,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for HeapEntry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for HeapEntry<E> {}
+impl<E> PartialOrd for HeapEntry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for HeapEntry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest event on top.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic future-event list.
+///
+/// Events with equal timestamps pop in the order they were scheduled, which
+/// makes simulation runs reproducible regardless of hash-map iteration order
+/// or platform.
+///
+/// # Example
+///
+/// ```
+/// use ef_simcore::{EventQueue, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(SimTime::from_nanos(10), 'b');
+/// q.schedule(SimTime::from_nanos(10), 'c');
+/// q.schedule(SimTime::from_nanos(5), 'a');
+/// let order: Vec<char> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+/// assert_eq!(order, vec!['a', 'b', 'c']);
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<HeapEntry<E>>,
+    next_seq: u64,
+    popped: u64,
+}
+
+impl<E: std::fmt::Debug> std::fmt::Debug for HeapEntry<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HeapEntry")
+            .field("time", &self.time)
+            .field("seq", &self.seq)
+            .field("payload", &self.payload)
+            .finish()
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            popped: 0,
+        }
+    }
+
+    /// Schedules `payload` to fire at absolute time `time`.
+    ///
+    /// Returns the sequence number assigned to the event.
+    pub fn schedule(&mut self, time: SimTime, payload: E) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(HeapEntry { time, seq, payload });
+        seq
+    }
+
+    /// Removes and returns the earliest event, or `None` if empty.
+    pub fn pop(&mut self) -> Option<ScheduledEvent<E>> {
+        self.heap.pop().map(|e| {
+            self.popped += 1;
+            ScheduledEvent {
+                time: e.time,
+                seq: e.seq,
+                payload: e.payload,
+            }
+        })
+    }
+
+    /// The timestamp of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total number of events popped so far (simulation progress metric).
+    pub fn events_processed(&self) -> u64 {
+        self.popped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_nanos(30), 3);
+        q.schedule(SimTime::from_nanos(10), 1);
+        q.schedule(SimTime::from_nanos(20), 2);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn equal_times_pop_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(SimTime::from_nanos(42), i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn peek_matches_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_nanos(7), ());
+        assert_eq!(q.peek_time(), Some(SimTime::from_nanos(7)));
+        let e = q.pop().unwrap();
+        assert_eq!(e.time, SimTime::from_nanos(7));
+        assert!(q.peek_time().is_none());
+    }
+
+    #[test]
+    fn counts_processed() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::ZERO, ());
+        q.schedule(SimTime::ZERO, ());
+        assert_eq!(q.len(), 2);
+        q.pop();
+        assert_eq!(q.events_processed(), 1);
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+}

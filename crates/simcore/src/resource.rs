@@ -1,0 +1,171 @@
+//! FIFO resources for occupancy modelling.
+//!
+//! A [`FifoServer`] models a serially-shared resource — a CPU core hashing
+//! chunks, or a network link serializing bytes. Work items queue in arrival
+//! order; each occupies the server for its service time. This captures the
+//! congestion effects that dominate the paper's throughput experiments
+//! (edge uplinks saturating under Cloud-only, for instance) without needing
+//! a full process-oriented simulation framework.
+
+use crate::time::{SimDuration, SimTime};
+
+/// A single FIFO queueing server.
+///
+/// # Example
+///
+/// ```
+/// use ef_simcore::{FifoServer, SimTime, SimDuration};
+///
+/// let mut cpu = FifoServer::new();
+/// // Two jobs arrive at t=0, each needing 1ms of service.
+/// let first = cpu.serve(SimTime::ZERO, SimDuration::from_millis(1));
+/// let second = cpu.serve(SimTime::ZERO, SimDuration::from_millis(1));
+/// assert_eq!(first.as_nanos(), 1_000_000);
+/// assert_eq!(second.as_nanos(), 2_000_000); // queued behind the first
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct FifoServer {
+    next_free: SimTime,
+    busy: SimDuration,
+    jobs: u64,
+    last_arrival: SimTime,
+}
+
+impl FifoServer {
+    /// Creates an idle server free at time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Submits a job arriving at `now` requiring `service` time.
+    ///
+    /// Returns the completion time. Arrivals must be submitted in
+    /// non-decreasing time order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `now` is earlier than a previously submitted arrival
+    /// (violates FIFO arrival ordering).
+    pub fn serve(&mut self, now: SimTime, service: SimDuration) -> SimTime {
+        assert!(
+            now >= self.last_arrival,
+            "arrivals must be in non-decreasing time order"
+        );
+        self.last_arrival = now;
+        let start = self.next_free.max(now);
+        let finish = start + service;
+        self.next_free = finish;
+        self.busy += service;
+        self.jobs += 1;
+        finish
+    }
+
+    /// The earliest time a new arrival would start service.
+    pub fn next_free(&self) -> SimTime {
+        self.next_free
+    }
+
+    /// Queueing delay a job arriving at `now` would experience before
+    /// starting service.
+    pub fn backlog(&self, now: SimTime) -> SimDuration {
+        self.next_free.saturating_since(now)
+    }
+
+    /// Total busy time accumulated so far.
+    pub fn busy_time(&self) -> SimDuration {
+        self.busy
+    }
+
+    /// Number of jobs served (including queued ones already admitted).
+    pub fn jobs_served(&self) -> u64 {
+        self.jobs
+    }
+
+    /// Utilization over the window `[0, horizon]`.
+    ///
+    /// Values can exceed 1.0 when work has been admitted beyond the horizon
+    /// (the backlog extends past it).
+    pub fn utilization(&self, horizon: SimTime) -> f64 {
+        if horizon == SimTime::ZERO {
+            return 0.0;
+        }
+        self.busy.as_secs_f64() / horizon.as_secs_f64()
+    }
+
+    /// Resets the server to idle at time zero, clearing statistics.
+    pub fn reset(&mut self) {
+        *self = Self::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_server_serves_immediately() {
+        let mut s = FifoServer::new();
+        let done = s.serve(SimTime::from_nanos(500), SimDuration::from_nanos(100));
+        assert_eq!(done, SimTime::from_nanos(600));
+    }
+
+    #[test]
+    fn jobs_queue_fifo() {
+        let mut s = FifoServer::new();
+        let a = s.serve(SimTime::ZERO, SimDuration::from_nanos(100));
+        let b = s.serve(SimTime::ZERO, SimDuration::from_nanos(50));
+        let c = s.serve(SimTime::from_nanos(120), SimDuration::from_nanos(10));
+        assert_eq!(a.as_nanos(), 100);
+        assert_eq!(b.as_nanos(), 150);
+        // c arrives while b is still in service: starts at 150.
+        assert_eq!(c.as_nanos(), 160);
+    }
+
+    #[test]
+    fn gap_lets_server_idle() {
+        let mut s = FifoServer::new();
+        s.serve(SimTime::ZERO, SimDuration::from_nanos(10));
+        let done = s.serve(SimTime::from_nanos(1_000), SimDuration::from_nanos(10));
+        assert_eq!(done.as_nanos(), 1_010);
+        assert_eq!(s.busy_time().as_nanos(), 20);
+        assert_eq!(s.jobs_served(), 2);
+    }
+
+    #[test]
+    fn backlog_reports_queueing_delay() {
+        let mut s = FifoServer::new();
+        s.serve(SimTime::ZERO, SimDuration::from_micros(5));
+        assert_eq!(
+            s.backlog(SimTime::from_nanos(1_000)),
+            SimDuration::from_nanos(4_000)
+        );
+        assert_eq!(s.backlog(SimTime::from_nanos(10_000)), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn utilization_over_horizon() {
+        let mut s = FifoServer::new();
+        s.serve(SimTime::ZERO, SimDuration::from_millis(5));
+        let u = s.utilization(SimTime::from_nanos(10_000_000));
+        assert!((u - 0.5).abs() < 1e-9);
+        assert_eq!(s.utilization(SimTime::ZERO), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn out_of_order_arrival_panics() {
+        let mut s = FifoServer::new();
+        s.serve(SimTime::from_nanos(100), SimDuration::ZERO);
+        s.serve(SimTime::from_nanos(50), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut s = FifoServer::new();
+        s.serve(SimTime::from_nanos(100), SimDuration::from_nanos(5));
+        s.reset();
+        assert_eq!(s.next_free(), SimTime::ZERO);
+        assert_eq!(s.jobs_served(), 0);
+        assert_eq!(s.busy_time(), SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,276 @@
+//! Deterministic, portable randomness.
+//!
+//! Every stochastic element of the reproduction (workload draws, latency
+//! jitter, random partitioning baselines) flows through [`DetRng`], a thin
+//! wrapper over ChaCha8 that supports *named substreams*: independent
+//! generators derived from a root seed and a label, so adding a new consumer
+//! of randomness never perturbs the draws seen by existing consumers.
+
+use rand::{Rng, RngCore, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// A seedable deterministic random-number generator.
+///
+/// # Example
+///
+/// ```
+/// use ef_simcore::DetRng;
+///
+/// let mut a = DetRng::new(42);
+/// let mut b = DetRng::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+///
+/// // Substreams with different labels are independent but reproducible.
+/// let mut s1 = DetRng::new(42).substream("latency");
+/// let mut s2 = DetRng::new(42).substream("latency");
+/// assert_eq!(s1.next_u64(), s2.next_u64());
+/// ```
+#[derive(Debug, Clone)]
+pub struct DetRng {
+    inner: ChaCha8Rng,
+    seed: u64,
+}
+
+impl DetRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        DetRng {
+            inner: ChaCha8Rng::seed_from_u64(seed),
+            seed,
+        }
+    }
+
+    /// The root seed this generator (or its ancestor) was created with.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Derives an independent generator keyed by `label`.
+    ///
+    /// The derivation is a stable FNV-1a hash of the label mixed with the
+    /// root seed, so the same `(seed, label)` pair always yields the same
+    /// stream on every platform.
+    pub fn substream(&self, label: &str) -> DetRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in label.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        DetRng::new(self.seed ^ h.rotate_left(17))
+    }
+
+    /// Derives an independent generator keyed by an index (e.g. a node id).
+    pub fn substream_idx(&self, label: &str, idx: u64) -> DetRng {
+        self.substream(&format!("{label}#{idx}"))
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Uniform `f64` in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `lo > hi`.
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo <= hi, "empty range");
+        if lo == hi {
+            return lo;
+        }
+        self.inner.gen_range(lo..hi)
+    }
+
+    /// Uniform `u64` in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `lo >= hi`.
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range");
+        self.inner.gen_range(lo..hi)
+    }
+
+    /// Uniform `usize` in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n == 0`.
+    pub fn index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "empty range");
+        self.inner.gen_range(0..n)
+    }
+
+    /// Samples an index from a categorical distribution given by `weights`.
+    ///
+    /// Weights need not be normalized; zero-weight entries are never chosen.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `weights` is empty, contains a negative/non-finite value,
+    /// or sums to zero.
+    pub fn categorical(&mut self, weights: &[f64]) -> usize {
+        assert!(!weights.is_empty(), "no categories");
+        let mut total = 0.0;
+        for &w in weights {
+            assert!(w.is_finite() && w >= 0.0, "invalid weight {w}");
+            total += w;
+        }
+        assert!(total > 0.0, "weights sum to zero");
+        let mut x = self.unit() * total;
+        for (i, &w) in weights.iter().enumerate() {
+            if x < w {
+                return i;
+            }
+            x -= w;
+        }
+        // Floating-point slack: fall back to the last positive-weight entry.
+        weights
+            .iter()
+            .rposition(|&w| w > 0.0)
+            .expect("positive weight exists")
+    }
+
+    /// Fisher–Yates shuffles a slice in place.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.index(i + 1);
+            slice.swap(i, j);
+        }
+    }
+
+    /// Returns a normally distributed sample via Box–Muller.
+    pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
+        assert!(std_dev >= 0.0, "negative std dev");
+        let u1: f64 = self.unit().max(f64::MIN_POSITIVE);
+        let u2: f64 = self.unit();
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        mean + std_dev * z
+    }
+
+    /// Returns an exponentially distributed sample with the given mean.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `mean <= 0`.
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        assert!(mean > 0.0, "non-positive mean");
+        let u: f64 = self.unit();
+        -mean * (1.0 - u).ln()
+    }
+
+    /// Fills a byte buffer with pseudo-random data.
+    pub fn fill_bytes(&mut self, buf: &mut [u8]) {
+        self.inner.fill_bytes(buf)
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = DetRng::new(7);
+        let mut b = DetRng::new(7);
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn substreams_are_independent_of_consumption() {
+        let root = DetRng::new(7);
+        let mut s1 = root.substream("x");
+        let first = s1.next_u64();
+        // Consuming from the root does not change the substream.
+        let mut root2 = DetRng::new(7);
+        let _ = root2.next_u64();
+        let mut s1_again = root2.substream("x");
+        assert_eq!(s1_again.next_u64(), first);
+    }
+
+    #[test]
+    fn different_labels_differ() {
+        let root = DetRng::new(7);
+        assert_ne!(
+            root.substream("a").next_u64(),
+            root.substream("b").next_u64()
+        );
+        assert_ne!(
+            root.substream_idx("n", 0).next_u64(),
+            root.substream_idx("n", 1).next_u64()
+        );
+    }
+
+    #[test]
+    fn categorical_respects_zero_weights() {
+        let mut rng = DetRng::new(1);
+        for _ in 0..1000 {
+            let k = rng.categorical(&[0.0, 1.0, 0.0]);
+            assert_eq!(k, 1);
+        }
+    }
+
+    #[test]
+    fn categorical_is_roughly_proportional() {
+        let mut rng = DetRng::new(2);
+        let mut counts = [0usize; 3];
+        let n = 30_000;
+        for _ in 0..n {
+            counts[rng.categorical(&[1.0, 2.0, 1.0])] += 1;
+        }
+        let f1 = counts[1] as f64 / n as f64;
+        assert!((f1 - 0.5).abs() < 0.02, "got {f1}");
+    }
+
+    #[test]
+    #[should_panic(expected = "weights sum to zero")]
+    fn categorical_rejects_all_zero() {
+        DetRng::new(1).categorical(&[0.0, 0.0]);
+    }
+
+    #[test]
+    fn unit_in_range() {
+        let mut rng = DetRng::new(3);
+        for _ in 0..1000 {
+            let x = rng.unit();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = DetRng::new(4);
+        let mut v: Vec<u32> = (0..50).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn normal_has_right_moments() {
+        let mut rng = DetRng::new(5);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| rng.normal(3.0, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.1, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.25, "var {var}");
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let mut rng = DetRng::new(6);
+        let n = 20_000;
+        let mean = (0..n).map(|_| rng.exponential(0.5)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.03, "mean {mean}");
+    }
+}

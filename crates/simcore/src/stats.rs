@@ -1,0 +1,330 @@
+//! Online statistics helpers used throughout the experiment harness.
+
+use serde::{Deserialize, Serialize};
+
+/// Online mean/variance accumulator (Welford's algorithm).
+///
+/// # Example
+///
+/// ```
+/// use ef_simcore::stats::Summary;
+///
+/// let mut s = Summary::new();
+/// for x in [1.0, 2.0, 3.0, 4.0] {
+///     s.add(x);
+/// }
+/// assert_eq!(s.mean(), 2.5);
+/// assert_eq!(s.count(), 4);
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Summary {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Summary {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a non-finite observation.
+    pub fn add(&mut self, x: f64) {
+        assert!(x.is_finite(), "non-finite observation {x}");
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean; 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance; 0 when fewer than two observations.
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation; `None` when empty.
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest observation; `None` when empty.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> f64 {
+        self.mean() * self.count as f64
+    }
+
+    /// Merges another summary into this one.
+    pub fn merge(&mut self, other: &Summary) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl Extend<f64> for Summary {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        for x in iter {
+            self.add(x);
+        }
+    }
+}
+
+impl FromIterator<f64> for Summary {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
+        let mut s = Summary::new();
+        s.extend(iter);
+        s
+    }
+}
+
+/// Mean squared error between two equal-length slices.
+///
+/// # Panics
+///
+/// Panics when the slices differ in length or are empty.
+///
+/// # Example
+///
+/// ```
+/// use ef_simcore::stats::mse;
+/// assert_eq!(mse(&[1.0, 2.0], &[1.0, 4.0]), 2.0);
+/// ```
+pub fn mse(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "length mismatch");
+    assert!(!a.is_empty(), "empty input");
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f64>()
+        / a.len() as f64
+}
+
+/// Mean absolute relative error `mean(|a-b| / |a|)` — the "estimation error"
+/// metric the paper reports for Algorithm 1 (< 4 %).
+///
+/// # Panics
+///
+/// Panics when the slices differ in length, are empty, or a reference value
+/// is zero.
+pub fn mean_relative_error(reference: &[f64], estimate: &[f64]) -> f64 {
+    assert_eq!(reference.len(), estimate.len(), "length mismatch");
+    assert!(!reference.is_empty(), "empty input");
+    reference
+        .iter()
+        .zip(estimate)
+        .map(|(r, e)| {
+            assert!(*r != 0.0, "zero reference value");
+            ((r - e) / r).abs()
+        })
+        .sum::<f64>()
+        / reference.len() as f64
+}
+
+/// A fixed-bucket histogram over `[lo, hi)` with overflow/underflow bins.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    buckets: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `n` equal-width buckets spanning `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n == 0` or `lo >= hi`.
+    pub fn new(lo: f64, hi: f64, n: usize) -> Self {
+        assert!(n > 0, "need at least one bucket");
+        assert!(lo < hi, "empty range");
+        Histogram {
+            lo,
+            hi,
+            buckets: vec![0; n],
+            underflow: 0,
+            overflow: 0,
+        }
+    }
+
+    /// Records one observation.
+    pub fn add(&mut self, x: f64) {
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let idx = ((x - self.lo) / (self.hi - self.lo) * self.buckets.len() as f64) as usize;
+            let idx = idx.min(self.buckets.len() - 1);
+            self.buckets[idx] += 1;
+        }
+    }
+
+    /// Bucket counts (excluding under/overflow).
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// Observations below the range.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Observations at or above the upper bound.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total observations recorded.
+    pub fn total(&self) -> u64 {
+        self.buckets.iter().sum::<u64>() + self.underflow + self.overflow
+    }
+
+    /// Approximate quantile `q ∈ [0,1]` from bucket midpoints.
+    ///
+    /// Returns `None` when the histogram is empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range");
+        let in_range: u64 = self.buckets.iter().sum();
+        if in_range == 0 {
+            return None;
+        }
+        let target = (q * in_range as f64).ceil().max(1.0) as u64;
+        let width = (self.hi - self.lo) / self.buckets.len() as f64;
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Some(self.lo + width * (i as f64 + 0.5));
+            }
+        }
+        Some(self.hi - width / 2.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_mean_and_variance() {
+        let s: Summary = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].into_iter().collect();
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.variance() - 4.0).abs() < 1e-12);
+        assert_eq!(s.min(), Some(2.0));
+        assert_eq!(s.max(), Some(9.0));
+        assert!((s.sum() - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn summary_merge_equals_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let whole: Summary = xs.iter().copied().collect();
+        let mut left: Summary = xs[..37].iter().copied().collect();
+        let right: Summary = xs[37..].iter().copied().collect();
+        left.merge(&right);
+        assert_eq!(left.count(), whole.count());
+        assert!((left.mean() - whole.mean()).abs() < 1e-9);
+        assert!((left.variance() - whole.variance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_summary_is_safe() {
+        let s = Summary::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+    }
+
+    #[test]
+    fn mse_basic() {
+        assert_eq!(mse(&[0.0, 0.0], &[3.0, 4.0]), 12.5);
+    }
+
+    #[test]
+    fn relative_error_basic() {
+        let e = mean_relative_error(&[2.0, 4.0], &[1.9, 4.2]);
+        assert!((e - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        for i in 0..100 {
+            h.add(i as f64 / 10.0);
+        }
+        assert_eq!(h.total(), 100);
+        assert_eq!(h.underflow(), 0);
+        assert_eq!(h.overflow(), 0);
+        let median = h.quantile(0.5).unwrap();
+        assert!((median - 4.5).abs() <= 1.0, "median {median}");
+    }
+
+    #[test]
+    fn histogram_overflow_bins() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        h.add(-1.0);
+        h.add(2.0);
+        h.add(0.5);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.total(), 3);
+    }
+}

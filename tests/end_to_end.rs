@@ -1,0 +1,125 @@
+//! End-to-end integration: real bytes through the full pipeline —
+//! dataset generation → chunking → hashing → distributed index (threaded
+//! cluster) → upload decision — checked against a local reference
+//! measurement.
+
+use bytes::Bytes;
+use efdedup_repro::prelude::*;
+
+#[test]
+fn threaded_ring_dedup_matches_reference_measurement() {
+    let dataset = datasets::traffic_video(4, 3);
+    let chunker = FixedChunker::new(dataset.model().chunk_size()).unwrap();
+    let streams: Vec<Vec<u8>> = (0..4).map(|s| dataset.file(s, 0, 0, 300)).collect();
+
+    // Reference: joint dedup ratio measured with a local index.
+    let views: Vec<&[u8]> = streams.iter().map(|s| s.as_slice()).collect();
+    let reference = ef_chunking::joint_dedup_ratio(&chunker, &views);
+
+    // System: a 4-node threaded D2-ring deduplicating the same bytes.
+    let members: Vec<NodeId> = (0..4).map(NodeId).collect();
+    let ring = ThreadedCluster::start(members.clone(), ClusterConfig::default());
+    let mut total = 0usize;
+    let mut unique = 0usize;
+    for (node, stream) in streams.iter().enumerate() {
+        for chunk in chunker.chunk(stream) {
+            total += 1;
+            if ring
+                .check_and_insert(members[node], chunk.hash.as_bytes(), Bytes::from_static(&[1]))
+                .unwrap()
+            {
+                unique += 1;
+            }
+        }
+    }
+    ring.shutdown();
+
+    let measured = total as f64 / unique as f64;
+    assert!(
+        (measured - reference).abs() < 1e-9,
+        "ring dedup {measured} != reference {reference}"
+    );
+    assert!(measured > 1.4, "video data should dedup well, got {measured}");
+}
+
+#[test]
+fn cdc_chunking_full_pipeline() {
+    // The variable-size chunking extension works through the same
+    // pipeline: chunk with CDC, dedup in a local cluster.
+    let dataset = datasets::accelerometer(2, 5);
+    let chunker = GearChunker::default();
+    let a = dataset.file(0, 0, 0, 100);
+    let b = dataset.file(0, 0, 0, 100); // identical file
+    let mut cluster = LocalCluster::new(vec![NodeId(0), NodeId(1)], ClusterConfig::default());
+    let mut unique = 0usize;
+    let mut total = 0usize;
+    for (node, stream) in [(0u32, &a), (1u32, &b)] {
+        for chunk in chunker.chunk(stream) {
+            total += 1;
+            if cluster
+                .check_and_insert(NodeId(node), chunk.hash.as_bytes(), Bytes::from_static(&[1]))
+                .unwrap()
+            {
+                unique += 1;
+            }
+        }
+    }
+    // The second, identical file must dedup ~completely.
+    assert!(
+        (total - unique) * 2 >= total,
+        "identical file did not dedup: {unique}/{total} unique"
+    );
+}
+
+#[test]
+fn simulated_cluster_prices_what_local_cluster_decides() {
+    // The SimCluster (timing) and LocalCluster (decisions) agree on
+    // content: same ops, same final state sizes.
+    use ef_kvstore::{ClientOp, SimCluster};
+
+    let topo = TopologyBuilder::new().edge_sites(2, 2).build();
+    let net = Network::new(topo, NetworkConfig::paper_testbed());
+    let members = net.topology().edge_nodes();
+    let config = ClusterConfig::default();
+
+    let mut local = LocalCluster::new(members.clone(), config);
+    let mut sim = SimCluster::new(members.clone(), net, config);
+
+    let mut t = SimTime::ZERO;
+    for i in 0..200u32 {
+        let coord = members[(i % 4) as usize];
+        let key = i.to_be_bytes();
+        local.put(coord, &key, Bytes::from_static(b"v")).unwrap();
+        sim.submit(
+            t,
+            coord,
+            ClientOp::Put(Bytes::copy_from_slice(&key), Bytes::from_static(b"v")),
+        );
+        t = t + SimDuration::from_millis(10);
+    }
+    let latencies = sim.run();
+    assert_eq!(latencies.len(), 200);
+    // Every simulated op completed and paid a plausible latency.
+    for l in &latencies {
+        assert!(l.latency().as_millis_f64() < 100.0);
+    }
+    assert_eq!(local.distinct_keys(), 200);
+}
+
+#[test]
+fn workspace_crates_compose_through_prelude() {
+    // Sanity: the umbrella prelude exposes a coherent API surface.
+    let rng = DetRng::new(1);
+    assert_eq!(rng.seed(), 1);
+    let v = CharacteristicVector::uniform(3);
+    assert_eq!(v.pool_count(), 3);
+    let model = GenerativeModel::new(
+        vec![10, 10, 10],
+        64,
+        vec![SourceSpec::new(1.0, v)],
+    )
+    .unwrap();
+    assert_eq!(model.source_count(), 1);
+    let h = ChunkHash::of(b"x");
+    assert_eq!(h, ChunkHash::of(b"x"));
+}

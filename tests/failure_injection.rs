@@ -1,0 +1,152 @@
+//! Failure injection: deduplication must stay *correct* (never drop a
+//! chunk that is actually needed) while nodes fail and recover under it.
+//!
+//! The invariant direction matters: a failed replica may cause a chunk to
+//! be classified unique twice (harmless double upload — the paper accepts
+//! this, as does Cassandra at consistency ONE), but a chunk must never be
+//! classified duplicate unless its hash really was recorded before.
+
+use bytes::Bytes;
+use efdedup_repro::prelude::*;
+use std::collections::HashSet;
+
+/// Streams chunks through a ring while killing/reviving nodes, tracking
+/// the ground-truth seen-set alongside.
+#[test]
+fn dedup_stays_sound_across_failures() {
+    let dataset = datasets::accelerometer(4, 17);
+    let chunker = FixedChunker::new(dataset.model().chunk_size()).unwrap();
+    let members: Vec<NodeId> = (0..4).map(NodeId).collect();
+    let mut ring = LocalCluster::new(
+        members.clone(),
+        ClusterConfig {
+            replication_factor: 2,
+            ..ClusterConfig::default()
+        },
+    );
+
+    let mut truly_seen: HashSet<ChunkHash> = HashSet::new();
+    let mut false_duplicates = 0usize;
+    let mut false_uniques = 0usize;
+    let mut processed = 0usize;
+
+    let mut current_victim = None;
+    for round in 0..6u32 {
+        // Fail a different node each even round; recover it the round
+        // after (at most one node is ever down, matching rf = 2).
+        if round % 2 == 0 {
+            let victim = NodeId((round / 2) % 4);
+            ring.set_down(victim);
+            current_victim = Some(victim);
+        } else if let Some(victim) = current_victim.take() {
+            ring.set_up(victim);
+        }
+
+        for node in 0..4usize {
+            if ring.is_down(members[node]) {
+                continue; // this agent's coordinator is offline
+            }
+            let stream = dataset.file(node, round, 0, 60);
+            for chunk in chunker.chunk(&stream) {
+                processed += 1;
+                let claimed_unique = ring
+                    .check_and_insert(
+                        members[node],
+                        chunk.hash.as_bytes(),
+                        Bytes::from_static(&[1]),
+                    )
+                    .expect("coordinator is up");
+                let actually_new = truly_seen.insert(chunk.hash);
+                if claimed_unique && !actually_new {
+                    false_uniques += 1; // tolerable: double upload
+                }
+                if !claimed_unique && actually_new {
+                    false_duplicates += 1; // data loss: must never happen
+                }
+            }
+        }
+    }
+
+    assert!(processed > 1000, "exercised {processed} chunks");
+    assert_eq!(
+        false_duplicates, 0,
+        "chunks were wrongly declared duplicates (would be dropped!)"
+    );
+    // With rf=2 and single-failure rounds, false uniques stay rare.
+    let rate = false_uniques as f64 / processed as f64;
+    assert!(rate < 0.25, "false-unique rate {rate} too high");
+}
+
+#[test]
+fn recovery_restores_full_replication() {
+    let members: Vec<NodeId> = (0..5).map(NodeId).collect();
+    let mut cluster = LocalCluster::new(members, ClusterConfig::default());
+    cluster.set_down(NodeId(4));
+    for i in 0..300u32 {
+        cluster
+            .put(NodeId(i % 4), &i.to_be_bytes(), Bytes::from_static(b"v"))
+            .unwrap();
+    }
+    cluster.set_up(NodeId(4));
+    // After hint replay every key should be on exactly rf replicas.
+    assert_eq!(
+        cluster.total_replica_entries(),
+        2 * cluster.distinct_keys(),
+        "replication not restored after recovery"
+    );
+}
+
+#[test]
+fn membership_change_under_load_preserves_index() {
+    let members: Vec<NodeId> = (0..4).map(NodeId).collect();
+    let mut cluster = LocalCluster::new(members, ClusterConfig::default());
+    let mut keys = Vec::new();
+    for i in 0..200u32 {
+        let key = i.to_be_bytes();
+        cluster.put(NodeId(i % 4), &key, Bytes::from_static(b"v")).unwrap();
+        keys.push(key);
+    }
+    // Scale out, then decommission a different node.
+    cluster.add_node(NodeId(9));
+    cluster.remove_node(NodeId(1));
+    for key in &keys {
+        assert_eq!(
+            cluster.get(NodeId(9), key).unwrap(),
+            Some(Bytes::from_static(b"v")),
+            "key lost across membership changes"
+        );
+    }
+    assert_eq!(cluster.total_replica_entries(), 2 * keys.len());
+}
+
+#[test]
+fn ring_survives_failure_of_every_single_node_in_turn() {
+    let dataset = datasets::traffic_video(5, 23);
+    let chunker = FixedChunker::new(dataset.model().chunk_size()).unwrap();
+    let members: Vec<NodeId> = (0..5).map(NodeId).collect();
+    let mut ring = LocalCluster::new(members.clone(), ClusterConfig::default());
+
+    // Seed the index.
+    let stream = dataset.file(0, 0, 0, 200);
+    let hashes: Vec<ChunkHash> = chunker.chunk(&stream).into_iter().map(|c| c.hash).collect();
+    for h in &hashes {
+        ring.put(NodeId(0), h.as_bytes(), Bytes::from_static(&[1])).unwrap();
+    }
+
+    // Whichever single node fails, every recorded hash stays findable.
+    for victim in 0..5u32 {
+        ring.set_down(NodeId(victim));
+        let coordinator = members
+            .iter()
+            .copied()
+            .find(|&m| !ring.is_down(m))
+            .expect("some node is up");
+        for h in &hashes {
+            assert!(
+                ring.get(coordinator, h.as_bytes()).unwrap().is_some(),
+                "hash lost when {victim} failed"
+            );
+        }
+        ring.set_up(NodeId(victim));
+    }
+}

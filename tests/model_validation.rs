@@ -1,0 +1,145 @@
+//! Property-based cross-crate validation: the analytical model
+//! (Theorem 1) against the actual generative process and byte-level
+//! measurement, and partitioner invariants on randomized instances.
+
+use ef_chunking::{joint_dedup_ratio, FixedChunker};
+use ef_datagen::{CharacteristicVector, GenerativeModel, SourceSpec};
+use ef_simcore::DetRng;
+use efdedup::model::Snod2Instance;
+use efdedup::partition::{
+    DedupOnly, EqualSizeGreedy, MatchingPartitioner, NetworkOnly, Partitioner, RandomPartitioner,
+    SmartGreedy,
+};
+use proptest::prelude::*;
+
+/// Strategy generating a small random SNOD2 instance.
+fn arb_instance() -> impl Strategy<Value = Snod2Instance> {
+    (
+        2usize..6,                                // nodes
+        2usize..4,                                // pools
+        proptest::collection::vec(10u64..5_000, 2..4), // pool sizes (resized below)
+        0u64..u64::MAX,                           // seed
+        0.0f64..0.1,                              // alpha
+    )
+        .prop_map(|(n, k, mut sizes, seed, alpha)| {
+            sizes.resize(k, 100);
+            let mut rng = DetRng::new(seed).substream("arb-instance");
+            let probs: Vec<CharacteristicVector> = (0..n)
+                .map(|_| {
+                    let w: Vec<f64> = (0..k).map(|_| rng.range_f64(0.05, 1.0)).collect();
+                    CharacteristicVector::from_weights(w).unwrap()
+                })
+                .collect();
+            let mut costs = vec![vec![0.0; n]; n];
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    let c = rng.range_f64(0.1, 50.0);
+                    costs[i][j] = c;
+                    costs[j][i] = c;
+                }
+            }
+            let rates: Vec<f64> = (0..n).map(|_| rng.range_f64(10.0, 200.0)).collect();
+            Snod2Instance::new(sizes, rates, probs, costs, alpha, 2, 5.0).unwrap()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Theorem 1's ratio is ≥ 1 and merging node sets never increases
+    /// total storage (subadditivity of unique-chunk counts).
+    #[test]
+    fn theorem1_bounds_and_subadditivity(inst in arb_instance()) {
+        let n = inst.node_count();
+        let all: Vec<usize> = (0..n).collect();
+        prop_assert!(inst.dedup_ratio(&all) >= 1.0 - 1e-12);
+        let joint = inst.storage_cost(&all);
+        let separate: f64 = (0..n).map(|i| inst.storage_cost(&[i])).sum();
+        prop_assert!(joint <= separate + 1e-9);
+    }
+
+    /// All partitioners return valid exact-m covers and SMART never loses
+    /// to either ablation.
+    #[test]
+    fn partitioners_valid_and_smart_dominant(inst in arb_instance(), m in 1usize..5) {
+        let n = inst.node_count();
+        let algos: Vec<Box<dyn Partitioner>> = vec![
+            Box::new(SmartGreedy),
+            Box::new(EqualSizeGreedy),
+            Box::new(MatchingPartitioner::default()),
+            Box::new(NetworkOnly),
+            Box::new(DedupOnly),
+            Box::new(RandomPartitioner { seed: 5 }),
+        ];
+        for algo in &algos {
+            let p = algo.partition(&inst, m);
+            prop_assert!(p.validate(n).is_ok(), "{} invalid", algo.name());
+            prop_assert!(p.ring_count() <= m.min(n).max(1));
+        }
+        let smart = inst.total_cost(&SmartGreedy.partition(&inst, m)).aggregate;
+        let net = inst.total_cost(&NetworkOnly.partition(&inst, m)).aggregate;
+        let ded = inst.total_cost(&DedupOnly.partition(&inst, m)).aggregate;
+        prop_assert!(smart <= net + 1e-9, "smart {smart} > network-only {net}");
+        prop_assert!(smart <= ded + 1e-9, "smart {smart} > dedup-only {ded}");
+    }
+
+    /// Theorem 1 against the real generative process *and* byte-level
+    /// chunk measurement, on random two-source models.
+    #[test]
+    fn theorem1_matches_measured_bytes(seed in 0u64..1_000) {
+        let mut rng = DetRng::new(seed).substream("t1-bytes");
+        let k = 3usize;
+        let sizes = vec![
+            rng.range_u64(50, 400),
+            rng.range_u64(100, 1_000),
+            rng.range_u64(5_000, 50_000),
+        ];
+        let probs: Vec<CharacteristicVector> = (0..2)
+            .map(|_| {
+                let w: Vec<f64> = (0..k).map(|_| rng.range_f64(0.1, 1.0)).collect();
+                CharacteristicVector::from_weights(w).unwrap()
+            })
+            .collect();
+        let chunk_size = 128usize;
+        let draws = 400usize;
+        let model = GenerativeModel::new(
+            sizes.clone(),
+            chunk_size,
+            probs
+                .iter()
+                .map(|p| SourceSpec::new(draws as f64, p.clone()))
+                .collect(),
+        )
+        .unwrap();
+
+        // Analytic prediction with R_i T = draws.
+        let inst = Snod2Instance::new(
+            sizes,
+            vec![draws as f64; 2],
+            probs,
+            vec![vec![0.0; 2]; 2],
+            0.0,
+            1,
+            1.0,
+        )
+        .unwrap();
+        let predicted = inst.dedup_ratio(&[0, 1]);
+
+        // Average byte-level measurement over a few sample draws.
+        let chunker = FixedChunker::new(chunk_size).unwrap();
+        let mut measured_sum = 0.0;
+        let trials = 5;
+        for t in 0..trials {
+            let mut sub = rng.substream_idx("trial", t);
+            let a = model.generate_stream(0, draws, &mut sub);
+            let b = model.generate_stream(1, draws, &mut sub);
+            measured_sum += joint_dedup_ratio(&chunker, &[&a, &b]);
+        }
+        let measured = measured_sum / trials as f64;
+        let rel = ((predicted - measured) / measured).abs();
+        prop_assert!(
+            rel < 0.15,
+            "predicted {predicted} vs measured {measured} (rel {rel})"
+        );
+    }
+}

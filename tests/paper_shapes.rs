@@ -1,0 +1,202 @@
+//! Paper-shape integration tests: the qualitative results of every
+//! figure must hold on reduced-size runs. These are the claims a reader
+//! of the paper would check first.
+
+use efdedup::experiments::{
+    alpha_sweep, cost_comparison, estimation_experiment, ratio_vs_rings, scale_sweep,
+    throughput_vs_nodes, throughput_vs_wan_latency, tradeoff_sweep, DatasetKind, SweepConfig,
+};
+
+fn quick() -> SweepConfig {
+    SweepConfig {
+        chunks_per_node: 600,
+        ..SweepConfig::default()
+    }
+}
+
+/// Fig. 2/3: Algorithm 1 hits the paper's error bound and warm starts
+/// don't regress.
+#[test]
+fn fig2_3_estimation_error_bound() {
+    for kind in [DatasetKind::Accelerometer, DatasetKind::TrafficVideo] {
+        let slots = estimation_experiment(kind, 3, 400, 11);
+        for s in &slots {
+            assert!(
+                s.mean_rel_error < 0.06,
+                "{}: slot {} error {}",
+                kind.label(),
+                s.slot,
+                s.mean_rel_error
+            );
+        }
+        // Warm slots may not be wildly worse than the cold fit.
+        assert!(slots[1].mean_rel_error < slots[0].mean_rel_error + 0.04);
+    }
+}
+
+/// Fig. 5(a): at testbed scale SMART beats both cloud baselines on both
+/// datasets, and the dataset-2 margin exceeds the dataset-1 margin.
+#[test]
+fn fig5a_smart_wins_and_ds2_wins_bigger() {
+    let margin = |kind: DatasetKind| {
+        let pts = throughput_vs_nodes(kind, &[20], &quick());
+        let get = |s: &str| {
+            pts.iter()
+                .find(|p| p.strategy == s)
+                .unwrap()
+                .throughput_mbps
+        };
+        let smart = get("SMART");
+        assert!(smart > get("Cloud-Assisted"), "{}", kind.label());
+        assert!(smart > get("Cloud-Only"), "{}", kind.label());
+        smart / get("Cloud-Assisted")
+    };
+    let ds1 = margin(DatasetKind::Accelerometer);
+    let ds2 = margin(DatasetKind::TrafficVideo);
+    assert!(
+        ds2 > ds1,
+        "dataset-2 margin {ds2} should exceed dataset-1 margin {ds1}"
+    );
+}
+
+/// Fig. 5(b): SMART's lead over Cloud-Assisted grows with WAN latency.
+#[test]
+fn fig5b_lead_grows_with_latency() {
+    let pts = throughput_vs_wan_latency(
+        DatasetKind::Accelerometer,
+        &[12.2, 100.0],
+        12,
+        &quick(),
+    );
+    let lead = |lat: f64| {
+        let get = |s: &str| {
+            pts.iter()
+                .find(|p| p.x == lat && p.strategy == s)
+                .unwrap()
+                .throughput_mbps
+        };
+        get("SMART") / get("Cloud-Assisted")
+    };
+    assert!(lead(100.0) > lead(12.2));
+}
+
+/// Fig. 5(c): dedup ratio decreases with ring count and is bounded by
+/// the global (cloud) ratio.
+#[test]
+fn fig5c_ratio_monotone_and_bounded() {
+    let pts = ratio_vs_rings(DatasetKind::TrafficVideo, &[1, 2, 5, 10], 20, &quick());
+    let ratios: Vec<f64> = [1.0, 2.0, 5.0, 10.0]
+        .iter()
+        .map(|&r| {
+            pts.iter()
+                .find(|p| p.x == r && p.strategy == "SMART")
+                .unwrap()
+                .dedup_ratio
+        })
+        .collect();
+    // SMART re-partitions per ring count, so adjacent points may jitter
+    // slightly; the trend must be downward and the endpoints strict.
+    for w in ratios.windows(2) {
+        assert!(
+            w[0] >= w[1] * 0.95,
+            "ratio trend not downward: {ratios:?}"
+        );
+    }
+    assert!(
+        ratios[0] > *ratios.last().unwrap(),
+        "no overall decrease: {ratios:?}"
+    );
+    let cloud = pts
+        .iter()
+        .find(|p| p.strategy == "Cloud (global)")
+        .unwrap()
+        .dedup_ratio;
+    assert!(cloud >= ratios[0] - 1e-9);
+}
+
+/// Fig. 6(a): more rings → more storage; fewer rings → more network.
+#[test]
+fn fig6a_storage_network_tradeoff() {
+    let pts = tradeoff_sweep(DatasetKind::Accelerometer, &[2, 10], &[5.0], &quick());
+    let at = |rings: usize| pts.iter().find(|p| p.rings == rings).unwrap();
+    assert!(at(10).storage_bytes > at(2).storage_bytes);
+    assert!(at(2).network_cost_ms > at(10).network_cost_ms);
+}
+
+/// Fig. 6(b): the preferred ring size flips as inter-cloud latency
+/// rises — large rings win at low latency, small rings at high latency.
+#[test]
+fn fig6b_crossover_exists() {
+    let pts = tradeoff_sweep(
+        DatasetKind::Accelerometer,
+        &[1, 10],
+        &[5.0, 30.0],
+        &quick(),
+    );
+    let thr = |rings: usize, lat: f64| {
+        pts.iter()
+            .find(|p| p.rings == rings && p.inter_edge_ms == lat)
+            .unwrap()
+            .throughput_mbps
+    };
+    // Low latency: one big ring at least competitive with 10 small ones.
+    assert!(
+        thr(1, 5.0) > thr(10, 5.0) * 0.9,
+        "big ring uncompetitive at 5ms: {} vs {}",
+        thr(1, 5.0),
+        thr(10, 5.0)
+    );
+    // High latency: small rings clearly ahead.
+    assert!(
+        thr(10, 30.0) > thr(1, 30.0),
+        "small rings should win at 30ms: {} vs {}",
+        thr(10, 30.0),
+        thr(1, 30.0)
+    );
+}
+
+/// Fig. 6(c): SMART's aggregate cost beats both single-term ablations at
+/// the balanced trade-off.
+#[test]
+fn fig6c_smart_beats_both_ablations() {
+    let rows = cost_comparison(DatasetKind::Accelerometer, 0.02, 5, 42);
+    let get = |n: &str| rows.iter().find(|r| r.algorithm == n).unwrap().aggregate;
+    assert!(get("SMART") <= get("Network-Only") + 1e-9);
+    assert!(get("SMART") <= get("Dedup-Only") + 1e-9);
+    // Strictly better than at least one (it's a trade-off, not a tie).
+    assert!(
+        get("SMART") < get("Network-Only") * 0.999
+            || get("SMART") < get("Dedup-Only") * 0.999
+    );
+}
+
+/// Fig. 7(a): SMART stays at or below both ablations as the node count
+/// grows.
+#[test]
+fn fig7a_smart_scales() {
+    let rows = scale_sweep(DatasetKind::TrafficVideo, &[40, 80], 0.001, 10, 42);
+    for &n in &[40.0, 80.0] {
+        let get = |name: &str| {
+            rows.iter()
+                .find(|r| r.x == n && r.algorithm == name)
+                .unwrap()
+                .aggregate
+        };
+        assert!(get("SMART") <= get("Network-Only") * 1.0001, "n={n}");
+        assert!(get("SMART") <= get("Dedup-Only") * 1.0001, "n={n}");
+    }
+}
+
+/// Fig. 7(b): raising α lowers SMART's network cost and raises its
+/// storage cost — the tunable trade-off.
+#[test]
+fn fig7b_alpha_tunes_tradeoff() {
+    let rows = alpha_sweep(DatasetKind::TrafficVideo, &[0.0001, 0.05], 40, 8, 42);
+    let smart = |a: f64| {
+        rows.iter()
+            .find(|r| r.x == a && r.algorithm == "SMART")
+            .unwrap()
+    };
+    assert!(smart(0.05).network <= smart(0.0001).network + 1e-6);
+    assert!(smart(0.05).storage >= smart(0.0001).storage - 1e-6);
+}
