@@ -7,7 +7,9 @@ fn test_data(len: usize) -> Vec<u8> {
     let mut state = 0x1234_5678_u64;
     (0..len)
         .map(|_| {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 56) as u8
         })
         .collect()
@@ -20,11 +22,9 @@ fn bench_chunkers(c: &mut Criterion) {
 
     for size in [4 * 1024, 128 * 1024] {
         let chunker = FixedChunker::new(size).unwrap();
-        group.bench_with_input(
-            BenchmarkId::new("fixed", size),
-            &data,
-            |b, d| b.iter(|| chunker.chunk(d).len()),
-        );
+        group.bench_with_input(BenchmarkId::new("fixed", size), &data, |b, d| {
+            b.iter(|| chunker.chunk(d).len())
+        });
     }
 
     let cdc = GearChunkerBuilder::new()

@@ -9,17 +9,13 @@ fn bench_ring(c: &mut Criterion) {
     let mut group = c.benchmark_group("hash-ring");
     for nodes in [5usize, 20, 100] {
         let ring = HashRing::with_nodes((0..nodes as u32).map(NodeId), 64);
-        group.bench_with_input(
-            BenchmarkId::new("replicas-rf2", nodes),
-            &ring,
-            |b, ring| {
-                let mut i = 0u64;
-                b.iter(|| {
-                    i = i.wrapping_add(1);
-                    ring.replicas(&i.to_be_bytes(), 2)
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("replicas-rf2", nodes), &ring, |b, ring| {
+            let mut i = 0u64;
+            b.iter(|| {
+                i = i.wrapping_add(1);
+                ring.replicas(&i.to_be_bytes(), 2)
+            })
+        });
     }
     group.bench_function("add-remove-node-100", |b| {
         b.iter(|| {

@@ -31,12 +31,8 @@ fn main() {
             ..SystemConfig::paper_testbed()
         };
         let m = run_system(&network, &workload, &Strategy::Smart(partition), &cfg);
-        let local: f64 = m
-            .nodes
-            .iter()
-            .map(|n| n.local_lookup_fraction)
-            .sum::<f64>()
-            / m.nodes.len() as f64;
+        let local: f64 =
+            m.nodes.iter().map(|n| n.local_lookup_fraction).sum::<f64>() / m.nodes.len() as f64;
         println!(
             "{gamma:>6} {:>13.1}% {} {} {}",
             local * 100.0,

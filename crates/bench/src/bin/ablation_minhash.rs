@@ -16,7 +16,9 @@ fn main() {
     let chunks = if quick_mode() { 300 } else { 800 };
     let dataset = datasets::accelerometer(sources, 42);
     let chunker = FixedChunker::new(dataset.model().chunk_size()).expect("valid");
-    let files: Vec<Vec<u8>> = (0..sources).map(|s| dataset.file(s, 0, 0, chunks)).collect();
+    let files: Vec<Vec<u8>> = (0..sources)
+        .map(|s| dataset.file(s, 0, 0, chunks))
+        .collect();
 
     header("Ablation: exact vs MinHash ground truth for Algorithm 1");
 

@@ -10,8 +10,8 @@ use ef_netsim::NetworkConfig;
 use efdedup::experiments::{instance_for, scale_instance, testbed, DatasetKind};
 use efdedup::model::Snod2Instance;
 use efdedup::partition::{
-    DedupOnly, EqualSizeGreedy, MatchingPartitioner, NetworkOnly, Partitioner,
-    RandomPartitioner, SingleRing, SmartGreedy,
+    DedupOnly, EqualSizeGreedy, MatchingPartitioner, NetworkOnly, Partitioner, RandomPartitioner,
+    SingleRing, SmartGreedy,
 };
 
 fn run_table(title: &str, inst: &Snod2Instance, rings: usize) {

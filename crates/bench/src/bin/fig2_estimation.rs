@@ -15,7 +15,10 @@ fn main() {
     }
     let slot = &slots[0];
     header("Fig. 2 — real vs estimated dedup ratio (accelerometer, slot 0)");
-    println!("{:<16} {:>12} {:>12} {:>10}", "subset", "real", "estimated", "error%");
+    println!(
+        "{:<16} {:>12} {:>12} {:>10}",
+        "subset", "real", "estimated", "error%"
+    );
     for row in &slot.rows {
         let err = ((row.real - row.estimated) / row.real * 100.0).abs();
         println!(

@@ -35,7 +35,11 @@ fn main() {
                 .iter()
                 .find(|p| p.strategy == "Cloud (global)")
                 .expect("cloud bound present");
-            println!("{:>8} {}   <- cloud-based upper bound", "global", fmt(cloud.dedup_ratio));
+            println!(
+                "{:>8} {}   <- cloud-based upper bound",
+                "global",
+                fmt(cloud.dedup_ratio)
+            );
         }
         all.extend(pts);
     }

@@ -9,7 +9,11 @@ use ef_bench::{fmt, header, maybe_json, quick_mode};
 use efdedup::experiments::{tradeoff_sweep, DatasetKind, SweepConfig};
 
 fn main() {
-    let rings: &[usize] = if quick_mode() { &[2, 10] } else { &[1, 2, 4, 5, 10] };
+    let rings: &[usize] = if quick_mode() {
+        &[2, 10]
+    } else {
+        &[1, 2, 4, 5, 10]
+    };
     let lats: &[f64] = if quick_mode() {
         &[5.0, 30.0]
     } else {

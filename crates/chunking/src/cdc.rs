@@ -182,7 +182,9 @@ pub struct GearChunker {
 impl Default for GearChunker {
     /// The 2 KiB / 8 KiB / 64 KiB configuration.
     fn default() -> Self {
-        GearChunkerBuilder::new().build().expect("default config is valid")
+        GearChunkerBuilder::new()
+            .build()
+            .expect("default config is valid")
     }
 }
 
@@ -332,7 +334,10 @@ mod tests {
         let hashes_a: std::collections::HashSet<_> =
             chunker.chunk(&original).iter().map(|c| c.hash).collect();
         let chunks_b = chunker.chunk(&edited);
-        let shared = chunks_b.iter().filter(|c| hashes_a.contains(&c.hash)).count();
+        let shared = chunks_b
+            .iter()
+            .filter(|c| hashes_a.contains(&c.hash))
+            .count();
         let frac = shared as f64 / chunks_b.len() as f64;
         assert!(frac > 0.8, "only {frac} of chunks resynchronized");
     }

@@ -42,5 +42,5 @@ pub mod sha256;
 pub use cdc::{GearChunker, GearChunkerBuilder, InvalidCdcConfigError};
 pub use chunk::{Chunk, ChunkHash, Chunker, ParseChunkHashError};
 pub use fixed::{FixedChunker, InvalidChunkSizeError};
-pub use sha256::Sha256;
 pub use index::{dedup_ratio, joint_dedup_ratio, ChunkIndex, InMemoryChunkIndex};
+pub use sha256::Sha256;

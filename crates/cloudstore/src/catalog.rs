@@ -82,9 +82,7 @@ impl FileCatalog {
             total_len: data.len() as u64,
         };
         for chunk in chunker.chunk(data) {
-            manifest
-                .chunks
-                .push((chunk.hash, chunk.len() as u32));
+            manifest.chunks.push((chunk.hash, chunk.len() as u32));
             self.store.put(chunk.hash, chunk.data);
         }
         let id = FileId(self.next_id);
@@ -96,10 +94,7 @@ impl FileCatalog {
     /// Stores a file from externally produced chunk hashes + payloads
     /// (the upload path from the edge: the ring ships unique chunks, the
     /// manifest references all of them).
-    pub fn store_manifest(
-        &mut self,
-        chunks: Vec<(ChunkHash, bytes::Bytes)>,
-    ) -> FileId {
+    pub fn store_manifest(&mut self, chunks: Vec<(ChunkHash, bytes::Bytes)>) -> FileId {
         let mut manifest = Manifest {
             chunks: Vec::new(),
             total_len: chunks.iter().map(|(_, b)| b.len() as u64).sum(),
@@ -226,9 +221,8 @@ mod tests {
     #[test]
     fn store_manifest_path() {
         let mut catalog = FileCatalog::new();
-        let payloads: Vec<bytes::Bytes> = (0..5u8)
-            .map(|i| bytes::Bytes::from(vec![i; 32]))
-            .collect();
+        let payloads: Vec<bytes::Bytes> =
+            (0..5u8).map(|i| bytes::Bytes::from(vec![i; 32])).collect();
         let chunks: Vec<(ChunkHash, bytes::Bytes)> = payloads
             .iter()
             .map(|b| (ChunkHash::of(b), b.clone()))

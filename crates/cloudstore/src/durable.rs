@@ -141,8 +141,7 @@ impl DurableStore {
                 None
             }
             Durability::ErasureCoded { k, m } => Some(
-                ReedSolomon::new(k, m)
-                    .map_err(|e| DurableError::InvalidConfig(e.to_string()))?,
+                ReedSolomon::new(k, m).map_err(|e| DurableError::InvalidConfig(e.to_string()))?,
             ),
         };
         Ok(DurableStore {
@@ -175,7 +174,7 @@ impl DurableStore {
         let fragments: Vec<Bytes> = match &self.rs {
             None => {
                 let copies = self.durability.fragments();
-                std::iter::repeat(data.clone()).take(copies).collect()
+                std::iter::repeat_n(data.clone(), copies).collect()
             }
             Some(rs) => rs
                 .encode(&data)

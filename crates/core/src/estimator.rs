@@ -324,9 +324,8 @@ impl Estimator {
                 for dir in [1.0, -1.0] {
                     let mut cand = params.clone();
                     cand.log_sizes[k] += dir * step;
-                    cand.log_sizes[k] = cand
-                        .log_sizes[k]
-                        .clamp(0.0, (self.config.max_pool_size as f64).ln());
+                    cand.log_sizes[k] =
+                        cand.log_sizes[k].clamp(0.0, (self.config.max_pool_size as f64).ln());
                     let e = self.objective(truth, &cand);
                     if e < err {
                         params = cand;

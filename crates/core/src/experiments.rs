@@ -5,9 +5,7 @@
 
 use crate::estimator::{Estimator, EstimatorConfig, FittedModel, GroundTruth};
 use crate::model::Snod2Instance;
-use crate::partition::{
-    DedupOnly, NetworkOnly, Partition, Partitioner, SmartGreedy,
-};
+use crate::partition::{DedupOnly, NetworkOnly, Partition, Partitioner, SmartGreedy};
 use crate::system::{run_system, Strategy, SystemConfig, SystemMetrics, Workload};
 use ef_chunking::FixedChunker;
 use ef_datagen::datasets::Dataset;
@@ -49,7 +47,11 @@ pub fn testbed(nodes: usize, config: NetworkConfig) -> Network {
     let sites = nodes.div_ceil(2);
     let mut b = TopologyBuilder::new();
     for i in 0..sites {
-        let in_site = if i + 1 == sites && nodes % 2 == 1 { 1 } else { 2 };
+        let in_site = if i + 1 == sites && nodes % 2 == 1 {
+            1
+        } else {
+            2
+        };
         b = b.edge_site(in_site);
     }
     Network::new(b.cloud_site(4).build(), config)
@@ -263,8 +265,7 @@ pub fn throughput_vs_wan_latency(
         );
         let dataset = kind.build(nodes, sweep.seed);
         let workload = Workload::from_dataset(&dataset, nodes, sweep.chunks_per_node, 0);
-        let partition =
-            smart_partition_for(&dataset, &network, sweep.rings, sweep.alpha);
+        let partition = smart_partition_for(&dataset, &network, sweep.rings, sweep.alpha);
         for strategy in [
             Strategy::Smart(partition.clone()),
             Strategy::CloudAssisted,
@@ -358,8 +359,7 @@ pub fn tradeoff_sweep(
         let dataset = kind.build(nodes, sweep.seed);
         let workload = Workload::from_dataset(&dataset, nodes, sweep.chunks_per_node, 0);
         for &rings in ring_counts {
-            let partition =
-                smart_partition_for(&dataset, &network, rings, sweep.alpha);
+            let partition = smart_partition_for(&dataset, &network, rings, sweep.alpha);
             let m = run_system(&network, &workload, &Strategy::Smart(partition), &cfg);
             out.push(TradeoffPoint {
                 rings,
@@ -441,7 +441,7 @@ pub fn scale_instance(
         DatasetKind::TrafficVideo => (0.35, 0.55, 0.10, 150),
     };
     let mut pool_sizes = vec![1_500u64];
-    pool_sizes.extend(std::iter::repeat(group_pool).take(groups));
+    pool_sizes.extend(std::iter::repeat_n(group_pool, groups));
     pool_sizes.push(400_000);
     let k = pool_sizes.len();
     let sources: Vec<SourceSpec> = (0..n)
@@ -457,11 +457,13 @@ pub fn scale_instance(
             )
         })
         .collect();
-    let model =
-        GenerativeModel::new(pool_sizes, 4096, sources).expect("scale model is valid");
+    let model = GenerativeModel::new(pool_sizes, 4096, sources).expect("scale model is valid");
 
     let mut rng = DetRng::new(seed).substream("scale-latency");
     let mut costs = vec![vec![0.0; n]; n];
+    // Symmetric fill: both (i, j) and (j, i) are written per draw, which
+    // iterator forms cannot express without a second pass.
+    #[allow(clippy::needless_range_loop)]
     for i in 0..n {
         for j in (i + 1)..n {
             let rtt = rng.range_f64(0.0, max_latency_ms) * 2.0;
@@ -469,8 +471,7 @@ pub fn scale_instance(
             costs[j][i] = rtt;
         }
     }
-    Snod2Instance::from_parts(&model, costs, alpha, 2, 10.0)
-        .expect("scale instance is valid")
+    Snod2Instance::from_parts(&model, costs, alpha, 2, 10.0).expect("scale instance is valid")
 }
 
 /// Fig. 7(a): aggregate/network/storage cost vs node count for SMART and

@@ -336,7 +336,9 @@ impl Snod2Instance {
     /// Panics when `partition` is not a valid disjoint cover of the
     /// instance's nodes.
     pub fn total_cost(&self, partition: &Partition) -> PartitionCost {
-        partition.validate(self.node_count()).expect("valid partition");
+        partition
+            .validate(self.node_count())
+            .expect("valid partition");
         let mut storage = 0.0;
         let mut network = 0.0;
         for ring in partition.rings() {
@@ -585,18 +587,10 @@ mod tests {
     fn large_exponent_is_stable() {
         // R_i T large enough that naive powi would under/overflow.
         let v = CharacteristicVector::new(vec![1.0]).unwrap();
-        let inst = Snod2Instance::new(
-            vec![100],
-            vec![1e9],
-            vec![v],
-            vec![vec![0.0]],
-            0.1,
-            1,
-            1e3,
-        )
-        .unwrap();
+        let inst = Snod2Instance::new(vec![100], vec![1e9], vec![v], vec![vec![0.0]], 0.1, 1, 1e3)
+            .unwrap();
         let g = inst.g(0, 0);
-        assert!(g >= 0.0 && g < 1e-300 || g == 0.0);
+        assert!((0.0..1e-300).contains(&g) || g == 0.0);
         // With that many draws every chunk of the pool is seen.
         assert!((inst.expected_unique_chunks(&[0]) - 100.0).abs() < 1e-9);
     }

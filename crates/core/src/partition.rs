@@ -95,7 +95,9 @@ impl Partition {
 
     /// The ring index containing `node`, if any.
     pub fn ring_of(&self, node: usize) -> Option<usize> {
-        self.rings.iter().position(|r| r.binary_search(&node).is_ok())
+        self.rings
+            .iter()
+            .position(|r| r.binary_search(&node).is_ok())
     }
 
     /// Checks the partition is a disjoint cover of `0..n`.
@@ -165,9 +167,7 @@ impl Precomputed {
             g: (0..n)
                 .map(|i| (0..k).map(|kk| inst.g(i, kk)).collect())
                 .collect(),
-            lookups: (0..n)
-                .map(|i| inst.rates()[i] * inst.horizon())
-                .collect(),
+            lookups: (0..n).map(|i| inst.rates()[i] * inst.horizon()).collect(),
         }
     }
 }
@@ -271,16 +271,20 @@ impl RingState {
         }
         self.members.push(v);
     }
-
 }
 
 /// The merge penalty of two singleton nodes: how much joining them costs
 /// versus keeping them apart. Used for farthest-point seeding.
-fn merge_penalty(inst: &Snod2Instance, pre: &Precomputed, u: usize, v: usize, obj: Objective) -> f64 {
+fn merge_penalty(
+    inst: &Snod2Instance,
+    pre: &Precomputed,
+    u: usize,
+    v: usize,
+    obj: Objective,
+) -> f64 {
     let su = RingState::from_members(inst, pre, &[u]);
     let pair = su.cost_with(inst, pre, v, obj);
-    let alone = su.cost(inst, obj)
-        + RingState::from_members(inst, pre, &[v]).cost(inst, obj);
+    let alone = su.cost(inst, obj) + RingState::from_members(inst, pre, &[v]).cost(inst, obj);
     pair - alone
 }
 
@@ -474,8 +478,22 @@ impl Partitioner for SmartGreedy {
             greedy_with(inst, &pre, m, Objective::StorageOnly, Objective::Both, None),
             // The two single-term extremes, polished under the full
             // objective below.
-            greedy_with(inst, &pre, m, Objective::StorageOnly, Objective::StorageOnly, None),
-            greedy_with(inst, &pre, m, Objective::NetworkOnly, Objective::NetworkOnly, None),
+            greedy_with(
+                inst,
+                &pre,
+                m,
+                Objective::StorageOnly,
+                Objective::StorageOnly,
+                None,
+            ),
+            greedy_with(
+                inst,
+                &pre,
+                m,
+                Objective::NetworkOnly,
+                Objective::NetworkOnly,
+                None,
+            ),
             // The bottom-up matching construction explores merge orders
             // the top-down greedy cannot reach.
             MatchingPartitioner::default().partition(inst, m),
@@ -595,8 +613,8 @@ impl Partitioner for MatchingPartitioner {
             merges.sort_by(|x, y| x.0.partial_cmp(&y.0).expect("finite costs"));
             // Keep the cheapest non-overlapping θ-fraction, but at least
             // one merge so the loop always progresses.
-            let budget = ((parts.len() as f64 * self.theta).floor() as usize)
-                .clamp(1, parts.len() - m);
+            let budget =
+                ((parts.len() as f64 * self.theta).floor() as usize).clamp(1, parts.len() - m);
             let mut used = vec![false; parts.len()];
             let mut chosen: Vec<(usize, usize)> = Vec::new();
             for (_, a, b) in merges {
@@ -669,8 +687,7 @@ pub struct SingleRing;
 
 impl Partitioner for SingleRing {
     fn partition(&self, inst: &Snod2Instance, _m: usize) -> Partition {
-        Partition::new(vec![(0..inst.node_count()).collect()])
-            .expect("single ring is valid")
+        Partition::new(vec![(0..inst.node_count()).collect()]).expect("single ring is valid")
     }
 
     fn name(&self) -> &'static str {
@@ -782,7 +799,7 @@ fn exhaustive_impl(inst: &Snod2Instance, m: usize, exact: bool) -> (Partition, f
     // Handle n == 1 (loop never ran).
     let (labels, cost) = best.unwrap_or_else(|| {
         assert!(!exact || m == 1, "no exact {m}-partition of one node");
-        let rings = vec![vec![0usize]];
+        let rings = [vec![0usize]];
         let cost = inst.ring_cost(&rings[0]);
         (vec![0], cost)
     });
@@ -807,14 +824,7 @@ mod tests {
     fn instance(alpha: f64) -> Snod2Instance {
         let v_a = CharacteristicVector::new(vec![0.8, 0.1, 0.1]).unwrap();
         let v_b = CharacteristicVector::new(vec![0.1, 0.8, 0.1]).unwrap();
-        let probs = vec![
-            v_a.clone(),
-            v_a.clone(),
-            v_a,
-            v_b.clone(),
-            v_b.clone(),
-            v_b,
-        ];
+        let probs = vec![v_a.clone(), v_a.clone(), v_a, v_b.clone(), v_b.clone(), v_b];
         // Sites: {0,3}, {1,4}, {2,5} — correlated nodes are *not*
         // co-located, the paper's central tension.
         let site = [0usize, 1, 2, 0, 1, 2];

@@ -141,15 +141,15 @@ pub fn reduce_k_cut(graph: &WeightedGraph, c: f64, weight_unit: f64) -> Reductio
     let horizon = 1.0;
     let mut probs = Vec::with_capacity(n);
     let mut rates = Vec::with_capacity(n);
-    for v in 0..n {
+    for (v, &dv) in deg.iter().enumerate() {
         let mut p = vec![0.0; k];
-        if deg[v] > 0 {
+        if dv > 0 {
             for (kk, &(a, b)) in pool_edges.iter().enumerate() {
                 if a == v || b == v {
-                    p[kk] = 1.0 / deg[v] as f64;
+                    p[kk] = 1.0 / dv as f64;
                 }
             }
-            let frac = 1.0 / (deg[v] as f64 * s as f64);
+            let frac = 1.0 / (dv as f64 * s as f64);
             let rate = c.ln() / (-frac).ln_1p() / horizon;
             rates.push(rate);
         } else {
@@ -188,11 +188,7 @@ pub fn reduce_k_cut(graph: &WeightedGraph, c: f64, weight_unit: f64) -> Reductio
 /// The storage objective of the reduced instance for a partition,
 /// normalized back to (quantized) cut weight:
 /// `(objective - constant) / (s (1-c)²) * weight_unit`.
-pub fn objective_as_cut_weight(
-    red: &Reduction,
-    partition: &Partition,
-    weight_unit: f64,
-) -> f64 {
+pub fn objective_as_cut_weight(red: &Reduction, partition: &Partition, weight_unit: f64) -> f64 {
     let cost = red.instance.total_cost(partition);
     let s = red.instance.pool_sizes()[0] as f64;
     (cost.storage - red.constant) / (s * (1.0 - red.c) * (1.0 - red.c)) * weight_unit
@@ -251,10 +247,7 @@ mod tests {
 
     fn triangle_plus_one() -> WeightedGraph {
         // Triangle 0-1-2 with a pendant vertex 3.
-        WeightedGraph::new(
-            4,
-            vec![(0, 1, 3.0), (1, 2, 1.0), (0, 2, 2.0), (2, 3, 4.0)],
-        )
+        WeightedGraph::new(4, vec![(0, 1, 3.0), (1, 2, 1.0), (0, 2, 2.0), (2, 3, 4.0)])
     }
 
     #[test]
@@ -328,10 +321,7 @@ mod tests {
     #[test]
     fn min_k_cut_brute_small_oracle() {
         // Two cliques joined by one light edge: the min 2-cut removes it.
-        let g = WeightedGraph::new(
-            4,
-            vec![(0, 1, 10.0), (2, 3, 10.0), (1, 2, 1.0)],
-        );
+        let g = WeightedGraph::new(4, vec![(0, 1, 10.0), (2, 3, 10.0), (1, 2, 1.0)]);
         let (p, w) = min_k_cut_brute(&g, 2);
         assert_eq!(w, 1.0);
         assert_eq!(p.ring_of(0), p.ring_of(1));

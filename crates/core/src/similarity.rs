@@ -180,10 +180,7 @@ pub fn lsh_candidate_pairs(
 /// # Panics
 ///
 /// Panics when `streams` is empty or any stream is empty.
-pub fn minhash_ground_truth(
-    streams: &[Vec<ChunkHash>],
-    permutations: usize,
-) -> GroundTruth {
+pub fn minhash_ground_truth(streams: &[Vec<ChunkHash>], permutations: usize) -> GroundTruth {
     assert!(!streams.is_empty(), "need at least one source");
     let signatures: Vec<MinHashSignature> = streams
         .iter()
@@ -228,7 +225,9 @@ mod tests {
 
     #[test]
     fn identical_sets_have_jaccard_one() {
-        let hs: Vec<ChunkHash> = (0..50u32).map(|i| ChunkHash::of(&i.to_be_bytes())).collect();
+        let hs: Vec<ChunkHash> = (0..50u32)
+            .map(|i| ChunkHash::of(&i.to_be_bytes()))
+            .collect();
         let a = MinHashSignature::from_hashes(hs.iter().copied(), 64);
         let b = MinHashSignature::from_hashes(hs.iter().copied(), 64);
         assert_eq!(a.jaccard(&b), 1.0);
@@ -239,24 +238,28 @@ mod tests {
 
     #[test]
     fn disjoint_sets_have_jaccard_near_zero() {
-        let a: Vec<ChunkHash> = (0..200u32).map(|i| ChunkHash::of(&i.to_be_bytes())).collect();
+        let a: Vec<ChunkHash> = (0..200u32)
+            .map(|i| ChunkHash::of(&i.to_be_bytes()))
+            .collect();
         let b: Vec<ChunkHash> = (1000..1200u32)
             .map(|i| ChunkHash::of(&i.to_be_bytes()))
             .collect();
-        let sa = MinHashSignature::from_hashes(a.into_iter(), 256);
-        let sb = MinHashSignature::from_hashes(b.into_iter(), 256);
+        let sa = MinHashSignature::from_hashes(a, 256);
+        let sb = MinHashSignature::from_hashes(b, 256);
         assert!(sa.jaccard(&sb) < 0.05, "jaccard {}", sa.jaccard(&sb));
     }
 
     #[test]
     fn jaccard_estimate_tracks_true_overlap() {
         // A: 0..300, B: 150..450 → |A∩B| = 150, |A∪B| = 450, J = 1/3.
-        let a: Vec<ChunkHash> = (0..300u32).map(|i| ChunkHash::of(&i.to_be_bytes())).collect();
+        let a: Vec<ChunkHash> = (0..300u32)
+            .map(|i| ChunkHash::of(&i.to_be_bytes()))
+            .collect();
         let b: Vec<ChunkHash> = (150..450u32)
             .map(|i| ChunkHash::of(&i.to_be_bytes()))
             .collect();
-        let sa = MinHashSignature::from_hashes(a.into_iter(), 512);
-        let sb = MinHashSignature::from_hashes(b.into_iter(), 512);
+        let sa = MinHashSignature::from_hashes(a, 512);
+        let sb = MinHashSignature::from_hashes(b, 512);
         let j = sa.jaccard(&sb);
         assert!((j - 1.0 / 3.0).abs() < 0.08, "estimated {j}");
         let union = sa.union_estimate(&sb);
@@ -266,17 +269,24 @@ mod tests {
     #[test]
     fn lsh_finds_the_similar_pair() {
         // Sources 0 and 1 heavily overlap; 2 is unrelated.
-        let a: Vec<ChunkHash> = (0..400u32).map(|i| ChunkHash::of(&i.to_be_bytes())).collect();
-        let b: Vec<ChunkHash> = (20..420u32).map(|i| ChunkHash::of(&i.to_be_bytes())).collect();
+        let a: Vec<ChunkHash> = (0..400u32)
+            .map(|i| ChunkHash::of(&i.to_be_bytes()))
+            .collect();
+        let b: Vec<ChunkHash> = (20..420u32)
+            .map(|i| ChunkHash::of(&i.to_be_bytes()))
+            .collect();
         let c: Vec<ChunkHash> = (9000..9400u32)
             .map(|i| ChunkHash::of(&i.to_be_bytes()))
             .collect();
         let sigs: Vec<MinHashSignature> = [a, b, c]
             .into_iter()
-            .map(|h| MinHashSignature::from_hashes(h.into_iter(), 128))
+            .map(|h| MinHashSignature::from_hashes(h, 128))
             .collect();
         let pairs = lsh_candidate_pairs(&sigs, 32, 4);
-        assert!(pairs.contains(&(0, 1)), "missed the similar pair: {pairs:?}");
+        assert!(
+            pairs.contains(&(0, 1)),
+            "missed the similar pair: {pairs:?}"
+        );
         assert!(!pairs.contains(&(0, 2)), "false positive: {pairs:?}");
         assert!(!pairs.contains(&(1, 2)), "false positive: {pairs:?}");
     }
@@ -288,14 +298,11 @@ mod tests {
         let ds = datasets::accelerometer(3, 31);
         let chunk = ds.model().chunk_size();
         let files: Vec<Vec<u8>> = (0..3).map(|s| ds.file(s, 0, 0, 300)).collect();
-        let streams: Vec<Vec<ChunkHash>> =
-            files.iter().map(|f| hashes_of(f, chunk)).collect();
+        let streams: Vec<Vec<ChunkHash>> = files.iter().map(|f| hashes_of(f, chunk)).collect();
 
         let approx = minhash_ground_truth(&streams, 256);
-        let exact = crate::estimator::GroundTruth::measure(
-            &FixedChunker::new(chunk).unwrap(),
-            &files,
-        );
+        let exact =
+            crate::estimator::GroundTruth::measure(&FixedChunker::new(chunk).unwrap(), &files);
 
         // Compare on the shared subsets (singletons + pairs).
         for (subset, &a) in approx.subsets.iter().zip(&approx.measured) {
@@ -320,8 +327,7 @@ mod tests {
         let ds = datasets::accelerometer(2, 77);
         let chunk = ds.model().chunk_size();
         let files: Vec<Vec<u8>> = (0..2).map(|s| ds.file(s, 0, 0, 400)).collect();
-        let streams: Vec<Vec<ChunkHash>> =
-            files.iter().map(|f| hashes_of(f, chunk)).collect();
+        let streams: Vec<Vec<ChunkHash>> = files.iter().map(|f| hashes_of(f, chunk)).collect();
         let truth = minhash_ground_truth(&streams, 256);
         let fitted = crate::estimator::Estimator::default().fit(&truth);
         assert!(
@@ -334,10 +340,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "banding exceeds signature length")]
     fn banding_validation() {
-        let s = MinHashSignature::from_hashes(
-            std::iter::once(ChunkHash::of(b"x")),
-            8,
-        );
+        let s = MinHashSignature::from_hashes(std::iter::once(ChunkHash::of(b"x")), 8);
         s.band_keys(4, 4);
     }
 

@@ -61,9 +61,18 @@ impl SystemConfig {
         assert!(self.chunk_size > 0, "chunk size must be positive");
         assert!(self.replication_factor > 0, "gamma must be positive");
         assert!(self.lookup_concurrency > 0, "need lookup concurrency");
-        assert!(self.edge_cpu_bw > 0.0, "edge cpu bandwidth must be positive");
-        assert!(self.cloud_cpu_bw > 0.0, "cloud cpu bandwidth must be positive");
-        assert!(self.index_service_secs > 0.0, "index service time must be positive");
+        assert!(
+            self.edge_cpu_bw > 0.0,
+            "edge cpu bandwidth must be positive"
+        );
+        assert!(
+            self.cloud_cpu_bw > 0.0,
+            "cloud cpu bandwidth must be positive"
+        );
+        assert!(
+            self.index_service_secs > 0.0,
+            "index service time must be positive"
+        );
         assert!(self.tcp_window_bytes > 0.0, "tcp window must be positive");
         assert!(self.upload_streams > 0, "need at least one upload stream");
     }

@@ -20,6 +20,41 @@ pub struct NodeMetrics {
     pub throughput_mbps: f64,
 }
 
+/// Fault-handling counters aggregated from the dedup index cluster and
+/// the simulated network (all zero for a fault-free run).
+///
+/// Populate from a chaos-rigged cluster with
+/// [`RobustnessMetrics::from_sim`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct RobustnessMetrics {
+    /// Per-op timeouts the index coordinators recorded.
+    pub index_timeouts: u64,
+    /// Retry rounds the index coordinators issued.
+    pub index_retries: u64,
+    /// Check-and-inserts resolved in degraded "assume unique" mode
+    /// (each one is at worst a redundant upload, never data loss).
+    pub degraded_lookups: u64,
+    /// Messages the simulated network dropped (loss + partitions).
+    pub messages_dropped: u64,
+}
+
+impl RobustnessMetrics {
+    /// Snapshots the fault counters of a simulated index cluster.
+    pub fn from_sim(cluster: &ef_kvstore::SimCluster) -> Self {
+        RobustnessMetrics {
+            index_timeouts: cluster.timeouts(),
+            index_retries: cluster.retries(),
+            degraded_lookups: cluster.degraded_ops(),
+            messages_dropped: cluster.network().messages_dropped(),
+        }
+    }
+
+    /// True when the run saw no fault-handling activity at all.
+    pub fn is_quiet(&self) -> bool {
+        *self == RobustnessMetrics::default()
+    }
+}
+
 /// System-level metrics of one experiment run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SystemMetrics {
@@ -48,6 +83,10 @@ pub struct SystemMetrics {
     pub aggregate_throughput_mbps: f64,
     /// Mean per-node throughput (MB/s).
     pub mean_node_throughput_mbps: f64,
+    /// Fault-handling counters (all zero for a fault-free run; absent
+    /// fields in serialized input default to zero).
+    #[serde(default)]
+    pub robustness: RobustnessMetrics,
     /// Per-node details.
     pub nodes: Vec<NodeMetrics>,
 }
@@ -81,9 +120,50 @@ mod tests {
             makespan_secs: 1.0,
             aggregate_throughput_mbps: 0.0,
             mean_node_throughput_mbps: 0.0,
+            robustness: RobustnessMetrics::default(),
             nodes: Vec::new(),
         };
         assert_eq!(m.aggregate_cost(0.0), 1_000.0);
         assert_eq!(m.aggregate_cost(2.0), 1_100.0);
+        assert!(m.robustness.is_quiet());
+    }
+
+    #[test]
+    fn robustness_counters_track_a_faulty_cluster() {
+        use ef_kvstore::{ChaosScenario, ChaosScenarioConfig, ClientOp, ClusterConfig, SimCluster};
+        use ef_netsim::{Network, NetworkConfig, TopologyBuilder};
+        use ef_simcore::{SimDuration, SimTime};
+
+        let topo = TopologyBuilder::new().edge_site(2).edge_site(2).build();
+        let mut net = Network::new(topo, NetworkConfig::paper_testbed());
+        let scenario = ChaosScenario::generate(
+            5,
+            net.topology(),
+            &ChaosScenarioConfig {
+                base_loss: 0.3,
+                ..ChaosScenarioConfig::default()
+            },
+        );
+        scenario.rig(&mut net);
+        let members = net.topology().edge_nodes();
+        let mut cluster = SimCluster::new(members.clone(), net, ClusterConfig::default());
+        scenario.apply(&mut cluster);
+        let mut t = SimTime::ZERO;
+        for i in 0..40u32 {
+            let key = bytes::Bytes::from(i.to_be_bytes().to_vec());
+            cluster.submit(
+                t,
+                members[(i as usize) % members.len()],
+                ClientOp::CheckAndInsert(key.clone(), key),
+            );
+            t += SimDuration::from_millis(50);
+        }
+        cluster.run();
+        let r = RobustnessMetrics::from_sim(&cluster);
+        // 30% background loss over remote replica traffic must trip the
+        // retry machinery and drop messages.
+        assert!(r.messages_dropped > 0, "no drops under 30% loss");
+        assert!(r.index_retries > 0, "no retries under 30% loss");
+        assert!(!r.is_quiet());
     }
 }

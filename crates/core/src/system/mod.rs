@@ -28,6 +28,6 @@ mod run;
 mod workload;
 
 pub use config::SystemConfig;
-pub use metrics::{NodeMetrics, SystemMetrics};
+pub use metrics::{NodeMetrics, RobustnessMetrics, SystemMetrics};
 pub use run::{run_system, Strategy};
 pub use workload::Workload;

@@ -3,7 +3,7 @@
 
 use crate::partition::Partition;
 use crate::system::config::SystemConfig;
-use crate::system::metrics::{NodeMetrics, SystemMetrics};
+use crate::system::metrics::{NodeMetrics, RobustnessMetrics, SystemMetrics};
 use crate::system::workload::Workload;
 use bytes::Bytes;
 use ef_kvstore::{ClusterConfig, Consistency, LocalCluster};
@@ -74,9 +74,7 @@ pub fn run_system(
     let mut lookup_ms_total = vec![0.0f64; n];
     let mut local_lookups = vec![0u64; n];
     let mut remote_served = vec![0u64; n]; // lookups this node served for peers
-    let scope_unique_total: u64;
-
-    match strategy {
+    let scope_unique_total: u64 = match strategy {
         Strategy::Smart(partition) => {
             partition
                 .validate(n)
@@ -112,9 +110,7 @@ pub fn run_system(
                     let me = edge_ids[node];
                     let cluster = &mut clusters[ring_of[node]];
                     let key = hash.as_bytes();
-                    let replicas = cluster
-                        .ring()
-                        .replicas(key, config.replication_factor);
+                    let replicas = cluster.ring().replicas(key, config.replication_factor);
                     if replicas.contains(&me) {
                         local_lookups[node] += 1;
                         remote_served[node] += 1; // self-serve costs index CPU too
@@ -122,11 +118,7 @@ pub fn run_system(
                         let server = replicas
                             .iter()
                             .copied()
-                            .min_by(|a, b| {
-                                network
-                                    .rtt(me, *a)
-                                    .cmp(&network.rtt(me, *b))
-                            })
+                            .min_by(|a, b| network.rtt(me, *a).cmp(&network.rtt(me, *b)))
                             .expect("replica set non-empty");
                         lookup_ms_total[node] += network.rtt(me, server).as_millis_f64();
                         if let Some(srv_idx) = edge_ids.iter().position(|&id| id == server) {
@@ -141,7 +133,7 @@ pub fn run_system(
                     }
                 }
             }
-            scope_unique_total = clusters.iter().map(|c| c.distinct_keys() as u64).sum();
+            clusters.iter().map(|c| c.distinct_keys() as u64).sum()
         }
         Strategy::CloudAssisted => {
             let mut index: HashSet<[u8; 32]> = HashSet::new();
@@ -159,21 +151,21 @@ pub fn run_system(
                     }
                 }
             }
-            scope_unique_total = index.len() as u64;
+            index.len() as u64
         }
         Strategy::CloudOnly => {
             // No edge lookups; dedup happens at the cloud.
             let mut index: HashSet<[u8; 32]> = HashSet::new();
-            for node in 0..n {
+            for (node, node_unique) in unique.iter_mut().enumerate() {
                 for hash in workload.stream(node) {
                     if index.insert(*hash.as_bytes()) {
-                        unique[node] += 1;
+                        *node_unique += 1;
                     }
                 }
             }
-            scope_unique_total = index.len() as u64;
+            index.len() as u64
         }
-    }
+    };
 
     // ---- Timing pass ------------------------------------------------------
     let cloud_count = cloud_ids.len() as f64;
@@ -188,18 +180,15 @@ pub fn run_system(
         let wan = network.link(me, cloud);
         let wan_rtt_secs = network.rtt(me, cloud).as_secs_f64();
         // Per-flow TCP-window cap aggregated over parallel streams.
-        let wan_eff_bw = (wan.bandwidth_bps / 8.0).min(
-            config.tcp_window_bytes * config.upload_streams as f64 / wan_rtt_secs.max(1e-9),
-        );
+        let wan_eff_bw = (wan.bandwidth_bps / 8.0)
+            .min(config.tcp_window_bytes * config.upload_streams as f64 / wan_rtt_secs.max(1e-9));
 
         let t_chunk = match strategy {
             Strategy::Smart(_) => {
                 let serve_per_chunk = remote_served[node] as f64 / c;
-                let cpu = chunk / config.edge_cpu_bw
-                    + serve_per_chunk * config.index_service_secs;
+                let cpu = chunk / config.edge_cpu_bw + serve_per_chunk * config.index_service_secs;
                 let lookup = avg_lookup_ms / 1e3 / config.lookup_concurrency as f64;
-                let upload = uf * (chunk + config.lookup_wire_bytes as f64)
-                    / wan_eff_bw;
+                let upload = uf * (chunk + config.lookup_wire_bytes as f64) / wan_eff_bw;
                 cpu.max(lookup).max(upload)
             }
             Strategy::CloudAssisted => {
@@ -208,16 +197,14 @@ pub fn run_system(
                 // The shared cloud index serves every agent's lookups.
                 let capacity = n as f64 * config.index_service_secs / cloud_count;
                 // Lookup wire + unique uploads share the WAN uplink.
-                let uplink_bytes =
-                    uf * chunk + 2.0 * config.lookup_wire_bytes as f64;
+                let uplink_bytes = uf * chunk + 2.0 * config.lookup_wire_bytes as f64;
                 let upload = uplink_bytes / wan_eff_bw;
                 cpu.max(lookup).max(capacity).max(upload)
             }
             Strategy::CloudOnly => {
                 // Everything crosses the WAN; the cloud dedups on arrival.
                 let upload = chunk / wan_eff_bw;
-                let cloud_ingest =
-                    n as f64 * chunk / (cloud_count * config.cloud_cpu_bw);
+                let cloud_ingest = n as f64 * chunk / (cloud_count * config.cloud_cpu_bw);
                 upload.max(cloud_ingest)
             }
         };
@@ -244,8 +231,7 @@ pub fn run_system(
         }
     };
     let network_cost_ms: f64 = lookup_ms_total.iter().sum();
-    let mean_node_throughput =
-        nodes.iter().map(|m| m.throughput_mbps).sum::<f64>() / n as f64;
+    let mean_node_throughput = nodes.iter().map(|m| m.throughput_mbps).sum::<f64>() / n as f64;
 
     SystemMetrics {
         strategy: strategy.label().to_string(),
@@ -259,6 +245,10 @@ pub fn run_system(
         makespan_secs: makespan,
         aggregate_throughput_mbps: total_bytes as f64 / makespan.max(1e-12) / 1e6,
         mean_node_throughput_mbps: mean_node_throughput,
+        // The measurement pass runs over instant clusters with no fault
+        // injection; chaos experiments snapshot real counters via
+        // `RobustnessMetrics::from_sim`.
+        robustness: RobustnessMetrics::default(),
         nodes,
     }
 }
@@ -279,7 +269,10 @@ mod tests {
 
     /// The paper's testbed: 10 edge clouds × 2 nodes + 4 cloud VMs.
     fn testbed() -> Network {
-        let topo = TopologyBuilder::new().edge_sites(10, 2).cloud_site(4).build();
+        let topo = TopologyBuilder::new()
+            .edge_sites(10, 2)
+            .cloud_site(4)
+            .build();
         Network::new(topo, NetworkConfig::paper_testbed())
     }
 
@@ -298,7 +291,11 @@ mod tests {
         Partition::new(out).unwrap()
     }
 
-    fn smart_greedy_partition(ds: &ef_datagen::datasets::Dataset, net: &Network, rings: usize) -> Partition {
+    fn smart_greedy_partition(
+        ds: &ef_datagen::datasets::Dataset,
+        net: &Network,
+        rings: usize,
+    ) -> Partition {
         use crate::partition::{Partitioner, SmartGreedy};
         let edge = net.topology().edge_nodes();
         let n = ds.model().source_count();
@@ -357,7 +354,11 @@ mod tests {
         assert!(co.dedup_ratio >= smart.dedup_ratio - 1e-9);
         assert!((ca.dedup_ratio - co.dedup_ratio).abs() < 1e-9);
         // But EF-dedup still finds real redundancy.
-        assert!(smart.dedup_ratio > 1.1, "ring dedup ratio {}", smart.dedup_ratio);
+        assert!(
+            smart.dedup_ratio > 1.1,
+            "ring dedup ratio {}",
+            smart.dedup_ratio
+        );
     }
 
     #[test]
@@ -398,7 +399,10 @@ mod tests {
         // Fig. 5(b): extra edge↔cloud latency hurts the cloud strategies
         // more than EF-dedup.
         let ratio_at = |wan_ms: f64| {
-            let topo = TopologyBuilder::new().edge_sites(10, 2).cloud_site(4).build();
+            let topo = TopologyBuilder::new()
+                .edge_sites(10, 2)
+                .cloud_site(4)
+                .build();
             let net = Network::new(
                 topo,
                 NetworkConfig::paper_testbed().with_wan_latency_ms(wan_ms),
@@ -406,8 +410,7 @@ mod tests {
             let ds = datasets::accelerometer(20, 42);
             let w = Workload::from_dataset(&ds, 20, 400, 0);
             let cfg = SystemConfig::paper_testbed();
-            let smart =
-                run_system(&net, &w, &Strategy::Smart(smart_partition(20, 5)), &cfg);
+            let smart = run_system(&net, &w, &Strategy::Smart(smart_partition(20, 5)), &cfg);
             let ca = run_system(&net, &w, &Strategy::CloudAssisted, &cfg);
             smart.aggregate_throughput_mbps / ca.aggregate_throughput_mbps
         };
@@ -427,8 +430,7 @@ mod tests {
         let cfg = SystemConfig::paper_testbed();
         // One ring of 8 with gamma 2: expect ~25% local lookups.
         let m = run_system(&net, &w, &Strategy::Smart(smart_partition(8, 1)), &cfg);
-        let local: f64 =
-            m.nodes.iter().map(|x| x.local_lookup_fraction).sum::<f64>() / 8.0;
+        let local: f64 = m.nodes.iter().map(|x| x.local_lookup_fraction).sum::<f64>() / 8.0;
         assert!(
             (0.15..0.40).contains(&local),
             "local fraction {local}, expected near gamma/|P| = 0.25"

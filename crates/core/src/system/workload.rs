@@ -159,10 +159,8 @@ mod tests {
             let sl: std::collections::HashSet<_> = slow.stream(n).iter().collect();
             assert_eq!(fa.len(), sl.len(), "node {n} distinct count differs");
         }
-        let fa: std::collections::HashSet<_> =
-            (0..4).flat_map(|n| fast.stream(n)).collect();
-        let sl: std::collections::HashSet<_> =
-            (0..4).flat_map(|n| slow.stream(n)).collect();
+        let fa: std::collections::HashSet<_> = (0..4).flat_map(|n| fast.stream(n)).collect();
+        let sl: std::collections::HashSet<_> = (0..4).flat_map(|n| slow.stream(n)).collect();
         assert_eq!(fa.len(), sl.len(), "global distinct count differs");
     }
 

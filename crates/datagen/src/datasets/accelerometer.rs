@@ -43,9 +43,7 @@ pub fn accelerometer(n_sources: usize, seed: u64) -> Dataset {
     // Pools: [global, group_0 … group_{G-1}, noise]
     let mut pool_sizes = Vec::with_capacity(n_groups + 2);
     pool_sizes.push(1_500u64); // global walking motifs
-    for _ in 0..n_groups {
-        pool_sizes.push(800); // per-group context
-    }
+    pool_sizes.extend(std::iter::repeat_n(800, n_groups)); // per-group context
     pool_sizes.push(400_000); // noise: effectively unique
     let k = pool_sizes.len();
 
@@ -105,8 +103,8 @@ pub(super) fn materialize_signal(chunk: ChunkRef, chunk_size: usize) -> Vec<u8> 
 
     let mut t = 0usize;
     while out.len() + 2 <= chunk_size {
-        let base = amplitude
-            * (std::f64::consts::TAU * freq * (t as f64) * sample_period + phase).sin();
+        let base =
+            amplitude * (std::f64::consts::TAU * freq * (t as f64) * sample_period + phase).sin();
         let tremor = (unit(next()) - 0.5) * 500.0;
         let sample = (base + tremor).clamp(i16::MIN as f64, i16::MAX as f64) as i16;
         out.extend_from_slice(&sample.to_le_bytes());

@@ -114,9 +114,8 @@ impl Dataset {
                     .iter()
                     .enumerate()
                     .map(|(k, p)| {
-                        let wobble = ((time_slot as f64) * 0.7 + (i as f64) * 1.3
-                            + (k as f64) * 2.1)
-                            .sin();
+                        let wobble =
+                            ((time_slot as f64) * 0.7 + (i as f64) * 1.3 + (k as f64) * 2.1).sin();
                         (p * (1.0 + self.drift * wobble)).max(1e-9)
                     })
                     .collect();

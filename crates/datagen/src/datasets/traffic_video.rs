@@ -43,9 +43,7 @@ pub fn traffic_video(n_sources: usize, seed: u64) -> Dataset {
     // Pools: [objects, background_0 … background_{G-1}, noise]
     let mut pool_sizes = Vec::with_capacity(n_groups + 2);
     pool_sizes.push(1_000u64); // shared moving-object patterns
-    for _ in 0..n_groups {
-        pool_sizes.push(150); // static background per intersection
-    }
+    pool_sizes.extend(std::iter::repeat_n(150, n_groups)); // static background per intersection
     pool_sizes.push(400_000); // noise
     let k = pool_sizes.len();
 
@@ -100,7 +98,11 @@ pub(super) fn materialize_frame_block(chunk: ChunkRef, chunk_size: usize) -> Vec
     while out.len() < chunk_size {
         let x = (i % width) as f64;
         let y = (i / width) as f64;
-        let texture = if i % texture_period == 0 { 12.0 } else { 0.0 };
+        let texture = if i.is_multiple_of(texture_period) {
+            12.0
+        } else {
+            0.0
+        };
         let v = (base + gx * x + gy * y + texture).clamp(0.0, 255.0) as u8;
         out.push(v);
         i += 1;

@@ -263,12 +263,7 @@ mod tests {
             GenerativeModel::new(vec![10], 10, vec![]).unwrap_err(),
             ModelError::NoSources
         );
-        let err = GenerativeModel::new(
-            vec![10],
-            10,
-            vec![SourceSpec::new(1.0, v)],
-        )
-        .unwrap_err();
+        let err = GenerativeModel::new(vec![10], 10, vec![SourceSpec::new(1.0, v)]).unwrap_err();
         assert!(matches!(err, ModelError::VectorLengthMismatch { .. }));
         assert!(!err.to_string().is_empty());
     }

@@ -27,7 +27,7 @@ proptest! {
         ).unwrap();
         let mut rng = DetRng::new(seed).substream("prop");
         let refs = model.draw_refs(0, chunks, &mut rng);
-        let distinct = GenerativeModel::distinct_refs(&[refs.clone()]);
+        let distinct = GenerativeModel::distinct_refs(std::slice::from_ref(&refs));
 
         let mut bytes = Vec::new();
         for r in &refs {

@@ -118,8 +118,7 @@ impl Matrix {
                         for c in 0..n {
                             let av = gf256::add(a.get(r, c), gf256::mul(factor, a.get(col, c)));
                             a.set(r, c, av);
-                            let iv =
-                                gf256::add(inv.get(r, c), gf256::mul(factor, inv.get(col, c)));
+                            let iv = gf256::add(inv.get(r, c), gf256::mul(factor, inv.get(col, c)));
                             inv.set(r, c, iv);
                         }
                     }

@@ -84,9 +84,7 @@ impl ReedSolomon {
         // rows remain invertible.
         let v = Matrix::vandermonde(k + m, k);
         let top = v.select_rows(&(0..k).collect::<Vec<_>>());
-        let top_inv = top
-            .inverted()
-            .expect("vandermonde top block is invertible");
+        let top_inv = top.inverted().expect("vandermonde top block is invertible");
         let encode = v.mul(&top_inv);
         Ok(ReedSolomon { k, m, encode })
     }
@@ -258,8 +256,7 @@ mod tests {
         // Every pair of lost shards.
         for a in 0..6 {
             for b in (a + 1)..6 {
-                let mut received: Vec<Option<Vec<u8>>> =
-                    shards.iter().cloned().map(Some).collect();
+                let mut received: Vec<Option<Vec<u8>>> = shards.iter().cloned().map(Some).collect();
                 received[a] = None;
                 received[b] = None;
                 let restored = rs.reconstruct(&received, 333).unwrap();
@@ -292,7 +289,10 @@ mod tests {
         let mut received: Vec<Option<Vec<u8>>> = shards.into_iter().map(Some).collect();
         assert!(matches!(
             rs.reconstruct(&received[..2], 11).unwrap_err(),
-            CodeError::WrongShardCount { got: 2, expected: 3 }
+            CodeError::WrongShardCount {
+                got: 2,
+                expected: 3
+            }
         ));
         received[1] = Some(vec![0; 99]);
         assert_eq!(
@@ -319,8 +319,7 @@ mod tests {
             let data = sample_data(len);
             let shards = rs.encode(&data).unwrap();
             assert_eq!(shards.len(), 6);
-            let mut received: Vec<Option<Vec<u8>>> =
-                shards.into_iter().map(Some).collect();
+            let mut received: Vec<Option<Vec<u8>>> = shards.into_iter().map(Some).collect();
             received[1] = None;
             received[4] = None;
             assert_eq!(rs.reconstruct(&received, len).unwrap(), data, "len {len}");

@@ -218,10 +218,7 @@ mod tests {
         let t2 = tree_of(&more, 6);
         let diff = t1.diff(&t2);
         assert_eq!(diff.len(), 1);
-        assert_eq!(
-            diff[0],
-            MerkleTree::bucket_of(key_token(b"extra"), 6)
-        );
+        assert_eq!(diff[0], MerkleTree::bucket_of(key_token(b"extra"), 6));
     }
 
     #[test]
@@ -272,10 +269,7 @@ mod tests {
                 .storage_mut()
                 .delete(k.clone());
         }
-        assert_ne!(
-            cluster.total_replica_entries(),
-            2 * cluster.distinct_keys()
-        );
+        assert_ne!(cluster.total_replica_entries(), 2 * cluster.distinct_keys());
 
         let copied = cluster.anti_entropy(8);
         assert_eq!(copied, victim_keys.len(), "repaired exactly the drift");
@@ -286,6 +280,75 @@ mod tests {
         );
         // Convergence: a second round copies nothing.
         assert_eq!(cluster.anti_entropy(8), 0);
+    }
+
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Two replicas holding arbitrary overlapping key sets: `diff`
+        /// flags exactly the buckets containing symmetric-difference
+        /// entries (the `O(diff)` guarantee — no healthy range is ever
+        /// re-scanned), and unioning just those buckets converges both
+        /// replicas to the set union in one round.
+        #[test]
+        fn diff_is_exact_and_union_converges(
+            shared in proptest::collection::vec(0u32..10_000, 0..40),
+            only_a in proptest::collection::vec(10_000u32..20_000, 0..20),
+            only_b in proptest::collection::vec(20_000u32..30_000, 0..20),
+        ) {
+            const DEPTH: u32 = 6;
+            let to_map = |keys: &[&[u32]]| -> BTreeMap<Vec<u8>, Vec<u8>> {
+                keys.iter()
+                    .flat_map(|ks| ks.iter())
+                    .map(|k| (k.to_be_bytes().to_vec(), b"v".to_vec()))
+                    .collect()
+            };
+            let mut set_a = to_map(&[&shared, &only_a]);
+            let mut set_b = to_map(&[&shared, &only_b]);
+            let build = |m: &BTreeMap<Vec<u8>, Vec<u8>>| {
+                MerkleTree::build(
+                    m.iter().map(|(k, v)| (k.as_slice(), v.as_slice())),
+                    DEPTH,
+                )
+            };
+
+            // The generator ranges are disjoint, so the symmetric
+            // difference is exactly only_a ∪ only_b (deduplicated).
+            let mut expected: Vec<usize> = only_a
+                .iter()
+                .chain(only_b.iter())
+                .map(|k| MerkleTree::bucket_of(key_token(&k.to_be_bytes()), DEPTH))
+                .collect::<std::collections::BTreeSet<_>>()
+                .into_iter()
+                .collect();
+            expected.sort_unstable();
+
+            let diff = build(&set_a).diff(&build(&set_b));
+            prop_assert_eq!(&diff, &expected);
+
+            // Union only the flagged buckets, both directions.
+            for &bucket in &diff {
+                let in_bucket = |k: &[u8]| {
+                    MerkleTree::bucket_of(key_token(k), DEPTH) == bucket
+                };
+                for (k, v) in set_a.clone() {
+                    if in_bucket(&k) {
+                        set_b.entry(k).or_insert(v);
+                    }
+                }
+                for (k, v) in set_b.clone() {
+                    if in_bucket(&k) {
+                        set_a.entry(k).or_insert(v);
+                    }
+                }
+            }
+            let union = to_map(&[&shared, &only_a, &only_b]);
+            prop_assert_eq!(&set_a, &union);
+            prop_assert_eq!(&set_b, &union);
+            prop_assert!(build(&set_a).diff(&build(&set_b)).is_empty());
+        }
     }
 
     #[test]

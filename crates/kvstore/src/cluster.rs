@@ -51,6 +51,14 @@ pub enum ClusterError {
     },
     /// The chosen coordinator is not a cluster member (or is down).
     NoSuchCoordinator(NodeId),
+    /// The coordinator's per-op timeout and retry budget were exhausted;
+    /// the outcome at the replicas is unknown.
+    TimedOut {
+        /// Acks received before the final timeout.
+        acks: usize,
+        /// Acks required.
+        required: usize,
+    },
 }
 
 impl fmt::Display for ClusterError {
@@ -61,6 +69,9 @@ impl fmt::Display for ClusterError {
             }
             ClusterError::NoSuchCoordinator(n) => {
                 write!(f, "coordinator {n} is not an available cluster member")
+            }
+            ClusterError::TimedOut { acks, required } => {
+                write!(f, "timed out: {acks} of {required} required acks")
             }
         }
     }
@@ -156,10 +167,13 @@ impl LocalCluster {
     pub fn get(&mut self, coordinator: NodeId, key: &[u8]) -> Result<Option<Bytes>, ClusterError> {
         match self.run_op(coordinator, ClientOp::Get(Bytes::copy_from_slice(key)))? {
             OpResult::Value(v) => Ok(v),
-            OpResult::Written => unreachable!("read returned write result"),
+            OpResult::Written | OpResult::Dedup { .. } => {
+                unreachable!("read returned write result")
+            }
             OpResult::Unavailable { acks, required } => {
                 Err(ClusterError::Unavailable { acks, required })
             }
+            OpResult::TimedOut { acks, required } => Err(ClusterError::TimedOut { acks, required }),
         }
     }
 
@@ -179,10 +193,13 @@ impl LocalCluster {
             ClientOp::Put(Bytes::copy_from_slice(key), value),
         )? {
             OpResult::Written => Ok(()),
-            OpResult::Value(_) => unreachable!("write returned read result"),
+            OpResult::Value(_) | OpResult::Dedup { .. } => {
+                unreachable!("write returned read result")
+            }
             OpResult::Unavailable { acks, required } => {
                 Err(ClusterError::Unavailable { acks, required })
             }
+            OpResult::TimedOut { acks, required } => Err(ClusterError::TimedOut { acks, required }),
         }
     }
 
@@ -194,15 +211,22 @@ impl LocalCluster {
     pub fn delete(&mut self, coordinator: NodeId, key: &[u8]) -> Result<(), ClusterError> {
         match self.run_op(coordinator, ClientOp::Delete(Bytes::copy_from_slice(key)))? {
             OpResult::Written => Ok(()),
-            OpResult::Value(_) => unreachable!("delete returned read result"),
+            OpResult::Value(_) | OpResult::Dedup { .. } => {
+                unreachable!("delete returned read result")
+            }
             OpResult::Unavailable { acks, required } => {
                 Err(ClusterError::Unavailable { acks, required })
             }
+            OpResult::TimedOut { acks, required } => Err(ClusterError::TimedOut { acks, required }),
         }
     }
 
-    /// The dedup primitive: returns `true` (unique) and records the key
-    /// when absent; returns `false` (duplicate) when present.
+    /// The dedup primitive as one coordinated operation: returns `true`
+    /// (unique) and records the key when absent; returns `false`
+    /// (duplicate) when a replica returned the recorded value.
+    ///
+    /// Under instant delivery the degraded ("assume unique") path only
+    /// triggers when a quorum of replicas is marked down.
     ///
     /// # Errors
     ///
@@ -213,11 +237,19 @@ impl LocalCluster {
         key: &[u8],
         value: Bytes,
     ) -> Result<bool, ClusterError> {
-        if self.get(coordinator, key)?.is_some() {
-            return Ok(false);
+        match self.run_op(
+            coordinator,
+            ClientOp::CheckAndInsert(Bytes::copy_from_slice(key), value),
+        )? {
+            OpResult::Dedup { unique, .. } => Ok(unique),
+            OpResult::Value(_) | OpResult::Written => {
+                unreachable!("check-and-insert returned a plain result")
+            }
+            OpResult::Unavailable { acks, required } => {
+                Err(ClusterError::Unavailable { acks, required })
+            }
+            OpResult::TimedOut { acks, required } => Err(ClusterError::TimedOut { acks, required }),
         }
-        self.put(coordinator, key, value)?;
-        Ok(true)
     }
 
     fn run_op(&mut self, coordinator: NodeId, op: ClientOp) -> Result<OpResult, ClusterError> {
@@ -230,10 +262,8 @@ impl LocalCluster {
             .expect("checked membership")
             .begin(op);
         let mut result = completion.map(|c| c.result);
-        let mut queue: VecDeque<(NodeId, Outbound)> = outbound
-            .into_iter()
-            .map(|ob| (coordinator, ob))
-            .collect();
+        let mut queue: VecDeque<(NodeId, Outbound)> =
+            outbound.into_iter().map(|ob| (coordinator, ob)).collect();
         // Pump until quiescent so replication completes even after the
         // client-visible completion (Cassandra's async replica writes).
         while let Some((from, ob)) = queue.pop_front() {
@@ -290,13 +320,24 @@ impl LocalCluster {
                 }
             }
         }
-        for (from, outs) in replays {
-            for ob in outs {
-                if let Some(dest) = self.nodes.get_mut(&ob.to) {
-                    self.messages_delivered += 1;
-                    let (extra, _) = dest.on_message(from, ob.msg);
-                    debug_assert!(extra.is_empty(), "hint replay should not cascade");
-                }
+        // Pump to quiescence: receiving a replay can itself trigger
+        // opportunistic hint drains at the recipient.
+        let mut queue: VecDeque<(NodeId, Outbound)> = replays
+            .into_iter()
+            .flat_map(|(from, outs)| outs.into_iter().map(move |ob| (from, ob)))
+            .collect();
+        while let Some((from, ob)) = queue.pop_front() {
+            if self.down.contains(&ob.to) {
+                continue;
+            }
+            let Some(dest) = self.nodes.get_mut(&ob.to) else {
+                continue;
+            };
+            self.messages_delivered += 1;
+            let to = ob.to;
+            let (extra, _) = dest.on_message(from, ob.msg);
+            for o in extra {
+                queue.push_back((to, o));
             }
         }
     }
@@ -443,9 +484,15 @@ mod tests {
     #[test]
     fn check_and_insert_semantics() {
         let mut c = cluster(3);
-        assert!(c.check_and_insert(NodeId(0), b"h", Bytes::from_static(b"1")).unwrap());
-        assert!(!c.check_and_insert(NodeId(1), b"h", Bytes::from_static(b"1")).unwrap());
-        assert!(!c.check_and_insert(NodeId(2), b"h", Bytes::from_static(b"1")).unwrap());
+        assert!(c
+            .check_and_insert(NodeId(0), b"h", Bytes::from_static(b"1"))
+            .unwrap());
+        assert!(!c
+            .check_and_insert(NodeId(1), b"h", Bytes::from_static(b"1"))
+            .unwrap());
+        assert!(!c
+            .check_and_insert(NodeId(2), b"h", Bytes::from_static(b"1"))
+            .unwrap());
     }
 
     #[test]
@@ -492,11 +539,7 @@ mod tests {
         // Hints replayed: node 2 holds exactly the keys it replicates.
         let after = c.node(NodeId(2)).unwrap().storage().stats().live_keys;
         let expected: usize = (0..100u32)
-            .filter(|i| {
-                c.ring()
-                    .replicas(&i.to_be_bytes(), 2)
-                    .contains(&NodeId(2))
-            })
+            .filter(|i| c.ring().replicas(&i.to_be_bytes(), 2).contains(&NodeId(2)))
             .count();
         assert_eq!(after, expected, "hint replay incomplete");
     }
@@ -551,7 +594,10 @@ mod tests {
             },
         );
         c.put(NodeId(7), b"k", Bytes::from_static(b"v")).unwrap();
-        assert_eq!(c.get(NodeId(7), b"k").unwrap(), Some(Bytes::from_static(b"v")));
+        assert_eq!(
+            c.get(NodeId(7), b"k").unwrap(),
+            Some(Bytes::from_static(b"v"))
+        );
     }
 
     #[test]

@@ -75,10 +75,19 @@ impl HeartbeatDetector {
 
     /// Records a heartbeat from `peer` at `now`.
     ///
-    /// Unwatched peers are ignored (late heartbeats after decommission).
+    /// A heartbeat from an unwatched peer starts watching it: a node
+    /// first learned about through gossip joins the watch set without an
+    /// explicit [`HeartbeatDetector::watch`] call. A decommissioned peer
+    /// must therefore be silenced (removed from the ring) before
+    /// [`HeartbeatDetector::unwatch`], or its next heartbeat simply
+    /// re-registers it.
     pub fn heartbeat(&mut self, peer: NodeId, now: SimTime) {
-        if let Some(t) = self.last_heard.get_mut(&peer) {
-            *t = (*t).max(now);
+        match self.last_heard.get_mut(&peer) {
+            Some(t) => *t = (*t).max(now),
+            None => {
+                self.last_heard.insert(peer, now);
+                self.suspected.insert(peer, false);
+            }
         }
     }
 
@@ -198,9 +207,25 @@ mod tests {
         let mut fd = HeartbeatDetector::new(SimDuration::from_millis(100));
         fd.watch(NodeId(1), ms(0));
         fd.unwatch(NodeId(1));
-        fd.heartbeat(NodeId(1), ms(10)); // ignored
+        // A silenced, unwatched peer never resurfaces in sweeps.
         let (down, up) = fd.sweep(ms(500));
         assert!(down.is_empty() && up.is_empty());
+        // But a late heartbeat re-registers it (gossip-style auto-watch):
+        // decommission must silence the peer before unwatching.
+        fd.heartbeat(NodeId(1), ms(510));
+        assert_eq!(fd.liveness(NodeId(1), ms(520)), Liveness::Alive);
+    }
+
+    #[test]
+    fn heartbeat_auto_watches_unknown_peer() {
+        let mut fd = HeartbeatDetector::new(SimDuration::from_millis(100));
+        // Never explicitly watched: the heartbeat itself registers it.
+        fd.heartbeat(NodeId(7), ms(10));
+        assert_eq!(fd.liveness(NodeId(7), ms(50)), Liveness::Alive);
+        // And it participates in sweeps like any watched peer.
+        let (down, up) = fd.sweep(ms(500));
+        assert_eq!(down, vec![NodeId(7)]);
+        assert!(up.is_empty());
     }
 
     #[test]

@@ -42,20 +42,24 @@
 #![warn(missing_docs)]
 
 mod antientropy;
+mod chaos;
 mod cluster;
 mod failure;
 mod msg;
 mod node;
+mod retry;
 mod ring;
 mod sim;
 mod storage;
 mod threaded;
 
 pub use antientropy::MerkleTree;
+pub use chaos::{nth_op_id, ChaosEvent, ChaosScenario, ChaosScenarioConfig};
 pub use cluster::{ClusterConfig, ClusterError, LocalCluster};
 pub use failure::{HeartbeatDetector, Liveness};
 pub use msg::{ClientOp, Completion, Message, OpId, OpResult, Outbound};
 pub use node::{Consistency, NodeState};
+pub use retry::RetryPolicy;
 pub use ring::HashRing;
 pub use sim::{OpLatency, SimCluster};
 pub use storage::{StorageEngine, StorageStats};

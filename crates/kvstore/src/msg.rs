@@ -29,6 +29,10 @@ pub enum ClientOp {
     Put(Bytes, Bytes),
     /// Delete a key.
     Delete(Bytes),
+    /// The dedup primitive as one coordinated operation: read the key
+    /// (phase 1); when absent, insert the value (phase 2). Completes with
+    /// [`OpResult::Dedup`].
+    CheckAndInsert(Bytes, Bytes),
 }
 
 impl ClientOp {
@@ -36,7 +40,7 @@ impl ClientOp {
     pub fn key(&self) -> &Bytes {
         match self {
             ClientOp::Get(k) | ClientOp::Delete(k) => k,
-            ClientOp::Put(k, _) => k,
+            ClientOp::Put(k, _) | ClientOp::CheckAndInsert(k, _) => k,
         }
     }
 
@@ -59,6 +63,29 @@ pub enum OpResult {
         acks: usize,
         /// Acks required by the consistency level.
         required: usize,
+    },
+    /// The coordinator gave up after its per-op timeout and bounded
+    /// retries; the outcome at the replicas is unknown (writes were hinted
+    /// for later replay).
+    TimedOut {
+        /// Acks received before the final timeout.
+        acks: usize,
+        /// Acks required by the consistency level.
+        required: usize,
+    },
+    /// A [`ClientOp::CheckAndInsert`] resolved.
+    ///
+    /// `unique == false` (duplicate) is only ever reported when a replica
+    /// actually returned the recorded value — never under degradation —
+    /// so a duplicate verdict is always sound. `degraded` marks ops whose
+    /// read phase could not be completed (unreachable/timed-out quorum):
+    /// the coordinator *assumed* unique, risking at worst a redundant
+    /// upload, never data loss.
+    Dedup {
+        /// True when the key was treated as previously unrecorded.
+        unique: bool,
+        /// True when the verdict was reached without a full read phase.
+        degraded: bool,
     },
 }
 
@@ -151,6 +178,8 @@ mod tests {
         assert_eq!(ClientOp::Get(k.clone()).key(), &k);
         assert!(!ClientOp::Get(k.clone()).is_write());
         assert!(ClientOp::Put(k.clone(), Bytes::new()).is_write());
+        assert!(ClientOp::CheckAndInsert(k.clone(), Bytes::new()).is_write());
+        assert_eq!(ClientOp::CheckAndInsert(k.clone(), Bytes::new()).key(), &k);
         assert!(ClientOp::Delete(k).is_write());
     }
 

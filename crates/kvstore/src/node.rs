@@ -18,7 +18,7 @@ use crate::ring::HashRing;
 use crate::storage::StorageEngine;
 use bytes::Bytes;
 use ef_netsim::NodeId;
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// How many replica acknowledgements a coordinator waits for.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -47,20 +47,45 @@ impl Consistency {
     }
 }
 
+/// What a pending coordinated operation is doing right now.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum OpKind {
+    /// A plain read.
+    Read,
+    /// A plain write (put or delete).
+    Write,
+    /// The read phase of a check-and-insert.
+    CaiRead,
+    /// The write phase of a check-and-insert.
+    CaiWrite,
+}
+
+impl OpKind {
+    fn is_write(self) -> bool {
+        matches!(self, OpKind::Write | OpKind::CaiWrite)
+    }
+}
+
 /// A pending coordinated operation.
 #[derive(Debug)]
 struct Pending {
     required: usize,
     acks: usize,
-    is_write: bool,
+    kind: OpKind,
     /// First non-None value seen (reads).
     value: Option<Bytes>,
     /// Replicas we are still waiting for.
-    outstanding: HashSet<NodeId>,
+    outstanding: BTreeSet<NodeId>,
     /// The key (kept for read repair).
     key: Bytes,
     /// Replicas that answered a read with "not found".
     answered_none: Vec<NodeId>,
+    /// Write payload (`Some(None)` is a tombstone), kept for retransmits
+    /// and hint-on-timeout; `None` for plain reads.
+    payload: Option<Option<Bytes>>,
+    /// Set once the op lost its read phase to unavailability or timeout
+    /// and fell back to "assume unique".
+    degraded: bool,
 }
 
 /// Post-completion read-repair bookkeeping: late responses still arrive
@@ -72,7 +97,7 @@ struct Repairing {
     /// any `Some` is authoritative.
     value: Option<Bytes>,
     answered_none: Vec<NodeId>,
-    outstanding: HashSet<NodeId>,
+    outstanding: BTreeSet<NodeId>,
 }
 
 /// One store node's complete state.
@@ -84,15 +109,22 @@ pub struct NodeState {
     replication_factor: usize,
     consistency: Consistency,
     next_seq: u64,
-    pending: HashMap<OpId, Pending>,
+    pending: BTreeMap<OpId, Pending>,
     /// Completed reads still collecting late responses for read repair.
-    repairing: HashMap<OpId, Repairing>,
+    repairing: BTreeMap<OpId, Repairing>,
     /// Peers currently believed down.
-    down: HashSet<NodeId>,
+    down: BTreeSet<NodeId>,
     /// Hints parked for down peers: (peer, key, value).
     hints: Vec<(NodeId, Bytes, Option<Bytes>)>,
     /// Read-repair writes issued (diagnostics).
     repairs_sent: u64,
+    /// Ops resolved by [`NodeState::timeout_op`] (diagnostics).
+    timeouts: u64,
+    /// Retransmission rounds issued by [`NodeState::retry_outstanding`]
+    /// (diagnostics).
+    retries: u64,
+    /// Check-and-inserts that completed degraded (diagnostics).
+    degraded_ops: u64,
 }
 
 impl NodeState {
@@ -109,7 +141,10 @@ impl NodeState {
         consistency: Consistency,
         memtable_flush_bytes: usize,
     ) -> Self {
-        assert!(replication_factor > 0, "replication factor must be positive");
+        assert!(
+            replication_factor > 0,
+            "replication factor must be positive"
+        );
         assert!(ring.contains(id), "node must be a ring member");
         NodeState {
             id,
@@ -118,17 +153,45 @@ impl NodeState {
             replication_factor,
             consistency,
             next_seq: 0,
-            pending: HashMap::new(),
-            repairing: HashMap::new(),
-            down: HashSet::new(),
+            pending: BTreeMap::new(),
+            repairing: BTreeMap::new(),
+            down: BTreeSet::new(),
             hints: Vec::new(),
             repairs_sent: 0,
+            timeouts: 0,
+            retries: 0,
+            degraded_ops: 0,
         }
     }
 
     /// Read-repair writes issued so far (diagnostics).
     pub fn repairs_sent(&self) -> u64 {
         self.repairs_sent
+    }
+
+    /// Ops this coordinator resolved by timeout (diagnostics).
+    pub fn timeouts(&self) -> u64 {
+        self.timeouts
+    }
+
+    /// Retransmission rounds this coordinator issued (diagnostics).
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    /// Check-and-inserts that completed degraded (diagnostics).
+    pub fn degraded_ops(&self) -> u64 {
+        self.degraded_ops
+    }
+
+    /// Number of operations still awaiting replica responses.
+    pub fn pending_count(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// True while `op_id` awaits replica responses at this coordinator.
+    pub fn is_pending(&self, op_id: OpId) -> bool {
+        self.pending.contains_key(&op_id)
     }
 
     /// This node's id.
@@ -165,6 +228,11 @@ impl NodeState {
     /// to it.
     pub fn mark_up(&mut self, peer: NodeId) -> Vec<Outbound> {
         self.down.remove(&peer);
+        self.drain_hints_for(peer)
+    }
+
+    /// Drains every hint parked for `peer` into `HintReplay` outbounds.
+    fn drain_hints_for(&mut self, peer: NodeId) -> Vec<Outbound> {
         let mut out = Vec::new();
         self.hints.retain(|(to, key, value)| {
             if *to == peer {
@@ -187,7 +255,10 @@ impl NodeState {
     /// responsible for streaming data that changed ownership (see
     /// `LocalCluster::rebalance`).
     pub fn update_ring(&mut self, ring: HashRing) {
-        assert!(ring.contains(self.id), "node removed from its own ring view");
+        assert!(
+            ring.contains(self.id),
+            "node removed from its own ring view"
+        );
         self.ring = ring;
     }
 
@@ -204,16 +275,26 @@ impl NodeState {
         let replicas = self.ring.replicas(op.key(), self.replication_factor);
         let rf = replicas.len();
         let required = self.consistency.required(rf).min(rf);
-        let is_write = op.is_write();
+
+        // A check-and-insert starts in its read phase; the write phase
+        // reuses the same op id (see `start_cai_write`).
+        let (kind, payload) = match &op {
+            ClientOp::Get(_) => (OpKind::Read, None),
+            ClientOp::Put(_, v) => (OpKind::Write, Some(Some(v.clone()))),
+            ClientOp::Delete(_) => (OpKind::Write, Some(None)),
+            ClientOp::CheckAndInsert(_, v) => (OpKind::CaiRead, Some(Some(v.clone()))),
+        };
 
         let mut pending = Pending {
             required,
             acks: 0,
-            is_write,
+            kind,
             value: None,
-            outstanding: HashSet::new(),
+            outstanding: BTreeSet::new(),
             key: op.key().clone(),
             answered_none: Vec::new(),
+            payload,
+            degraded: false,
         };
         let mut outbound = Vec::new();
 
@@ -221,7 +302,7 @@ impl NodeState {
             if replica == self.id {
                 // Local replica: apply immediately.
                 match &op {
-                    ClientOp::Get(key) => {
+                    ClientOp::Get(key) | ClientOp::CheckAndInsert(key, _) => {
                         let v = self.storage.get(key);
                         if v.is_none() {
                             pending.answered_none.push(self.id);
@@ -239,31 +320,27 @@ impl NodeState {
                 }
                 pending.acks += 1;
             } else if self.down.contains(&replica) {
-                // Skip and hint on writes; reads just have one fewer
-                // potential responder.
-                if is_write {
-                    let value = match &op {
-                        ClientOp::Put(_, v) => Some(v.clone()),
-                        _ => None,
-                    };
-                    self.hints.push((replica, op.key().clone(), value));
+                // Skip and hint on plain writes; reads (including the
+                // check-and-insert read phase) just have one fewer
+                // potential responder — the CAI write phase hints itself.
+                if kind == OpKind::Write {
+                    self.hints.push((
+                        replica,
+                        pending.key.clone(),
+                        pending.payload.clone().expect("writes keep a payload"),
+                    ));
                 }
             } else {
                 pending.outstanding.insert(replica);
-                let msg = match &op {
-                    ClientOp::Get(key) => Message::ReplicaRead {
+                let msg = match kind {
+                    OpKind::Read | OpKind::CaiRead => Message::ReplicaRead {
                         op_id,
-                        key: key.clone(),
+                        key: pending.key.clone(),
                     },
-                    ClientOp::Put(key, value) => Message::ReplicaWrite {
+                    OpKind::Write | OpKind::CaiWrite => Message::ReplicaWrite {
                         op_id,
-                        key: key.clone(),
-                        value: Some(value.clone()),
-                    },
-                    ClientOp::Delete(key) => Message::ReplicaWrite {
-                        op_id,
-                        key: key.clone(),
-                        value: None,
+                        key: pending.key.clone(),
+                        value: pending.payload.clone().expect("writes keep a payload"),
                     },
                 };
                 outbound.push(Outbound { to: replica, msg });
@@ -276,50 +353,155 @@ impl NodeState {
     }
 
     /// Evaluates a pending op: completes it (transitioning reads into
-    /// read-repair mode), stores it, or fails it. Returns repair writes
-    /// to send alongside the optional completion.
+    /// read-repair mode and check-and-insert reads into their write
+    /// phase), stores it, or fails it. Returns repair writes to send
+    /// alongside the optional completion.
     fn check_done(&mut self, op_id: OpId, pending: Pending) -> (Vec<Outbound>, Option<Completion>) {
         if pending.acks >= pending.required {
-            let completion = Completion {
-                op_id,
-                result: if pending.is_write {
-                    OpResult::Written
-                } else {
-                    OpResult::Value(pending.value.clone())
-                },
-            };
-            let mut outbound = Vec::new();
-            if !pending.is_write {
-                // Enter read-repair mode: back-fill replicas that
-                // answered "not found" and keep listening for stragglers.
-                let mut repairing = Repairing {
-                    key: pending.key,
-                    value: pending.value,
-                    answered_none: pending.answered_none,
-                    outstanding: pending.outstanding,
-                };
-                outbound = self.issue_repairs(op_id, &mut repairing);
-                if !repairing.outstanding.is_empty() {
-                    self.repairing.insert(op_id, repairing);
+            return match pending.kind {
+                OpKind::Write => (
+                    Vec::new(),
+                    Some(Completion {
+                        op_id,
+                        result: OpResult::Written,
+                    }),
+                ),
+                OpKind::CaiWrite => {
+                    if pending.degraded {
+                        self.degraded_ops += 1;
+                    }
+                    (
+                        Vec::new(),
+                        Some(Completion {
+                            op_id,
+                            result: OpResult::Dedup {
+                                unique: true,
+                                degraded: pending.degraded,
+                            },
+                        }),
+                    )
                 }
-            }
-            return (outbound, Some(completion));
+                OpKind::CaiRead if pending.value.is_none() => {
+                    // Key absent everywhere we asked: insert it.
+                    self.start_cai_write(op_id, pending)
+                }
+                OpKind::Read | OpKind::CaiRead => {
+                    let completion = Completion {
+                        op_id,
+                        result: match pending.kind {
+                            OpKind::Read => OpResult::Value(pending.value.clone()),
+                            // value is Some here: a replica truly holds
+                            // the key, so "duplicate" is sound.
+                            _ => OpResult::Dedup {
+                                unique: false,
+                                degraded: false,
+                            },
+                        },
+                    };
+                    // Enter read-repair mode: back-fill replicas that
+                    // answered "not found" and keep listening for
+                    // stragglers.
+                    let mut repairing = Repairing {
+                        key: pending.key,
+                        value: pending.value,
+                        answered_none: pending.answered_none,
+                        outstanding: pending.outstanding,
+                    };
+                    let outbound = self.issue_repairs(op_id, &mut repairing);
+                    if !repairing.outstanding.is_empty() {
+                        self.repairing.insert(op_id, repairing);
+                    }
+                    (outbound, Some(completion))
+                }
+            };
         }
         if pending.outstanding.is_empty() {
-            // No more responders can arrive: unavailable.
-            return (
-                Vec::new(),
-                Some(Completion {
-                    op_id,
-                    result: OpResult::Unavailable {
-                        acks: pending.acks,
-                        required: pending.required,
-                    },
-                }),
-            );
+            // No more responders can arrive.
+            return match pending.kind {
+                OpKind::CaiRead => {
+                    // Graceful degradation: the read quorum is
+                    // unreachable, so *assume unique* and insert. Worst
+                    // case is a redundant upload — never a false
+                    // duplicate, which would lose data.
+                    let mut p = pending;
+                    p.degraded = true;
+                    self.start_cai_write(op_id, p)
+                }
+                OpKind::CaiWrite => {
+                    self.degraded_ops += 1;
+                    (
+                        Vec::new(),
+                        Some(Completion {
+                            op_id,
+                            result: OpResult::Dedup {
+                                unique: true,
+                                degraded: true,
+                            },
+                        }),
+                    )
+                }
+                OpKind::Read | OpKind::Write => (
+                    Vec::new(),
+                    Some(Completion {
+                        op_id,
+                        result: OpResult::Unavailable {
+                            acks: pending.acks,
+                            required: pending.required,
+                        },
+                    }),
+                ),
+            };
         }
         self.pending.insert(op_id, pending);
         (Vec::new(), None)
+    }
+
+    /// Flips a check-and-insert from its read phase into its write phase
+    /// under the same op id: apply locally if this node is a replica, hint
+    /// down peers, fan the write out to the rest.
+    fn start_cai_write(
+        &mut self,
+        op_id: OpId,
+        mut pending: Pending,
+    ) -> (Vec<Outbound>, Option<Completion>) {
+        let value = pending
+            .payload
+            .clone()
+            .expect("check-and-insert keeps its payload")
+            .expect("check-and-insert payload is a value, not a tombstone");
+        pending.kind = OpKind::CaiWrite;
+        pending.acks = 0;
+        pending.value = None;
+        pending.answered_none.clear();
+        pending.outstanding.clear();
+        let replicas = self.ring.replicas(&pending.key, self.replication_factor);
+        pending.required = self
+            .consistency
+            .required(replicas.len())
+            .min(replicas.len());
+        let mut outbound = Vec::new();
+        for replica in replicas {
+            if replica == self.id {
+                self.storage.put(pending.key.clone(), value.clone());
+                pending.acks += 1;
+            } else if self.down.contains(&replica) {
+                self.hints
+                    .push((replica, pending.key.clone(), Some(value.clone())));
+            } else {
+                pending.outstanding.insert(replica);
+                outbound.push(Outbound {
+                    to: replica,
+                    msg: Message::ReplicaWrite {
+                        op_id,
+                        key: pending.key.clone(),
+                        value: Some(value.clone()),
+                    },
+                });
+            }
+        }
+        let (more, completion) = self.check_done(op_id, pending);
+        outbound.extend(more);
+        (outbound, completion)
     }
 
     /// Sends the resolved value to every replica that answered "not
@@ -347,13 +529,116 @@ impl NodeState {
         out
     }
 
+    /// Re-sends the pending op's outstanding requests (retry after an
+    /// RTO). Replicas apply retransmitted writes idempotently and
+    /// duplicate acks are already ignored, so spurious retries are safe.
+    /// Returns an empty vec for unknown/completed ops.
+    pub fn retry_outstanding(&mut self, op_id: OpId) -> Vec<Outbound> {
+        let Some(p) = self.pending.get(&op_id) else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        for &peer in &p.outstanding {
+            if self.down.contains(&peer) {
+                // A detected failure resolves the op via
+                // `on_peer_failure`; don't shout at the dead.
+                continue;
+            }
+            let msg = match p.kind {
+                OpKind::Read | OpKind::CaiRead => Message::ReplicaRead {
+                    op_id,
+                    key: p.key.clone(),
+                },
+                OpKind::Write | OpKind::CaiWrite => Message::ReplicaWrite {
+                    op_id,
+                    key: p.key.clone(),
+                    value: p.payload.clone().expect("writes keep a payload"),
+                },
+            };
+            out.push(Outbound { to: peer, msg });
+        }
+        if !out.is_empty() {
+            self.retries += 1;
+        }
+        out
+    }
+
+    /// Gives up on a pending op after its retry budget is exhausted.
+    ///
+    /// Writes (including the check-and-insert write phase) park a hint
+    /// for every silent replica — hinted handoff on *timeout*, not only
+    /// on detected failure — so replication heals once the peer proves
+    /// reachable again. The op then resolves:
+    ///
+    /// * plain read/write → [`OpResult::TimedOut`],
+    /// * check-and-insert read phase → degrade to "assume unique" and
+    ///   start the write phase (no completion yet; the caller should
+    ///   re-arm its timer while [`NodeState::is_pending`]),
+    /// * check-and-insert write phase → [`OpResult::Dedup`] with
+    ///   `unique: true, degraded: true`.
+    ///
+    /// Unknown/completed ops return `(empty, None)`.
+    pub fn timeout_op(&mut self, op_id: OpId) -> (Vec<Outbound>, Option<Completion>) {
+        let Some(mut p) = self.pending.remove(&op_id) else {
+            return (Vec::new(), None);
+        };
+        self.timeouts += 1;
+        if p.kind.is_write() {
+            let payload = p.payload.clone().expect("writes keep a payload");
+            for &peer in &p.outstanding {
+                self.hints.push((peer, p.key.clone(), payload.clone()));
+            }
+        }
+        p.outstanding.clear();
+        match p.kind {
+            OpKind::CaiRead => {
+                p.degraded = true;
+                self.start_cai_write(op_id, p)
+            }
+            OpKind::CaiWrite => {
+                self.degraded_ops += 1;
+                (
+                    Vec::new(),
+                    Some(Completion {
+                        op_id,
+                        result: OpResult::Dedup {
+                            unique: true,
+                            degraded: true,
+                        },
+                    }),
+                )
+            }
+            OpKind::Read | OpKind::Write => (
+                Vec::new(),
+                Some(Completion {
+                    op_id,
+                    result: OpResult::TimedOut {
+                        acks: p.acks,
+                        required: p.required,
+                    },
+                }),
+            ),
+        }
+    }
+
     /// Handles a message from `from`. Returns messages to send and any
     /// operation completions this message triggered.
-    pub fn on_message(
-        &mut self,
-        from: NodeId,
-        msg: Message,
-    ) -> (Vec<Outbound>, Vec<Completion>) {
+    ///
+    /// Any message from a peer we are *not* holding down is proof of
+    /// reachability, so hints parked for it (e.g. by a timeout while the
+    /// network was partitioned) are replayed opportunistically.
+    pub fn on_message(&mut self, from: NodeId, msg: Message) -> (Vec<Outbound>, Vec<Completion>) {
+        let mut replays = if self.down.contains(&from) {
+            Vec::new()
+        } else {
+            self.drain_hints_for(from)
+        };
+        let (outbound, completions) = self.handle_message(from, msg);
+        replays.extend(outbound);
+        (replays, completions)
+    }
+
+    fn handle_message(&mut self, from: NodeId, msg: Message) -> (Vec<Outbound>, Vec<Completion>) {
         match msg {
             Message::ReplicaWrite { op_id, key, value } => {
                 match value {
@@ -539,13 +824,8 @@ mod tests {
         // Simulate remote replicas acking.
         let mut done = None;
         for ob in outbound {
-            let (_, completions) = coord.on_message(
-                ob.to,
-                Message::WriteAck {
-                    op_id,
-                    from: ob.to,
-                },
-            );
+            let (_, completions) =
+                coord.on_message(ob.to, Message::WriteAck { op_id, from: ob.to });
             if let Some(c) = completions.into_iter().next() {
                 done = Some(c);
             }
@@ -662,7 +942,10 @@ mod tests {
         assert_eq!(comps.len(), 1);
         assert!(matches!(
             comps[0].result,
-            OpResult::Unavailable { acks: 0, required: 2 }
+            OpResult::Unavailable {
+                acks: 0,
+                required: 2
+            }
         ));
     }
 

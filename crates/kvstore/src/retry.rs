@@ -1,0 +1,104 @@
+//! Per-operation timeout and retry policy for the simulated cluster.
+//!
+//! A [`RetryPolicy`] arms a retransmission timer (RTO) for every client
+//! operation a [`SimCluster`](crate::SimCluster) coordinates. When the
+//! timer fires before the op completes, the coordinator re-sends its
+//! outstanding requests; after `max_retries` rounds it gives up and
+//! resolves the op via [`NodeState::timeout_op`](crate::NodeState) —
+//! timing out plain ops and degrading check-and-inserts to "assume
+//! unique". Backoff is exponential and jitter is drawn from a seeded
+//! RNG substream, so runs replay bit-identically.
+
+use ef_simcore::SimDuration;
+
+/// Timeout/retry configuration for coordinated operations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Base retransmission timeout: how long the coordinator waits for
+    /// the op to complete before the first retry.
+    pub rto: SimDuration,
+    /// Retransmission rounds before giving up. `0` means time out at the
+    /// first RTO with no retry.
+    pub max_retries: u32,
+    /// Exponential backoff multiplier applied per attempt (≥ 1).
+    pub backoff: f64,
+    /// Uniform jitter added to each delay as a fraction of it (e.g. `0.2`
+    /// adds 0–20%). Desynchronizes retry storms; drawn from the
+    /// cluster's seeded RNG.
+    pub jitter_frac: f64,
+    /// Seed for the jitter substream.
+    pub seed: u64,
+}
+
+impl RetryPolicy {
+    /// A sensible default for paper-testbed latencies (0.85–12.2 ms
+    /// one-way): 100 ms base RTO, 3 retries, doubling backoff, 20%
+    /// jitter.
+    pub fn new(seed: u64) -> Self {
+        RetryPolicy {
+            rto: SimDuration::from_millis(100),
+            max_retries: 3,
+            backoff: 2.0,
+            jitter_frac: 0.2,
+            seed,
+        }
+    }
+
+    /// The un-jittered delay before attempt `attempt` (0-based):
+    /// `rto * backoff^attempt`.
+    pub fn delay(&self, attempt: u32) -> SimDuration {
+        self.rto * self.backoff.powi(attempt.min(16) as i32)
+    }
+
+    /// Validates the policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `rto` is zero, `backoff < 1`, or `jitter_frac` is
+    /// negative or not finite.
+    pub fn validate(&self) {
+        assert!(!self.rto.is_zero(), "rto must be positive");
+        assert!(self.backoff >= 1.0, "backoff {} < 1", self.backoff);
+        assert!(
+            self.jitter_frac.is_finite() && self.jitter_frac >= 0.0,
+            "invalid jitter fraction {}",
+            self.jitter_frac
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_exponential() {
+        let p = RetryPolicy {
+            rto: SimDuration::from_millis(10),
+            max_retries: 3,
+            backoff: 2.0,
+            jitter_frac: 0.0,
+            seed: 0,
+        };
+        assert_eq!(p.delay(0), SimDuration::from_millis(10));
+        assert_eq!(p.delay(1), SimDuration::from_millis(20));
+        assert_eq!(p.delay(2), SimDuration::from_millis(40));
+    }
+
+    #[test]
+    fn backoff_exponent_is_capped() {
+        let p = RetryPolicy::new(0);
+        // Huge attempt numbers must not overflow into nonsense.
+        assert_eq!(p.delay(1000), p.delay(16));
+    }
+
+    #[test]
+    #[should_panic(expected = "backoff")]
+    fn validate_rejects_shrinking_backoff() {
+        RetryPolicy {
+            backoff: 0.5,
+            ..RetryPolicy::new(0)
+        }
+        .validate();
+    }
+}

@@ -130,11 +130,7 @@ impl HashRing {
         assert!(rf > 0, "replication factor must be positive");
         let want = rf.min(self.members.len());
         let mut out = Vec::with_capacity(want);
-        for (_, node) in self
-            .tokens
-            .range(token..)
-            .chain(self.tokens.range(..token))
-        {
+        for (_, node) in self.tokens.range(token..).chain(self.tokens.range(..token)) {
             if !out.contains(node) {
                 out.push(*node);
                 if out.len() == want {
@@ -244,9 +240,13 @@ mod tests {
     #[test]
     fn removing_node_only_moves_its_keys() {
         let mut ring = ring3();
-        let before: Vec<_> = (0..500u32).map(|i| ring.primary(&i.to_be_bytes())).collect();
+        let before: Vec<_> = (0..500u32)
+            .map(|i| ring.primary(&i.to_be_bytes()))
+            .collect();
         ring.remove_node(NodeId(2));
-        let after: Vec<_> = (0..500u32).map(|i| ring.primary(&i.to_be_bytes())).collect();
+        let after: Vec<_> = (0..500u32)
+            .map(|i| ring.primary(&i.to_be_bytes()))
+            .collect();
         for (b, a) in before.iter().zip(&after) {
             if *b != NodeId(2) {
                 assert_eq!(b, a, "key moved although its primary survived");
@@ -260,10 +260,7 @@ mod tests {
     fn ownership_roughly_balanced() {
         let ring = HashRing::with_nodes((0..10).map(NodeId), 128);
         for (node, frac) in ring.ownership() {
-            assert!(
-                (0.04..=0.18).contains(&frac),
-                "{node} owns fraction {frac}"
-            );
+            assert!((0.04..=0.18).contains(&frac), "{node} owns fraction {frac}");
         }
     }
 

@@ -9,12 +9,13 @@
 //! reproduce the paper's observation that remote hash lookups dominate
 //! deduplication latency.
 
+use crate::cluster::ClusterConfig;
 use crate::msg::{ClientOp, Message, OpId, OpResult, Outbound};
 use crate::node::NodeState;
-use crate::cluster::ClusterConfig;
+use crate::retry::RetryPolicy;
 use crate::ring::HashRing;
 use ef_netsim::{Network, NodeId};
-use ef_simcore::{SimTime, Simulator};
+use ef_simcore::{DetRng, SimDuration, SimTime, Simulator};
 use std::collections::{BTreeMap, HashMap};
 
 /// A completed operation with its start/finish times.
@@ -55,6 +56,9 @@ enum Event {
     Crash { node: NodeId },
     /// Revive `node`.
     Revive { node: NodeId },
+    /// Retransmission timer for a coordinated op: retry its outstanding
+    /// requests, or time the op out once the budget is spent.
+    Rto { op_id: OpId, attempt: u32 },
 }
 
 /// A store cluster whose messages travel over a simulated network.
@@ -87,6 +91,12 @@ pub struct SimCluster {
     heartbeat_interval: Option<ef_simcore::SimDuration>,
     detectors: BTreeMap<NodeId, crate::failure::HeartbeatDetector>,
     crashed: std::collections::HashSet<NodeId>,
+    /// Per-op timeout/retry (None = ops wait forever, the pre-chaos
+    /// behaviour; auto-armed when the network carries a fault plan).
+    retry_policy: Option<RetryPolicy>,
+    rto_rng: Option<DetRng>,
+    /// Ops submitted but not yet completed/timed out.
+    inflight: usize,
 }
 
 impl SimCluster {
@@ -120,6 +130,15 @@ impl SimCluster {
                 )
             })
             .collect();
+        // A faulty network without per-op timeouts would let any op whose
+        // messages are all lost hang forever; arm a default policy seeded
+        // from the plan so chaos runs stay deterministic out of the box.
+        let retry_policy = network
+            .fault_plan()
+            .map(|plan| RetryPolicy::new(plan.seed()));
+        let rto_rng = retry_policy
+            .as_ref()
+            .map(|p| DetRng::new(p.seed).substream("rto-jitter"));
         SimCluster {
             nodes,
             network,
@@ -129,7 +148,27 @@ impl SimCluster {
             heartbeat_interval: None,
             detectors: BTreeMap::new(),
             crashed: std::collections::HashSet::new(),
+            retry_policy,
+            rto_rng,
+            inflight: 0,
         }
+    }
+
+    /// Sets (or replaces) the per-op timeout/retry policy. Affects ops
+    /// submitted from now on; call before `submit`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the policy is invalid (see [`RetryPolicy::validate`]).
+    pub fn set_retry_policy(&mut self, policy: RetryPolicy) {
+        policy.validate();
+        self.rto_rng = Some(DetRng::new(policy.seed).substream("rto-jitter"));
+        self.retry_policy = Some(policy);
+    }
+
+    /// The active timeout/retry policy, if any.
+    pub fn retry_policy(&self) -> Option<&RetryPolicy> {
+        self.retry_policy.as_ref()
     }
 
     /// Enables gossip-style failure detection: every node broadcasts a
@@ -189,32 +228,67 @@ impl SimCluster {
     ///
     /// Panics when `at` is in the simulated past.
     pub fn submit(&mut self, at: SimTime, coordinator: NodeId, op: ClientOp) {
+        self.inflight += 1;
         self.sim.schedule_at(at, Event::Start { coordinator, op });
     }
 
-    /// Runs the simulation to quiescence, returning all completed
-    /// operations sorted by completion time.
+    /// Client operations submitted but not yet completed or timed out.
+    pub fn inflight(&self) -> usize {
+        self.inflight
+    }
+
+    /// Safety bound (simulated seconds past the current time) that
+    /// [`SimCluster::run`] applies when heartbeats keep the event queue
+    /// from ever draining.
+    pub const RUN_SAFETY_DEADLINE_SECS: f64 = 3600.0;
+
+    /// Runs the simulation until every submitted operation has resolved,
+    /// returning all completions sorted by completion time.
     ///
-    /// # Panics
-    ///
-    /// Panics when heartbeats are enabled — periodic ticks never drain;
-    /// use [`SimCluster::run_until`] instead.
+    /// Without heartbeats this runs the event queue to quiescence (stale
+    /// retry timers self-cancel, so the queue always drains). With
+    /// heartbeats enabled the periodic ticks never drain; `run` then
+    /// stops as soon as no client op is in flight, bounded by a safety
+    /// deadline of [`SimCluster::RUN_SAFETY_DEADLINE_SECS`] simulated
+    /// seconds past the current time. With a retry policy armed every op
+    /// resolves long before that bound; it only guards against a
+    /// misconfigured cluster whose ops can wait forever — prefer
+    /// [`SimCluster::run_until`] for explicit horizons.
     pub fn run(&mut self) -> Vec<OpLatency> {
-        assert!(
-            self.heartbeat_interval.is_none(),
-            "heartbeats enabled: use run_until(deadline)"
-        );
-        self.run_until(SimTime::MAX)
+        if self.heartbeat_interval.is_none() {
+            return self.run_until(SimTime::MAX);
+        }
+        let deadline = self.sim.now() + SimDuration::from_secs_f64(Self::RUN_SAFETY_DEADLINE_SECS);
+        while self.inflight > 0 && self.step_one(deadline) {}
+        self.drain_completed()
     }
 
     /// Runs until the queue drains or the next event lies past
-    /// `deadline` (later events stay queued), returning completions so
-    /// far sorted by completion time.
+    /// `deadline`, returning completions so far sorted by completion
+    /// time. The deadline is inclusive: events scheduled at exactly
+    /// `deadline` still run; strictly later events stay queued for the
+    /// next call.
     pub fn run_until(&mut self, deadline: SimTime) -> Vec<OpLatency> {
-        while let Some(t) = self.sim.peek_time() {
-            if t > deadline {
-                break;
-            }
+        while self.step_one(deadline) {}
+        self.drain_completed()
+    }
+
+    fn drain_completed(&mut self) -> Vec<OpLatency> {
+        let mut done = std::mem::take(&mut self.completed);
+        done.sort_by_key(|l| (l.finished, l.op_id));
+        done
+    }
+
+    /// Processes the next event if it lies at or before `deadline`.
+    /// Returns false when the queue is empty or the next event is later.
+    fn step_one(&mut self, deadline: SimTime) -> bool {
+        let Some(t) = self.sim.peek_time() else {
+            return false;
+        };
+        if t > deadline {
+            return false;
+        }
+        {
             let ev = self.sim.step().expect("peeked event exists");
             let now = ev.time;
             match ev.payload {
@@ -228,14 +302,26 @@ impl SimCluster {
                     if let Some(c) = completion {
                         self.record(c.op_id, c.result, now);
                     }
-                    self.dispatch(now, coordinator, outbound);
+                    // A crashed coordinator cannot transmit: its op sits
+                    // pending until the retry timer resolves it.
+                    if !self.crashed.contains(&coordinator) {
+                        self.dispatch(now, coordinator, outbound);
+                    }
+                    if self.retry_policy.is_some()
+                        && self
+                            .nodes
+                            .get(&coordinator)
+                            .is_some_and(|n| n.is_pending(op_id))
+                    {
+                        self.arm_rto(op_id, 0);
+                    }
                 }
                 Event::Deliver { from, to, msg } => {
                     if self.crashed.contains(&to) {
-                        continue; // dropped on the floor
+                        return true; // dropped on the floor
                     }
                     let Some(node) = self.nodes.get_mut(&to) else {
-                        continue;
+                        return true;
                     };
                     let (outbound, completions) = node.on_message(from, msg);
                     for c in completions {
@@ -245,18 +331,18 @@ impl SimCluster {
                 }
                 Event::HeartbeatTick { node } => {
                     let Some(interval) = self.heartbeat_interval else {
-                        continue;
+                        return true;
                     };
                     if !self.crashed.contains(&node) {
                         // Broadcast liveness to every peer.
-                        let peers: Vec<NodeId> = self
-                            .nodes
-                            .keys()
-                            .copied()
-                            .filter(|p| *p != node)
-                            .collect();
+                        let peers: Vec<NodeId> =
+                            self.nodes.keys().copied().filter(|p| *p != node).collect();
                         for peer in peers {
-                            let arrival = self.network.transfer(now, node, peer, 64);
+                            // Heartbeats ride the same faulty links as
+                            // data: loss or partition silences them.
+                            let Some(arrival) = self.network.send(now, node, peer, 64) else {
+                                continue;
+                            };
                             self.sim.schedule_at(
                                 arrival,
                                 Event::HeartbeatArrive {
@@ -266,10 +352,7 @@ impl SimCluster {
                             );
                         }
                         // Sweep the local detector and apply transitions.
-                        let transitions = self
-                            .detectors
-                            .get_mut(&node)
-                            .map(|d| d.sweep(now));
+                        let transitions = self.detectors.get_mut(&node).map(|d| d.sweep(now));
                         if let Some((down, up)) = transitions {
                             for dead in down {
                                 let completions = self
@@ -307,18 +390,88 @@ impl SimCluster {
                 Event::Revive { node } => {
                     self.crashed.remove(&node);
                 }
+                Event::Rto { op_id, attempt } => {
+                    self.on_rto(now, op_id, attempt);
+                }
             }
         }
-        let mut done = std::mem::take(&mut self.completed);
-        done.sort_by_key(|l| (l.finished, l.op_id));
-        done
+        true
+    }
+
+    /// Handles a retransmission timer firing for `op_id`.
+    fn on_rto(&mut self, now: SimTime, op_id: OpId, attempt: u32) {
+        let Some(policy) = self.retry_policy else {
+            return;
+        };
+        let coordinator = op_id.coordinator;
+        let still_pending = self
+            .nodes
+            .get(&coordinator)
+            .is_some_and(|n| n.is_pending(op_id));
+        if !still_pending {
+            return; // completed before the timer fired: stale RTO
+        }
+        let coordinator_crashed = self.crashed.contains(&coordinator);
+        if attempt < policy.max_retries && !coordinator_crashed {
+            let outbound = self
+                .nodes
+                .get_mut(&coordinator)
+                .expect("pending checked above")
+                .retry_outstanding(op_id);
+            self.dispatch(now, coordinator, outbound);
+            self.arm_rto(op_id, attempt + 1);
+            return;
+        }
+        // Budget spent (or the coordinator itself crashed — nobody is
+        // left to retry): resolve the op one way or the other.
+        let (outbound, completion) = self
+            .nodes
+            .get_mut(&coordinator)
+            .expect("pending checked above")
+            .timeout_op(op_id);
+        match completion {
+            Some(c) => self.record(c.op_id, c.result, now),
+            None => {
+                // A CheckAndInsert whose read phase timed out degraded
+                // into a still-pending write phase ("assume unique"):
+                // give the write its own fresh retry budget.
+                if self
+                    .nodes
+                    .get(&coordinator)
+                    .is_some_and(|n| n.is_pending(op_id))
+                {
+                    self.arm_rto(op_id, 0);
+                }
+            }
+        }
+        if !coordinator_crashed {
+            self.dispatch(now, coordinator, outbound);
+        }
+    }
+
+    /// Schedules the retransmission timer for `op_id`'s attempt
+    /// `attempt`, with exponential backoff and seeded jitter.
+    fn arm_rto(&mut self, op_id: OpId, attempt: u32) {
+        let Some(policy) = self.retry_policy else {
+            return;
+        };
+        let base = policy.delay(attempt);
+        let jitter = match (&mut self.rto_rng, policy.jitter_frac) {
+            (Some(rng), frac) if frac > 0.0 => base * (frac * rng.unit()),
+            _ => SimDuration::ZERO,
+        };
+        self.sim
+            .schedule_after(base + jitter, Event::Rto { op_id, attempt });
     }
 
     fn dispatch(&mut self, now: SimTime, from: NodeId, outbound: Vec<Outbound>) {
         for ob in outbound {
-            let arrival = self
-                .network
-                .transfer(now, from, ob.to, ob.msg.wire_size());
+            // `send` applies the network's fault plan: None means the
+            // message was lost or partitioned away (bandwidth still
+            // charged to the sender's uplink).
+            let Some(arrival) = self.network.send(now, from, ob.to, ob.msg.wire_size()) else {
+                continue;
+            };
             self.sim.schedule_at(
                 arrival,
                 Event::Deliver {
@@ -335,6 +488,7 @@ impl SimCluster {
             .starts
             .remove(&op_id)
             .expect("completion for unknown op");
+        self.inflight = self.inflight.saturating_sub(1);
         self.completed.push(OpLatency {
             op_id,
             result,
@@ -351,6 +505,27 @@ impl SimCluster {
     /// Current simulated time.
     pub fn now(&self) -> SimTime {
         self.sim.now()
+    }
+
+    /// Total per-op timeouts recorded across all coordinators.
+    pub fn timeouts(&self) -> u64 {
+        self.nodes.values().map(NodeState::timeouts).sum()
+    }
+
+    /// Total retry rounds issued across all coordinators.
+    pub fn retries(&self) -> u64 {
+        self.nodes.values().map(NodeState::retries).sum()
+    }
+
+    /// Total check-and-inserts resolved in degraded ("assume unique")
+    /// mode across all coordinators.
+    pub fn degraded_ops(&self) -> u64 {
+        self.nodes.values().map(NodeState::degraded_ops).sum()
+    }
+
+    /// A member node's state (counters, storage), for inspection.
+    pub fn node(&self, id: NodeId) -> Option<&NodeState> {
+        self.nodes.get(&id)
     }
 }
 
@@ -422,7 +597,7 @@ mod tests {
                     Bytes::from_static(b"v"),
                 ),
             );
-            t = t + ef_simcore::SimDuration::from_millis(100);
+            t += ef_simcore::SimDuration::from_millis(100);
         }
         cluster.run();
         let mut read_start = t;
@@ -432,14 +607,17 @@ mod tests {
                 members[0],
                 ClientOp::Get(Bytes::from(i.to_be_bytes().to_vec())),
             );
-            read_start = read_start + ef_simcore::SimDuration::from_millis(100);
+            read_start += ef_simcore::SimDuration::from_millis(100);
         }
         let reads = cluster.run();
         assert_eq!(reads.len(), 100);
         let mut fast = 0;
         let mut slow = 0;
         for r in &reads {
-            assert!(matches!(r.result, OpResult::Value(Some(_))), "read lost a key");
+            assert!(
+                matches!(r.result, OpResult::Value(Some(_))),
+                "read lost a key"
+            );
             let ms = r.latency().as_millis_f64();
             if ms < 0.5 {
                 fast += 1;
@@ -477,7 +655,7 @@ mod tests {
                         Bytes::from_static(b"v"),
                     ),
                 );
-                t = t + ef_simcore::SimDuration::from_millis(50);
+                t += ef_simcore::SimDuration::from_millis(50);
             }
             let done = cluster.run();
             let total: f64 = done.iter().map(|l| l.latency().as_millis_f64()).sum();
@@ -497,10 +675,7 @@ mod tests {
         let net = edge_network(1, 4);
         let members = net.topology().edge_nodes();
         let mut cluster = SimCluster::new(members.clone(), net, ClusterConfig::default());
-        cluster.enable_heartbeats(
-            SimDuration::from_millis(100),
-            SimDuration::from_millis(350),
-        );
+        cluster.enable_heartbeats(SimDuration::from_millis(100), SimDuration::from_millis(350));
         // Crash node 3 at t=1s, revive at t=3s.
         cluster.crash_at(SimTime::from_secs_f64(1.0), members[3]);
         cluster.revive_at(SimTime::from_secs_f64(3.0), members[3]);
@@ -538,10 +713,7 @@ mod tests {
                 ..ClusterConfig::default()
             },
         );
-        cluster.enable_heartbeats(
-            SimDuration::from_millis(50),
-            SimDuration::from_millis(200),
-        );
+        cluster.enable_heartbeats(SimDuration::from_millis(50), SimDuration::from_millis(200));
         cluster.crash_at(SimTime::from_secs_f64(0.5), members[2]);
         cluster.revive_at(SimTime::from_secs_f64(2.0), members[2]);
         // Writes land while node 2 is down-and-detected (t in [1.0, 1.5]).
@@ -555,7 +727,7 @@ mod tests {
                     Bytes::from_static(b"v"),
                 ),
             );
-            t = t + SimDuration::from_millis(10);
+            t += SimDuration::from_millis(10);
         }
         let done = cluster.run_until(SimTime::from_secs_f64(4.0));
         // All writes completed despite the outage (ONE + hinting).

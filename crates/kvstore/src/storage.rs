@@ -65,7 +65,10 @@ impl StorageEngine {
     ///
     /// Panics when the threshold is zero.
     pub fn new(flush_threshold_bytes: usize) -> Self {
-        assert!(flush_threshold_bytes > 0, "flush threshold must be positive");
+        assert!(
+            flush_threshold_bytes > 0,
+            "flush threshold must be positive"
+        );
         StorageEngine {
             memtable: BTreeMap::new(),
             memtable_bytes: 0,

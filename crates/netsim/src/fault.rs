@@ -1,0 +1,488 @@
+//! Network fault injection: seeded message loss, latency jitter, scheduled
+//! link degradations, and site-pair partitions with heal times.
+//!
+//! A [`FaultPlan`] is attached to a [`Network`](crate::Network) and consulted
+//! on every [`Network::send`](crate::Network::send). All randomness comes from
+//! a dedicated [`DetRng`] substream derived from the plan's seed, so a run
+//! with the same seed, plan, and message order replays bit-identically.
+//!
+//! Faults compose in a fixed order per message:
+//!
+//! 1. **Partition** — if the source and destination sites are separated by an
+//!    active [`FaultPlan::partition`] window, the message is dropped
+//!    (probability 1, no RNG draw).
+//! 2. **Loss** — each matching [`FaultPlan::loss`] rule draws once; the
+//!    message is dropped if any draw fires.
+//! 3. **Degradation** — active [`FaultPlan::degrade`] windows scale the
+//!    link's propagation latency (factors multiply when windows overlap).
+//! 4. **Jitter** — each matching [`FaultPlan::jitter`] rule adds a uniform
+//!    `[0, max_extra]` delay.
+//!
+//! Loopback traffic (`src == dst`) never traverses a link and is exempt from
+//! all faults.
+
+use crate::id::{NodeId, SiteId};
+use ef_simcore::{DetRng, SimDuration, SimTime};
+
+/// Which messages a fault rule applies to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultScope {
+    /// Every non-loopback message.
+    All,
+    /// Messages between the two sites, in either direction.
+    SitePair(SiteId, SiteId),
+    /// Messages touching the given site (as source or destination).
+    Site(SiteId),
+    /// Messages from the first node to the second (directed).
+    Link(NodeId, NodeId),
+    /// Messages sent by the given node.
+    FromNode(NodeId),
+    /// Messages received by the given node.
+    ToNode(NodeId),
+}
+
+impl FaultScope {
+    fn matches(&self, src: NodeId, dst: NodeId, src_site: SiteId, dst_site: SiteId) -> bool {
+        match *self {
+            FaultScope::All => true,
+            FaultScope::SitePair(a, b) => {
+                (src_site == a && dst_site == b) || (src_site == b && dst_site == a)
+            }
+            FaultScope::Site(s) => src_site == s || dst_site == s,
+            FaultScope::Link(from, to) => src == from && dst == to,
+            FaultScope::FromNode(n) => src == n,
+            FaultScope::ToNode(n) => dst == n,
+        }
+    }
+}
+
+/// A half-open activity window `[from, until)`. `until = SimTime::MAX`
+/// means "never ends".
+#[derive(Debug, Clone, Copy)]
+struct Window {
+    from: SimTime,
+    until: SimTime,
+}
+
+impl Window {
+    fn contains(&self, t: SimTime) -> bool {
+        self.from <= t && t < self.until
+    }
+}
+
+#[derive(Debug, Clone)]
+struct LossRule {
+    scope: FaultScope,
+    window: Window,
+    probability: f64,
+}
+
+#[derive(Debug, Clone)]
+struct JitterRule {
+    scope: FaultScope,
+    window: Window,
+    max_extra: SimDuration,
+}
+
+#[derive(Debug, Clone)]
+struct DegradeRule {
+    scope: FaultScope,
+    window: Window,
+    latency_factor: f64,
+}
+
+#[derive(Debug, Clone)]
+struct PartitionRule {
+    a: SiteId,
+    b: SiteId,
+    window: Window,
+}
+
+/// Counters of what the plan did to traffic. Obtained via
+/// [`FaultPlan::stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Messages dropped by probabilistic loss rules.
+    pub lost: u64,
+    /// Messages dropped by an active partition.
+    pub partitioned: u64,
+    /// Messages whose latency was stretched by a degradation window.
+    pub degraded: u64,
+    /// Messages that received jitter.
+    pub jittered: u64,
+}
+
+impl FaultStats {
+    /// Total messages dropped for any reason.
+    pub fn dropped(&self) -> u64 {
+        self.lost + self.partitioned
+    }
+}
+
+/// Per-message verdict returned by [`FaultPlan::judge`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultOutcome {
+    /// Deliver, with this much extra propagation delay (possibly zero).
+    Deliver(SimDuration),
+    /// The message is lost.
+    Drop,
+}
+
+/// A deterministic, seeded schedule of network faults.
+///
+/// Built fluently, then attached with
+/// [`Network::set_fault_plan`](crate::Network::set_fault_plan):
+///
+/// ```
+/// use ef_netsim::{FaultPlan, FaultScope, SiteId};
+/// use ef_simcore::{SimDuration, SimTime};
+///
+/// let plan = FaultPlan::new(42)
+///     .loss(FaultScope::All, 0.01)
+///     .jitter(FaultScope::All, SimDuration::from_millis(2))
+///     .partition(
+///         SiteId(0),
+///         SiteId(1),
+///         SimTime::from_secs_f64(1.0),
+///         SimTime::from_secs_f64(3.0),
+///     );
+/// assert_eq!(plan.seed(), 42);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    seed: u64,
+    rng: DetRng,
+    loss: Vec<LossRule>,
+    jitter: Vec<JitterRule>,
+    degrade: Vec<DegradeRule>,
+    partitions: Vec<PartitionRule>,
+    stats: FaultStats,
+}
+
+impl FaultPlan {
+    /// Creates an empty plan whose randomness derives from `seed`.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            rng: DetRng::new(seed).substream("fault-plan"),
+            loss: Vec::new(),
+            jitter: Vec::new(),
+            degrade: Vec::new(),
+            partitions: Vec::new(),
+            stats: FaultStats::default(),
+        }
+    }
+
+    /// The seed this plan was built from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Adds a permanent loss rule: matching messages are dropped with
+    /// `probability`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `probability` is not within `[0, 1]`.
+    pub fn loss(self, scope: FaultScope, probability: f64) -> Self {
+        self.loss_window(scope, probability, SimTime::ZERO, SimTime::MAX)
+    }
+
+    /// Adds a loss rule active during `[from, until)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `probability` is not within `[0, 1]`.
+    pub fn loss_window(
+        mut self,
+        scope: FaultScope,
+        probability: f64,
+        from: SimTime,
+        until: SimTime,
+    ) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&probability),
+            "loss probability {probability} outside [0, 1]"
+        );
+        self.loss.push(LossRule {
+            scope,
+            window: Window { from, until },
+            probability,
+        });
+        self
+    }
+
+    /// Adds a permanent jitter rule: matching messages gain a uniform
+    /// `[0, max_extra]` propagation delay.
+    pub fn jitter(self, scope: FaultScope, max_extra: SimDuration) -> Self {
+        self.jitter_window(scope, max_extra, SimTime::ZERO, SimTime::MAX)
+    }
+
+    /// Adds a jitter rule active during `[from, until)`.
+    pub fn jitter_window(
+        mut self,
+        scope: FaultScope,
+        max_extra: SimDuration,
+        from: SimTime,
+        until: SimTime,
+    ) -> Self {
+        self.jitter.push(JitterRule {
+            scope,
+            window: Window { from, until },
+            max_extra,
+        });
+        self
+    }
+
+    /// Schedules a link degradation: during `[from, until)` matching
+    /// messages have their propagation latency multiplied by
+    /// `latency_factor`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `latency_factor < 1`.
+    pub fn degrade(
+        mut self,
+        scope: FaultScope,
+        latency_factor: f64,
+        from: SimTime,
+        until: SimTime,
+    ) -> Self {
+        assert!(
+            latency_factor >= 1.0,
+            "degradation factor {latency_factor} < 1"
+        );
+        self.degrade.push(DegradeRule {
+            scope,
+            window: Window { from, until },
+            latency_factor,
+        });
+        self
+    }
+
+    /// Schedules a symmetric partition between sites `a` and `b` from
+    /// `from` until it heals at `heal_at`. All messages between the two
+    /// sites are dropped during the window.
+    pub fn partition(mut self, a: SiteId, b: SiteId, from: SimTime, heal_at: SimTime) -> Self {
+        self.partitions.push(PartitionRule {
+            a,
+            b,
+            window: Window {
+                from,
+                until: heal_at,
+            },
+        });
+        self
+    }
+
+    /// True when an active partition separates the two sites at `t`.
+    pub fn partitioned(&self, a: SiteId, b: SiteId, t: SimTime) -> bool {
+        self.partitions
+            .iter()
+            .any(|p| p.window.contains(t) && ((p.a == a && p.b == b) || (p.a == b && p.b == a)))
+    }
+
+    /// Counters of everything the plan has done so far.
+    pub fn stats(&self) -> FaultStats {
+        self.stats
+    }
+
+    /// Resets counters (the RNG position is left alone).
+    pub fn reset_stats(&mut self) {
+        self.stats = FaultStats::default();
+    }
+
+    /// Judges one message: called by
+    /// [`Network::send`](crate::Network::send) for every non-loopback
+    /// message, in simulation order. Draws from the plan's RNG only for
+    /// matching probabilistic rules, so the verdict sequence is a pure
+    /// function of (seed, plan, message sequence).
+    pub fn judge(
+        &mut self,
+        now: SimTime,
+        src: NodeId,
+        dst: NodeId,
+        src_site: SiteId,
+        dst_site: SiteId,
+        base_latency: SimDuration,
+    ) -> FaultOutcome {
+        if self.partitioned(src_site, dst_site, now) {
+            self.stats.partitioned += 1;
+            return FaultOutcome::Drop;
+        }
+        for rule in &self.loss {
+            if rule.window.contains(now)
+                && rule.scope.matches(src, dst, src_site, dst_site)
+                && self.rng.unit() < rule.probability
+            {
+                self.stats.lost += 1;
+                return FaultOutcome::Drop;
+            }
+        }
+        let mut extra = SimDuration::ZERO;
+        let mut factor = 1.0f64;
+        for rule in &self.degrade {
+            if rule.window.contains(now) && rule.scope.matches(src, dst, src_site, dst_site) {
+                factor *= rule.latency_factor;
+            }
+        }
+        if factor > 1.0 {
+            self.stats.degraded += 1;
+            extra += base_latency * (factor - 1.0);
+        }
+        for rule in &self.jitter {
+            if rule.window.contains(now)
+                && rule.scope.matches(src, dst, src_site, dst_site)
+                && !rule.max_extra.is_zero()
+            {
+                self.stats.jittered += 1;
+                extra += rule.max_extra * self.rng.unit();
+            }
+        }
+        FaultOutcome::Deliver(extra)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn judge_all(plan: &mut FaultPlan, n: usize, t: SimTime) -> Vec<FaultOutcome> {
+        (0..n)
+            .map(|_| {
+                plan.judge(
+                    t,
+                    NodeId(0),
+                    NodeId(2),
+                    SiteId(0),
+                    SiteId(1),
+                    SimDuration::from_millis(5),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn no_rules_always_delivers_clean() {
+        let mut plan = FaultPlan::new(1);
+        for o in judge_all(&mut plan, 100, SimTime::ZERO) {
+            assert_eq!(o, FaultOutcome::Deliver(SimDuration::ZERO));
+        }
+        assert_eq!(plan.stats(), FaultStats::default());
+    }
+
+    #[test]
+    fn loss_is_seeded_and_replays() {
+        let verdicts = |seed| {
+            let mut plan = FaultPlan::new(seed).loss(FaultScope::All, 0.5);
+            judge_all(&mut plan, 200, SimTime::ZERO)
+        };
+        assert_eq!(verdicts(7), verdicts(7), "same seed must replay");
+        assert_ne!(verdicts(7), verdicts(8), "different seeds must differ");
+        let mut plan = FaultPlan::new(7).loss(FaultScope::All, 0.5);
+        let n_drop = judge_all(&mut plan, 400, SimTime::ZERO)
+            .iter()
+            .filter(|o| **o == FaultOutcome::Drop)
+            .count();
+        assert!((120..=280).contains(&n_drop), "drop count {n_drop}");
+        assert_eq!(plan.stats().lost, n_drop as u64);
+    }
+
+    #[test]
+    fn partition_window_drops_then_heals() {
+        let mut plan = FaultPlan::new(3).partition(
+            SiteId(0),
+            SiteId(1),
+            SimTime::from_secs_f64(1.0),
+            SimTime::from_secs_f64(2.0),
+        );
+        let before = SimTime::ZERO;
+        let during = SimTime::from_secs_f64(1.5);
+        let healed = SimTime::from_secs_f64(2.0);
+        assert_eq!(
+            judge_all(&mut plan, 1, before)[0],
+            FaultOutcome::Deliver(SimDuration::ZERO)
+        );
+        assert_eq!(judge_all(&mut plan, 1, during)[0], FaultOutcome::Drop);
+        // Symmetric: reverse direction also dropped.
+        assert!(plan.partitioned(SiteId(1), SiteId(0), during));
+        // Heal time is exclusive: at exactly `heal_at` traffic flows again.
+        assert_eq!(
+            judge_all(&mut plan, 1, healed)[0],
+            FaultOutcome::Deliver(SimDuration::ZERO)
+        );
+        assert_eq!(plan.stats().partitioned, 1);
+    }
+
+    #[test]
+    fn degradation_scales_latency_in_window() {
+        let mut plan = FaultPlan::new(5).degrade(
+            FaultScope::SitePair(SiteId(0), SiteId(1)),
+            3.0,
+            SimTime::ZERO,
+            SimTime::from_secs_f64(10.0),
+        );
+        let base = SimDuration::from_millis(5);
+        match judge_all(&mut plan, 1, SimTime::ZERO)[0] {
+            FaultOutcome::Deliver(extra) => {
+                // factor 3 → extra = 2 * base
+                assert!((extra.as_millis_f64() - 2.0 * base.as_millis_f64()).abs() < 1e-6);
+            }
+            FaultOutcome::Drop => panic!("degradation must not drop"),
+        }
+        // Outside the window: clean.
+        assert_eq!(
+            judge_all(&mut plan, 1, SimTime::from_secs_f64(10.0))[0],
+            FaultOutcome::Deliver(SimDuration::ZERO)
+        );
+    }
+
+    #[test]
+    fn jitter_bounded_and_seeded() {
+        let max = SimDuration::from_millis(4);
+        let mut plan = FaultPlan::new(11).jitter(FaultScope::All, max);
+        let mut seen_nonzero = false;
+        for o in judge_all(&mut plan, 50, SimTime::ZERO) {
+            match o {
+                FaultOutcome::Deliver(extra) => {
+                    assert!(extra <= max, "jitter {extra} exceeds bound");
+                    seen_nonzero |= !extra.is_zero();
+                }
+                FaultOutcome::Drop => panic!("jitter must not drop"),
+            }
+        }
+        assert!(seen_nonzero, "jitter never fired");
+        assert_eq!(plan.stats().jittered, 50);
+    }
+
+    #[test]
+    fn scopes_select_the_right_traffic() {
+        let src = NodeId(0);
+        let dst = NodeId(2);
+        let (ss, ds) = (SiteId(0), SiteId(1));
+        let hit = |scope: FaultScope| scope.matches(src, dst, ss, ds);
+        assert!(hit(FaultScope::All));
+        assert!(hit(FaultScope::SitePair(ds, ss)));
+        assert!(!hit(FaultScope::SitePair(ss, SiteId(9))));
+        assert!(hit(FaultScope::Site(ss)));
+        assert!(!hit(FaultScope::Site(SiteId(9))));
+        assert!(hit(FaultScope::Link(src, dst)));
+        assert!(!hit(FaultScope::Link(dst, src)));
+        assert!(hit(FaultScope::FromNode(src)));
+        assert!(!hit(FaultScope::FromNode(dst)));
+        assert!(hit(FaultScope::ToNode(dst)));
+        assert!(!hit(FaultScope::ToNode(src)));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn rejects_bad_probability() {
+        FaultPlan::new(0).loss(FaultScope::All, 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "factor")]
+    fn rejects_speedup_degradation() {
+        FaultPlan::new(0).degrade(FaultScope::All, 0.5, SimTime::ZERO, SimTime::MAX);
+    }
+}

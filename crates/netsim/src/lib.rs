@@ -18,6 +18,13 @@
 //!   through per-link FIFO servers so sustained flows saturate links — the
 //!   effect that throttles the Cloud-only baseline in Fig. 5.
 //!
+//! On top of both sits a **chaos layer**: a seeded [`FaultPlan`] attached to
+//! the network injects message loss, latency jitter, scheduled link
+//! degradations, and site-pair partitions with heal times. Fault-aware
+//! callers use [`Network::send`], which returns `None` for lost messages;
+//! everything is driven by a deterministic RNG so runs replay bit-identically
+//! from a seed.
+//!
 //! # Example
 //!
 //! ```
@@ -38,11 +45,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod fault;
 mod id;
 mod link;
 mod network;
 mod topology;
 
+pub use fault::{FaultOutcome, FaultPlan, FaultScope, FaultStats};
 pub use id::{NodeId, SiteId};
 pub use link::{LinkParams, NetworkConfig};
 pub use network::Network;

@@ -113,7 +113,7 @@ mod tests {
     #[test]
     fn serialization_delay_scales_with_bytes() {
         let link = LinkParams::from_ms_gbps(1.0, 1.0); // 1 Gbps
-        // 125 MB at 1 Gbps = 1 s.
+                                                       // 125 MB at 1 Gbps = 1 s.
         let d = link.serialization_delay(125_000_000);
         assert!((d.as_secs_f64() - 1.0).abs() < 1e-9);
     }

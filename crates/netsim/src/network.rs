@@ -1,6 +1,7 @@
 //! The network: topology + configuration, with analytic delay queries and
 //! FIFO-occupancy transfers.
 
+use crate::fault::{FaultOutcome, FaultPlan};
 use crate::id::NodeId;
 use crate::link::{LinkParams, NetworkConfig};
 use crate::topology::{SiteKind, Topology};
@@ -18,14 +19,22 @@ use std::collections::HashMap;
 /// * **Occupancy** — [`Network::transfer`] pushes bytes through per-node
 ///   uplink/downlink FIFO servers, so concurrent flows queue and sustained
 ///   load saturates links.
+///
+/// A seeded [`FaultPlan`] may be attached with [`Network::set_fault_plan`];
+/// [`Network::send`] then subjects every message to it (loss, jitter,
+/// degradation, partitions) while [`Network::transfer`] stays fault-free for
+/// analytic callers.
 #[derive(Debug)]
 pub struct Network {
     topology: Topology,
     config: NetworkConfig,
     /// Outgoing serialization server per node (models the NIC/uplink).
     uplinks: HashMap<NodeId, FifoServer>,
+    fault_plan: Option<FaultPlan>,
     bytes_sent: u64,
     messages_sent: u64,
+    messages_dropped: u64,
+    bytes_dropped: u64,
 }
 
 impl Network {
@@ -36,9 +45,28 @@ impl Network {
             topology,
             config,
             uplinks,
+            fault_plan: None,
             bytes_sent: 0,
             messages_sent: 0,
+            messages_dropped: 0,
+            bytes_dropped: 0,
         }
+    }
+
+    /// Attaches a fault plan; subsequent [`Network::send`] calls consult it.
+    /// Replaces any previous plan.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.fault_plan = Some(plan);
+    }
+
+    /// Removes and returns the attached fault plan, if any.
+    pub fn clear_fault_plan(&mut self) -> Option<FaultPlan> {
+        self.fault_plan.take()
+    }
+
+    /// The attached fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault_plan.as_ref()
     }
 
     /// The underlying topology.
@@ -101,14 +129,47 @@ impl Network {
     pub fn transfer(&mut self, now: SimTime, src: NodeId, dst: NodeId, bytes: u64) -> SimTime {
         let link = self.link(src, dst);
         let serialization = link.serialization_delay(bytes);
-        let uplink = self
-            .uplinks
-            .get_mut(&src)
-            .expect("unknown source node");
+        let uplink = self.uplinks.get_mut(&src).expect("unknown source node");
         let sent = uplink.serve(now, serialization);
         self.bytes_sent += bytes;
         self.messages_sent += 1;
         sent + link.latency
+    }
+
+    /// Fault-aware variant of [`Network::transfer`]: sends `bytes` from
+    /// `src` to `dst` starting at `now`, subjecting the message to the
+    /// attached [`FaultPlan`] (if any). Returns `Some(arrival)` on
+    /// delivery and `None` when the message is lost to a loss rule or an
+    /// active partition.
+    ///
+    /// The sender's uplink is occupied either way — a lost message was
+    /// still transmitted; it vanishes downstream. Loopback messages
+    /// (`src == dst`) are never dropped. Without a fault plan this
+    /// behaves exactly like [`Network::transfer`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `src` is unknown or arrivals go backwards in time (see
+    /// [`FifoServer::serve`]).
+    pub fn send(&mut self, now: SimTime, src: NodeId, dst: NodeId, bytes: u64) -> Option<SimTime> {
+        let base_latency = self.link(src, dst).latency;
+        let arrival = self.transfer(now, src, dst, bytes);
+        if src == dst {
+            return Some(arrival);
+        }
+        let src_site = self.topology.site_of(src);
+        let dst_site = self.topology.site_of(dst);
+        let Some(plan) = self.fault_plan.as_mut() else {
+            return Some(arrival);
+        };
+        match plan.judge(now, src, dst, src_site, dst_site, base_latency) {
+            FaultOutcome::Deliver(extra) => Some(arrival + extra),
+            FaultOutcome::Drop => {
+                self.messages_dropped += 1;
+                self.bytes_dropped += bytes;
+                None
+            }
+        }
     }
 
     /// The earliest time `src`'s uplink is free (its current backlog end).
@@ -129,13 +190,29 @@ impl Network {
         self.messages_sent
     }
 
+    /// Messages lost by the fault plan in [`Network::send`].
+    pub fn messages_dropped(&self) -> u64 {
+        self.messages_dropped
+    }
+
+    /// Bytes lost by the fault plan in [`Network::send`].
+    pub fn bytes_dropped(&self) -> u64 {
+        self.bytes_dropped
+    }
+
     /// Resets occupancy state and counters (e.g. between experiment runs).
+    /// Fault-plan counters reset too; its RNG position and schedule do not.
     pub fn reset_occupancy(&mut self) {
         for s in self.uplinks.values_mut() {
             s.reset();
         }
         self.bytes_sent = 0;
         self.messages_sent = 0;
+        self.messages_dropped = 0;
+        self.bytes_dropped = 0;
+        if let Some(plan) = self.fault_plan.as_mut() {
+            plan.reset_stats();
+        }
     }
 
     /// The SNOD2 network-cost matrix `v_ij` over the given nodes: RTT in
@@ -227,10 +304,10 @@ mod tests {
         let net = testbed();
         let nodes: Vec<NodeId> = net.topology().edge_nodes();
         let m = net.cost_matrix(&nodes);
-        for i in 0..nodes.len() {
-            assert_eq!(m[i][i], 0.0);
-            for j in 0..nodes.len() {
-                assert_eq!(m[i][j], m[j][i]);
+        for (i, row) in m.iter().enumerate() {
+            assert_eq!(row[i], 0.0);
+            for (j, cell) in row.iter().enumerate() {
+                assert_eq!(*cell, m[j][i]);
             }
         }
         // Intra-site pair cheaper than inter-edge pair.
@@ -245,6 +322,66 @@ mod tests {
         assert!(wan_rtt > edge_rtt);
         // Paper numbers: 2*12.2 = 24.4 ms WAN RTT.
         assert!((wan_rtt.as_millis_f64() - 24.4).abs() < 1e-6);
+    }
+
+    #[test]
+    fn send_without_plan_matches_transfer() {
+        let mut net = testbed();
+        let via_send = net.send(SimTime::ZERO, NodeId(0), NodeId(2), 1000).unwrap();
+        net.reset_occupancy();
+        let via_transfer = net.transfer(SimTime::ZERO, NodeId(0), NodeId(2), 1000);
+        assert_eq!(via_send, via_transfer);
+    }
+
+    #[test]
+    fn send_drops_under_full_loss_but_loopback_survives() {
+        use crate::fault::{FaultPlan, FaultScope};
+        let mut net = testbed();
+        net.set_fault_plan(FaultPlan::new(9).loss(FaultScope::All, 1.0));
+        assert_eq!(net.send(SimTime::ZERO, NodeId(0), NodeId(2), 500), None);
+        assert_eq!(net.messages_dropped(), 1);
+        assert_eq!(net.bytes_dropped(), 500);
+        // Loopback is exempt from faults.
+        assert!(net.send(SimTime::ZERO, NodeId(3), NodeId(3), 500).is_some());
+        // Uplink was still occupied by the lost message.
+        assert!(net.uplink_free_at(NodeId(0)) > SimTime::ZERO);
+    }
+
+    #[test]
+    fn send_respects_partition_windows() {
+        use crate::fault::FaultPlan;
+        use crate::id::SiteId;
+        let mut net = testbed();
+        // Sites: 0 = {n0, n1}, 1 = {n2, n3}, 2 = cloud {n4}.
+        net.set_fault_plan(FaultPlan::new(4).partition(
+            SiteId(0),
+            SiteId(1),
+            SimTime::ZERO,
+            SimTime::from_secs_f64(5.0),
+        ));
+        assert_eq!(net.send(SimTime::ZERO, NodeId(0), NodeId(2), 64), None);
+        assert_eq!(net.send(SimTime::ZERO, NodeId(2), NodeId(1), 64), None);
+        // Same-site and cloud paths unaffected.
+        assert!(net.send(SimTime::ZERO, NodeId(0), NodeId(1), 64).is_some());
+        assert!(net.send(SimTime::ZERO, NodeId(0), NodeId(4), 64).is_some());
+        // After healing the pair talks again.
+        let healed = SimTime::from_secs_f64(5.0);
+        assert!(net.send(healed, NodeId(0), NodeId(2), 64).is_some());
+    }
+
+    #[test]
+    fn send_jitter_delays_but_delivers() {
+        use crate::fault::{FaultPlan, FaultScope};
+        let mut net = testbed();
+        let clean = net.transfer(SimTime::ZERO, NodeId(0), NodeId(2), 64);
+        net.reset_occupancy();
+        net.set_fault_plan(FaultPlan::new(2).jitter(FaultScope::All, SimDuration::from_millis(3)));
+        let max_extra = SimDuration::from_millis(3);
+        for _ in 0..20 {
+            net.reset_occupancy();
+            let a = net.send(SimTime::ZERO, NodeId(0), NodeId(2), 64).unwrap();
+            assert!(a >= clean && a <= clean + max_extra, "arrival {a}");
+        }
     }
 
     #[test]

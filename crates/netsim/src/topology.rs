@@ -204,7 +204,10 @@ mod tests {
     #[test]
     fn edge_and_cloud_split() {
         let t = sample();
-        assert_eq!(t.edge_nodes(), vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3), NodeId(4)]);
+        assert_eq!(
+            t.edge_nodes(),
+            vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3), NodeId(4)]
+        );
         assert_eq!(t.cloud_nodes(), vec![NodeId(5)]);
         assert!(t.is_cloud_node(NodeId(5)));
         assert!(!t.is_cloud_node(NodeId(0)));
@@ -227,7 +230,10 @@ mod tests {
 
     #[test]
     fn bulk_edge_sites() {
-        let t = TopologyBuilder::new().edge_sites(10, 2).cloud_site(4).build();
+        let t = TopologyBuilder::new()
+            .edge_sites(10, 2)
+            .cloud_site(4)
+            .build();
         assert_eq!(t.edge_nodes().len(), 20);
         assert_eq!(t.site_count(), 11);
     }

@@ -173,7 +173,9 @@ impl<E> Simulator<E> {
             };
             handler.handle(ev.payload, &mut ctx);
         }
-        self.now = self.now.max(deadline.min(self.queue.peek_time().unwrap_or(deadline)));
+        self.now = self
+            .now
+            .max(deadline.min(self.queue.peek_time().unwrap_or(deadline)));
     }
 }
 
@@ -224,9 +226,10 @@ mod tests {
             sim.schedule_at(SimTime::from_nanos(i * 1_000), Ev::Ping(i as u32));
         }
         let mut seen = 0;
-        sim.run_until(SimTime::from_nanos(4_500), |_: Ev, _: &mut Context<'_, Ev>| {
-            seen += 1
-        });
+        sim.run_until(
+            SimTime::from_nanos(4_500),
+            |_: Ev, _: &mut Context<'_, Ev>| seen += 1,
+        );
         assert_eq!(seen, 5);
         assert_eq!(sim.pending(), 5);
     }

@@ -70,5 +70,8 @@ fn main() {
         assert_eq!(&bytes, original, "restore mismatch for {id}");
         restored_ok += 1;
     }
-    println!("{restored_ok}/{} files restored byte-exact from the degraded store", files.len());
+    println!(
+        "{restored_ok}/{} files restored byte-exact from the degraded store",
+        files.len()
+    );
 }

@@ -41,12 +41,19 @@ fn main() {
             .put(NodeId(i % 5), &i.to_be_bytes(), Bytes::from_static(b"h"))
             .expect("cluster up");
     }
-    println!("wrote 100 index entries (rf=2) -> {} replica rows", cluster.total_replica_entries());
+    println!(
+        "wrote 100 index entries (rf=2) -> {} replica rows",
+        cluster.total_replica_entries()
+    );
 
     cluster.set_down(NodeId(3));
     let mut readable = 0;
     for i in 0..100u32 {
-        if cluster.get(NodeId(0), &i.to_be_bytes()).expect("up").is_some() {
+        if cluster
+            .get(NodeId(0), &i.to_be_bytes())
+            .expect("up")
+            .is_some()
+        {
             readable += 1;
         }
     }
@@ -67,14 +74,24 @@ fn main() {
     cluster.set_up(NodeId(3));
     println!(
         "n3 back up: hints replayed, n3 now holds {} entries",
-        cluster.node(NodeId(3)).expect("member").storage().stats().live_keys
+        cluster
+            .node(NodeId(3))
+            .expect("member")
+            .storage()
+            .stats()
+            .live_keys
     );
 
     println!("\n== seamless membership change ==");
     cluster.add_node(NodeId(5));
     println!(
         "added n5: rebalanced, n5 owns {} entries, every key still on exactly 2 replicas: {}",
-        cluster.node(NodeId(5)).expect("member").storage().stats().live_keys,
+        cluster
+            .node(NodeId(5))
+            .expect("member")
+            .storage()
+            .stats()
+            .live_keys,
         cluster.total_replica_entries() == 2 * cluster.distinct_keys()
     );
 

@@ -15,7 +15,10 @@ use efdedup_repro::prelude::*;
 
 fn main() {
     // --- Topology: 4 edge clouds x 2 nodes + a 4-VM central cloud -------
-    let topo = TopologyBuilder::new().edge_sites(4, 2).cloud_site(4).build();
+    let topo = TopologyBuilder::new()
+        .edge_sites(4, 2)
+        .cloud_site(4)
+        .build();
     let network = Network::new(topo, NetworkConfig::paper_testbed());
     let edge = network.topology().edge_nodes();
     println!(
@@ -46,8 +49,8 @@ fn main() {
     // (For the partitioning we use the dataset's full ground-truth model;
     // the fitted model above demonstrates estimation quality on a pair.)
     let costs = network.cost_matrix(&edge);
-    let inst = Snod2Instance::from_parts(dataset.model(), costs, 0.02, 2, 10.0)
-        .expect("valid instance");
+    let inst =
+        Snod2Instance::from_parts(dataset.model(), costs, 0.02, 2, 10.0).expect("valid instance");
 
     // --- Step 3: SMART partitioning ---------------------------------------
     let partition = SmartGreedy.partition(&inst, 3);

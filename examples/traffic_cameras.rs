@@ -22,20 +22,18 @@ fn main() {
 
     println!("== SMART ring structure vs inter-edge-cloud latency ==\n");
     for inter_ms in [1.0, 5.0, 40.0] {
-        let topo = TopologyBuilder::new().edge_sites(6, 2).cloud_site(2).build();
+        let topo = TopologyBuilder::new()
+            .edge_sites(6, 2)
+            .cloud_site(2)
+            .build();
         let network = Network::new(
             topo,
             NetworkConfig::paper_testbed().with_inter_edge_latency_ms(inter_ms),
         );
         let edge = network.topology().edge_nodes();
-        let inst = Snod2Instance::from_parts(
-            dataset.model(),
-            network.cost_matrix(&edge),
-            0.02,
-            2,
-            10.0,
-        )
-        .expect("valid instance");
+        let inst =
+            Snod2Instance::from_parts(dataset.model(), network.cost_matrix(&edge), 0.02, 2, 10.0)
+                .expect("valid instance");
         // Three rings of ~4 cameras: ring size exceeds the replication
         // factor, so non-local lookups (and the latency trade-off) are in
         // play.
@@ -47,8 +45,7 @@ fn main() {
             .iter()
             .filter(|ring| {
                 ring.iter().any(|&a| {
-                    ring.iter()
-                        .any(|&b| a != b && a % 6 == b % 6) // same group
+                    ring.iter().any(|&b| a != b && a % 6 == b % 6) // same group
                 })
             })
             .count();
@@ -76,12 +73,12 @@ fn main() {
     let chunker = FixedChunker::new(dataset.model().chunk_size()).expect("valid chunk size");
     let mut unique = 0usize;
     let mut total = 0usize;
-    for cam in 0..4 {
+    for (cam, &member) in members.iter().enumerate().take(4) {
         let frames = dataset.file(cam, 0, 0, 300);
         for chunk in chunker.chunk(&frames) {
             total += 1;
             if ring
-                .check_and_insert(members[cam], chunk.hash.as_bytes(), Bytes::from_static(&[1]))
+                .check_and_insert(member, chunk.hash.as_bytes(), Bytes::from_static(&[1]))
                 .expect("ring available")
             {
                 unique += 1;
@@ -112,14 +109,23 @@ fn main() {
     // New chunks written while n2 is down are hinted...
     let new_frames = dataset.file(1, 1, 0, 100);
     for chunk in chunker.chunk(&new_frames) {
-        let _ = ring.check_and_insert(
-            members[1],
-            chunk.hash.as_bytes(),
-            Bytes::from_static(&[1]),
-        );
+        let _ = ring.check_and_insert(members[1], chunk.hash.as_bytes(), Bytes::from_static(&[1]));
     }
-    let before = ring.node(NodeId(2)).expect("member").storage().stats().live_keys;
+    let before = ring
+        .node(NodeId(2))
+        .expect("member")
+        .storage()
+        .stats()
+        .live_keys;
     ring.set_up(NodeId(2));
-    let after = ring.node(NodeId(2)).expect("member").storage().stats().live_keys;
-    println!("n2 recovers: hinted handoff replayed {} index entries onto it", after - before);
+    let after = ring
+        .node(NodeId(2))
+        .expect("member")
+        .storage()
+        .stats()
+        .live_keys;
+    println!(
+        "n2 recovers: hinted handoff replayed {} index entries onto it",
+        after - before
+    );
 }

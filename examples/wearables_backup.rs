@@ -48,7 +48,11 @@ fn main() {
             "slot {slot}: fit error {:.2}% ({} iterations, {})",
             fitted.mean_rel_error * 100.0,
             fitted.iterations,
-            if previous.is_none() { "cold start" } else { "warm start" },
+            if previous.is_none() {
+                "cold start"
+            } else {
+                "warm start"
+            },
         );
 
         // Build this slot's instance from the *fitted* model and

@@ -27,16 +27,14 @@ pub use efdedup as core;
 pub mod prelude {
     pub use ef_chunking::{ChunkHash, Chunker, FixedChunker, GearChunker};
     pub use ef_cloudstore::{Durability, DurableStore, FileCatalog};
-    pub use ef_erasure::ReedSolomon;
     pub use ef_datagen::datasets;
     pub use ef_datagen::{CharacteristicVector, GenerativeModel, SourceSpec};
+    pub use ef_erasure::ReedSolomon;
     pub use ef_kvstore::{ClusterConfig, Consistency, LocalCluster, ThreadedCluster};
     pub use ef_netsim::{Network, NetworkConfig, NodeId, TopologyBuilder};
     pub use ef_simcore::{DetRng, SimDuration, SimTime};
     pub use efdedup::estimator::{Estimator, EstimatorConfig, GroundTruth};
     pub use efdedup::model::Snod2Instance;
-    pub use efdedup::partition::{
-        DedupOnly, NetworkOnly, Partition, Partitioner, SmartGreedy,
-    };
+    pub use efdedup::partition::{DedupOnly, NetworkOnly, Partition, Partitioner, SmartGreedy};
     pub use efdedup::system::{run_system, Strategy, SystemConfig, Workload};
 }

@@ -21,7 +21,7 @@ fn edge_dedup_to_cloud_restore_roundtrip() {
     let mut originals = Vec::new();
     let mut file_ids = Vec::new();
 
-    for node in 0..4usize {
+    for (node, &member) in members.iter().enumerate().take(4) {
         let file = dataset.file(node, 0, 0, 200);
         let chunks = chunker.chunk(&file);
         total_chunks += chunks.len();
@@ -31,7 +31,7 @@ fn edge_dedup_to_cloud_restore_roundtrip() {
         let mut manifest_chunks = Vec::new();
         for c in &chunks {
             if ring
-                .check_and_insert(members[node], c.hash.as_bytes(), Bytes::from_static(&[1]))
+                .check_and_insert(member, c.hash.as_bytes(), Bytes::from_static(&[1]))
                 .unwrap()
             {
                 wan_chunks += 1;

@@ -25,7 +25,11 @@ fn threaded_ring_dedup_matches_reference_measurement() {
         for chunk in chunker.chunk(stream) {
             total += 1;
             if ring
-                .check_and_insert(members[node], chunk.hash.as_bytes(), Bytes::from_static(&[1]))
+                .check_and_insert(
+                    members[node],
+                    chunk.hash.as_bytes(),
+                    Bytes::from_static(&[1]),
+                )
                 .unwrap()
             {
                 unique += 1;
@@ -39,7 +43,10 @@ fn threaded_ring_dedup_matches_reference_measurement() {
         (measured - reference).abs() < 1e-9,
         "ring dedup {measured} != reference {reference}"
     );
-    assert!(measured > 1.4, "video data should dedup well, got {measured}");
+    assert!(
+        measured > 1.4,
+        "video data should dedup well, got {measured}"
+    );
 }
 
 #[test]
@@ -57,7 +64,11 @@ fn cdc_chunking_full_pipeline() {
         for chunk in chunker.chunk(stream) {
             total += 1;
             if cluster
-                .check_and_insert(NodeId(node), chunk.hash.as_bytes(), Bytes::from_static(&[1]))
+                .check_and_insert(
+                    NodeId(node),
+                    chunk.hash.as_bytes(),
+                    Bytes::from_static(&[1]),
+                )
                 .unwrap()
             {
                 unique += 1;
@@ -95,7 +106,7 @@ fn simulated_cluster_prices_what_local_cluster_decides() {
             coord,
             ClientOp::Put(Bytes::copy_from_slice(&key), Bytes::from_static(b"v")),
         );
-        t = t + SimDuration::from_millis(10);
+        t += SimDuration::from_millis(10);
     }
     let latencies = sim.run();
     assert_eq!(latencies.len(), 200);
@@ -113,12 +124,7 @@ fn workspace_crates_compose_through_prelude() {
     assert_eq!(rng.seed(), 1);
     let v = CharacteristicVector::uniform(3);
     assert_eq!(v.pool_count(), 3);
-    let model = GenerativeModel::new(
-        vec![10, 10, 10],
-        64,
-        vec![SourceSpec::new(1.0, v)],
-    )
-    .unwrap();
+    let model = GenerativeModel::new(vec![10, 10, 10], 64, vec![SourceSpec::new(1.0, v)]).unwrap();
     assert_eq!(model.source_count(), 1);
     let h = ChunkHash::of(b"x");
     assert_eq!(h, ChunkHash::of(b"x"));

@@ -42,19 +42,15 @@ fn dedup_stays_sound_across_failures() {
             ring.set_up(victim);
         }
 
-        for node in 0..4usize {
-            if ring.is_down(members[node]) {
+        for (node, &member) in members.iter().enumerate().take(4) {
+            if ring.is_down(member) {
                 continue; // this agent's coordinator is offline
             }
             let stream = dataset.file(node, round, 0, 60);
             for chunk in chunker.chunk(&stream) {
                 processed += 1;
                 let claimed_unique = ring
-                    .check_and_insert(
-                        members[node],
-                        chunk.hash.as_bytes(),
-                        Bytes::from_static(&[1]),
-                    )
+                    .check_and_insert(member, chunk.hash.as_bytes(), Bytes::from_static(&[1]))
                     .expect("coordinator is up");
                 let actually_new = truly_seen.insert(chunk.hash);
                 if claimed_unique && !actually_new {
@@ -103,7 +99,9 @@ fn membership_change_under_load_preserves_index() {
     let mut keys = Vec::new();
     for i in 0..200u32 {
         let key = i.to_be_bytes();
-        cluster.put(NodeId(i % 4), &key, Bytes::from_static(b"v")).unwrap();
+        cluster
+            .put(NodeId(i % 4), &key, Bytes::from_static(b"v"))
+            .unwrap();
         keys.push(key);
     }
     // Scale out, then decommission a different node.
@@ -130,7 +128,8 @@ fn ring_survives_failure_of_every_single_node_in_turn() {
     let stream = dataset.file(0, 0, 0, 200);
     let hashes: Vec<ChunkHash> = chunker.chunk(&stream).into_iter().map(|c| c.hash).collect();
     for h in &hashes {
-        ring.put(NodeId(0), h.as_bytes(), Bytes::from_static(&[1])).unwrap();
+        ring.put(NodeId(0), h.as_bytes(), Bytes::from_static(&[1]))
+            .unwrap();
     }
 
     // Whichever single node fails, every recorded hash stays findable.

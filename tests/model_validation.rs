@@ -15,11 +15,11 @@ use proptest::prelude::*;
 /// Strategy generating a small random SNOD2 instance.
 fn arb_instance() -> impl Strategy<Value = Snod2Instance> {
     (
-        2usize..6,                                // nodes
-        2usize..4,                                // pools
+        2usize..6,                                     // nodes
+        2usize..4,                                     // pools
         proptest::collection::vec(10u64..5_000, 2..4), // pool sizes (resized below)
-        0u64..u64::MAX,                           // seed
-        0.0f64..0.1,                              // alpha
+        0u64..u64::MAX,                                // seed
+        0.0f64..0.1,                                   // alpha
     )
         .prop_map(|(n, k, mut sizes, seed, alpha)| {
             sizes.resize(k, 100);
@@ -31,6 +31,8 @@ fn arb_instance() -> impl Strategy<Value = Snod2Instance> {
                 })
                 .collect();
             let mut costs = vec![vec![0.0; n]; n];
+            // Symmetric fill: each draw writes (i, j) and (j, i).
+            #[allow(clippy::needless_range_loop)]
             for i in 0..n {
                 for j in (i + 1)..n {
                     let c = rng.range_f64(0.1, 50.0);

@@ -62,12 +62,7 @@ fn fig5a_smart_wins_and_ds2_wins_bigger() {
 /// Fig. 5(b): SMART's lead over Cloud-Assisted grows with WAN latency.
 #[test]
 fn fig5b_lead_grows_with_latency() {
-    let pts = throughput_vs_wan_latency(
-        DatasetKind::Accelerometer,
-        &[12.2, 100.0],
-        12,
-        &quick(),
-    );
+    let pts = throughput_vs_wan_latency(DatasetKind::Accelerometer, &[12.2, 100.0], 12, &quick());
     let lead = |lat: f64| {
         let get = |s: &str| {
             pts.iter()
@@ -97,10 +92,7 @@ fn fig5c_ratio_monotone_and_bounded() {
     // SMART re-partitions per ring count, so adjacent points may jitter
     // slightly; the trend must be downward and the endpoints strict.
     for w in ratios.windows(2) {
-        assert!(
-            w[0] >= w[1] * 0.95,
-            "ratio trend not downward: {ratios:?}"
-        );
+        assert!(w[0] >= w[1] * 0.95, "ratio trend not downward: {ratios:?}");
     }
     assert!(
         ratios[0] > *ratios.last().unwrap(),
@@ -127,12 +119,7 @@ fn fig6a_storage_network_tradeoff() {
 /// rises — large rings win at low latency, small rings at high latency.
 #[test]
 fn fig6b_crossover_exists() {
-    let pts = tradeoff_sweep(
-        DatasetKind::Accelerometer,
-        &[1, 10],
-        &[5.0, 30.0],
-        &quick(),
-    );
+    let pts = tradeoff_sweep(DatasetKind::Accelerometer, &[1, 10], &[5.0, 30.0], &quick());
     let thr = |rings: usize, lat: f64| {
         pts.iter()
             .find(|p| p.rings == rings && p.inter_edge_ms == lat)
@@ -164,10 +151,7 @@ fn fig6c_smart_beats_both_ablations() {
     assert!(get("SMART") <= get("Network-Only") + 1e-9);
     assert!(get("SMART") <= get("Dedup-Only") + 1e-9);
     // Strictly better than at least one (it's a trade-off, not a tie).
-    assert!(
-        get("SMART") < get("Network-Only") * 0.999
-            || get("SMART") < get("Dedup-Only") * 0.999
-    );
+    assert!(get("SMART") < get("Network-Only") * 0.999 || get("SMART") < get("Dedup-Only") * 0.999);
 }
 
 /// Fig. 7(a): SMART stays at or below both ablations as the node count

@@ -41,7 +41,7 @@ fn analytic_lookup_latency_matches_simulated_reads() {
                 Bytes::from_static(b"v"),
             ),
         );
-        t = t + SimDuration::from_millis(20);
+        t += SimDuration::from_millis(20);
     }
     sim.run();
 
@@ -68,7 +68,7 @@ fn analytic_lookup_latency_matches_simulated_reads() {
             coordinator,
             ClientOp::Get(Bytes::from(key.to_vec())),
         );
-        read_start = read_start + SimDuration::from_millis(50);
+        read_start += SimDuration::from_millis(50);
     }
     let reads = sim.run();
     assert_eq!(reads.len(), 150);
