@@ -138,7 +138,8 @@ impl FileCatalog {
             return false;
         };
         for (hash, _) in &manifest.chunks {
-            self.store.release(hash);
+            let released = self.store.release(hash);
+            debug_assert!(released.is_some(), "manifest chunk missing from store");
         }
         true
     }

@@ -4,7 +4,7 @@
 use bytes::Bytes;
 use ef_chunking::ChunkHash;
 use ef_erasure::ReedSolomon;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 
 /// The durability scheme for stored chunks.
@@ -60,6 +60,8 @@ pub enum DurableError {
     UnknownChunk(ChunkHash),
     /// Too many fragments are on failed nodes to reconstruct.
     Unrecoverable(ChunkHash),
+    /// The erasure coder rejected the payload.
+    Encode(String),
 }
 
 impl fmt::Display for DurableError {
@@ -70,6 +72,7 @@ impl fmt::Display for DurableError {
             DurableError::Unrecoverable(h) => {
                 write!(f, "chunk {h} unrecoverable: too many fragments lost")
             }
+            DurableError::Encode(msg) => write!(f, "erasure encode failed: {msg}"),
         }
     }
 }
@@ -101,10 +104,10 @@ pub struct DurableStore {
     durability: Durability,
     rs: Option<ReedSolomon>,
     /// Per storage node: fragment index → bytes.
-    nodes: Vec<HashMap<ChunkHash, Bytes>>,
+    nodes: Vec<BTreeMap<ChunkHash, Bytes>>,
     failed: Vec<bool>,
     /// Chunk metadata: original length + home node offset.
-    chunks: HashMap<ChunkHash, ChunkMeta>,
+    chunks: BTreeMap<ChunkHash, ChunkMeta>,
     next_spread: usize,
 }
 
@@ -147,9 +150,9 @@ impl DurableStore {
         Ok(DurableStore {
             durability,
             rs,
-            nodes: vec![HashMap::new(); node_count],
+            nodes: vec![BTreeMap::new(); node_count],
             failed: vec![false; node_count],
-            chunks: HashMap::new(),
+            chunks: BTreeMap::new(),
             next_spread: 0,
         })
     }
@@ -178,7 +181,7 @@ impl DurableStore {
             }
             Some(rs) => rs
                 .encode(&data)
-                .expect("encode of in-memory data cannot fail")
+                .map_err(|e| DurableError::Encode(e.to_string()))?
                 .into_iter()
                 .map(Bytes::from)
                 .collect(),

@@ -2,7 +2,7 @@
 
 use bytes::Bytes;
 use ef_chunking::ChunkHash;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Aggregate statistics of a [`ChunkStore`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -58,7 +58,7 @@ struct Entry {
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct ChunkStore {
-    entries: HashMap<ChunkHash, Entry>,
+    entries: BTreeMap<ChunkHash, Entry>,
     physical_bytes: u64,
     logical_bytes: u64,
 }
@@ -104,26 +104,20 @@ impl ChunkStore {
     }
 
     /// Drops one reference; the chunk is garbage-collected when the
-    /// count reaches zero. Returns `true` when the payload was freed.
-    ///
-    /// # Panics
-    ///
-    /// Panics when releasing a hash that is not stored (a refcounting
-    /// bug in the caller).
-    pub fn release(&mut self, hash: &ChunkHash) -> bool {
-        let entry = self
-            .entries
-            .get_mut(hash)
-            .expect("release of unknown chunk");
+    /// count reaches zero. Returns `Some(true)` when the payload was
+    /// freed, `Some(false)` when references remain, and `None` when the
+    /// hash is not stored (a refcounting bug in the caller).
+    pub fn release(&mut self, hash: &ChunkHash) -> Option<bool> {
+        let entry = self.entries.get_mut(hash)?;
         entry.refs -= 1;
         self.logical_bytes -= entry.data.len() as u64;
         if entry.refs == 0 {
             let len = entry.data.len() as u64;
             self.entries.remove(hash);
             self.physical_bytes -= len;
-            true
+            Some(true)
         } else {
-            false
+            Some(false)
         }
     }
 
@@ -173,9 +167,9 @@ mod tests {
         let (h, b) = chunk("bbbb");
         store.put(h, b.clone());
         store.put(h, b);
-        assert!(!store.release(&h)); // one ref left
+        assert_eq!(store.release(&h), Some(false)); // one ref left
         assert!(store.contains(&h));
-        assert!(store.release(&h)); // freed
+        assert_eq!(store.release(&h), Some(true)); // freed
         assert!(!store.contains(&h));
         assert_eq!(store.stats(), ChunkStoreStats::default());
     }
@@ -191,10 +185,9 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "release of unknown chunk")]
-    fn release_unknown_panics() {
+    fn release_unknown_reports_none() {
         let (h, _) = chunk("x");
-        ChunkStore::new().release(&h);
+        assert_eq!(ChunkStore::new().release(&h), None);
     }
 
     #[test]

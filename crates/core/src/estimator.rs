@@ -184,6 +184,7 @@ impl Params {
             .iter()
             .map(|w| {
                 CharacteristicVector::from_weights(w.clone())
+                    // simlint::allow(D003): descend() projects weights onto the strictly positive simplex
                     .expect("weights kept strictly positive")
             })
             .collect()
@@ -231,11 +232,13 @@ impl Estimator {
                 Some((_, b, _)) if *b <= err => {}
                 _ => best = Some((params, err, iters)),
             }
+            // simlint::allow(D003): the match directly above always sets `best`
             if best.as_ref().expect("just set").1 < self.config.mse_threshold {
                 break;
             }
         }
 
+        // simlint::allow(D003): EstimatorConfig validation guarantees restarts >= 1
         let (params, final_mse, iterations) = best.expect("at least one restart ran");
         self.finish(truth, params, final_mse, iterations)
     }
@@ -244,6 +247,16 @@ impl Estimator {
     /// with each `K` in `k_range` and returns the best model by MSE,
     /// preferring smaller `K` on near-ties (an Occam margin of 5 %
     /// guards against overfitting with extra pools).
+    ///
+    /// The search's acceptance bound is deliberately an order of
+    /// magnitude tighter than the per-fit [`EstimatorConfig::mse_threshold`]:
+    /// with `n` sources there are only `2^n - 1` probe subsets, so a
+    /// small-`K` model can interpolate the measurements without having
+    /// resolved the true pool structure. Stopping therefore requires
+    /// both the tightened bound and at least two candidate pool counts
+    /// tried, and while the incumbent is still above the bound any
+    /// strict MSE improvement advances the search — the Occam margin
+    /// only arbitrates between fits that are already adequate.
     ///
     /// # Panics
     ///
@@ -254,23 +267,77 @@ impl Estimator {
         k_range: std::ops::RangeInclusive<usize>,
     ) -> FittedModel {
         assert!(!k_range.is_empty(), "empty K range");
+        let accept = self.config.mse_threshold * 0.1;
         let mut best: Option<FittedModel> = None;
+        let mut tried = 0usize;
         for k in k_range {
             let est = Estimator::new(EstimatorConfig {
                 pools: k,
                 ..self.config
             });
-            let fitted = est.fit(truth);
+            let mut fitted = est.fit(truth);
+            // Nested-model warm start: a (K+1)-pool model strictly
+            // contains the incumbent (pad with a near-zero-weight pool),
+            // so descending from the incumbent's parameters guards the
+            // search against cold starts that cannot match a
+            // well-converged smaller model.
+            if let Some(prev) = &best {
+                if prev.pool_sizes.len() < k {
+                    let warm = est.fit_warm_padded(truth, prev, k);
+                    if warm.mse < fitted.mse {
+                        fitted = warm;
+                    }
+                }
+            }
+            tried += 1;
             best = Some(match best {
                 None => fitted,
+                // Incumbent not yet adequate: any strict improvement wins.
+                Some(prev) if prev.mse >= accept && fitted.mse < prev.mse => fitted,
+                // Both contenders adequate: extra pools must pay ≥ 5 %.
                 Some(prev) if fitted.mse < prev.mse * 0.95 => fitted,
                 Some(prev) => prev,
             });
-            if best.as_ref().expect("just set").mse < self.config.mse_threshold {
+            // simlint::allow(D003): the match directly above always sets `best`
+            let incumbent = best.as_ref().expect("just set");
+            if tried >= 2 && incumbent.mse < accept {
                 break;
             }
         }
+        // simlint::allow(D003): the caller passes a non-empty K range
         best.expect("at least one K tried")
+    }
+
+    /// Warm start from `previous`, padded out to `pools` pools with
+    /// near-zero-weight entries so the init predicts (almost) exactly
+    /// what `previous` predicts. Used by [`Self::fit_search_k`] to make
+    /// the best MSE non-increasing in `K`.
+    fn fit_warm_padded(
+        &self,
+        truth: &GroundTruth,
+        previous: &FittedModel,
+        pools: usize,
+    ) -> FittedModel {
+        let max_log = (self.config.max_pool_size as f64).ln();
+        let mut log_sizes: Vec<f64> = previous
+            .pool_sizes
+            .iter()
+            .map(|&s| (s as f64).ln())
+            .collect();
+        let mut weights: Vec<Vec<f64>> = previous
+            .probs
+            .iter()
+            .map(|p| p.as_slice().iter().map(|&x| x.max(1e-4)).collect())
+            .collect();
+        while log_sizes.len() < pools {
+            let largest = log_sizes.iter().cloned().fold(0.0f64, f64::max);
+            log_sizes.push((largest + std::f64::consts::LN_2).min(max_log));
+            for w in &mut weights {
+                w.push(1e-4);
+            }
+        }
+        let (params, final_mse, iterations) = self.descend(truth, Params { log_sizes, weights });
+        self.finish(truth, params, final_mse, iterations)
     }
 
     /// Fits starting from a previous slot's model — the warm-started
@@ -546,7 +613,25 @@ mod tests {
 
     #[test]
     fn k_search_finds_adequate_pool_count() {
-        let model = known_model(); // the true model has K = 3
+        // Three sources give 2^3 - 1 = 7 probe subsets, so a K = 1 model
+        // (1 size + 3 weights = 4 parameters) is over-determined and
+        // cannot interpolate the measurements the way it can with only
+        // two sources (3 subsets vs 3 parameters). That makes "the
+        // search must move past K = 1" a property of the model class,
+        // not of one lucky sample.
+        let v1 = CharacteristicVector::new(vec![0.6, 0.2, 0.2]).unwrap();
+        let v2 = CharacteristicVector::new(vec![0.5, 0.3, 0.2]).unwrap();
+        let v3 = CharacteristicVector::new(vec![0.2, 0.2, 0.6]).unwrap();
+        let model = GenerativeModel::new(
+            vec![300, 800, 50_000], // the true model has K = 3
+            256,
+            vec![
+                SourceSpec::new(100.0, v1),
+                SourceSpec::new(100.0, v2),
+                SourceSpec::new(100.0, v3),
+            ],
+        )
+        .unwrap();
         let gt = truth_from_model(&model, 400);
         let fitted = Estimator::default().fit_search_k(&gt, 1..=4);
         assert!(
@@ -554,7 +639,7 @@ mod tests {
             "K-search error {}",
             fitted.mean_rel_error
         );
-        // A single pool cannot express two differently-sized overlap
+        // A single pool cannot express three differently-sized overlap
         // structures; the search must have moved past K = 1.
         assert!(fitted.pool_sizes.len() >= 2, "stuck at K=1");
     }

@@ -75,6 +75,7 @@ pub fn instance_for(
     assert!(edge.len() >= n, "not enough edge nodes");
     let costs = network.cost_matrix(&edge[..n]);
     Snod2Instance::from_parts(dataset.model(), costs, alpha, gamma, horizon)
+        // simlint::allow(D003): inputs derive from a validated dataset model
         .expect("dataset-derived instance is valid")
 }
 
@@ -119,6 +120,7 @@ pub fn estimation_experiment(
 ) -> Vec<EstimationSlot> {
     assert!(slots > 0, "need at least one slot");
     let dataset = kind.build(2, seed);
+    // simlint::allow(D003): the dataset model's chunk size is validated at model construction
     let chunker = FixedChunker::new(dataset.model().chunk_size()).expect("valid chunk size");
     let estimator = Estimator::new(EstimatorConfig::default());
 
@@ -453,10 +455,12 @@ pub fn scale_instance(
             p[k - 1] = p_noise;
             SourceSpec::new(
                 512.0,
+                // simlint::allow(D003): probabilities are built to sum to one a few lines up
                 CharacteristicVector::new(p).expect("probs sum to one"),
             )
         })
         .collect();
+    // simlint::allow(D003): constant experiment parameters satisfy the model invariants
     let model = GenerativeModel::new(pool_sizes, 4096, sources).expect("scale model is valid");
 
     let mut rng = DetRng::new(seed).substream("scale-latency");
@@ -471,6 +475,7 @@ pub fn scale_instance(
             costs[j][i] = rtt;
         }
     }
+    // simlint::allow(D003): constant experiment parameters satisfy the instance invariants
     Snod2Instance::from_parts(&model, costs, alpha, 2, 10.0).expect("scale instance is valid")
 }
 

@@ -338,6 +338,7 @@ impl Snod2Instance {
     pub fn total_cost(&self, partition: &Partition) -> PartitionCost {
         partition
             .validate(self.node_count())
+            // simlint::allow(D003): documented panic contract; costing an invalid partition would be meaningless
             .expect("valid partition");
         let mut storage = 0.0;
         let mut network = 0.0;

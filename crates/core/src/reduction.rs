@@ -65,6 +65,7 @@ impl WeightedGraph {
     ///
     /// Panics when the partition does not cover the vertices.
     pub fn cut_weight(&self, partition: &Partition) -> f64 {
+        // simlint::allow(D003): documented panic contract; cutting an invalid partition would be meaningless
         partition.validate(self.n).expect("valid partition");
         self.edges
             .iter()
@@ -158,6 +159,7 @@ pub fn reduce_k_cut(graph: &WeightedGraph, c: f64, weight_unit: f64) -> Reductio
             p[0] = 1e-12;
             rates.push(1e-9);
         }
+        // simlint::allow(D003): weights are clamped strictly positive two lines up
         probs.push(CharacteristicVector::from_weights(p).expect("valid weights"));
     }
 
@@ -172,6 +174,7 @@ pub fn reduce_k_cut(graph: &WeightedGraph, c: f64, weight_unit: f64) -> Reductio
         1,
         horizon,
     )
+    // simlint::allow(D003): the reduction constructs model parameters that satisfy the instance invariants
     .expect("reduction instance is valid");
 
     // Unit pools have size s' = w_unit/(1-c)^2 in the paper; we use size s
@@ -223,6 +226,7 @@ pub fn min_k_cut_brute(graph: &WeightedGraph, k: usize) -> (Partition, f64) {
             for (v, &l) in assignment.iter().enumerate() {
                 rings[l].push(v);
             }
+            // simlint::allow(D003): the enumerated assignment places every vertex exactly once
             let partition = Partition::new(rings).expect("valid partition");
             let w = graph.cut_weight(&partition);
             match best {
@@ -238,6 +242,7 @@ pub fn min_k_cut_brute(graph: &WeightedGraph, k: usize) -> (Partition, f64) {
     }
 
     recurse(graph, &mut assignment, 1, 0, k, &mut best);
+    // simlint::allow(D003): recursion over k >= 1 labels always yields at least one assignment
     best.expect("some k-partition exists")
 }
 

@@ -15,7 +15,7 @@
 use crate::estimator::GroundTruth;
 use ef_chunking::ChunkHash;
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeSet, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// A MinHash signature: for each of `h` hash permutations, the minimum
 /// permuted value over the source's chunk-hash set.
@@ -56,7 +56,7 @@ impl MinHashSignature {
     /// Panics when `permutations` is zero or the hash stream is empty.
     pub fn from_hashes<I: IntoIterator<Item = ChunkHash>>(hashes: I, permutations: usize) -> Self {
         assert!(permutations > 0, "need at least one permutation");
-        let set: HashSet<ChunkHash> = hashes.into_iter().collect();
+        let set: BTreeSet<ChunkHash> = hashes.into_iter().collect();
         assert!(!set.is_empty(), "cannot summarize an empty source");
         let mut mins = vec![u64::MAX; permutations];
         for h in &set {
@@ -151,7 +151,7 @@ pub fn lsh_candidate_pairs(
     bands: usize,
     rows: usize,
 ) -> Vec<(usize, usize)> {
-    let mut buckets: HashMap<(usize, u64), Vec<usize>> = HashMap::new();
+    let mut buckets: BTreeMap<(usize, u64), Vec<usize>> = BTreeMap::new();
     for (i, sig) in signatures.iter().enumerate() {
         for (band, key) in sig.band_keys(bands, rows).into_iter().enumerate() {
             buckets.entry((band, key)).or_default().push(i);

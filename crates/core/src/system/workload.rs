@@ -155,12 +155,12 @@ mod tests {
         assert_eq!(fast.total_chunks(), slow.total_chunks());
         // Uniqueness structure must agree per node and globally.
         for n in 0..4 {
-            let fa: std::collections::HashSet<_> = fast.stream(n).iter().collect();
-            let sl: std::collections::HashSet<_> = slow.stream(n).iter().collect();
+            let fa: std::collections::BTreeSet<_> = fast.stream(n).iter().collect();
+            let sl: std::collections::BTreeSet<_> = slow.stream(n).iter().collect();
             assert_eq!(fa.len(), sl.len(), "node {n} distinct count differs");
         }
-        let fa: std::collections::HashSet<_> = (0..4).flat_map(|n| fast.stream(n)).collect();
-        let sl: std::collections::HashSet<_> = (0..4).flat_map(|n| slow.stream(n)).collect();
+        let fa: std::collections::BTreeSet<_> = (0..4).flat_map(|n| fast.stream(n)).collect();
+        let sl: std::collections::BTreeSet<_> = (0..4).flat_map(|n| slow.stream(n)).collect();
         assert_eq!(fa.len(), sl.len(), "global distinct count differs");
     }
 

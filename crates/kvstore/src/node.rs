@@ -327,6 +327,7 @@ impl NodeState {
                     self.hints.push((
                         replica,
                         pending.key.clone(),
+                        // simlint::allow(D003): begin() stores a payload for every write kind
                         pending.payload.clone().expect("writes keep a payload"),
                     ));
                 }
@@ -340,6 +341,7 @@ impl NodeState {
                     OpKind::Write | OpKind::CaiWrite => Message::ReplicaWrite {
                         op_id,
                         key: pending.key.clone(),
+                        // simlint::allow(D003): begin() stores a payload for every write kind
                         value: pending.payload.clone().expect("writes keep a payload"),
                     },
                 };
@@ -467,8 +469,8 @@ impl NodeState {
         let value = pending
             .payload
             .clone()
-            .expect("check-and-insert keeps its payload")
-            .expect("check-and-insert payload is a value, not a tombstone");
+            .expect("check-and-insert keeps its payload") // simlint::allow(D003): begin() stores a payload for every write kind
+            .expect("payload is a value, not a tombstone"); // simlint::allow(D003): CAI ops always write a concrete value
         pending.kind = OpKind::CaiWrite;
         pending.acks = 0;
         pending.value = None;
@@ -552,6 +554,7 @@ impl NodeState {
                 OpKind::Write | OpKind::CaiWrite => Message::ReplicaWrite {
                     op_id,
                     key: p.key.clone(),
+                    // simlint::allow(D003): begin() stores a payload for every write kind
                     value: p.payload.clone().expect("writes keep a payload"),
                 },
             };
@@ -584,6 +587,7 @@ impl NodeState {
         };
         self.timeouts += 1;
         if p.kind.is_write() {
+            // simlint::allow(D003): begin() stores a payload for every write kind
             let payload = p.payload.clone().expect("writes keep a payload");
             for &peer in &p.outstanding {
                 self.hints.push((peer, p.key.clone(), payload.clone()));

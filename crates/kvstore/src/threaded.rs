@@ -14,7 +14,7 @@ use crate::ring::HashRing;
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use ef_netsim::NodeId;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::thread::JoinHandle;
 
 enum Input {
@@ -53,7 +53,7 @@ enum Input {
 /// ```
 #[derive(Debug)]
 pub struct ThreadedCluster {
-    inputs: HashMap<NodeId, Sender<Input>>,
+    inputs: BTreeMap<NodeId, Sender<Input>>,
     handles: Vec<JoinHandle<()>>,
 }
 
@@ -68,8 +68,8 @@ impl ThreadedCluster {
         let ring = HashRing::with_nodes(members.iter().copied(), config.vnodes);
         assert_eq!(ring.len(), members.len(), "duplicate member node");
 
-        let mut inputs: HashMap<NodeId, Sender<Input>> = HashMap::new();
-        let mut receivers: HashMap<NodeId, Receiver<Input>> = HashMap::new();
+        let mut inputs: BTreeMap<NodeId, Sender<Input>> = BTreeMap::new();
+        let mut receivers: BTreeMap<NodeId, Receiver<Input>> = BTreeMap::new();
         for &m in &members {
             let (tx, rx) = unbounded();
             inputs.insert(m, tx);
@@ -78,6 +78,7 @@ impl ThreadedCluster {
 
         let mut handles = Vec::new();
         for &m in &members {
+            // simlint::allow(D003): the loop above created a channel pair for every member
             let rx = receivers.remove(&m).expect("receiver exists");
             let peers = inputs.clone();
             let mut state = NodeState::new(
@@ -91,7 +92,7 @@ impl ThreadedCluster {
                 .name(format!("kv-node-{m}"))
                 .spawn(move || {
                     // In-flight client ops awaiting completion.
-                    let mut waiting: HashMap<OpId, Sender<OpResult>> = HashMap::new();
+                    let mut waiting: BTreeMap<OpId, Sender<OpResult>> = BTreeMap::new();
                     while let Ok(input) = rx.recv() {
                         match input {
                             Input::Shutdown => break,
@@ -130,6 +131,7 @@ impl ThreadedCluster {
                         }
                     }
                 })
+                // simlint::allow(D003): OS thread-spawn failure at construction leaves no cluster to run
                 .expect("spawn node thread");
             handles.push(handle);
         }

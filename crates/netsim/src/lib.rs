@@ -54,5 +54,5 @@ mod topology;
 pub use fault::{FaultOutcome, FaultPlan, FaultScope, FaultStats};
 pub use id::{NodeId, SiteId};
 pub use link::{LinkParams, NetworkConfig};
-pub use network::Network;
+pub use network::{Network, NetworkError};
 pub use topology::{SiteKind, Topology, TopologyBuilder};

@@ -6,7 +6,25 @@ use crate::id::NodeId;
 use crate::link::{LinkParams, NetworkConfig};
 use crate::topology::{SiteKind, Topology};
 use ef_simcore::{FifoServer, SimDuration, SimTime};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Error from occupancy-tracking [`Network`] operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetworkError {
+    /// The node has no uplink in the topology.
+    UnknownNode(NodeId),
+}
+
+impl fmt::Display for NetworkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetworkError::UnknownNode(n) => write!(f, "node {n:?} has no uplink"),
+        }
+    }
+}
+
+impl std::error::Error for NetworkError {}
 
 /// A simulated network over a [`Topology`].
 ///
@@ -29,7 +47,7 @@ pub struct Network {
     topology: Topology,
     config: NetworkConfig,
     /// Outgoing serialization server per node (models the NIC/uplink).
-    uplinks: HashMap<NodeId, FifoServer>,
+    uplinks: BTreeMap<NodeId, FifoServer>,
     fault_plan: Option<FaultPlan>,
     bytes_sent: u64,
     messages_sent: u64,
@@ -122,54 +140,79 @@ impl Network {
     /// other, which is what bottlenecks a node's sustained upload rate at
     /// its link bandwidth.
     ///
+    /// # Errors
+    ///
+    /// [`NetworkError::UnknownNode`] when `src` has no uplink.
+    ///
     /// # Panics
     ///
-    /// Panics when `src` is unknown or arrivals go backwards in time (see
+    /// Panics when arrivals go backwards in time (see
     /// [`FifoServer::serve`]).
-    pub fn transfer(&mut self, now: SimTime, src: NodeId, dst: NodeId, bytes: u64) -> SimTime {
+    pub fn transfer(
+        &mut self,
+        now: SimTime,
+        src: NodeId,
+        dst: NodeId,
+        bytes: u64,
+    ) -> Result<SimTime, NetworkError> {
         let link = self.link(src, dst);
         let serialization = link.serialization_delay(bytes);
-        let uplink = self.uplinks.get_mut(&src).expect("unknown source node");
+        let uplink = self
+            .uplinks
+            .get_mut(&src)
+            .ok_or(NetworkError::UnknownNode(src))?;
         let sent = uplink.serve(now, serialization);
         self.bytes_sent += bytes;
         self.messages_sent += 1;
-        sent + link.latency
+        Ok(sent + link.latency)
     }
 
     /// Fault-aware variant of [`Network::transfer`]: sends `bytes` from
     /// `src` to `dst` starting at `now`, subjecting the message to the
-    /// attached [`FaultPlan`] (if any). Returns `Some(arrival)` on
-    /// delivery and `None` when the message is lost to a loss rule or an
-    /// active partition.
+    /// attached [`FaultPlan`] (if any). Returns `Ok(Some(arrival))` on
+    /// delivery and `Ok(None)` when the message is lost to a loss rule
+    /// or an active partition.
     ///
     /// The sender's uplink is occupied either way — a lost message was
     /// still transmitted; it vanishes downstream. Loopback messages
     /// (`src == dst`) are never dropped. Without a fault plan this
     /// behaves exactly like [`Network::transfer`].
     ///
+    /// # Errors
+    ///
+    /// [`NetworkError::UnknownNode`] when `src` has no uplink.
+    ///
     /// # Panics
     ///
-    /// Panics when `src` is unknown or arrivals go backwards in time (see
+    /// Panics when arrivals go backwards in time (see
     /// [`FifoServer::serve`]).
-    pub fn send(&mut self, now: SimTime, src: NodeId, dst: NodeId, bytes: u64) -> Option<SimTime> {
+    pub fn send(
+        &mut self,
+        now: SimTime,
+        src: NodeId,
+        dst: NodeId,
+        bytes: u64,
+    ) -> Result<Option<SimTime>, NetworkError> {
         let base_latency = self.link(src, dst).latency;
-        let arrival = self.transfer(now, src, dst, bytes);
+        let arrival = self.transfer(now, src, dst, bytes)?;
         if src == dst {
-            return Some(arrival);
+            return Ok(Some(arrival));
         }
         let src_site = self.topology.site_of(src);
         let dst_site = self.topology.site_of(dst);
         let Some(plan) = self.fault_plan.as_mut() else {
-            return Some(arrival);
+            return Ok(Some(arrival));
         };
-        match plan.judge(now, src, dst, src_site, dst_site, base_latency) {
-            FaultOutcome::Deliver(extra) => Some(arrival + extra),
-            FaultOutcome::Drop => {
-                self.messages_dropped += 1;
-                self.bytes_dropped += bytes;
-                None
-            }
-        }
+        Ok(
+            match plan.judge(now, src, dst, src_site, dst_site, base_latency) {
+                FaultOutcome::Deliver(extra) => Some(arrival + extra),
+                FaultOutcome::Drop => {
+                    self.messages_dropped += 1;
+                    self.bytes_dropped += bytes;
+                    None
+                }
+            },
+        )
     }
 
     /// The earliest time `src`'s uplink is free (its current backlog end).
@@ -282,8 +325,12 @@ mod tests {
         let mut net = testbed();
         // 1.726 Gbps intra-site: 21575000 bytes take ~0.1 s to serialize.
         let bytes = 21_575_000;
-        let a1 = net.transfer(SimTime::ZERO, NodeId(0), NodeId(1), bytes);
-        let a2 = net.transfer(SimTime::ZERO, NodeId(0), NodeId(1), bytes);
+        let a1 = net
+            .transfer(SimTime::ZERO, NodeId(0), NodeId(1), bytes)
+            .unwrap();
+        let a2 = net
+            .transfer(SimTime::ZERO, NodeId(0), NodeId(1), bytes)
+            .unwrap();
         let gap = a2 - a1;
         assert!((gap.as_secs_f64() - 0.1).abs() < 1e-3, "gap {gap}");
         assert_eq!(net.bytes_sent(), bytes * 2);
@@ -294,8 +341,12 @@ mod tests {
     fn transfers_from_different_nodes_do_not_queue() {
         let mut net = testbed();
         let bytes = 21_575_000;
-        let a1 = net.transfer(SimTime::ZERO, NodeId(0), NodeId(1), bytes);
-        let a2 = net.transfer(SimTime::ZERO, NodeId(1), NodeId(0), bytes);
+        let a1 = net
+            .transfer(SimTime::ZERO, NodeId(0), NodeId(1), bytes)
+            .unwrap();
+        let a2 = net
+            .transfer(SimTime::ZERO, NodeId(1), NodeId(0), bytes)
+            .unwrap();
         assert_eq!(a1, a2);
     }
 
@@ -327,9 +378,14 @@ mod tests {
     #[test]
     fn send_without_plan_matches_transfer() {
         let mut net = testbed();
-        let via_send = net.send(SimTime::ZERO, NodeId(0), NodeId(2), 1000).unwrap();
+        let via_send = net
+            .send(SimTime::ZERO, NodeId(0), NodeId(2), 1000)
+            .unwrap()
+            .unwrap();
         net.reset_occupancy();
-        let via_transfer = net.transfer(SimTime::ZERO, NodeId(0), NodeId(2), 1000);
+        let via_transfer = net
+            .transfer(SimTime::ZERO, NodeId(0), NodeId(2), 1000)
+            .unwrap();
         assert_eq!(via_send, via_transfer);
     }
 
@@ -338,11 +394,14 @@ mod tests {
         use crate::fault::{FaultPlan, FaultScope};
         let mut net = testbed();
         net.set_fault_plan(FaultPlan::new(9).loss(FaultScope::All, 1.0));
-        assert_eq!(net.send(SimTime::ZERO, NodeId(0), NodeId(2), 500), None);
+        assert_eq!(net.send(SimTime::ZERO, NodeId(0), NodeId(2), 500), Ok(None));
         assert_eq!(net.messages_dropped(), 1);
         assert_eq!(net.bytes_dropped(), 500);
         // Loopback is exempt from faults.
-        assert!(net.send(SimTime::ZERO, NodeId(3), NodeId(3), 500).is_some());
+        assert!(net
+            .send(SimTime::ZERO, NodeId(3), NodeId(3), 500)
+            .unwrap()
+            .is_some());
         // Uplink was still occupied by the lost message.
         assert!(net.uplink_free_at(NodeId(0)) > SimTime::ZERO);
     }
@@ -359,27 +418,41 @@ mod tests {
             SimTime::ZERO,
             SimTime::from_secs_f64(5.0),
         ));
-        assert_eq!(net.send(SimTime::ZERO, NodeId(0), NodeId(2), 64), None);
-        assert_eq!(net.send(SimTime::ZERO, NodeId(2), NodeId(1), 64), None);
+        assert_eq!(net.send(SimTime::ZERO, NodeId(0), NodeId(2), 64), Ok(None));
+        assert_eq!(net.send(SimTime::ZERO, NodeId(2), NodeId(1), 64), Ok(None));
         // Same-site and cloud paths unaffected.
-        assert!(net.send(SimTime::ZERO, NodeId(0), NodeId(1), 64).is_some());
-        assert!(net.send(SimTime::ZERO, NodeId(0), NodeId(4), 64).is_some());
+        assert!(net
+            .send(SimTime::ZERO, NodeId(0), NodeId(1), 64)
+            .unwrap()
+            .is_some());
+        assert!(net
+            .send(SimTime::ZERO, NodeId(0), NodeId(4), 64)
+            .unwrap()
+            .is_some());
         // After healing the pair talks again.
         let healed = SimTime::from_secs_f64(5.0);
-        assert!(net.send(healed, NodeId(0), NodeId(2), 64).is_some());
+        assert!(net
+            .send(healed, NodeId(0), NodeId(2), 64)
+            .unwrap()
+            .is_some());
     }
 
     #[test]
     fn send_jitter_delays_but_delivers() {
         use crate::fault::{FaultPlan, FaultScope};
         let mut net = testbed();
-        let clean = net.transfer(SimTime::ZERO, NodeId(0), NodeId(2), 64);
+        let clean = net
+            .transfer(SimTime::ZERO, NodeId(0), NodeId(2), 64)
+            .unwrap();
         net.reset_occupancy();
         net.set_fault_plan(FaultPlan::new(2).jitter(FaultScope::All, SimDuration::from_millis(3)));
         let max_extra = SimDuration::from_millis(3);
         for _ in 0..20 {
             net.reset_occupancy();
-            let a = net.send(SimTime::ZERO, NodeId(0), NodeId(2), 64).unwrap();
+            let a = net
+                .send(SimTime::ZERO, NodeId(0), NodeId(2), 64)
+                .unwrap()
+                .unwrap();
             assert!(a >= clean && a <= clean + max_extra, "arrival {a}");
         }
     }
@@ -387,7 +460,8 @@ mod tests {
     #[test]
     fn reset_clears_counters() {
         let mut net = testbed();
-        net.transfer(SimTime::ZERO, NodeId(0), NodeId(1), 100);
+        net.transfer(SimTime::ZERO, NodeId(0), NodeId(1), 100)
+            .unwrap();
         net.reset_occupancy();
         assert_eq!(net.bytes_sent(), 0);
         assert_eq!(net.messages_sent(), 0);

@@ -70,7 +70,7 @@ proptest! {
         let mut last_arrival = SimTime::ZERO;
         let mut total = 0u64;
         for &bytes in &transfers {
-            let arrival = net.transfer(SimTime::ZERO, a, b, bytes);
+            let arrival = net.transfer(SimTime::ZERO, a, b, bytes).unwrap();
             prop_assert!(arrival >= last_arrival, "transfers reordered");
             last_arrival = arrival;
             total += bytes;

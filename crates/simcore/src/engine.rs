@@ -165,6 +165,7 @@ impl<E> Simulator<E> {
             if t > deadline {
                 break;
             }
+            // simlint::allow(D003): peek_time just returned Some and we hold &mut self
             let ev = self.queue.pop().expect("peeked event vanished");
             self.now = ev.time;
             let mut ctx = Context {

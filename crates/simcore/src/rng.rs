@@ -129,6 +129,7 @@ impl DetRng {
         weights
             .iter()
             .rposition(|&w| w > 0.0)
+            // simlint::allow(D003): the entry loop above only exits early when a positive weight exists
             .expect("positive weight exists")
     }
 

@@ -156,6 +156,7 @@ impl SimDuration {
 impl Add<SimDuration> for SimTime {
     type Output = SimTime;
     fn add(self, rhs: SimDuration) -> SimTime {
+        // simlint::allow(D003): Add must return SimTime; checked_add makes overflow loud instead of wrapping
         SimTime(self.0.checked_add(rhs.0).expect("simulated time overflow"))
     }
 }
@@ -176,6 +177,7 @@ impl Sub<SimTime> for SimTime {
         SimDuration(
             self.0
                 .checked_sub(rhs.0)
+                // simlint::allow(D003): documented panic contract; saturating_since is the non-panicking path
                 .expect("negative simulated duration"),
         )
     }
@@ -187,6 +189,7 @@ impl Sub<SimDuration> for SimTime {
     ///
     /// Panics when the subtraction would go before time zero.
     fn sub(self, rhs: SimDuration) -> SimTime {
+        // simlint::allow(D003): documented panic contract on the operator; overflow must be loud
         SimTime(self.0.checked_sub(rhs.0).expect("time before zero"))
     }
 }
@@ -194,6 +197,7 @@ impl Sub<SimDuration> for SimTime {
 impl Add for SimDuration {
     type Output = SimDuration;
     fn add(self, rhs: SimDuration) -> SimDuration {
+        // simlint::allow(D003): Add must return SimDuration; checked_add makes overflow loud instead of wrapping
         SimDuration(self.0.checked_add(rhs.0).expect("duration overflow"))
     }
 }
@@ -210,6 +214,7 @@ impl Sub for SimDuration {
     ///
     /// Panics on underflow; use [`SimDuration::saturating_sub`] otherwise.
     fn sub(self, rhs: SimDuration) -> SimDuration {
+        // simlint::allow(D003): documented panic contract; saturating_sub is the non-panicking path
         SimDuration(self.0.checked_sub(rhs.0).expect("duration underflow"))
     }
 }
@@ -223,6 +228,7 @@ impl SubAssign for SimDuration {
 impl Mul<u64> for SimDuration {
     type Output = SimDuration;
     fn mul(self, rhs: u64) -> SimDuration {
+        // simlint::allow(D003): Mul must return SimDuration; checked_mul makes overflow loud instead of wrapping
         SimDuration(self.0.checked_mul(rhs).expect("duration overflow"))
     }
 }

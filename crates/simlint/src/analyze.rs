@@ -1,0 +1,620 @@
+//! Rule engine: token-level determinism/soundness checks.
+//!
+//! The rules deliberately work on the token stream rather than a full
+//! AST: the patterns they police (unordered-collection iteration, banned
+//! wall-clock calls, panicking combinators) are locally recognizable,
+//! and a token engine keeps the linter dependency-free so it can run in
+//! minimal build environments. The fixture suite in `tests/` pins the
+//! recognized shapes; anything subtler can be silenced in-source with a
+//! justified `// simlint::allow(D00x): <reason>`.
+
+use crate::lexer::{lex, Comment, Tok, TokKind};
+use crate::{FileCtx, Finding, RuleId};
+use std::collections::BTreeSet;
+
+/// Methods whose call on a `HashMap`/`HashSet` observes iteration order.
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "into_iter",
+    "into_keys",
+    "into_values",
+];
+
+/// Constructors that mark a binding as an unordered collection.
+const CTORS: &[&str] = &["new", "with_capacity", "default", "from_iter", "from"];
+
+/// Lints one source file. `ctx` decides which rules apply; findings are
+/// returned with suppressions already resolved (`suppressed == true`
+/// findings are informational).
+pub fn lint_source(src: &str, ctx: &FileCtx) -> Vec<Finding> {
+    let (toks, comments) = lex(src);
+    let excluded = test_code_mask(&toks);
+
+    let mut findings = Vec::new();
+    if ctx.sim_critical {
+        let tracked = unordered_bindings(&toks, &excluded);
+        check_d001_d004(&toks, &excluded, &tracked, &mut findings);
+        check_d003(&toks, &excluded, &mut findings);
+    }
+    if ctx.d002_applies {
+        check_d002(&toks, &excluded, &mut findings);
+    }
+
+    let suppressions = parse_suppressions(&comments, &mut findings);
+    resolve_suppressions(&mut findings, &suppressions);
+    findings.sort_by_key(|f| (f.line, f.col, f.rule));
+    findings.dedup_by_key(|f| (f.line, f.col, f.rule));
+    findings
+}
+
+/// One parsed `// simlint::allow(...)` directive.
+struct Suppression {
+    rules: Vec<RuleId>,
+    line: u32,
+}
+
+/// Marks tokens that belong to `#[cfg(test)]`-gated items (or items
+/// under `#[test]`), which every rule skips: test code is allowed to
+/// panic and to use unordered collections for assertions.
+fn test_code_mask(toks: &[Tok]) -> Vec<bool> {
+    let mut mask = vec![false; toks.len()];
+    let mut i = 0usize;
+    while i < toks.len() {
+        if !is_punct(toks, i, "#") {
+            i += 1;
+            continue;
+        }
+        let Some(attr_end) = matching(toks, i + 1, "[", "]") else {
+            i += 1;
+            continue;
+        };
+        if !attr_is_test_gate(&toks[i + 1..=attr_end]) {
+            i = attr_end + 1;
+            continue;
+        }
+        // Skip any further attributes, then the gated item itself.
+        let mut j = attr_end + 1;
+        while is_punct(toks, j, "#") {
+            match matching(toks, j + 1, "[", "]") {
+                Some(e) => j = e + 1,
+                None => break,
+            }
+        }
+        let item_end = item_extent(toks, j);
+        for m in mask.iter_mut().take(item_end + 1).skip(i) {
+            *m = true;
+        }
+        i = item_end + 1;
+    }
+    mask
+}
+
+/// `#[cfg(test)]`, `#[cfg(all(test, ...))]`, `#[test]` — but not
+/// `#[cfg(not(test))]`, which gates *non*-test code.
+fn attr_is_test_gate(attr: &[Tok]) -> bool {
+    let mut has_test = false;
+    let mut has_not = false;
+    let mut has_cfg_or_bare = false;
+    for (k, t) in attr.iter().enumerate() {
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        match t.text.as_str() {
+            "test" => {
+                has_test = true;
+                // `#[test]` bare form: first token inside the brackets.
+                if k == 1 {
+                    has_cfg_or_bare = true;
+                }
+            }
+            "cfg" => has_cfg_or_bare = true,
+            "not" => has_not = true,
+            _ => {}
+        }
+    }
+    has_test && has_cfg_or_bare && !has_not
+}
+
+/// Extent of the item starting at `start`: through the matching `}` of
+/// its first block, or through a terminating `;`.
+fn item_extent(toks: &[Tok], start: usize) -> usize {
+    let mut depth_paren = 0i32;
+    let mut j = start;
+    while j < toks.len() {
+        match toks[j].text.as_str() {
+            "(" | "[" => depth_paren += 1,
+            ")" | "]" => depth_paren -= 1,
+            "{" if depth_paren == 0 => {
+                return matching(toks, j, "{", "}").unwrap_or(toks.len() - 1);
+            }
+            ";" if depth_paren == 0 => return j,
+            _ => {}
+        }
+        j += 1;
+    }
+    toks.len().saturating_sub(1)
+}
+
+fn is_punct(toks: &[Tok], i: usize, p: &str) -> bool {
+    toks.get(i)
+        .is_some_and(|t| t.kind == TokKind::Punct && t.text == p)
+}
+
+fn is_ident(toks: &[Tok], i: usize, name: &str) -> bool {
+    toks.get(i)
+        .is_some_and(|t| t.kind == TokKind::Ident && t.text == name)
+}
+
+/// Index of the delimiter matching `open` at `start` (which must hold
+/// `open`), or `None`.
+fn matching(toks: &[Tok], start: usize, open: &str, close: &str) -> Option<usize> {
+    if !is_punct(toks, start, open) {
+        return None;
+    }
+    let mut depth = 0i32;
+    for (j, t) in toks.iter().enumerate().skip(start) {
+        if t.kind == TokKind::Punct {
+            if t.text == open {
+                depth += 1;
+            } else if t.text == close {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(j);
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Collects names bound to `HashMap`/`HashSet` in non-test code: type
+/// ascriptions (`name: HashMap<..>` in fields, lets, params) and
+/// constructor bindings (`let name = HashMap::new()`).
+fn unordered_bindings(toks: &[Tok], excluded: &[bool]) -> BTreeSet<String> {
+    let mut tracked = BTreeSet::new();
+    for (i, t) in toks.iter().enumerate() {
+        if excluded[i] || t.kind != TokKind::Ident {
+            continue;
+        }
+        if t.text != "HashMap" && t.text != "HashSet" {
+            continue;
+        }
+        // Walk back over a path prefix (`std::collections::`) and
+        // reference sigils to find `name :` or `let name =`.
+        let mut j = i;
+        while j >= 3 && is_punct(toks, j - 1, ":") && is_punct(toks, j - 2, ":") {
+            j -= 3; // `seg ::`
+        }
+        while j >= 1 && (is_punct(toks, j - 1, "&") || is_ident(toks, j - 1, "mut")) {
+            j -= 1;
+        }
+        if j >= 2 && is_punct(toks, j - 1, ":") && toks[j - 2].kind == TokKind::Ident {
+            tracked.insert(toks[j - 2].text.clone());
+            continue;
+        }
+        // `let [mut] name = HashMap::ctor(..)`
+        if j >= 2 && is_punct(toks, j - 1, "=") && toks[j - 2].kind == TokKind::Ident {
+            let is_ctor = is_punct(toks, i + 1, ":")
+                && is_punct(toks, i + 2, ":")
+                && toks
+                    .get(i + 3)
+                    .is_some_and(|t| CTORS.contains(&t.text.as_str()));
+            let turbofish_ctor = is_punct(toks, i + 1, ":")
+                && is_punct(toks, i + 2, ":")
+                && is_punct(toks, i + 3, "<");
+            if is_ctor || turbofish_ctor {
+                tracked.insert(toks[j - 2].text.clone());
+            }
+        }
+    }
+    tracked
+}
+
+/// D001 (+ D004 riding the same chains): iteration over unordered
+/// collections, and floating-point accumulation over those iterators.
+fn check_d001_d004(
+    toks: &[Tok],
+    excluded: &[bool],
+    tracked: &BTreeSet<String>,
+    findings: &mut Vec<Finding>,
+) {
+    for (i, t) in toks.iter().enumerate() {
+        if excluded[i] || t.kind != TokKind::Ident {
+            continue;
+        }
+        let direct_type = t.text == "HashMap" || t.text == "HashSet";
+        if !direct_type && !tracked.contains(&t.text) {
+            continue;
+        }
+        // Don't re-flag the declaration site itself.
+        if is_punct(toks, i + 1, ":") && !is_punct(toks, i + 2, ":") {
+            continue;
+        }
+        scan_chain(toks, i, &t.text, findings);
+        check_for_loop(toks, i, &t.text, findings);
+    }
+}
+
+/// Walks a method chain rooted at token `i` and reports order-observing
+/// iteration (D001) and float accumulation after it (D004).
+fn scan_chain(toks: &[Tok], root: usize, name: &str, findings: &mut Vec<Finding>) {
+    let mut j = root + 1;
+    // Skip a path/ctor prefix: `HashMap::new()`, `name` alone, etc.
+    let mut saw_iter = false;
+    loop {
+        if is_punct(toks, j, ":") && is_punct(toks, j + 1, ":") {
+            // `::segment` or `::<T>` turbofish
+            j += 2;
+            if is_punct(toks, j, "<") {
+                j = match matching_angle(toks, j) {
+                    Some(e) => e + 1,
+                    None => return,
+                };
+            } else {
+                j += 1;
+            }
+            continue;
+        }
+        if is_punct(toks, j, "(") {
+            j = match matching(toks, j, "(", ")") {
+                Some(e) => e + 1,
+                None => return,
+            };
+            continue;
+        }
+        if !is_punct(toks, j, ".") {
+            return;
+        }
+        // `.method`
+        let m = j + 1;
+        let Some(mt) = toks.get(m) else { return };
+        if mt.kind != TokKind::Ident {
+            return;
+        }
+        let method = mt.text.as_str();
+        let mut k = m + 1;
+        let mut turbofish_f64 = false;
+        if is_punct(toks, k, ":") && is_punct(toks, k + 1, ":") && is_punct(toks, k + 2, "<") {
+            let end = match matching_angle(toks, k + 2) {
+                Some(e) => e,
+                None => return,
+            };
+            turbofish_f64 = toks[k + 2..end].iter().any(|t| t.text == "f64");
+            k = end + 1;
+        }
+        let args_end = if is_punct(toks, k, "(") {
+            match matching(toks, k, "(", ")") {
+                Some(e) => e,
+                None => return,
+            }
+        } else {
+            // Field access, not a call: stop the chain.
+            return;
+        };
+
+        if !saw_iter && ITER_METHODS.contains(&method) {
+            saw_iter = true;
+            findings.push(Finding::new(
+                RuleId::D001,
+                mt.line,
+                mt.col,
+                format!(
+                    "iteration order of `{name}` (HashMap/HashSet) is unordered; \
+                     use BTreeMap/BTreeSet or sort before iterating"
+                ),
+            ));
+        } else if saw_iter {
+            let float_fold = method == "fold"
+                && toks[k..=args_end]
+                    .iter()
+                    .any(|t| t.kind == TokKind::Punct && t.text == "+");
+            if (method == "sum" && turbofish_f64) || float_fold {
+                findings.push(Finding::new(
+                    RuleId::D004,
+                    mt.line,
+                    mt.col,
+                    format!(
+                        "floating-point accumulation over unordered iteration of `{name}`; \
+                         rounding makes the result order-dependent"
+                    ),
+                ));
+            }
+        }
+        j = args_end + 1;
+    }
+}
+
+/// `for x in name` / `for x in &name` — implicit IntoIterator over an
+/// unordered collection. Chained forms (`for x in name.keys()`) are
+/// reported by `scan_chain` instead.
+fn check_for_loop(toks: &[Tok], i: usize, name: &str, findings: &mut Vec<Finding>) {
+    // The next token must end the iterated expression (loop body brace)
+    // for this to be direct iteration of the collection itself.
+    if !is_punct(toks, i + 1, "{") {
+        return;
+    }
+    // Walk back over the receiver path (`&`, `*`, `mut`, idents, `.`,
+    // `::`) to find the `in` keyword.
+    let mut j = i;
+    while j >= 1 {
+        let prev = &toks[j - 1];
+        let passes = (prev.kind == TokKind::Punct
+            && (prev.text == "&" || prev.text == "." || prev.text == "*" || prev.text == ":"))
+            || (prev.kind == TokKind::Ident && prev.text != "in");
+        if passes {
+            j -= 1;
+        } else {
+            break;
+        }
+    }
+    if j >= 1 && is_ident(toks, j - 1, "in") {
+        findings.push(Finding::new(
+            RuleId::D001,
+            toks[i].line,
+            toks[i].col,
+            format!(
+                "iteration order of `{name}` (HashMap/HashSet) is unordered; \
+                 use BTreeMap/BTreeSet or sort before iterating"
+            ),
+        ));
+    }
+}
+
+/// Matches `<` ... `>` with nesting (turbofish / generic args).
+fn matching_angle(toks: &[Tok], start: usize) -> Option<usize> {
+    if !is_punct(toks, start, "<") {
+        return None;
+    }
+    let mut depth = 0i32;
+    for (j, t) in toks.iter().enumerate().skip(start) {
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "<" => depth += 1,
+                ">" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return Some(j);
+                    }
+                }
+                ";" | "{" => return None,
+                _ => {}
+            }
+        }
+    }
+    None
+}
+
+/// D002: wall-clock and ambient-entropy APIs.
+fn check_d002(toks: &[Tok], excluded: &[bool], findings: &mut Vec<Finding>) {
+    for (i, t) in toks.iter().enumerate() {
+        if excluded[i] || t.kind != TokKind::Ident {
+            continue;
+        }
+        match t.text.as_str() {
+            "Instant" | "SystemTime" => {
+                let in_std_time_path = path_prefix(toks, i, "time");
+                let in_use_std_time = in_use_of(toks, i, "time");
+                let calls_now = is_punct(toks, i + 1, ":")
+                    && is_punct(toks, i + 2, ":")
+                    && is_ident(toks, i + 3, "now");
+                if in_std_time_path || in_use_std_time || calls_now {
+                    findings.push(Finding::new(
+                        RuleId::D002,
+                        t.line,
+                        t.col,
+                        format!(
+                            "`std::time::{}` reads the wall clock; simulation time must come \
+                             from the event loop (SimTime)",
+                            t.text
+                        ),
+                    ));
+                }
+            }
+            "thread_rng" => {
+                findings.push(Finding::new(
+                    RuleId::D002,
+                    t.line,
+                    t.col,
+                    "`rand::thread_rng` draws OS entropy; all randomness must flow from a \
+                     seeded DetRng"
+                        .to_string(),
+                ));
+            }
+            "random" if path_prefix(toks, i, "rand") => {
+                findings.push(Finding::new(
+                    RuleId::D002,
+                    t.line,
+                    t.col,
+                    "`rand::random` draws OS entropy; all randomness must flow from a \
+                     seeded DetRng"
+                        .to_string(),
+                ));
+            }
+            "var" | "var_os" if path_prefix(toks, i, "env") => {
+                findings.push(Finding::new(
+                    RuleId::D002,
+                    t.line,
+                    t.col,
+                    "`std::env::var` makes behaviour depend on ambient environment state; \
+                     seeds and configuration must be explicit parameters"
+                        .to_string(),
+                ));
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Is token `i` immediately preceded by `<segment>::`? (`::` lexes as two
+/// single-char puncts, so the segment ident sits at `i - 3`.)
+fn path_prefix(toks: &[Tok], i: usize, segment: &str) -> bool {
+    i >= 3
+        && is_punct(toks, i - 1, ":")
+        && is_punct(toks, i - 2, ":")
+        && is_ident(toks, i - 3, segment)
+}
+
+/// Is token `i` inside a `use std::<module>::{...}` item naming `module`?
+fn in_use_of(toks: &[Tok], i: usize, module: &str) -> bool {
+    // Walk back to the start of the statement and check its head.
+    let mut j = i;
+    while j > 0 {
+        let t = &toks[j - 1];
+        if t.kind == TokKind::Punct && (t.text == ";" || t.text == "}" || t.text == "{") {
+            // `{` may open a use-group: `use std::time::{..., Instant}`.
+            if t.text == "{" && j >= 3 && is_punct(toks, j - 2, ":") && is_punct(toks, j - 3, ":") {
+                j -= 1;
+                continue;
+            }
+            break;
+        }
+        j -= 1;
+    }
+    let head = &toks[j..i];
+    let mut saw_use = false;
+    let mut saw_module = false;
+    for t in head {
+        if t.kind == TokKind::Ident {
+            if t.text == "use" {
+                saw_use = true;
+            }
+            if t.text == module {
+                saw_module = true;
+            }
+        }
+    }
+    saw_use && saw_module
+}
+
+/// D003: panicking combinators in non-test library code.
+fn check_d003(toks: &[Tok], excluded: &[bool], findings: &mut Vec<Finding>) {
+    for (i, t) in toks.iter().enumerate() {
+        if excluded[i] || t.kind != TokKind::Ident {
+            continue;
+        }
+        match t.text.as_str() {
+            "unwrap" | "expect"
+                if i >= 1 && is_punct(toks, i - 1, ".") && is_punct(toks, i + 1, "(") =>
+            {
+                findings.push(Finding::new(
+                    RuleId::D003,
+                    t.line,
+                    t.col,
+                    format!(
+                        "`.{}()` can panic in library code; surface the failure as \
+                         Result/OpResult instead",
+                        t.text
+                    ),
+                ));
+            }
+            "panic" if is_punct(toks, i + 1, "!") => {
+                findings.push(Finding::new(
+                    RuleId::D003,
+                    t.line,
+                    t.col,
+                    "`panic!` aborts the simulation; surface the failure as \
+                     Result/OpResult instead"
+                        .to_string(),
+                ));
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Parses `// simlint::allow(D00x[, D00y]): reason` directives. A
+/// directive with no reason (or an empty one) is itself a violation
+/// (S001) — every exception must be justified in-source.
+fn parse_suppressions(comments: &[Comment], findings: &mut Vec<Finding>) -> Vec<Suppression> {
+    let mut out = Vec::new();
+    for c in comments {
+        // Only a plain `//` comment whose first word is the directive
+        // counts; doc comments (`///`, `//!`) merely *talk about* the
+        // syntax and must not parse as directives.
+        let Some(body) = c.text.strip_prefix("//") else {
+            continue;
+        };
+        if body.starts_with('/') || body.starts_with('!') {
+            continue;
+        }
+        let Some(after) = body.trim_start().strip_prefix("simlint::allow(") else {
+            continue;
+        };
+        let Some(close) = after.find(')') else {
+            findings.push(Finding::new(
+                RuleId::S001,
+                c.line,
+                c.col,
+                "malformed simlint::allow directive (missing `)`)".to_string(),
+            ));
+            continue;
+        };
+        let mut rules = Vec::new();
+        let mut bad_rule = false;
+        for part in after[..close].split(',') {
+            match RuleId::parse(part.trim()) {
+                Some(r) => rules.push(r),
+                None => bad_rule = true,
+            }
+        }
+        if bad_rule || rules.is_empty() {
+            findings.push(Finding::new(
+                RuleId::S001,
+                c.line,
+                c.col,
+                "simlint::allow names an unknown rule id".to_string(),
+            ));
+            continue;
+        }
+        let rest = after[close + 1..].trim_start();
+        let reason = rest.strip_prefix(':').map(str::trim).unwrap_or("");
+        if reason.is_empty() {
+            findings.push(Finding::new(
+                RuleId::S001,
+                c.line,
+                c.col,
+                "bare simlint::allow (no justification); write \
+                 `// simlint::allow(D00x): <reason>`"
+                    .to_string(),
+            ));
+            continue;
+        }
+        out.push(Suppression {
+            rules,
+            line: c.line,
+        });
+    }
+    out
+}
+
+/// A suppression covers findings of its rule(s) on its own line or on
+/// the next code line (directly below the directive, allowing stacked
+/// directives).
+fn resolve_suppressions(findings: &mut [Finding], suppressions: &[Suppression]) {
+    for f in findings.iter_mut() {
+        if f.rule == RuleId::S001 {
+            continue;
+        }
+        let covered = suppressions.iter().any(|s| {
+            s.rules.contains(&f.rule) && (s.line == f.line || covers_below(s, suppressions, f.line))
+        });
+        if covered {
+            f.suppressed = true;
+        }
+    }
+}
+
+/// `s` sits on some line above `target`; it covers `target` when every
+/// line strictly between them also holds a suppression directive
+/// (stacked `// simlint::allow` lines above one statement).
+fn covers_below(s: &Suppression, all: &[Suppression], target: u32) -> bool {
+    if s.line >= target {
+        return false;
+    }
+    ((s.line + 1)..target).all(|l| all.iter().any(|o| o.line == l))
+}

@@ -1,0 +1,237 @@
+//! # ef-simlint — determinism & soundness auditor
+//!
+//! Static analysis for the EF-dedup workspace: every claim the
+//! reproduction makes rests on runs being a pure function of
+//! `(workload, topology, seed)`, and this linter is the mechanical
+//! barrier that keeps that property from eroding.
+//!
+//! ## Rules
+//!
+//! | id | scope | checks |
+//! |------|------------------------|--------|
+//! | D001 | sim-critical crates | iteration over `HashMap`/`HashSet` (`for`, `.iter()`, `.keys()`, `.values()`, `.drain()`, …) |
+//! | D002 | all crates but `bench` | wall-clock / ambient entropy (`std::time::{Instant, SystemTime}`, `rand::thread_rng`, `rand::random`, `std::env::var`) |
+//! | D003 | sim-critical crates | `.unwrap()` / `.expect()` / `panic!` in non-test library code |
+//! | D004 | sim-critical crates | float accumulation (`.sum::<f64>()`, `fold` with `+`) over unordered iterators |
+//! | S001 | everywhere | `simlint::allow` directives without a justification |
+//!
+//! Sim-critical crates: `simcore`, `netsim`, `kvstore`, `core`,
+//! `cloudstore`. Test code (`#[cfg(test)]` items, `tests/`, `benches/`)
+//! is exempt from all rules.
+//!
+//! ## Suppressions
+//!
+//! ```text
+//! // simlint::allow(D003): length checked two lines above
+//! let first = items.first().unwrap();
+//! ```
+//!
+//! A directive must carry a reason after the colon; a bare
+//! `// simlint::allow(D003)` is itself reported (S001). A directive
+//! covers findings on its own line or on the statement directly below
+//! (directives may be stacked).
+
+mod analyze;
+mod lexer;
+mod scan;
+
+pub use analyze::lint_source;
+pub use scan::{collect_workspace_files, context_for, display_path};
+
+use std::fmt;
+use std::path::Path;
+
+/// Crates whose library code feeds event emission or RNG draw order.
+pub const SIM_CRITICAL_CRATES: &[&str] = &["simcore", "netsim", "kvstore", "core", "cloudstore"];
+
+/// Identifier of a lint rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RuleId {
+    /// Iteration over `HashMap`/`HashSet` in sim-critical crates.
+    D001,
+    /// Wall-clock / ambient-entropy APIs outside `bench`.
+    D002,
+    /// `unwrap`/`expect`/`panic!` in sim-critical library code.
+    D003,
+    /// Floating-point accumulation over unordered iterators.
+    D004,
+    /// Bare or malformed suppression directive.
+    S001,
+}
+
+impl RuleId {
+    /// Parses `"D001"` etc.; returns `None` for unknown ids.
+    pub fn parse(s: &str) -> Option<RuleId> {
+        match s {
+            "D001" => Some(RuleId::D001),
+            "D002" => Some(RuleId::D002),
+            "D003" => Some(RuleId::D003),
+            "D004" => Some(RuleId::D004),
+            "S001" => Some(RuleId::S001),
+            _ => None,
+        }
+    }
+
+    /// All rule ids, for `--help` and registry listings.
+    pub const ALL: &'static [RuleId] = &[
+        RuleId::D001,
+        RuleId::D002,
+        RuleId::D003,
+        RuleId::D004,
+        RuleId::S001,
+    ];
+
+    /// One-line description used by `--help`.
+    pub fn summary(&self) -> &'static str {
+        match self {
+            RuleId::D001 => "iteration over HashMap/HashSet in sim-critical crates",
+            RuleId::D002 => "wall-clock or ambient-entropy API outside bench",
+            RuleId::D003 => "unwrap/expect/panic! in sim-critical library code",
+            RuleId::D004 => "float accumulation over unordered iterators",
+            RuleId::S001 => "suppression directive without justification",
+        }
+    }
+}
+
+impl fmt::Display for RuleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            RuleId::D001 => "D001",
+            RuleId::D002 => "D002",
+            RuleId::D003 => "D003",
+            RuleId::D004 => "D004",
+            RuleId::S001 => "S001",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Which rule families apply to a file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FileCtx {
+    /// D001/D003/D004 apply (library code of a sim-critical crate).
+    pub sim_critical: bool,
+    /// D002 applies (any crate except `bench`).
+    pub d002_applies: bool,
+}
+
+/// One diagnostic, positioned `file:line:col` (path filled by callers
+/// that lint from disk; [`lint_source`] leaves it empty).
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// The rule that fired.
+    pub rule: RuleId,
+    /// Workspace-relative path (empty for in-memory sources).
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Human-readable explanation.
+    pub message: String,
+    /// Covered by a justified `simlint::allow` directive.
+    pub suppressed: bool,
+}
+
+impl Finding {
+    pub(crate) fn new(rule: RuleId, line: u32, col: u32, message: String) -> Finding {
+        Finding {
+            rule,
+            file: String::new(),
+            line,
+            col,
+            message,
+            suppressed: false,
+        }
+    }
+
+    /// rustc-style `file:line:col: RULE: message`.
+    pub fn render(&self) -> String {
+        let tag = if self.suppressed { " (allowed)" } else { "" };
+        format!(
+            "{}:{}:{}: {}: {}{}",
+            self.file, self.line, self.col, self.rule, self.message, tag
+        )
+    }
+}
+
+/// Lints a file on disk, filling [`Finding::file`] with `display_path`.
+pub fn lint_file(path: &Path, display_path: &str, ctx: &FileCtx) -> std::io::Result<Vec<Finding>> {
+    let src = std::fs::read_to_string(path)?;
+    let mut findings = lint_source(&src, ctx);
+    for f in &mut findings {
+        f.file = display_path.to_string();
+    }
+    Ok(findings)
+}
+
+/// Report of a whole run, consumed by the CLI and by tests.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// All findings across all files, suppressed ones included.
+    pub findings: Vec<Finding>,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// Findings that fail the run under the given allow-list. `S001`
+    /// can never be allowed: an unjustified suppression is always an
+    /// error.
+    pub fn violations<'a>(&'a self, allowed: &[RuleId]) -> Vec<&'a Finding> {
+        self.findings
+            .iter()
+            .filter(|f| !f.suppressed && (f.rule == RuleId::S001 || !allowed.contains(&f.rule)))
+            .collect()
+    }
+
+    /// Count of findings silenced by in-source directives.
+    pub fn suppressed_count(&self) -> usize {
+        self.findings.iter().filter(|f| f.suppressed).count()
+    }
+
+    /// Serializes the report as JSON (std-only writer).
+    pub fn to_json(&self, allowed: &[RuleId]) -> String {
+        let mut out = String::from("{");
+        out.push_str(&format!("\"files_scanned\":{},", self.files_scanned));
+        out.push_str(&format!(
+            "\"violations\":{},",
+            self.violations(allowed).len()
+        ));
+        out.push_str(&format!("\"suppressed\":{},", self.suppressed_count()));
+        out.push_str("\"findings\":[");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"rule\":\"{}\",\"file\":\"{}\",\"line\":{},\"col\":{},\
+                 \"message\":\"{}\",\"suppressed\":{}}}",
+                f.rule,
+                json_escape(&f.file),
+                f.line,
+                f.col,
+                json_escape(&f.message),
+                f.suppressed
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}

@@ -1,0 +1,158 @@
+//! `ef-simlint` CLI: lints the workspace (or explicit paths) and exits
+//! nonzero on violations. CI runs `cargo run -p ef-simlint -- --workspace
+//! --deny-all` as a hard gate.
+
+use ef_simlint::{collect_workspace_files, context_for, display_path, lint_file, Report, RuleId};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+ef-simlint — determinism & soundness auditor for the EF-dedup workspace
+
+USAGE:
+    ef-simlint [OPTIONS] [PATHS...]
+
+OPTIONS:
+    --workspace        lint every library source in the workspace
+    --root <DIR>       workspace root (default: walk up from cwd)
+    --allow <RULE>     downgrade a rule (repeatable); ignored by --deny-all
+    --deny-all         every rule is an error (CI mode)
+    --json             machine-readable report on stdout
+    -h, --help         show this help and the rule registry
+
+RULES:";
+
+struct Opts {
+    workspace: bool,
+    root: Option<PathBuf>,
+    allow: Vec<RuleId>,
+    deny_all: bool,
+    json: bool,
+    paths: Vec<PathBuf>,
+}
+
+fn parse_args() -> Result<Opts, String> {
+    let mut opts = Opts {
+        workspace: false,
+        root: None,
+        allow: Vec::new(),
+        deny_all: false,
+        json: false,
+        paths: Vec::new(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--workspace" => opts.workspace = true,
+            "--deny-all" => opts.deny_all = true,
+            "--json" => opts.json = true,
+            "--root" => {
+                let dir = args.next().ok_or("--root needs a directory")?;
+                opts.root = Some(PathBuf::from(dir));
+            }
+            "--allow" => {
+                let id = args.next().ok_or("--allow needs a rule id")?;
+                let rule = RuleId::parse(&id).ok_or_else(|| format!("unknown rule id `{id}`"))?;
+                opts.allow.push(rule);
+            }
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                for r in RuleId::ALL {
+                    println!("    {r}  {}", r.summary());
+                }
+                std::process::exit(0);
+            }
+            other if other.starts_with('-') => {
+                return Err(format!("unknown option `{other}`"));
+            }
+            path => opts.paths.push(PathBuf::from(path)),
+        }
+    }
+    if !opts.workspace && opts.paths.is_empty() {
+        return Err("nothing to lint: pass --workspace or explicit paths".to_string());
+    }
+    Ok(opts)
+}
+
+/// Walks up from `start` to the first directory whose `Cargo.toml`
+/// declares `[workspace]`.
+fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if manifest.is_file() {
+            if let Ok(text) = std::fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    return Some(d);
+                }
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+fn run() -> Result<ExitCode, String> {
+    let opts = parse_args()?;
+    let root = match &opts.root {
+        Some(r) => r.clone(),
+        None => {
+            let cwd = std::env::current_dir().map_err(|e| e.to_string())?;
+            find_workspace_root(&cwd).ok_or("no workspace root found above cwd")?
+        }
+    };
+
+    let files: Vec<PathBuf> = if opts.workspace {
+        collect_workspace_files(&root).map_err(|e| format!("scanning workspace: {e}"))?
+    } else {
+        opts.paths.clone()
+    };
+
+    let mut report = Report::default();
+    for path in &files {
+        let display = display_path(&root, path);
+        let ctx = context_for(&display);
+        let findings =
+            lint_file(path, &display, &ctx).map_err(|e| format!("{}: {e}", path.display()))?;
+        report.findings.extend(findings);
+        report.files_scanned += 1;
+    }
+    report
+        .findings
+        .sort_by(|a, b| (&a.file, a.line, a.col, a.rule).cmp(&(&b.file, b.line, b.col, b.rule)));
+
+    let allowed: &[RuleId] = if opts.deny_all { &[] } else { &opts.allow };
+    let violations = report.violations(allowed);
+
+    if opts.json {
+        println!("{}", report.to_json(allowed));
+    } else {
+        for f in &report.findings {
+            if !f.suppressed {
+                println!("{}", f.render());
+            }
+        }
+        println!(
+            "simlint: scanned {} files: {} violation(s), {} suppressed",
+            report.files_scanned,
+            violations.len(),
+            report.suppressed_count()
+        );
+    }
+
+    Ok(if violations.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("ef-simlint: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}

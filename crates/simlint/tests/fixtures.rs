@@ -1,0 +1,155 @@
+//! Fixture suite: every rule id must fire with exact spans on the
+//! known-bad snippets, honor justified suppressions, and reject bare
+//! ones.
+
+use ef_simlint::{lint_source, FileCtx, Finding, RuleId};
+
+const SIM_CTX: FileCtx = FileCtx {
+    sim_critical: true,
+    d002_applies: true,
+};
+
+fn lint_fixture(name: &str) -> Vec<Finding> {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures/");
+    let src = std::fs::read_to_string(format!("{path}{name}")).expect("fixture exists");
+    lint_source(&src, &SIM_CTX)
+}
+
+fn spans(findings: &[Finding], rule: RuleId) -> Vec<(u32, u32)> {
+    findings
+        .iter()
+        .filter(|f| f.rule == rule && !f.suppressed)
+        .map(|f| (f.line, f.col))
+        .collect()
+}
+
+#[test]
+fn d001_fires_with_exact_spans() {
+    let findings = lint_fixture("d001.rs");
+    assert_eq!(
+        spans(&findings, RuleId::D001),
+        vec![
+            (11, 24), // s.uplinks.values()
+            (18, 24), // for (_k, _v) in &s.uplinks
+            (23, 10), // seen.iter()
+            (29, 21), // pending.keys()
+            (33, 31), // s.uplinks.drain()
+        ],
+    );
+    // Lookups, inserts, len(): no findings; #[cfg(test)] module: exempt.
+    assert!(findings.iter().all(|f| f.rule == RuleId::D001));
+}
+
+#[test]
+fn d002_fires_with_exact_spans() {
+    let findings = lint_fixture("d002.rs");
+    assert_eq!(
+        spans(&findings, RuleId::D002),
+        vec![
+            (2, 27),  // use std::time::{.., Instant}
+            (5, 17),  // Instant::now()
+            (10, 26), // std::time::SystemTime::now()
+            (15, 25), // rand::thread_rng()
+            (16, 24), // rand::random()
+            (21, 15), // std::env::var("SEED")
+        ],
+    );
+    // `Duration` alone never fires.
+    assert!(findings.iter().all(|f| f.rule == RuleId::D002));
+}
+
+#[test]
+fn d003_fires_with_exact_spans() {
+    let findings = lint_fixture("d003.rs");
+    assert_eq!(
+        spans(&findings, RuleId::D003),
+        vec![
+            (4, 7),  // v.unwrap()
+            (8, 7),  // v.expect(..)
+            (13, 9), // panic!
+        ],
+    );
+    // unwrap_or / unwrap_or_else and the #[cfg(test)] module are exempt.
+    assert!(findings.iter().all(|f| f.rule == RuleId::D003));
+}
+
+#[test]
+fn d004_fires_with_exact_spans() {
+    let findings = lint_fixture("d004.rs");
+    assert_eq!(
+        spans(&findings, RuleId::D004),
+        vec![
+            (9, 24),  // .sum::<f64>() after .values()
+            (13, 24), // .fold(0.0, |acc, v| acc + v)
+        ],
+    );
+    // The same chains also fire D001 (iteration itself), including the
+    // integer-sum chain, which must NOT fire D004.
+    assert_eq!(spans(&findings, RuleId::D001).len(), 3);
+    assert!(findings
+        .iter()
+        .all(|f| matches!(f.rule, RuleId::D001 | RuleId::D004)));
+}
+
+#[test]
+fn justified_suppressions_are_honored() {
+    let findings = lint_fixture("suppressed.rs");
+    // Every finding is covered by a reasoned directive; none active.
+    assert!(
+        findings.iter().all(|f| f.suppressed),
+        "unsuppressed: {:?}",
+        findings
+            .iter()
+            .filter(|f| !f.suppressed)
+            .map(Finding::render)
+            .collect::<Vec<_>>()
+    );
+    // ... and the directives covered real findings of every kind used.
+    let suppressed_rules: Vec<RuleId> = findings.iter().map(|f| f.rule).collect();
+    assert!(suppressed_rules.contains(&RuleId::D001));
+    assert!(suppressed_rules.contains(&RuleId::D004));
+    assert!(suppressed_rules.contains(&RuleId::D003));
+}
+
+#[test]
+fn bare_suppressions_are_rejected() {
+    let findings = lint_fixture("bare_suppression.rs");
+    // Three directives lack a justification (bare, empty reason,
+    // unknown rule) -> three S001 findings ...
+    assert_eq!(spans(&findings, RuleId::S001).len(), 3);
+    // ... and none of them silences the underlying D001.
+    assert_eq!(spans(&findings, RuleId::D001).len(), 3);
+}
+
+#[test]
+fn suppressed_findings_do_not_count_as_violations() {
+    let report = ef_simlint::Report {
+        findings: lint_fixture("suppressed.rs"),
+        files_scanned: 1,
+    };
+    assert!(report.violations(&[]).is_empty());
+    assert_eq!(report.suppressed_count(), report.findings.len());
+}
+
+#[test]
+fn s001_cannot_be_allowed() {
+    let report = ef_simlint::Report {
+        findings: lint_fixture("bare_suppression.rs"),
+        files_scanned: 1,
+    };
+    // Allowing every D-rule still leaves the S001s as violations.
+    let allowed = [RuleId::D001, RuleId::D002, RuleId::D003, RuleId::D004];
+    assert_eq!(report.violations(&allowed).len(), 3);
+}
+
+#[test]
+fn json_report_is_well_formed() {
+    let report = ef_simlint::Report {
+        findings: lint_fixture("d003.rs"),
+        files_scanned: 1,
+    };
+    let json = report.to_json(&[]);
+    assert!(json.starts_with('{') && json.ends_with('}'));
+    assert!(json.contains("\"rule\":\"D003\""));
+    assert!(json.contains("\"violations\":3"));
+}

@@ -1,0 +1,22 @@
+// Fixture: suppressions without a justification are rejected (S001)
+// and do NOT silence the underlying finding.
+use std::collections::HashMap;
+
+struct Cache {
+    entries: HashMap<u64, u64>,
+}
+
+fn bare_directive(c: &Cache) -> usize {
+    // simlint::allow(D001)
+    c.entries.keys().count()
+}
+
+fn empty_reason(c: &Cache) -> usize {
+    // simlint::allow(D001):
+    c.entries.values().count()
+}
+
+fn unknown_rule(c: &Cache) -> usize {
+    // simlint::allow(D999): not a real rule
+    c.entries.iter().count()
+}

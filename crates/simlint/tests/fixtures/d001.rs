@@ -1,0 +1,50 @@
+// Fixture: D001 firing shapes. Not compiled by cargo (lives under
+// tests/fixtures/, which the workspace scan also skips).
+use std::collections::{HashMap, HashSet};
+
+struct State {
+    uplinks: HashMap<u64, u32>,
+}
+
+fn field_iteration(s: &mut State) -> u32 {
+    let mut total = 0;
+    for v in s.uplinks.values() {
+        total += v;
+    }
+    total
+}
+
+fn direct_for_loop(s: &State) {
+    for (_k, _v) in &s.uplinks {}
+}
+
+fn local_binding() -> usize {
+    let seen: HashSet<u64> = HashSet::new();
+    seen.iter().count()
+}
+
+fn ctor_binding() {
+    let pending = HashMap::new();
+    pending.insert(1u8, 2u8);
+    let _ = pending.keys().min();
+}
+
+fn drains(s: &mut State) {
+    for (_k, _v) in s.uplinks.drain() {}
+}
+
+fn non_iteration_is_fine(s: &State) -> usize {
+    // Lookups and size queries do not observe ordering.
+    s.uplinks.len() + usize::from(s.uplinks.contains_key(&1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_code_is_exempt() {
+        let m: HashMap<u8, u8> = HashMap::new();
+        for _ in m.keys() {}
+    }
+}

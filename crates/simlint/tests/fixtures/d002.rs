@@ -1,0 +1,27 @@
+// Fixture: D002 firing shapes.
+use std::time::{Duration, Instant};
+
+fn wall_clock() -> Duration {
+    let start = Instant::now();
+    start.elapsed()
+}
+
+fn system_clock() -> u64 {
+    let now = std::time::SystemTime::now();
+    now.elapsed().map(|d| d.as_secs()).unwrap_or(0)
+}
+
+fn os_entropy() -> u64 {
+    let mut rng = rand::thread_rng();
+    let x: u64 = rand::random();
+    x
+}
+
+fn ambient_seed() -> u64 {
+    std::env::var("SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(0)
+}
+
+fn duration_alone_is_fine() -> Duration {
+    // Duration is a plain value type; only clock reads are banned.
+    Duration::from_millis(5)
+}

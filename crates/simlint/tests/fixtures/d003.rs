@@ -1,0 +1,32 @@
+// Fixture: D003 firing shapes.
+
+fn unwraps(v: Option<u32>) -> u32 {
+    v.unwrap()
+}
+
+fn expects(v: Option<u32>) -> u32 {
+    v.expect("value must exist")
+}
+
+fn panics(flag: bool) {
+    if flag {
+        panic!("boom");
+    }
+}
+
+fn combinators_are_fine(v: Option<u32>) -> u32 {
+    // unwrap_or / unwrap_or_else never panic.
+    v.unwrap_or(0).max(v.unwrap_or_else(|| 1))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_panic() {
+        let v: Option<u32> = Some(3);
+        assert_eq!(v.unwrap(), 3);
+        if v.is_none() {
+            panic!("unreachable in test");
+        }
+    }
+}

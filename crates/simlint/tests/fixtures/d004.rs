@@ -1,0 +1,20 @@
+// Fixture: D004 firing shapes (float accumulation over unordered iterators).
+use std::collections::HashMap;
+
+struct Metrics {
+    samples: HashMap<u64, f64>,
+}
+
+fn unordered_sum(m: &Metrics) -> f64 {
+    m.samples.values().sum::<f64>()
+}
+
+fn unordered_fold(m: &Metrics) -> f64 {
+    m.samples.values().fold(0.0, |acc, v| acc + v)
+}
+
+fn integer_sum_is_d001_only(m: &Metrics) -> usize {
+    // Iteration still fires D001, but integer accumulation is
+    // order-independent, so no D004.
+    m.samples.keys().map(|k| *k as usize).sum::<usize>()
+}

@@ -1,0 +1,26 @@
+// Fixture: justified suppressions are honored.
+use std::collections::HashMap;
+
+struct Cache {
+    entries: HashMap<u64, u64>,
+}
+
+fn justified_same_line(c: &Cache) -> u64 {
+    c.entries.values().copied().max().unwrap_or(0) // simlint::allow(D001): max() is order-independent
+}
+
+fn justified_line_above(c: &Cache) -> usize {
+    // simlint::allow(D001): count is order-independent
+    c.entries.keys().count()
+}
+
+fn stacked_directives(c: &Cache) -> f64 {
+    // simlint::allow(D001): sum over commutative small ints cast late
+    // simlint::allow(D004): accumulation bounded by test tolerance
+    c.entries.values().map(|v| *v as f64).sum::<f64>()
+}
+
+fn panic_with_reason(v: Option<u32>) -> u32 {
+    // simlint::allow(D003): validated by caller contract in fixture
+    v.unwrap()
+}
