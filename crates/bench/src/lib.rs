@@ -26,6 +26,7 @@
 //! | `ablation_gamma` | replication factor γ sweep |
 //! | `ablation_partitioners` | all partitioners head-to-head + runtime |
 //! | `ablation_minhash` | exact vs MinHash/LSH ground truth |
+//! | `recovery_latency` | crash-stop recovery latency vs anti-entropy interval |
 //!
 //! The Criterion benches in `benches/` cover the substrate hot paths
 //! (chunking, hashing, ring lookup, key-value store, model evaluation,

@@ -278,6 +278,20 @@ impl DurableStore {
     pub fn chunk_count(&self) -> usize {
         self.chunks.len()
     }
+
+    /// Whether `hash` is stored (regardless of current node failures).
+    pub fn contains(&self, hash: &ChunkHash) -> bool {
+        self.chunks.contains_key(hash)
+    }
+
+    /// The hashes of every stored chunk, in hash order.
+    ///
+    /// The durable tier is the recovery catalog: after an edge ring loses
+    /// a node, this is the ground truth a re-upload audit compares the
+    /// ring's index against.
+    pub fn hashes(&self) -> impl Iterator<Item = &ChunkHash> {
+        self.chunks.keys()
+    }
 }
 
 #[cfg(test)]

@@ -36,16 +36,63 @@ pub struct RobustnessMetrics {
     pub degraded_lookups: u64,
     /// Messages the simulated network dropped (loss + partitions).
     pub messages_dropped: u64,
+    /// WAL records replayed by restarting index nodes.
+    #[serde(default)]
+    pub wal_records_replayed: u64,
+    /// WAL snapshot compactions taken across all index nodes.
+    #[serde(default)]
+    pub wal_snapshots: u64,
+    /// Index nodes that crash-stopped and restarted from their WAL.
+    #[serde(default)]
+    pub node_restarts: u64,
+    /// Scheduled anti-entropy rounds the cluster ran.
+    #[serde(default)]
+    pub antientropy_rounds: u64,
+    /// Divergent Merkle buckets anti-entropy repaired.
+    #[serde(default)]
+    pub buckets_repaired: u64,
+    /// Index entries streamed to close those divergences.
+    #[serde(default)]
+    pub entries_repaired: u64,
+    /// Entries re-replicated to new owners after permanent departures.
+    #[serde(default)]
+    pub rereplicated_entries: u64,
+    /// Hints dropped because their target permanently departed.
+    #[serde(default)]
+    pub hints_dropped: u64,
+    /// Dead-timeout escalations peers recorded (observer × dead node).
+    #[serde(default)]
+    pub dead_declared: u64,
+    /// Worst restart-to-convergence latency (ns; 0 when no node
+    /// restarted or none has converged yet).
+    #[serde(default)]
+    pub recovery_latency_ns_max: u64,
 }
 
 impl RobustnessMetrics {
     /// Snapshots the fault counters of a simulated index cluster.
     pub fn from_sim(cluster: &ef_kvstore::SimCluster) -> Self {
+        let recovery = cluster.recovery_stats();
         RobustnessMetrics {
             index_timeouts: cluster.timeouts(),
             index_retries: cluster.retries(),
             degraded_lookups: cluster.degraded_ops(),
             messages_dropped: cluster.network().messages_dropped(),
+            wal_records_replayed: recovery.wal_records_replayed,
+            wal_snapshots: cluster.wal_snapshots(),
+            node_restarts: recovery.restarts,
+            antientropy_rounds: recovery.antientropy_rounds,
+            buckets_repaired: recovery.buckets_repaired,
+            entries_repaired: recovery.entries_repaired,
+            rereplicated_entries: recovery.rereplicated_entries,
+            hints_dropped: recovery.hints_dropped,
+            dead_declared: recovery.dead_declared,
+            recovery_latency_ns_max: cluster
+                .recovery_latencies()
+                .into_iter()
+                .map(|(_, d)| d.as_nanos())
+                .max()
+                .unwrap_or(0),
         }
     }
 

@@ -36,6 +36,15 @@ pub struct ChaosScenarioConfig {
     pub partitions: usize,
     /// Bursty loss windows to schedule.
     pub loss_bursts: usize,
+    /// Crash-stop/restart pairs to schedule: the victim loses all
+    /// volatile state and recovers from its WAL on restart (unlike
+    /// [`ChaosScenarioConfig::crashes`], which keep state and merely drop
+    /// messages while down).
+    pub crash_stops: usize,
+    /// Permanent departures to schedule: the victim never comes back,
+    /// its disk is destroyed, and the ring is rebuilt once peers declare
+    /// it dead.
+    pub departures: usize,
     /// Background loss probability applied to all links for the whole
     /// run (0 disables).
     pub base_loss: f64,
@@ -45,13 +54,16 @@ pub struct ChaosScenarioConfig {
 
 impl Default for ChaosScenarioConfig {
     /// A moderately hostile default: 10 s window, two crashes, one
-    /// partition, two loss bursts (≤ 40%), 5% background loss.
+    /// partition, two loss bursts (≤ 40%), 5% background loss, and no
+    /// crash-stops or departures (opt in per scenario).
     fn default() -> Self {
         ChaosScenarioConfig {
             duration: SimDuration::from_secs_f64(10.0),
             crashes: 2,
             partitions: 1,
             loss_bursts: 2,
+            crash_stops: 0,
+            departures: 0,
             base_loss: 0.05,
             max_burst_loss: 0.4,
         }
@@ -94,6 +106,29 @@ pub enum ChaosEvent {
         until: SimTime,
         /// Per-message drop probability during the burst.
         probability: f64,
+    },
+    /// Crash-stop `node` at `at`: all volatile state (memtable, hints,
+    /// in-flight ops) is lost; only the WAL survives for the restart.
+    CrashStop {
+        /// When the crash-stop happens.
+        at: SimTime,
+        /// The crash-stopped node.
+        node: NodeId,
+    },
+    /// Restart `node` at `at`, recovering its shard from the WAL.
+    Restart {
+        /// When the node restarts.
+        at: SimTime,
+        /// The restarting node.
+        node: NodeId,
+    },
+    /// Permanently remove `node` at `at`: a crash-stop whose disk is
+    /// destroyed and that never restarts.
+    Depart {
+        /// When the node departs.
+        at: SimTime,
+        /// The departing node.
+        node: NodeId,
     },
 }
 
@@ -168,6 +203,38 @@ impl ChaosScenario {
             });
         }
 
+        // Crash-stop and departure victims are drawn from a shrinking
+        // pool of distinct nodes, so a scheduled restart never races a
+        // permanent departure of the same node and at least two members
+        // always survive the scenario.
+        let mut pool = edge.clone();
+        let crash_stops = config.crash_stops.min(pool.len().saturating_sub(1));
+        for _ in 0..crash_stops {
+            let node = pool.remove(pick(&mut rng, pool.len()));
+            // Crash-stop in the first half; stay down 10–40% of the
+            // window so WAL recovery and anti-entropy catch-up happen
+            // while the workload is still running.
+            let at = SimTime::ZERO + dur * (rng.unit() * 0.5);
+            let down_for = dur * (0.1 + rng.unit() * 0.3);
+            events.push(ChaosEvent::CrashStop { at, node });
+            events.push(ChaosEvent::Restart {
+                at: at + down_for,
+                node,
+            });
+        }
+        let departures = if pool.len() >= 3 {
+            config.departures.min(pool.len() - 2)
+        } else {
+            0
+        };
+        for _ in 0..departures {
+            let node = pool.remove(pick(&mut rng, pool.len()));
+            // Depart in the 20–60% band: late enough to own data, early
+            // enough for dead-declaration and re-replication on-screen.
+            let at = SimTime::ZERO + dur * (0.2 + rng.unit() * 0.4);
+            events.push(ChaosEvent::Depart { at, node });
+        }
+
         ChaosScenario {
             seed,
             config: *config,
@@ -209,7 +276,11 @@ impl ChaosScenario {
                 } => {
                     plan = plan.loss_window(FaultScope::All, probability, from, until);
                 }
-                ChaosEvent::Crash { .. } | ChaosEvent::Revive { .. } => {}
+                ChaosEvent::Crash { .. }
+                | ChaosEvent::Revive { .. }
+                | ChaosEvent::CrashStop { .. }
+                | ChaosEvent::Restart { .. }
+                | ChaosEvent::Depart { .. } => {}
             }
         }
         plan
@@ -221,12 +292,16 @@ impl ChaosScenario {
         network.set_fault_plan(self.fault_plan());
     }
 
-    /// Schedules the crash/revive half of the scenario on `cluster`.
+    /// Schedules the node-fault half of the scenario on `cluster`:
+    /// crashes/revivals, crash-stops/restarts, and departures.
     pub fn apply(&self, cluster: &mut SimCluster) {
         for ev in &self.events {
             match *ev {
                 ChaosEvent::Crash { at, node } => cluster.crash_at(at, node),
                 ChaosEvent::Revive { at, node } => cluster.revive_at(at, node),
+                ChaosEvent::CrashStop { at, node } => cluster.crash_stop_at(at, node),
+                ChaosEvent::Restart { at, node } => cluster.restart_at(at, node),
+                ChaosEvent::Depart { at, node } => cluster.depart_at(at, node),
                 ChaosEvent::Partition { .. } | ChaosEvent::LossBurst { .. } => {}
             }
         }
@@ -384,8 +459,45 @@ mod tests {
         assert_ne!(s1, s3);
         assert_eq!(
             s1.events().len(),
-            2 * cfg.crashes + cfg.partitions + cfg.loss_bursts
+            2 * cfg.crashes
+                + cfg.partitions
+                + cfg.loss_bursts
+                + 2 * cfg.crash_stops
+                + cfg.departures
         );
+    }
+
+    #[test]
+    fn crash_stops_and_departures_pick_distinct_victims() {
+        let net = testbed();
+        let cfg = ChaosScenarioConfig {
+            crashes: 0,
+            partitions: 0,
+            loss_bursts: 0,
+            crash_stops: 2,
+            departures: 1,
+            ..ChaosScenarioConfig::default()
+        };
+        for seed in 0..20u64 {
+            let s = ChaosScenario::generate(seed, net.topology(), &cfg);
+            assert_eq!(s.events().len(), 2 * cfg.crash_stops + cfg.departures);
+            let mut victims = std::collections::BTreeSet::new();
+            for ev in s.events() {
+                match *ev {
+                    ChaosEvent::CrashStop { node, .. } | ChaosEvent::Depart { node, .. } => {
+                        assert!(victims.insert(node), "seed {seed}: victim {node} reused");
+                    }
+                    ChaosEvent::Restart { at, node } => {
+                        assert!(victims.contains(&node), "seed {seed}: restart of {node}");
+                        assert!(at > SimTime::ZERO);
+                    }
+                    ref other => panic!("seed {seed}: unexpected event {other:?}"),
+                }
+            }
+            // Six edge nodes, two crash-stopped (they come back), one
+            // departed: at least two members never faulted at all.
+            assert!(victims.len() <= 3);
+        }
     }
 
     #[test]

@@ -25,6 +25,10 @@ pub struct ClusterConfig {
     pub vnodes: usize,
     /// Memtable flush threshold per node, in bytes.
     pub memtable_flush_bytes: usize,
+    /// Write-ahead-log tail records between snapshot compactions
+    /// (`0` disables snapshotting; see
+    /// [`WriteAheadLog`](crate::WriteAheadLog)).
+    pub wal_snapshot_every: u64,
 }
 
 impl Default for ClusterConfig {
@@ -35,6 +39,7 @@ impl Default for ClusterConfig {
             consistency: Consistency::One,
             vnodes: 64,
             memtable_flush_bytes: 4 << 20,
+            wal_snapshot_every: 128,
         }
     }
 }
@@ -105,18 +110,7 @@ impl LocalCluster {
         let ring = HashRing::with_nodes(members.iter().copied(), config.vnodes);
         let nodes = members
             .into_iter()
-            .map(|id| {
-                (
-                    id,
-                    NodeState::new(
-                        id,
-                        ring.clone(),
-                        config.replication_factor,
-                        config.consistency,
-                        config.memtable_flush_bytes,
-                    ),
-                )
-            })
+            .map(|id| (id, NodeState::new(id, ring.clone(), &config)))
             .collect();
         LocalCluster {
             nodes,
@@ -358,13 +352,7 @@ impl LocalCluster {
             "node {node} already a member"
         );
         self.ring.add_node(node);
-        let state = NodeState::new(
-            node,
-            self.ring.clone(),
-            self.config.replication_factor,
-            self.config.consistency,
-            self.config.memtable_flush_bytes,
-        );
+        let state = NodeState::new(node, self.ring.clone(), &self.config);
         self.nodes.insert(node, state);
         let ring = self.ring.clone();
         for s in self.nodes.values_mut() {
@@ -388,6 +376,10 @@ impl LocalCluster {
         self.down.remove(&node);
         let ring = self.ring.clone();
         for s in self.nodes.values_mut() {
+            // Hints parked for a permanently departed node must be
+            // dropped, never replayed toward its tokens' new owners —
+            // rebalance below re-establishes replication from live data.
+            s.drop_hints_for(node);
             s.update_ring(ring.clone());
         }
         // Note: the decommissioned node's data survives on its replicas

@@ -5,8 +5,11 @@
 //! *detect* failures. [`HeartbeatDetector`] is the standard mechanism
 //! Cassandra's gossip layer builds on: every peer is expected to be
 //! heard from within a timeout; silence marks it suspect, and hearing
-//! from it again revives it. The detector is driven by simulated time so
-//! detection behaviour is reproducible.
+//! from it again revives it. A second, longer timeout escalates
+//! suspicion to [`Liveness::Dead`] — the signal to treat the peer as
+//! permanently departed (re-replicate its tokens, rebuild the ring).
+//! The detector is driven by simulated time so detection behaviour is
+//! reproducible.
 
 use ef_netsim::NodeId;
 use ef_simcore::{SimDuration, SimTime};
@@ -17,11 +20,42 @@ use std::collections::BTreeMap;
 pub enum Liveness {
     /// Heard from within the timeout.
     Alive,
-    /// Silent past the timeout.
+    /// Silent past the (suspect) timeout.
     Suspect,
+    /// Silent past the dead timeout: presumed permanently departed.
+    /// Sticky — only a heartbeat *newer* than the death declaration
+    /// revives the peer; stale late heartbeats never do.
+    Dead,
 }
 
-/// A per-node heartbeat failure detector.
+/// Edge-triggered transitions from one [`HeartbeatDetector::sweep`], each
+/// list in id order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Sweep {
+    /// Peers that just crossed the suspect timeout.
+    pub newly_suspect: Vec<NodeId>,
+    /// Peers that just crossed the dead timeout.
+    pub newly_dead: Vec<NodeId>,
+    /// Peers that just proved themselves alive again.
+    pub revived: Vec<NodeId>,
+}
+
+impl Sweep {
+    /// True when the sweep produced no transitions.
+    pub fn is_empty(&self) -> bool {
+        self.newly_suspect.is_empty() && self.newly_dead.is_empty() && self.revived.is_empty()
+    }
+}
+
+/// Where a watched peer sits in the Alive → Suspect → Dead escalation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PeerState {
+    Alive,
+    Suspect,
+    Dead,
+}
+
+/// A per-node heartbeat failure detector with two-level escalation.
 ///
 /// # Example
 ///
@@ -40,14 +74,18 @@ pub enum Liveness {
 #[derive(Debug, Clone)]
 pub struct HeartbeatDetector {
     timeout: SimDuration,
+    /// Silence beyond this escalates Suspect → Dead (`None`: never).
+    dead_timeout: Option<SimDuration>,
     last_heard: BTreeMap<NodeId, SimTime>,
-    /// Peers currently considered suspect (for edge-triggered events).
-    suspected: BTreeMap<NodeId, bool>,
+    /// Per-peer escalation state (for edge-triggered events).
+    state: BTreeMap<NodeId, PeerState>,
+    /// When each dead peer was declared dead (stale-heartbeat guard).
+    dead_since: BTreeMap<NodeId, SimTime>,
 }
 
 impl HeartbeatDetector {
     /// Creates a detector that suspects peers silent for longer than
-    /// `timeout`.
+    /// `timeout` and never declares them dead.
     ///
     /// # Panics
     ///
@@ -56,21 +94,40 @@ impl HeartbeatDetector {
         assert!(!timeout.is_zero(), "timeout must be positive");
         HeartbeatDetector {
             timeout,
+            dead_timeout: None,
             last_heard: BTreeMap::new(),
-            suspected: BTreeMap::new(),
+            state: BTreeMap::new(),
+            dead_since: BTreeMap::new(),
         }
+    }
+
+    /// Creates a detector that additionally declares peers dead after
+    /// `dead_timeout` of silence.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `dead_timeout > timeout > 0`.
+    pub fn with_dead_timeout(timeout: SimDuration, dead_timeout: SimDuration) -> Self {
+        assert!(
+            dead_timeout > timeout,
+            "dead timeout must exceed the suspect timeout"
+        );
+        let mut fd = HeartbeatDetector::new(timeout);
+        fd.dead_timeout = Some(dead_timeout);
+        fd
     }
 
     /// Starts watching a peer, treating `now` as its first sign of life.
     pub fn watch(&mut self, peer: NodeId, now: SimTime) {
         self.last_heard.entry(peer).or_insert(now);
-        self.suspected.entry(peer).or_insert(false);
+        self.state.entry(peer).or_insert(PeerState::Alive);
     }
 
     /// Stops watching a peer (decommission).
     pub fn unwatch(&mut self, peer: NodeId) {
         self.last_heard.remove(&peer);
-        self.suspected.remove(&peer);
+        self.state.remove(&peer);
+        self.dead_since.remove(&peer);
     }
 
     /// Records a heartbeat from `peer` at `now`.
@@ -81,60 +138,119 @@ impl HeartbeatDetector {
     /// must therefore be silenced (removed from the ring) before
     /// [`HeartbeatDetector::unwatch`], or its next heartbeat simply
     /// re-registers it.
+    ///
+    /// Once a peer is declared dead, heartbeats stamped at or before the
+    /// declaration are discarded: a stale in-flight heartbeat from
+    /// before the death never revives the peer. Only a genuinely later
+    /// heartbeat (a restarted node speaking again) does.
     pub fn heartbeat(&mut self, peer: NodeId, now: SimTime) {
+        if let Some(&since) = self.dead_since.get(&peer) {
+            if now <= since {
+                return;
+            }
+        }
         match self.last_heard.get_mut(&peer) {
             Some(t) => *t = (*t).max(now),
             None => {
                 self.last_heard.insert(peer, now);
-                self.suspected.insert(peer, false);
+                self.state.insert(peer, PeerState::Alive);
             }
         }
     }
 
     /// The verdict for `peer` at `now`.
     ///
-    /// Returns `None` for an unwatched peer.
+    /// Returns `None` for an unwatched peer. A dead verdict is sticky:
+    /// it persists until a heartbeat newer than the declaration arrives,
+    /// regardless of how `now` relates to the timeouts.
     pub fn liveness(&self, peer: NodeId, now: SimTime) -> Option<Liveness> {
         let last = self.last_heard.get(&peer)?;
-        Some(if now.saturating_since(*last) > self.timeout {
-            Liveness::Suspect
-        } else {
-            Liveness::Alive
+        if let Some(&since) = self.dead_since.get(&peer) {
+            if *last <= since {
+                return Some(Liveness::Dead);
+            }
+        }
+        let silence = now.saturating_since(*last);
+        Some(match self.dead_timeout {
+            Some(dead) if silence > dead => Liveness::Dead,
+            _ if silence > self.timeout => Liveness::Suspect,
+            _ => Liveness::Alive,
         })
     }
 
     /// Sweeps all watched peers at `now`, returning *edge-triggered*
-    /// transitions: peers that just became suspect and peers that just
-    /// revived, in id order.
-    pub fn sweep(&mut self, now: SimTime) -> (Vec<NodeId>, Vec<NodeId>) {
-        let mut newly_suspect = Vec::new();
-        let mut revived = Vec::new();
+    /// transitions. A peer that crossed both thresholds since the last
+    /// sweep appears in `newly_suspect` *and* `newly_dead`. Dead peers
+    /// only revive once a genuinely-later heartbeat moved their
+    /// `last_heard` past the death declaration.
+    pub fn sweep(&mut self, now: SimTime) -> Sweep {
+        let mut sweep = Sweep::default();
         for (&peer, &last) in &self.last_heard {
-            let suspect_now = now.saturating_since(last) > self.timeout;
-            // simlint::allow(D003): watch() inserts into last_heard and suspected together, so the key sets match
-            let was = self.suspected.get_mut(&peer).expect("watched peer");
-            if suspect_now && !*was {
-                *was = true;
-                newly_suspect.push(peer);
-            } else if !suspect_now && *was {
-                *was = false;
-                revived.push(peer);
+            let silence = now.saturating_since(last);
+            let suspect_now = silence > self.timeout;
+            let dead_now = matches!(self.dead_timeout, Some(dead) if silence > dead);
+            // simlint::allow(D003): watch()/heartbeat() insert into last_heard and state together, so the key sets match
+            let state = self.state.get_mut(&peer).expect("watched peer");
+            match *state {
+                PeerState::Alive => {
+                    if dead_now {
+                        // Crossed both thresholds between sweeps: report
+                        // both edges so no subscriber misses one.
+                        *state = PeerState::Dead;
+                        self.dead_since.insert(peer, now);
+                        sweep.newly_suspect.push(peer);
+                        sweep.newly_dead.push(peer);
+                    } else if suspect_now {
+                        *state = PeerState::Suspect;
+                        sweep.newly_suspect.push(peer);
+                    }
+                }
+                PeerState::Suspect => {
+                    if dead_now {
+                        *state = PeerState::Dead;
+                        self.dead_since.insert(peer, now);
+                        sweep.newly_dead.push(peer);
+                    } else if !suspect_now {
+                        *state = PeerState::Alive;
+                        sweep.revived.push(peer);
+                    }
+                }
+                PeerState::Dead => {
+                    if !suspect_now && !dead_now {
+                        *state = PeerState::Alive;
+                        self.dead_since.remove(&peer);
+                        sweep.revived.push(peer);
+                    }
+                }
             }
         }
-        (newly_suspect, revived)
+        sweep
     }
 
     /// All peers currently in the suspect state (from the last sweep).
     pub fn suspects(&self) -> Vec<NodeId> {
-        self.suspected
+        self.state
             .iter()
-            .filter_map(|(&p, &s)| s.then_some(p))
+            .filter_map(|(&p, &s)| (s == PeerState::Suspect).then_some(p))
             .collect()
     }
 
-    /// The configured timeout.
+    /// All peers currently declared dead (from the last sweep).
+    pub fn dead_peers(&self) -> Vec<NodeId> {
+        self.state
+            .iter()
+            .filter_map(|(&p, &s)| (s == PeerState::Dead).then_some(p))
+            .collect()
+    }
+
+    /// The configured suspect timeout.
     pub fn timeout(&self) -> SimDuration {
         self.timeout
+    }
+
+    /// The configured dead timeout, if escalation is enabled.
+    pub fn dead_timeout(&self) -> Option<SimDuration> {
+        self.dead_timeout
     }
 }
 
@@ -173,19 +289,18 @@ mod tests {
         fd.watch(NodeId(2), ms(0));
         fd.heartbeat(NodeId(2), ms(150));
 
-        let (down, up) = fd.sweep(ms(200));
-        assert_eq!(down, vec![NodeId(1)]);
-        assert!(up.is_empty());
+        let s = fd.sweep(ms(200));
+        assert_eq!(s.newly_suspect, vec![NodeId(1)]);
+        assert!(s.newly_dead.is_empty() && s.revived.is_empty());
         // Repeated sweep: no new events.
-        let (down2, up2) = fd.sweep(ms(210));
-        assert!(down2.is_empty() && up2.is_empty());
+        assert!(fd.sweep(ms(210)).is_empty());
         assert_eq!(fd.suspects(), vec![NodeId(1)]);
 
         // The peer comes back.
         fd.heartbeat(NodeId(1), ms(220));
-        let (down3, up3) = fd.sweep(ms(230));
-        assert!(down3.is_empty());
-        assert_eq!(up3, vec![NodeId(1)]);
+        let s3 = fd.sweep(ms(230));
+        assert!(s3.newly_suspect.is_empty() && s3.newly_dead.is_empty());
+        assert_eq!(s3.revived, vec![NodeId(1)]);
         assert!(fd.suspects().is_empty());
     }
 
@@ -204,8 +319,7 @@ mod tests {
         fd.watch(NodeId(1), ms(0));
         fd.unwatch(NodeId(1));
         // A silenced, unwatched peer never resurfaces in sweeps.
-        let (down, up) = fd.sweep(ms(500));
-        assert!(down.is_empty() && up.is_empty());
+        assert!(fd.sweep(ms(500)).is_empty());
         // But a late heartbeat re-registers it (gossip-style auto-watch):
         // decommission must silence the peer before unwatching.
         fd.heartbeat(NodeId(1), ms(510));
@@ -219,14 +333,94 @@ mod tests {
         fd.heartbeat(NodeId(7), ms(10));
         assert_eq!(fd.liveness(NodeId(7), ms(50)), Some(Liveness::Alive));
         // And it participates in sweeps like any watched peer.
-        let (down, up) = fd.sweep(ms(500));
-        assert_eq!(down, vec![NodeId(7)]);
-        assert!(up.is_empty());
+        let s = fd.sweep(ms(500));
+        assert_eq!(s.newly_suspect, vec![NodeId(7)]);
+        assert!(s.newly_dead.is_empty() && s.revived.is_empty());
     }
 
     #[test]
     fn liveness_of_unwatched_is_none() {
         let fd = HeartbeatDetector::new(SimDuration::from_millis(1));
         assert_eq!(fd.liveness(NodeId(9), ms(0)), None);
+    }
+
+    #[test]
+    fn silence_escalates_suspect_then_dead() {
+        let mut fd = HeartbeatDetector::with_dead_timeout(
+            SimDuration::from_millis(100),
+            SimDuration::from_millis(400),
+        );
+        fd.watch(NodeId(1), ms(0));
+        let s1 = fd.sweep(ms(150));
+        assert_eq!(s1.newly_suspect, vec![NodeId(1)]);
+        assert!(s1.newly_dead.is_empty());
+        assert_eq!(fd.liveness(NodeId(1), ms(150)), Some(Liveness::Suspect));
+
+        let s2 = fd.sweep(ms(450));
+        assert!(s2.newly_suspect.is_empty());
+        assert_eq!(s2.newly_dead, vec![NodeId(1)]);
+        assert_eq!(fd.liveness(NodeId(1), ms(450)), Some(Liveness::Dead));
+        assert_eq!(fd.dead_peers(), vec![NodeId(1)]);
+        // Edge-triggered: no repeat.
+        assert!(fd.sweep(ms(500)).is_empty());
+    }
+
+    #[test]
+    fn both_edges_fire_when_a_sweep_skips_the_suspect_window() {
+        let mut fd = HeartbeatDetector::with_dead_timeout(
+            SimDuration::from_millis(100),
+            SimDuration::from_millis(400),
+        );
+        fd.watch(NodeId(1), ms(0));
+        // First sweep lands past the dead timeout already.
+        let s = fd.sweep(ms(1000));
+        assert_eq!(s.newly_suspect, vec![NodeId(1)]);
+        assert_eq!(s.newly_dead, vec![NodeId(1)]);
+    }
+
+    #[test]
+    fn stale_heartbeat_never_revives_the_dead() {
+        let mut fd = HeartbeatDetector::with_dead_timeout(
+            SimDuration::from_millis(100),
+            SimDuration::from_millis(400),
+        );
+        fd.watch(NodeId(1), ms(0));
+        let s = fd.sweep(ms(500));
+        assert_eq!(s.newly_dead, vec![NodeId(1)]);
+        // A heartbeat stamped before (or at) the death declaration is a
+        // stale straggler: discard it, the peer stays dead.
+        fd.heartbeat(NodeId(1), ms(300));
+        fd.heartbeat(NodeId(1), ms(500));
+        assert_eq!(fd.liveness(NodeId(1), ms(510)), Some(Liveness::Dead));
+        assert!(fd.sweep(ms(520)).is_empty());
+        assert_eq!(fd.dead_peers(), vec![NodeId(1)]);
+        // Dead stays sticky even at far-future sweep times.
+        assert_eq!(fd.liveness(NodeId(1), ms(10_000)), Some(Liveness::Dead));
+    }
+
+    #[test]
+    fn genuinely_later_heartbeat_revives_the_dead() {
+        let mut fd = HeartbeatDetector::with_dead_timeout(
+            SimDuration::from_millis(100),
+            SimDuration::from_millis(400),
+        );
+        fd.watch(NodeId(1), ms(0));
+        fd.sweep(ms(500));
+        assert_eq!(fd.dead_peers(), vec![NodeId(1)]);
+        // The node restarted and spoke again after the declaration.
+        fd.heartbeat(NodeId(1), ms(600));
+        let s = fd.sweep(ms(610));
+        assert_eq!(s.revived, vec![NodeId(1)]);
+        assert!(fd.dead_peers().is_empty());
+        assert_eq!(fd.liveness(NodeId(1), ms(650)), Some(Liveness::Alive));
+    }
+
+    #[test]
+    #[should_panic(expected = "dead timeout must exceed")]
+    fn dead_timeout_must_exceed_suspect_timeout() {
+        HeartbeatDetector::with_dead_timeout(
+            SimDuration::from_millis(100),
+            SimDuration::from_millis(100),
+        );
     }
 }

@@ -56,13 +56,13 @@ mod threaded;
 pub use antientropy::MerkleTree;
 pub use chaos::{nth_op_id, ChaosEvent, ChaosScenario, ChaosScenarioConfig};
 pub use cluster::{ClusterConfig, ClusterError, LocalCluster};
-pub use failure::{HeartbeatDetector, Liveness};
+pub use failure::{HeartbeatDetector, Liveness, Sweep};
 pub use msg::{ClientOp, Completion, Message, OpId, OpResult, Outbound};
 pub use node::{Consistency, NodeState};
 pub use retry::RetryPolicy;
 pub use ring::HashRing;
-pub use sim::{OpLatency, SimCluster};
-pub use storage::{StorageEngine, StorageStats};
+pub use sim::{OpLatency, RecoveryStats, SimCluster};
+pub use storage::{StorageEngine, StorageStats, WalError, WalRecord, WriteAheadLog};
 pub use threaded::ThreadedCluster;
 
 /// Hashes a key to its position ("token") on the ring.

@@ -13,9 +13,10 @@
 //! skipped and a *hint* is parked at the coordinator; when the peer comes
 //! back the hints are replayed (`HintReplay`), restoring replication.
 
+use crate::cluster::ClusterConfig;
 use crate::msg::{ClientOp, Completion, Message, OpId, OpResult, Outbound};
 use crate::ring::HashRing;
-use crate::storage::StorageEngine;
+use crate::storage::{StorageEngine, WalError, WalRecord, WriteAheadLog};
 use bytes::Bytes;
 use ef_netsim::NodeId;
 use std::collections::{BTreeMap, BTreeSet};
@@ -125,6 +126,14 @@ pub struct NodeState {
     retries: u64,
     /// Check-and-inserts that completed degraded (diagnostics).
     degraded_ops: u64,
+    /// The node's durable write-ahead log (survives crash-stops).
+    wal: WriteAheadLog,
+    /// WAL records replayed at the last [`NodeState::recover`].
+    wal_records_replayed: u64,
+    /// Re-replication copies streamed after permanent departures.
+    rereplicated: u64,
+    /// Hints dropped because their target permanently departed.
+    hints_dropped: u64,
 }
 
 impl NodeState {
@@ -132,26 +141,20 @@ impl NodeState {
     ///
     /// # Panics
     ///
-    /// Panics when `replication_factor` is zero or the node is not a ring
-    /// member.
-    pub fn new(
-        id: NodeId,
-        ring: HashRing,
-        replication_factor: usize,
-        consistency: Consistency,
-        memtable_flush_bytes: usize,
-    ) -> Self {
+    /// Panics when `config.replication_factor` is zero or the node is not
+    /// a ring member.
+    pub fn new(id: NodeId, ring: HashRing, config: &ClusterConfig) -> Self {
         assert!(
-            replication_factor > 0,
+            config.replication_factor > 0,
             "replication factor must be positive"
         );
         assert!(ring.contains(id), "node must be a ring member");
         NodeState {
             id,
             ring,
-            storage: StorageEngine::new(memtable_flush_bytes),
-            replication_factor,
-            consistency,
+            storage: StorageEngine::new(config.memtable_flush_bytes),
+            replication_factor: config.replication_factor,
+            consistency: config.consistency,
             next_seq: 0,
             pending: BTreeMap::new(),
             repairing: BTreeMap::new(),
@@ -161,7 +164,71 @@ impl NodeState {
             timeouts: 0,
             retries: 0,
             degraded_ops: 0,
+            wal: WriteAheadLog::new(config.wal_snapshot_every),
+            wal_records_replayed: 0,
+            rereplicated: 0,
+            hints_dropped: 0,
         }
+    }
+
+    /// Rebuilds a node from its durable write-ahead log after a
+    /// crash-stop: replays the log into a fresh storage engine and
+    /// resumes op sequence numbers at the persisted floor, so op ids
+    /// issued after the restart never collide with pre-crash ones.
+    /// Volatile state (pending ops, hints, peer suspicions) is lost by
+    /// design — hint replay from peers and anti-entropy repair catch the
+    /// node up.
+    ///
+    /// # Errors
+    ///
+    /// [`WalError`] when the log is torn or corrupt.
+    ///
+    /// # Panics
+    ///
+    /// As [`NodeState::new`].
+    pub fn recover(
+        id: NodeId,
+        ring: HashRing,
+        config: &ClusterConfig,
+        wal: WriteAheadLog,
+    ) -> Result<Self, WalError> {
+        let records = wal.replay()?;
+        let mut node = NodeState::new(id, ring, config);
+        node.wal_records_replayed = records.len() as u64;
+        for record in records {
+            match record {
+                WalRecord::Put(k, v) => {
+                    node.storage.put(k, v);
+                }
+                WalRecord::Delete(k) => node.storage.delete(k),
+            }
+        }
+        node.next_seq = wal.seq_floor();
+        node.wal = wal;
+        Ok(node)
+    }
+
+    /// Crash-stops the node: consumes the volatile state, returning the
+    /// durable WAL (the "disk", for a later [`NodeState::recover`]) and
+    /// a completion for every in-flight coordinated op, resolved as
+    /// [`OpResult::TimedOut`] (the outcome at the replicas is unknown —
+    /// a check-and-insert crash-stopped mid-flight yields no dedup
+    /// verdict, so the client never skips an upload on its account).
+    pub fn crash(mut self) -> (WriteAheadLog, Vec<Completion>) {
+        let mut completions = Vec::new();
+        let op_ids: Vec<OpId> = self.pending.keys().copied().collect();
+        for op_id in op_ids {
+            if let Some(p) = self.pending.remove(&op_id) {
+                completions.push(Completion {
+                    op_id,
+                    result: OpResult::TimedOut {
+                        acks: p.acks,
+                        required: p.required,
+                    },
+                });
+            }
+        }
+        (self.wal, completions)
     }
 
     /// Read-repair writes issued so far (diagnostics).
@@ -182,6 +249,41 @@ impl NodeState {
     /// Check-and-inserts that completed degraded (diagnostics).
     pub fn degraded_ops(&self) -> u64 {
         self.degraded_ops
+    }
+
+    /// The node's write-ahead log (diagnostics).
+    pub fn wal(&self) -> &WriteAheadLog {
+        &self.wal
+    }
+
+    /// WAL records replayed at the last [`NodeState::recover`]
+    /// (diagnostics).
+    pub fn wal_records_replayed(&self) -> u64 {
+        self.wal_records_replayed
+    }
+
+    /// Re-replication copies streamed after permanent departures
+    /// (diagnostics).
+    pub fn rereplicated(&self) -> u64 {
+        self.rereplicated
+    }
+
+    /// Hints dropped because their target permanently departed
+    /// (diagnostics).
+    pub fn hints_dropped(&self) -> u64 {
+        self.hints_dropped
+    }
+
+    /// Logs a put to the WAL, then applies it to the storage engine.
+    fn durable_put(&mut self, key: Bytes, value: Bytes) -> bool {
+        self.wal.append_put(&key, &value);
+        self.storage.put(key, value)
+    }
+
+    /// Logs a tombstone to the WAL, then applies it.
+    fn durable_delete(&mut self, key: Bytes) {
+        self.wal.append_delete(&key);
+        self.storage.delete(key);
     }
 
     /// Number of operations still awaiting replica responses.
@@ -219,6 +321,16 @@ impl NodeState {
         self.hints.len()
     }
 
+    /// The distinct peers this node is currently holding hints for
+    /// (diagnostics): after a permanent departure none of them may be the
+    /// departed node.
+    pub fn hinted_peers(&self) -> Vec<NodeId> {
+        let mut peers: Vec<NodeId> = self.hints.iter().map(|(to, _, _)| *to).collect();
+        peers.sort_unstable();
+        peers.dedup();
+        peers
+    }
+
     /// Marks a peer down: future operations skip it and hint instead.
     pub fn mark_down(&mut self, peer: NodeId) {
         self.down.insert(peer);
@@ -251,6 +363,63 @@ impl NodeState {
         out
     }
 
+    /// Drops every hint parked for `peer` (permanent departure:
+    /// replaying them would misdirect writes meant for the departed
+    /// node's tokens, whose new owners are re-replicated explicitly).
+    /// Returns the number dropped.
+    pub fn drop_hints_for(&mut self, peer: NodeId) -> usize {
+        let before = self.hints.len();
+        self.hints.retain(|(to, _, _)| *to != peer);
+        let dropped = before - self.hints.len();
+        self.hints_dropped += dropped as u64;
+        dropped
+    }
+
+    /// Handles the permanent departure of `dead`: drops its parked
+    /// hints, removes it from this node's ring view, and re-replicates
+    /// every locally held key that lost a replica. For each such key
+    /// exactly one surviving replica — the lowest surviving id in the
+    /// old replica set — streams the copy to each new owner, so the
+    /// cluster sends one copy per (key, new owner) pair. Returns the
+    /// re-replication messages and their count. Idempotent: a ring view
+    /// already lacking `dead` re-replicates nothing.
+    pub fn handle_departure(&mut self, dead: NodeId) -> (Vec<Outbound>, usize) {
+        self.drop_hints_for(dead);
+        self.down.remove(&dead);
+        if !self.ring.contains(dead) {
+            return (Vec::new(), 0);
+        }
+        let mut new_ring = self.ring.clone();
+        new_ring.remove_node(dead);
+        let mut out = Vec::new();
+        for (key, value) in self.storage.iter_live() {
+            let old_reps = self.ring.replicas(&key, self.replication_factor);
+            if !old_reps.contains(&dead) {
+                continue;
+            }
+            let sender = old_reps.iter().filter(|r| **r != dead).min().copied();
+            if sender != Some(self.id) {
+                continue;
+            }
+            for target in new_ring.replicas(&key, self.replication_factor) {
+                if old_reps.contains(&target) {
+                    continue;
+                }
+                out.push(Outbound {
+                    to: target,
+                    msg: Message::HintReplay {
+                        key: key.clone(),
+                        value: Some(value.clone()),
+                    },
+                });
+            }
+        }
+        let count = out.len();
+        self.rereplicated += count as u64;
+        self.ring = new_ring;
+        (out, count)
+    }
+
     /// Replaces this node's ring view (membership change). The caller is
     /// responsible for streaming data that changed ownership (see
     /// `LocalCluster::rebalance`).
@@ -271,6 +440,8 @@ impl NodeState {
             seq: self.next_seq,
         };
         self.next_seq += 1;
+        // Persist the floor so op ids stay unique across a crash-restart.
+        self.wal.set_seq_floor(self.next_seq);
 
         let replicas = self.ring.replicas(op.key(), self.replication_factor);
         let rf = replicas.len();
@@ -312,10 +483,10 @@ impl NodeState {
                         }
                     }
                     ClientOp::Put(key, value) => {
-                        self.storage.put(key.clone(), value.clone());
+                        self.durable_put(key.clone(), value.clone());
                     }
                     ClientOp::Delete(key) => {
-                        self.storage.delete(key.clone());
+                        self.durable_delete(key.clone());
                     }
                 }
                 pending.acks += 1;
@@ -484,7 +655,7 @@ impl NodeState {
         let mut outbound = Vec::new();
         for replica in replicas {
             if replica == self.id {
-                self.storage.put(pending.key.clone(), value.clone());
+                self.durable_put(pending.key.clone(), value.clone());
                 pending.acks += 1;
             } else if self.down.contains(&replica) {
                 self.hints
@@ -516,7 +687,7 @@ impl NodeState {
         for peer in repairing.answered_none.drain(..) {
             self.repairs_sent += 1;
             if peer == self.id {
-                self.storage.put(repairing.key.clone(), value.clone());
+                self.durable_put(repairing.key.clone(), value.clone());
             } else if !self.down.contains(&peer) {
                 out.push(Outbound {
                     to: peer,
@@ -647,9 +818,9 @@ impl NodeState {
             Message::ReplicaWrite { op_id, key, value } => {
                 match value {
                     Some(v) => {
-                        self.storage.put(key, v);
+                        self.durable_put(key, v);
                     }
-                    None => self.storage.delete(key),
+                    None => self.durable_delete(key),
                 }
                 (
                     vec![Outbound {
@@ -687,9 +858,9 @@ impl NodeState {
             Message::HintReplay { key, value } => {
                 match value {
                     Some(v) => {
-                        self.storage.put(key, v);
+                        self.durable_put(key, v);
                     }
-                    None => self.storage.delete(key),
+                    None => self.durable_delete(key),
                 }
                 (Vec::new(), Vec::new())
             }
@@ -777,7 +948,12 @@ mod tests {
     }
 
     fn node(id: u32, consistency: Consistency) -> NodeState {
-        NodeState::new(NodeId(id), ring(), 2, consistency, 1 << 20)
+        let config = ClusterConfig {
+            consistency,
+            memtable_flush_bytes: 1 << 20,
+            ..ClusterConfig::default()
+        };
+        NodeState::new(NodeId(id), ring(), &config)
     }
 
     #[test]
@@ -997,7 +1173,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "ring member")]
     fn node_must_be_member() {
-        NodeState::new(NodeId(9), ring(), 2, Consistency::One, 1024);
+        NodeState::new(NodeId(9), ring(), &ClusterConfig::default());
     }
 
     #[test]
@@ -1054,5 +1230,158 @@ mod tests {
             Message::ReplicaWrite { value: Some(_), .. }
         ));
         assert_eq!(coord.repairs_sent(), 1);
+    }
+
+    #[test]
+    fn wal_records_every_local_mutation() {
+        let mut n = node(1, Consistency::One);
+        // Replica-role writes hit the WAL.
+        let op_id = OpId {
+            coordinator: NodeId(0),
+            seq: 0,
+        };
+        n.on_message(
+            NodeId(0),
+            Message::ReplicaWrite {
+                op_id,
+                key: Bytes::from_static(b"k"),
+                value: Some(Bytes::from_static(b"v")),
+            },
+        );
+        n.on_message(
+            NodeId(0),
+            Message::HintReplay {
+                key: Bytes::from_static(b"h"),
+                value: Some(Bytes::from_static(b"w")),
+            },
+        );
+        assert_eq!(n.wal().appended(), 2);
+    }
+
+    #[test]
+    fn crash_recover_restores_state_and_seq_floor() {
+        let mut n = node(0, Consistency::One);
+        let mut issued = Vec::new();
+        for i in 0..20u32 {
+            let key = Bytes::from(i.to_be_bytes().to_vec());
+            let (op_id, _, _) = n.begin(ClientOp::Put(key, Bytes::from_static(b"v")));
+            issued.push(op_id);
+        }
+        let live_before: Vec<_> = n.storage().iter_live().collect();
+        let (wal, completions) = n.crash();
+        // Puts of keys this node replicates resolve at begin; the rest
+        // were awaiting a remote ack and must resolve as timeouts, never
+        // vanish.
+        for c in &completions {
+            assert!(matches!(c.result, OpResult::TimedOut { .. }));
+        }
+        let recovered = NodeState::recover(NodeId(0), ring(), &ClusterConfig::default(), wal)
+            .expect("wal replays");
+        let live_after: Vec<_> = recovered.storage().iter_live().collect();
+        assert_eq!(live_before, live_after, "recovered shard differs");
+        assert!(recovered.wal_records_replayed() > 0);
+        // The next op id must not collide with any pre-crash id.
+        let mut fresh = recovered;
+        let (op_id, _, _) = fresh.begin(ClientOp::Get(Bytes::from_static(b"x")));
+        assert!(
+            !issued.contains(&op_id),
+            "post-recovery op id {op_id:?} reuses a pre-crash id"
+        );
+    }
+
+    #[test]
+    fn crash_resolves_inflight_ops_as_timed_out() {
+        let mut coord = node(0, Consistency::All);
+        let mut key = None;
+        for i in 0..2000u32 {
+            let k = Bytes::from(i.to_be_bytes().to_vec());
+            if !coord.ring().replicas(&k, 2).contains(&NodeId(0)) {
+                key = Some(k);
+                break;
+            }
+        }
+        let (op_id, _, completion) = coord.begin(ClientOp::Put(
+            key.expect("remote key"),
+            Bytes::from_static(b"v"),
+        ));
+        assert!(completion.is_none());
+        let (_, completions) = coord.crash();
+        assert_eq!(completions.len(), 1);
+        assert_eq!(completions[0].op_id, op_id);
+        assert!(matches!(completions[0].result, OpResult::TimedOut { .. }));
+    }
+
+    #[test]
+    fn drop_hints_for_departed_peer() {
+        let mut coord = node(0, Consistency::One);
+        coord.mark_down(NodeId(1));
+        coord.mark_down(NodeId(2));
+        for i in 0..50u32 {
+            let key = Bytes::from(i.to_be_bytes().to_vec());
+            coord.begin(ClientOp::Put(key, Bytes::from_static(b"v")));
+        }
+        assert!(coord.hint_count() > 0, "no hints parked");
+        let for_1 = coord.hint_count()
+            - coord
+                .hints
+                .iter()
+                .filter(|(to, _, _)| *to != NodeId(1))
+                .count();
+        let dropped = coord.drop_hints_for(NodeId(1));
+        assert_eq!(dropped, for_1);
+        assert_eq!(coord.hints_dropped(), for_1 as u64);
+        assert_eq!(coord.drop_hints_for(NodeId(1)), 0, "double drop");
+        // Replaying node 1 now yields nothing.
+        assert!(coord.mark_up(NodeId(1)).is_empty());
+    }
+
+    #[test]
+    fn handle_departure_rereplicates_lost_tokens() {
+        // Build all three nodes with data fully replicated.
+        let mut nodes: BTreeMap<NodeId, NodeState> = (0..3)
+            .map(|i| (NodeId(i), node(i, Consistency::One)))
+            .collect();
+        let full_ring = ring();
+        let mut keys = Vec::new();
+        for i in 0..120u32 {
+            let key = Bytes::from(i.to_be_bytes().to_vec());
+            for rep in full_ring.replicas(&key, 2) {
+                if let Some(n) = nodes.get_mut(&rep) {
+                    n.storage_mut().put(key.clone(), Bytes::from_static(b"v"));
+                }
+            }
+            keys.push(key);
+        }
+        // Node 2 departs permanently; survivors re-replicate.
+        let dead = NodeId(2);
+        let mut transfers: Vec<(NodeId, Outbound)> = Vec::new();
+        for id in [NodeId(0), NodeId(1)] {
+            let n = nodes.get_mut(&id).expect("member");
+            let (out, count) = n.handle_departure(dead);
+            assert_eq!(out.len(), count);
+            assert!(!n.ring().contains(dead));
+            transfers.extend(out.into_iter().map(|ob| (id, ob)));
+        }
+        nodes.remove(&dead);
+        for (from, ob) in transfers {
+            assert_ne!(ob.to, dead, "re-replication aimed at the dead node");
+            let target = nodes.get_mut(&ob.to).expect("live target");
+            target.on_message(from, ob.msg);
+        }
+        // Every key is back on exactly rf live replicas of the new ring.
+        let mut new_ring = full_ring.clone();
+        new_ring.remove_node(dead);
+        for key in &keys {
+            for rep in new_ring.replicas(key, 2) {
+                assert!(
+                    nodes
+                        .get_mut(&rep)
+                        .expect("member")
+                        .storage_mut()
+                        .contains(key),
+                    "replica {rep} missing a re-replicated key"
+                );
+            }
+        }
     }
 }

@@ -10,13 +10,15 @@
 //! deduplication latency.
 
 use crate::cluster::ClusterConfig;
+use crate::failure::HeartbeatDetector;
 use crate::msg::{ClientOp, Message, OpId, OpResult, Outbound};
 use crate::node::NodeState;
 use crate::retry::RetryPolicy;
 use crate::ring::HashRing;
+use crate::storage::WriteAheadLog;
 use ef_netsim::{Network, NodeId};
 use ef_simcore::{DetRng, SimDuration, SimTime, Simulator};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 /// A completed operation with its start/finish times.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -56,9 +58,42 @@ enum Event {
     Crash { node: NodeId },
     /// Revive `node`.
     Revive { node: NodeId },
+    /// Crash-stop `node`: its volatile state and in-flight ops are lost;
+    /// only its write-ahead log (the "disk") survives.
+    CrashStop { node: NodeId },
+    /// Restart a crash-stopped `node`: recover from its WAL and rejoin.
+    Restart { node: NodeId },
+    /// `node` departs permanently: volatile state *and* disk are gone.
+    Depart { node: NodeId },
+    /// Run one anti-entropy round across all live replica pairs and
+    /// re-arm the next tick.
+    AntiEntropyTick,
     /// Retransmission timer for a coordinated op: retry its outstanding
     /// requests, or time the op out once the budget is spent.
     Rto { op_id: OpId, attempt: u32 },
+}
+
+/// Counters from the crash-recovery pipeline: WAL replay, anti-entropy
+/// repair, re-replication and dead-peer handling. All counters are
+/// cumulative over the run and fully deterministic for a fixed seed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryStats {
+    /// WAL records replayed across all node restarts.
+    pub wal_records_replayed: u64,
+    /// Node restarts completed (WAL recovered, rejoined the ring).
+    pub restarts: u64,
+    /// Anti-entropy rounds executed.
+    pub antientropy_rounds: u64,
+    /// Divergent Merkle buckets repaired.
+    pub buckets_repaired: u64,
+    /// Entries streamed by anti-entropy repair.
+    pub entries_repaired: u64,
+    /// Entries re-replicated to new owners after permanent departures.
+    pub rereplicated_entries: u64,
+    /// Hints dropped because their target permanently departed.
+    pub hints_dropped: u64,
+    /// Dead declarations across all observers (suspect → dead edges).
+    pub dead_declared: u64,
 }
 
 /// A store cluster whose messages travel over a simulated network.
@@ -82,21 +117,45 @@ enum Event {
 /// ```
 #[derive(Debug)]
 pub struct SimCluster {
-    nodes: BTreeMap<NodeId, NodeState>,
-    network: Network,
+    pub(crate) nodes: BTreeMap<NodeId, NodeState>,
+    pub(crate) network: Network,
     sim: Simulator<Event>,
     starts: HashMap<OpId, SimTime>,
     completed: Vec<OpLatency>,
     /// Gossip-style failure detection (None until enabled).
     heartbeat_interval: Option<ef_simcore::SimDuration>,
-    detectors: BTreeMap<NodeId, crate::failure::HeartbeatDetector>,
-    crashed: std::collections::HashSet<NodeId>,
+    /// Suspect timeout (kept for rebuilding a restarted node's detector).
+    heartbeat_timeout: Option<SimDuration>,
+    /// Dead-timeout escalation, if enabled.
+    dead_timeout: Option<SimDuration>,
+    detectors: BTreeMap<NodeId, HeartbeatDetector>,
+    pub(crate) crashed: std::collections::HashSet<NodeId>,
     /// Per-op timeout/retry (None = ops wait forever, the pre-chaos
     /// behaviour; auto-armed when the network carries a fault plan).
     retry_policy: Option<RetryPolicy>,
     rto_rng: Option<DetRng>,
     /// Ops submitted but not yet completed/timed out.
     inflight: usize,
+    /// The cluster config (node recovery rebuilds state from it).
+    pub(crate) config: ClusterConfig,
+    /// The master ring: membership truth, updated on departures.
+    pub(crate) ring: HashRing,
+    /// Durable disks of crash-stopped nodes awaiting restart.
+    disks: BTreeMap<NodeId, WriteAheadLog>,
+    /// Permanently departed members (driver-confirmed decommissions).
+    pub(crate) departed: BTreeSet<NodeId>,
+    /// Anti-entropy schedule: (interval, Merkle depth); None until
+    /// enabled.
+    pub(crate) antientropy: Option<(SimDuration, u32)>,
+    /// Recovery-pipeline counters.
+    pub(crate) recovery: RecoveryStats,
+    /// When each node last restarted from its WAL.
+    pub(crate) restarted_at: BTreeMap<NodeId, SimTime>,
+    /// When a restarted node was first observed fully converged (its
+    /// replica pairs all clean in an anti-entropy round).
+    pub(crate) recovered_at: BTreeMap<NodeId, SimTime>,
+    /// Synthetic op ids issued for submissions to dead coordinators.
+    dead_submissions: u64,
 }
 
 impl SimCluster {
@@ -117,18 +176,7 @@ impl SimCluster {
         let ring = HashRing::with_nodes(members.iter().copied(), config.vnodes);
         let nodes = members
             .into_iter()
-            .map(|id| {
-                (
-                    id,
-                    NodeState::new(
-                        id,
-                        ring.clone(),
-                        config.replication_factor,
-                        config.consistency,
-                        config.memtable_flush_bytes,
-                    ),
-                )
-            })
+            .map(|id| (id, NodeState::new(id, ring.clone(), &config)))
             .collect();
         // A faulty network without per-op timeouts would let any op whose
         // messages are all lost hang forever; arm a default policy seeded
@@ -146,11 +194,22 @@ impl SimCluster {
             starts: HashMap::new(),
             completed: Vec::new(),
             heartbeat_interval: None,
+            heartbeat_timeout: None,
+            dead_timeout: None,
             detectors: BTreeMap::new(),
             crashed: std::collections::HashSet::new(),
             retry_policy,
             rto_rng,
             inflight: 0,
+            config,
+            ring,
+            disks: BTreeMap::new(),
+            departed: BTreeSet::new(),
+            antientropy: None,
+            recovery: RecoveryStats::default(),
+            restarted_at: BTreeMap::new(),
+            recovered_at: BTreeMap::new(),
+            dead_submissions: 0,
         }
     }
 
@@ -186,32 +245,133 @@ impl SimCluster {
         interval: ef_simcore::SimDuration,
         timeout: ef_simcore::SimDuration,
     ) {
+        self.enable_heartbeats_inner(interval, timeout, None);
+    }
+
+    /// Like [`SimCluster::enable_heartbeats`], but additionally escalates
+    /// peers silent past `dead_timeout` to [`crate::Liveness::Dead`].
+    /// A dead declaration only triggers ring
+    /// surgery (re-replication, ring rebuild, detector unwatch) for
+    /// nodes whose departure the driver confirmed via
+    /// [`SimCluster::depart_at`] — the in-sim stand-in for an operator
+    /// decommission decision. A merely crash-stopped node keeps its ring
+    /// slot and revives through genuinely-later heartbeats after its
+    /// restart.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `dead_timeout > timeout > interval`.
+    pub fn enable_heartbeats_with_dead(
+        &mut self,
+        interval: SimDuration,
+        timeout: SimDuration,
+        dead_timeout: SimDuration,
+    ) {
+        assert!(
+            dead_timeout > timeout,
+            "dead timeout must exceed the suspect timeout"
+        );
+        self.enable_heartbeats_inner(interval, timeout, Some(dead_timeout));
+    }
+
+    fn enable_heartbeats_inner(
+        &mut self,
+        interval: SimDuration,
+        timeout: SimDuration,
+        dead_timeout: Option<SimDuration>,
+    ) {
         assert!(timeout > interval, "timeout must exceed the interval");
         self.heartbeat_interval = Some(interval);
+        self.heartbeat_timeout = Some(timeout);
+        self.dead_timeout = dead_timeout;
         let members: Vec<NodeId> = self.nodes.keys().copied().collect();
         for &me in &members {
-            let mut fd = crate::failure::HeartbeatDetector::new(timeout);
-            for &peer in &members {
-                if peer != me {
-                    fd.watch(peer, SimTime::ZERO);
-                }
-            }
+            let fd = Self::build_detector(
+                timeout,
+                dead_timeout,
+                members.iter().copied().filter(|p| *p != me),
+                SimTime::ZERO,
+            );
             self.detectors.insert(me, fd);
             self.sim
                 .schedule_at(SimTime::ZERO, Event::HeartbeatTick { node: me });
         }
     }
 
+    fn build_detector(
+        timeout: SimDuration,
+        dead_timeout: Option<SimDuration>,
+        peers: impl IntoIterator<Item = NodeId>,
+        now: SimTime,
+    ) -> HeartbeatDetector {
+        let mut fd = match dead_timeout {
+            Some(dead) => HeartbeatDetector::with_dead_timeout(timeout, dead),
+            None => HeartbeatDetector::new(timeout),
+        };
+        for peer in peers {
+            fd.watch(peer, now);
+        }
+        fd
+    }
+
+    /// Enables the scheduled anti-entropy repair: every `interval`, all
+    /// live replica pairs exchange depth-`depth` Merkle trees over the
+    /// simulated network (paying real transfer costs) and stream the
+    /// entries of divergent buckets to each other.
+    ///
+    /// Call before `run`; the first round fires one `interval` from now.
+    ///
+    /// # Panics
+    ///
+    /// Panics when already enabled, `interval` is zero, or `depth > 20`.
+    pub fn enable_anti_entropy(&mut self, interval: SimDuration, depth: u32) {
+        assert!(self.antientropy.is_none(), "anti-entropy already enabled");
+        assert!(!interval.is_zero(), "interval must be positive");
+        assert!(depth <= 20, "Merkle depth {depth} > 20");
+        self.antientropy = Some((interval, depth));
+        self.sim.schedule_after(interval, Event::AntiEntropyTick);
+    }
+
     /// Schedules a crash of `node` at `at` (requires heartbeats enabled
     /// for peers to *notice*; messages to a crashed node are dropped
-    /// either way).
+    /// either way). The node keeps its volatile state — this models a
+    /// network-level silence, not a process death; contrast
+    /// [`SimCluster::crash_stop_at`].
     pub fn crash_at(&mut self, at: SimTime, node: NodeId) {
         self.sim.schedule_at(at, Event::Crash { node });
     }
 
-    /// Schedules a revival of `node` at `at`.
+    /// Schedules a revival of `node` at `at` (pairs with
+    /// [`SimCluster::crash_at`] only — a crash-*stopped* node needs
+    /// [`SimCluster::restart_at`]).
     pub fn revive_at(&mut self, at: SimTime, node: NodeId) {
         self.sim.schedule_at(at, Event::Revive { node });
+    }
+
+    /// Schedules a crash-stop of `node` at `at`: its volatile state
+    /// (memtable index shard, pending ops, hints, suspicions) is
+    /// dropped, in-flight ops it coordinates resolve as timed out, and
+    /// only its write-ahead log survives for a later
+    /// [`SimCluster::restart_at`].
+    pub fn crash_stop_at(&mut self, at: SimTime, node: NodeId) {
+        self.sim.schedule_at(at, Event::CrashStop { node });
+    }
+
+    /// Schedules a restart of a crash-stopped `node` at `at`: it
+    /// recovers its shard from the WAL, rejoins with the current
+    /// membership view, and catches up via peer hint replay and
+    /// anti-entropy.
+    pub fn restart_at(&mut self, at: SimTime, node: NodeId) {
+        self.sim.schedule_at(at, Event::Restart { node });
+    }
+
+    /// Schedules the permanent departure of `node` at `at`: volatile
+    /// state *and* disk are destroyed and the driver confirms the
+    /// departure, so peers' dead declarations escalate into
+    /// re-replication and a ring rebuild (requires
+    /// [`SimCluster::enable_heartbeats_with_dead`]).
+    pub fn depart_at(&mut self, at: SimTime, node: NodeId) {
+        self.sim.schedule_at(at, Event::Depart { node });
     }
 
     /// Peers the given node currently suspects (after `run`).
@@ -219,6 +379,14 @@ impl SimCluster {
         self.detectors
             .get(&node)
             .map(|d| d.suspects())
+            .unwrap_or_default()
+    }
+
+    /// Peers the given node has declared dead (after `run`).
+    pub fn dead_of(&self, node: NodeId) -> Vec<NodeId> {
+        self.detectors
+            .get(&node)
+            .map(|d| d.dead_peers())
             .unwrap_or_default()
     }
 
@@ -255,7 +423,7 @@ impl SimCluster {
     /// misconfigured cluster whose ops can wait forever — prefer
     /// [`SimCluster::run_until`] for explicit horizons.
     pub fn run(&mut self) -> Vec<OpLatency> {
-        if self.heartbeat_interval.is_none() {
+        if self.heartbeat_interval.is_none() && self.antientropy.is_none() {
             return self.run_until(SimTime::MAX);
         }
         let deadline = self.sim.now() + SimDuration::from_secs_f64(Self::RUN_SAFETY_DEADLINE_SECS);
@@ -294,11 +462,28 @@ impl SimCluster {
             let now = ev.time;
             match ev.payload {
                 Event::Start { coordinator, op } => {
-                    let node = self
-                        .nodes
-                        .get_mut(&coordinator)
-                        // simlint::allow(D003): submit() validates coordinators against the member list
-                        .expect("unknown coordinator");
+                    let Some(node) = self.nodes.get_mut(&coordinator) else {
+                        // The coordinator crash-stopped or departed
+                        // before this submission fired: the client sees
+                        // an immediate unavailability. Synthesize an op
+                        // id from the top of the sequence space, which
+                        // live coordinators never issue.
+                        self.dead_submissions += 1;
+                        let op_id = OpId {
+                            coordinator,
+                            seq: u64::MAX - self.dead_submissions,
+                        };
+                        self.starts.insert(op_id, now);
+                        self.record(
+                            op_id,
+                            OpResult::Unavailable {
+                                acks: 0,
+                                required: 0,
+                            },
+                            now,
+                        );
+                        return true;
+                    };
                     let (op_id, outbound, completion) = node.begin(op);
                     self.starts.insert(op_id, now);
                     if let Some(c) = completion {
@@ -335,6 +520,9 @@ impl SimCluster {
                     let Some(interval) = self.heartbeat_interval else {
                         return true;
                     };
+                    if self.departed.contains(&node) {
+                        return true; // permanently gone: the chain dies
+                    }
                     if !self.crashed.contains(&node) {
                         // Broadcast liveness to every peer.
                         let peers: Vec<NodeId> =
@@ -357,25 +545,24 @@ impl SimCluster {
                         }
                         // Sweep the local detector and apply transitions.
                         let transitions = self.detectors.get_mut(&node).map(|d| d.sweep(now));
-                        if let Some((down, up)) = transitions {
-                            for dead in down {
-                                let completions = self
-                                    .nodes
-                                    .get_mut(&node)
-                                    // simlint::allow(D003): heartbeat ticks are scheduled only for members
-                                    .expect("member exists")
-                                    .on_peer_failure(dead);
+                        if let Some(sweep) = transitions {
+                            for down in sweep.newly_suspect {
+                                let Some(state) = self.nodes.get_mut(&node) else {
+                                    break;
+                                };
+                                let completions = state.on_peer_failure(down);
                                 for c in completions {
                                     self.record(c.op_id, c.result, now);
                                 }
                             }
-                            for revived in up {
-                                let outbound = self
-                                    .nodes
-                                    .get_mut(&node)
-                                    // simlint::allow(D003): heartbeat ticks are scheduled only for members
-                                    .expect("member exists")
-                                    .mark_up(revived);
+                            for dead in sweep.newly_dead {
+                                self.on_dead_declared(now, node, dead);
+                            }
+                            for revived in sweep.revived {
+                                let Some(state) = self.nodes.get_mut(&node) else {
+                                    break;
+                                };
+                                let outbound = state.mark_up(revived);
                                 self.dispatch(now, node, outbound);
                             }
                         }
@@ -394,7 +581,28 @@ impl SimCluster {
                     self.crashed.insert(node);
                 }
                 Event::Revive { node } => {
-                    self.crashed.remove(&node);
+                    // Only a transient Crash revives this way. A
+                    // crash-stopped or departed node is absent from the
+                    // member map and stays down — reviving it here would
+                    // resurrect a zombie heartbeat broadcaster.
+                    if self.nodes.contains_key(&node) {
+                        self.crashed.remove(&node);
+                    }
+                }
+                Event::CrashStop { node } => {
+                    self.crash_stop(now, node);
+                }
+                Event::Restart { node } => {
+                    self.restart(now, node);
+                }
+                Event::Depart { node } => {
+                    self.depart(now, node);
+                }
+                Event::AntiEntropyTick => {
+                    if let Some((interval, depth)) = self.antientropy {
+                        self.anti_entropy_round(now, depth);
+                        self.sim.schedule_after(interval, Event::AntiEntropyTick);
+                    }
                 }
                 Event::Rto { op_id, attempt } => {
                     self.on_rto(now, op_id, attempt);
@@ -472,7 +680,153 @@ impl SimCluster {
             .schedule_after(base + jitter, Event::Rto { op_id, attempt });
     }
 
-    fn dispatch(&mut self, now: SimTime, from: NodeId, outbound: Vec<Outbound>) {
+    /// Crash-stops `node`: drop its volatile state, resolve its in-flight
+    /// coordinated ops as timed out, keep its WAL for a later restart.
+    fn crash_stop(&mut self, now: SimTime, node: NodeId) {
+        let Some(state) = self.nodes.remove(&node) else {
+            return; // already down or departed
+        };
+        self.crashed.insert(node);
+        let (wal, completions) = state.crash();
+        for c in completions {
+            self.record(c.op_id, c.result, now);
+        }
+        self.disks.insert(node, wal);
+        // Its own suspicions die with it; a fresh detector is built on
+        // restart over the then-current membership.
+        self.detectors.remove(&node);
+    }
+
+    /// Restarts a crash-stopped `node` from its durable WAL.
+    fn restart(&mut self, now: SimTime, node: NodeId) {
+        if self.departed.contains(&node) || self.nodes.contains_key(&node) {
+            return; // departed forever, or never crash-stopped
+        }
+        let Some(wal) = self.disks.remove(&node) else {
+            return;
+        };
+        // The master ring is the membership truth: it still holds this
+        // node (crash-stops keep the slot) and already excludes any peer
+        // that departed while this node was down, so the recovered view
+        // needs no catch-up surgery. Data the node should have received
+        // meanwhile arrives via peer hint replay and anti-entropy.
+        let Ok(recovered) = NodeState::recover(node, self.ring.clone(), &self.config, wal) else {
+            return; // torn disk: the node stays dead (never happens in-sim)
+        };
+        self.crashed.remove(&node);
+        self.recovery.restarts += 1;
+        self.recovery.wal_records_replayed += recovered.wal_records_replayed();
+        self.restarted_at.insert(node, now);
+        self.recovered_at.remove(&node);
+        self.nodes.insert(node, recovered);
+        // Fresh failure detector over the current live membership. The
+        // node's heartbeat tick chain survived the crash-stop (ticks
+        // merely skip crashed nodes), so broadcasts resume by themselves.
+        if let Some(timeout) = self.heartbeat_timeout {
+            let peers: Vec<NodeId> = self.nodes.keys().copied().filter(|p| *p != node).collect();
+            let fd = Self::build_detector(timeout, self.dead_timeout, peers, now);
+            self.detectors.insert(node, fd);
+        }
+        // A peer may have departed while this node was down *without*
+        // any survivor having declared it dead yet (its dead-timeout is
+        // still running), in which case the master ring — and therefore
+        // the recovered view — still holds the departed slot. The fresh
+        // failure detector cannot ever declare it (departed peers are
+        // not in the member map, so they are never watched): replay the
+        // departure directly, or this node would keep routing writes and
+        // parking hints at a ghost.
+        let already_departed: Vec<NodeId> = self
+            .departed
+            .iter()
+            .copied()
+            .filter(|d| self.ring.contains(*d))
+            .collect();
+        for dead in already_departed {
+            self.process_departure(now, node, dead);
+        }
+    }
+
+    /// Permanently departs `node`: a crash-stop whose disk is destroyed,
+    /// plus the driver's confirmation that it will never return.
+    fn depart(&mut self, now: SimTime, node: NodeId) {
+        if !self.departed.insert(node) {
+            return;
+        }
+        if let Some(state) = self.nodes.remove(&node) {
+            let (_lost_disk, completions) = state.crash();
+            for c in completions {
+                self.record(c.op_id, c.result, now);
+            }
+        }
+        self.disks.remove(&node);
+        self.crashed.insert(node);
+        self.detectors.remove(&node);
+        self.restarted_at.remove(&node);
+        self.recovered_at.remove(&node);
+        // An observer that declared this node dead *before* the departure
+        // became permanent (it was partitioned or transiently crashed
+        // first) will never see another dead edge — the detector verdict
+        // is edge-triggered and already `Dead`. Replay the departure
+        // handling for those observers now, or their parked hints and
+        // stale ring views would outlive the node forever.
+        let already_declared: Vec<NodeId> = self
+            .nodes
+            .keys()
+            .copied()
+            .filter(|obs| {
+                self.detectors
+                    .get(obs)
+                    .is_some_and(|fd| fd.dead_peers().contains(&node))
+            })
+            .collect();
+        for observer in already_declared {
+            self.process_departure(now, observer, node);
+        }
+    }
+
+    /// A local detector at `observer` declared `dead` dead. The
+    /// suspect-level consequences (mark down, resolve pending ops)
+    /// already fired on the suspect edge. Ring surgery is gated on
+    /// driver-confirmed permanence: only a node in the departed set
+    /// triggers hint dropping, re-replication and a ring rebuild. A
+    /// crash-stopped node that will restart keeps its ring slot and
+    /// revives through genuinely-later heartbeats.
+    fn on_dead_declared(&mut self, now: SimTime, observer: NodeId, dead: NodeId) {
+        self.recovery.dead_declared += 1;
+        let Some(state) = self.nodes.get_mut(&observer) else {
+            return;
+        };
+        for c in state.on_peer_failure(dead) {
+            self.record(c.op_id, c.result, now);
+        }
+        if !self.departed.contains(&dead) {
+            return;
+        }
+        self.process_departure(now, observer, dead);
+    }
+
+    /// Applies a confirmed permanent departure at one observer: drop the
+    /// hints parked for the departed node, re-replicate the tokens it
+    /// co-owned, stop watching it, and (first observer only) evict it
+    /// from the master ring.
+    fn process_departure(&mut self, now: SimTime, observer: NodeId, dead: NodeId) {
+        let Some(state) = self.nodes.get_mut(&observer) else {
+            return;
+        };
+        self.recovery.hints_dropped += state.drop_hints_for(dead) as u64;
+        let (outbound, rereplicated) = state.handle_departure(dead);
+        self.recovery.rereplicated_entries += rereplicated as u64;
+        if let Some(fd) = self.detectors.get_mut(&observer) {
+            fd.unwatch(dead);
+        }
+        // The first observer to act evicts the node from the master ring.
+        if self.ring.contains(dead) && self.ring.len() > 1 {
+            self.ring.remove_node(dead);
+        }
+        self.dispatch(now, observer, outbound);
+    }
+
+    pub(crate) fn dispatch(&mut self, now: SimTime, from: NodeId, outbound: Vec<Outbound>) {
         for ob in outbound {
             // `send` applies the network's fault plan: Ok(None) means
             // the message was lost or partitioned away (bandwidth still
@@ -540,6 +894,53 @@ impl SimCluster {
     /// A member node's state (counters, storage), for inspection.
     pub fn node(&self, id: NodeId) -> Option<&NodeState> {
         self.nodes.get(&id)
+    }
+
+    /// Recovery-pipeline counters accumulated so far.
+    pub fn recovery_stats(&self) -> RecoveryStats {
+        self.recovery
+    }
+
+    /// The master ring: current membership truth after any departures.
+    pub fn ring(&self) -> &HashRing {
+        &self.ring
+    }
+
+    /// True when the driver confirmed `node`'s permanent departure.
+    pub fn is_departed(&self, node: NodeId) -> bool {
+        self.departed.contains(&node)
+    }
+
+    /// Total hints currently parked across all live members.
+    pub fn total_hints(&self) -> usize {
+        self.nodes.values().map(NodeState::hint_count).sum()
+    }
+
+    /// WAL snapshot compactions taken across live members and parked
+    /// disks.
+    pub fn wal_snapshots(&self) -> u64 {
+        let live: u64 = self.nodes.values().map(|n| n.wal().snapshots_taken()).sum();
+        let parked: u64 = self
+            .disks
+            .values()
+            .map(WriteAheadLog::snapshots_taken)
+            .sum();
+        live + parked
+    }
+
+    /// Per-node recovery latency: time from each WAL restart until the
+    /// first anti-entropy round that found all the node's replica pairs
+    /// clean. Nodes that restarted but have not yet converged are
+    /// omitted.
+    pub fn recovery_latencies(&self) -> Vec<(NodeId, SimDuration)> {
+        self.restarted_at
+            .iter()
+            .filter_map(|(&n, &t0)| {
+                self.recovered_at
+                    .get(&n)
+                    .map(|&t1| (n, t1.saturating_since(t0)))
+            })
+            .collect()
     }
 }
 

@@ -210,6 +210,258 @@ impl StorageEngine {
     }
 }
 
+/// One durable log record, as replayed from a [`WriteAheadLog`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WalRecord {
+    /// A key/value write.
+    Put(Bytes, Bytes),
+    /// A tombstone write.
+    Delete(Bytes),
+}
+
+/// Errors surfaced when decoding a [`WriteAheadLog`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WalError {
+    /// A record was cut short (torn write): the log is valid up to
+    /// `offset` bytes.
+    Truncated {
+        /// Byte offset of the incomplete record.
+        offset: usize,
+    },
+    /// An unknown record tag at `offset`.
+    BadTag {
+        /// Byte offset of the bad record.
+        offset: usize,
+        /// The tag byte found there.
+        tag: u8,
+    },
+}
+
+impl std::fmt::Display for WalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WalError::Truncated { offset } => write!(f, "wal truncated at byte {offset}"),
+            WalError::BadTag { offset, tag } => {
+                write!(f, "wal has unknown record tag {tag} at byte {offset}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WalError {}
+
+const WAL_TAG_PUT: u8 = 1;
+const WAL_TAG_DELETE: u8 = 2;
+
+/// Encodes one record into `buf`:
+/// `tag(u8) · key_len(u32 LE) · key [· val_len(u32 LE) · val]`.
+fn encode_record(buf: &mut Vec<u8>, key: &[u8], value: Option<&[u8]>) {
+    match value {
+        Some(v) => {
+            buf.push(WAL_TAG_PUT);
+            buf.extend_from_slice(&(key.len() as u32).to_le_bytes());
+            buf.extend_from_slice(key);
+            buf.extend_from_slice(&(v.len() as u32).to_le_bytes());
+            buf.extend_from_slice(v);
+        }
+        None => {
+            buf.push(WAL_TAG_DELETE);
+            buf.extend_from_slice(&(key.len() as u32).to_le_bytes());
+            buf.extend_from_slice(key);
+        }
+    }
+}
+
+/// Decodes the record starting at `offset`; `Ok(None)` at end of input.
+fn decode_record(bytes: &[u8], offset: usize) -> Result<Option<(WalRecord, usize)>, WalError> {
+    if offset == bytes.len() {
+        return Ok(None);
+    }
+    let take = |at: usize, n: usize| -> Result<&[u8], WalError> {
+        bytes.get(at..at + n).ok_or(WalError::Truncated { offset })
+    };
+    let tag = bytes[offset];
+    let key_len_bytes: [u8; 4] = take(offset + 1, 4)?
+        .try_into()
+        .map_err(|_| WalError::Truncated { offset })?;
+    let key_len = u32::from_le_bytes(key_len_bytes) as usize;
+    let key = Bytes::copy_from_slice(take(offset + 5, key_len)?);
+    let mut next = offset + 5 + key_len;
+    match tag {
+        WAL_TAG_PUT => {
+            let val_len_bytes: [u8; 4] = take(next, 4)?
+                .try_into()
+                .map_err(|_| WalError::Truncated { offset })?;
+            let val_len = u32::from_le_bytes(val_len_bytes) as usize;
+            let value = Bytes::copy_from_slice(take(next + 4, val_len)?);
+            next += 4 + val_len;
+            Ok(Some((WalRecord::Put(key, value), next)))
+        }
+        WAL_TAG_DELETE => Ok(Some((WalRecord::Delete(key), next))),
+        tag => Err(WalError::BadTag { offset, tag }),
+    }
+}
+
+/// A deterministic per-node write-ahead log with periodic snapshots.
+///
+/// The log is the in-sim "disk": an append-only byte buffer of encoded
+/// mutations plus a compacted snapshot prefix. It survives a node's
+/// crash-stop (the sim driver keeps it while the volatile
+/// [`NodeState`](crate::NodeState) is dropped) and is replayed on
+/// restart to rebuild the node's index shard. Alongside data records it
+/// persists the coordinator's sequence floor, so op ids issued after a
+/// restart never collide with pre-crash ones.
+///
+/// Snapshotting is self-compacting: every `snapshot_every` tail records
+/// the full log is folded into its live key set and re-encoded as the
+/// new snapshot, bounding replay work and disk growth for workloads that
+/// overwrite or delete.
+///
+/// # Example
+///
+/// ```
+/// use ef_kvstore::{WalRecord, WriteAheadLog};
+/// use bytes::Bytes;
+///
+/// let mut wal = WriteAheadLog::new(128);
+/// wal.append_put(b"k", b"v");
+/// wal.append_delete(b"gone");
+/// let records = wal.replay().unwrap();
+/// assert_eq!(records[0], WalRecord::Put(Bytes::from_static(b"k"), Bytes::from_static(b"v")));
+/// assert_eq!(records[1], WalRecord::Delete(Bytes::from_static(b"gone")));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct WriteAheadLog {
+    /// Compacted prefix: the live state as encoded put records.
+    snapshot: Vec<u8>,
+    snapshot_entries: u64,
+    /// Records appended since the last snapshot.
+    tail: Vec<u8>,
+    tail_records: u64,
+    /// Tail records that trigger a snapshot compaction (0 disables).
+    snapshot_every: u64,
+    /// Lowest coordinator sequence number safe to issue after replay.
+    seq_floor: u64,
+    appended: u64,
+    snapshots_taken: u64,
+}
+
+impl WriteAheadLog {
+    /// Creates an empty log that compacts into a snapshot every
+    /// `snapshot_every` tail records (`0` disables snapshotting).
+    pub fn new(snapshot_every: u64) -> Self {
+        WriteAheadLog {
+            snapshot_every,
+            ..WriteAheadLog::default()
+        }
+    }
+
+    /// Appends a put record.
+    pub fn append_put(&mut self, key: &[u8], value: &[u8]) {
+        encode_record(&mut self.tail, key, Some(value));
+        self.tail_records += 1;
+        self.appended += 1;
+        self.maybe_snapshot();
+    }
+
+    /// Appends a delete (tombstone) record.
+    pub fn append_delete(&mut self, key: &[u8]) {
+        encode_record(&mut self.tail, key, None);
+        self.tail_records += 1;
+        self.appended += 1;
+        self.maybe_snapshot();
+    }
+
+    /// Persists the coordinator sequence floor: after replay, op
+    /// sequence numbers resume at this value (monotone; stale floors are
+    /// ignored).
+    pub fn set_seq_floor(&mut self, seq: u64) {
+        self.seq_floor = self.seq_floor.max(seq);
+    }
+
+    /// The persisted coordinator sequence floor.
+    pub fn seq_floor(&self) -> u64 {
+        self.seq_floor
+    }
+
+    /// Replays the whole log — snapshot prefix, then tail — in append
+    /// order. Applying the records to an empty
+    /// [`StorageEngine`] reproduces the live state at crash time.
+    ///
+    /// # Errors
+    ///
+    /// [`WalError`] when a record is torn or has an unknown tag.
+    pub fn replay(&self) -> Result<Vec<WalRecord>, WalError> {
+        let mut out = Vec::new();
+        for section in [&self.snapshot, &self.tail] {
+            let mut offset = 0;
+            while let Some((record, next)) = decode_record(section, offset)? {
+                out.push(record);
+                offset = next;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Folds the full log into its live key set and re-encodes it as the
+    /// snapshot, emptying the tail. No-op when replay fails (a corrupt
+    /// log is preserved as-is for diagnosis).
+    fn maybe_snapshot(&mut self) {
+        if self.snapshot_every == 0 || self.tail_records < self.snapshot_every {
+            return;
+        }
+        let Ok(records) = self.replay() else {
+            return;
+        };
+        let mut live: BTreeMap<Bytes, Option<Bytes>> = BTreeMap::new();
+        for record in records {
+            match record {
+                WalRecord::Put(k, v) => {
+                    live.insert(k, Some(v));
+                }
+                WalRecord::Delete(k) => {
+                    live.insert(k, None);
+                }
+            }
+        }
+        let mut snapshot = Vec::new();
+        let mut entries = 0u64;
+        for (k, v) in &live {
+            // A snapshot is the complete state: absent keys are absent,
+            // so tombstones need not be carried forward.
+            if let Some(v) = v {
+                encode_record(&mut snapshot, k, Some(v));
+                entries += 1;
+            }
+        }
+        self.snapshot = snapshot;
+        self.snapshot_entries = entries;
+        self.tail.clear();
+        self.tail_records = 0;
+        self.snapshots_taken += 1;
+    }
+
+    /// Records currently on disk (snapshot entries + tail records).
+    pub fn record_count(&self) -> u64 {
+        self.snapshot_entries + self.tail_records
+    }
+
+    /// Total records ever appended (pre-compaction).
+    pub fn appended(&self) -> u64 {
+        self.appended
+    }
+
+    /// Snapshot compactions taken.
+    pub fn snapshots_taken(&self) -> u64 {
+        self.snapshots_taken
+    }
+
+    /// Current on-disk footprint in bytes.
+    pub fn len_bytes(&self) -> usize {
+        self.snapshot.len() + self.tail.len()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -326,5 +578,126 @@ mod tests {
         let st = s.stats();
         assert_eq!(st.live_keys, 1);
         assert_eq!(st.live_bytes, 8);
+    }
+
+    #[test]
+    fn wal_replays_records_in_append_order() {
+        let mut wal = WriteAheadLog::new(0);
+        wal.append_put(b"a", b"1");
+        wal.append_delete(b"a");
+        wal.append_put(b"b", b"2");
+        assert_eq!(
+            wal.replay().unwrap(),
+            vec![
+                WalRecord::Put(b("a"), b("1")),
+                WalRecord::Delete(b("a")),
+                WalRecord::Put(b("b"), b("2")),
+            ],
+        );
+        assert_eq!(wal.appended(), 3);
+        assert_eq!(wal.record_count(), 3);
+        assert_eq!(wal.snapshots_taken(), 0);
+    }
+
+    #[test]
+    fn wal_snapshot_compacts_shadowed_and_deleted_keys() {
+        let mut wal = WriteAheadLog::new(4);
+        wal.append_put(b"a", b"1");
+        wal.append_put(b"a", b"2"); // shadows
+        wal.append_put(b"c", b"3");
+        wal.append_delete(b"c"); // 4th record triggers the snapshot
+        assert_eq!(wal.snapshots_taken(), 1);
+        // Only the live key survives compaction.
+        assert_eq!(wal.replay().unwrap(), vec![WalRecord::Put(b("a"), b("2"))]);
+        assert_eq!(wal.record_count(), 1);
+        assert_eq!(wal.appended(), 4);
+        // Tail keeps accumulating after the snapshot.
+        wal.append_put(b"d", b"4");
+        assert_eq!(
+            wal.replay().unwrap(),
+            vec![
+                WalRecord::Put(b("a"), b("2")),
+                WalRecord::Put(b("d"), b("4"))
+            ],
+        );
+    }
+
+    #[test]
+    fn wal_replay_rebuilds_identical_engine_state() {
+        let mut engine = StorageEngine::new(64);
+        let mut wal = WriteAheadLog::new(3);
+        let ops: &[(&str, Option<&str>)] = &[
+            ("k1", Some("v1")),
+            ("k2", Some("v2")),
+            ("k1", Some("v1b")),
+            ("k3", Some("v3")),
+            ("k2", None),
+            ("k4", Some("v4")),
+        ];
+        for (k, v) in ops {
+            match v {
+                Some(v) => {
+                    engine.put(b(k), b(v));
+                    wal.append_put(k.as_bytes(), v.as_bytes());
+                }
+                None => {
+                    engine.delete(b(k));
+                    wal.append_delete(k.as_bytes());
+                }
+            }
+        }
+        let mut rebuilt = StorageEngine::new(64);
+        for record in wal.replay().unwrap() {
+            match record {
+                WalRecord::Put(k, v) => {
+                    rebuilt.put(k, v);
+                }
+                WalRecord::Delete(k) => {
+                    rebuilt.delete(k);
+                }
+            }
+        }
+        let mut want: Vec<_> = engine.iter_live().collect();
+        let mut got: Vec<_> = rebuilt.iter_live().collect();
+        want.sort();
+        got.sort();
+        assert_eq!(want, got);
+    }
+
+    #[test]
+    fn wal_seq_floor_is_monotone() {
+        let mut wal = WriteAheadLog::new(0);
+        assert_eq!(wal.seq_floor(), 0);
+        wal.set_seq_floor(7);
+        wal.set_seq_floor(3); // stale floor ignored
+        assert_eq!(wal.seq_floor(), 7);
+    }
+
+    #[test]
+    fn wal_truncated_record_is_an_error() {
+        let mut wal = WriteAheadLog::new(0);
+        wal.append_put(b"key", b"value");
+        // Simulate a torn write by chopping the tail mid-record.
+        wal.tail.truncate(wal.tail.len() - 2);
+        assert_eq!(wal.replay(), Err(WalError::Truncated { offset: 0 }));
+    }
+
+    #[test]
+    fn wal_bad_tag_is_an_error() {
+        let mut wal = WriteAheadLog::new(0);
+        wal.append_put(b"k", b"v");
+        wal.tail[0] = 9;
+        assert_eq!(wal.replay(), Err(WalError::BadTag { offset: 0, tag: 9 }));
+        assert!(wal.replay().unwrap_err().to_string().contains("tag 9"));
+    }
+
+    #[test]
+    fn wal_zero_snapshot_every_never_compacts() {
+        let mut wal = WriteAheadLog::new(0);
+        for i in 0..100u32 {
+            wal.append_put(b"same", &i.to_le_bytes());
+        }
+        assert_eq!(wal.snapshots_taken(), 0);
+        assert_eq!(wal.record_count(), 100);
     }
 }

@@ -81,13 +81,7 @@ impl ThreadedCluster {
             // simlint::allow(D003): the loop above created a channel pair for every member
             let rx = receivers.remove(&m).expect("receiver exists");
             let peers = inputs.clone();
-            let mut state = NodeState::new(
-                m,
-                ring.clone(),
-                config.replication_factor,
-                config.consistency,
-                config.memtable_flush_bytes,
-            );
+            let mut state = NodeState::new(m, ring.clone(), &config);
             let handle = std::thread::Builder::new()
                 .name(format!("kv-node-{m}"))
                 .spawn(move || {

@@ -153,3 +153,17 @@ fn json_report_is_well_formed() {
     assert!(json.contains("\"rule\":\"D003\""));
     assert!(json.contains("\"violations\":3"));
 }
+
+#[test]
+fn wal_recovery_shapes_fire_every_rule() {
+    // The crash-recovery subsystem's tempting mistakes, in its own
+    // shape: hash-ordered WAL replay, wall-clock snapshot stamps,
+    // panicking record decode, hash-ordered latency accumulation.
+    let findings = lint_fixture("wal_recovery.rs");
+    assert_eq!(spans(&findings, RuleId::D001), vec![(23, 31), (44, 24)]);
+    assert_eq!(spans(&findings, RuleId::D002), vec![(32, 20)]);
+    assert_eq!(spans(&findings, RuleId::D003), vec![(42, 41)]);
+    assert_eq!(spans(&findings, RuleId::D004), vec![(44, 33)]);
+    // The #[cfg(test)] module's unwrap is exempt.
+    assert!(findings.iter().all(|f| f.line < 48));
+}

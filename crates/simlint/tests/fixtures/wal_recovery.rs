@@ -1,0 +1,58 @@
+// Fixture: determinism mistakes that are easy to make in WAL-recovery /
+// anti-entropy code, written in that subsystem's shape. The real
+// implementation (ef-kvstore storage.rs / antientropy.rs) must never
+// regress into any of these; the pinning test records each firing span.
+
+use std::collections::HashMap;
+
+struct Wal {
+    records: Vec<Vec<u8>>,
+}
+
+struct Recovered {
+    entries: HashMap<Vec<u8>, Vec<u8>>,
+    latencies: HashMap<u32, f64>,
+}
+
+impl Recovered {
+    // BAD: replaying recovered entries in RandomState order makes the
+    // rebuilt memtable's flush order (and any downstream event order)
+    // run-dependent. The real replay iterates the WAL, which is a Vec.
+    fn replay_in_hash_order(&self) -> usize {
+        let mut n = 0;
+        for (_k, _v) in &self.entries {
+            n += 1;
+        }
+        n
+    }
+
+    // BAD: stamping a snapshot with wall-clock time breaks bit-identical
+    // replay; snapshots must be stamped with SimTime from the event loop.
+    fn snapshot_stamp(&self) -> u64 {
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0)
+    }
+
+    // BAD: a torn WAL record is a fault to surface, not a panic; and
+    // hash-ordered float accumulation of recovery latencies is
+    // run-dependent even for an identical latency set.
+    fn total_latency(&self, wal: &Wal) -> f64 {
+        let first = wal.records.first().unwrap();
+        let _ = first.len();
+        self.latencies.values().sum::<f64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code may unwrap: a missing fixture record is a test bug.
+    #[test]
+    fn wal_roundtrip() {
+        let wal = super::Wal {
+            records: vec![vec![1, 2, 3]],
+        };
+        assert_eq!(wal.records.first().unwrap().len(), 3);
+    }
+}

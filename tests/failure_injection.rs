@@ -149,3 +149,107 @@ fn ring_survives_failure_of_every_single_node_in_turn() {
         ring.set_up(NodeId(victim));
     }
 }
+
+/// Hints parked for a node that then *permanently departs* must be
+/// dropped, never replayed toward the departed slot or its tokens' new
+/// owners — the rebalance pass re-establishes replication from live
+/// replicas instead (hinted-handoff edge case, instant-delivery cluster).
+#[test]
+fn hints_for_departed_node_are_dropped_not_replayed() {
+    let members: Vec<NodeId> = (0..4).map(NodeId).collect();
+    let mut ring = LocalCluster::new(
+        members.clone(),
+        ClusterConfig {
+            replication_factor: 2,
+            ..ClusterConfig::default()
+        },
+    );
+    let victim = NodeId(1);
+    ring.set_down(victim);
+
+    // Writes while the victim is down: coordinators park hints for it.
+    let keys: Vec<Bytes> = (0..64u32)
+        .map(|i| Bytes::from(format!("departed-hint-{i}")))
+        .collect();
+    for (i, key) in keys.iter().enumerate() {
+        let coordinator = members[i % members.len()];
+        if coordinator == victim {
+            continue;
+        }
+        ring.put(coordinator, key, Bytes::from_static(b"v"))
+            .unwrap();
+    }
+    let parked: usize = members
+        .iter()
+        .filter_map(|&m| ring.node(m))
+        .map(|s| s.hint_count())
+        .sum();
+    assert!(parked > 0, "workload never parked a hint for the victim");
+
+    // Permanent departure: hints must evaporate, not migrate.
+    ring.remove_node(victim);
+    for &m in &members {
+        let Some(state) = ring.node(m) else { continue };
+        assert_eq!(
+            state.hint_count(),
+            0,
+            "node {m:?} still holds hints after the departure"
+        );
+        assert!(
+            !state.hinted_peers().contains(&victim),
+            "node {m:?} still targets the departed node"
+        );
+    }
+    // Replication is re-established from live replicas, not from hints.
+    assert_eq!(ring.total_replica_entries(), 2 * ring.distinct_keys());
+}
+
+/// The same edge case through the event-driven cluster: a node departs
+/// mid-workload on a *fault-free* network, so every parked hint for it
+/// comes from the failure machinery itself. After the departure is
+/// declared dead, the hints are dropped (`hints_dropped` counts them)
+/// and no live node still holds any.
+#[test]
+fn departure_drops_parked_hints_in_simulated_cluster() {
+    use efdedup_repro::kvstore::{ClientOp, RetryPolicy, SimCluster};
+
+    let topo = TopologyBuilder::new().edge_site(2).edge_site(2).build();
+    let net = Network::new(topo, NetworkConfig::paper_testbed());
+    let members = net.topology().edge_nodes();
+    let mut cluster = SimCluster::new(members.clone(), net, ClusterConfig::default());
+    cluster.set_retry_policy(RetryPolicy::new(7));
+    cluster.enable_heartbeats_with_dead(
+        SimDuration::from_millis(50),
+        SimDuration::from_millis(200),
+        SimDuration::from_millis(600),
+    );
+    cluster.enable_anti_entropy(SimDuration::from_millis(300), 5);
+    let victim = members[3];
+    cluster.depart_at(SimTime::ZERO + SimDuration::from_millis(400), victim);
+
+    // Writes straddling the departure: some park hints for the victim
+    // (it is silent but not yet declared dead).
+    let mut t = SimTime::ZERO + SimDuration::from_millis(10);
+    for i in 0..48u32 {
+        let coordinator = members[(i as usize) % 3]; // never the victim
+        let key = Bytes::from(format!("sim-departed-{i}"));
+        cluster.submit(t, coordinator, ClientOp::Put(key.clone(), key));
+        t += SimDuration::from_millis(25);
+    }
+    cluster.run();
+    // Let the dead declaration and anti-entropy settle.
+    let deadline = cluster.now() + SimDuration::from_secs_f64(5.0);
+    cluster.run_until(deadline);
+
+    assert!(cluster.is_departed(victim));
+    assert!(
+        cluster.recovery_stats().hints_dropped > 0,
+        "no hint was ever parked for the departing node — the scenario \
+         is vacuous; move the departure or widen the write window"
+    );
+    assert_eq!(
+        cluster.total_hints(),
+        0,
+        "hints for the departed node survived the drop"
+    );
+}
