@@ -6,7 +6,7 @@
 //! stored file must come back byte-exact, and deleting a file must free
 //! exactly the chunks no other file references.
 
-use crate::store::ChunkStore;
+use crate::store::{ChunkStore, IntegrityError};
 use ef_chunking::{ChunkHash, Chunker};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -45,6 +45,9 @@ pub enum RestoreError {
     UnknownFile(FileId),
     /// A referenced chunk is missing from the store (corruption).
     MissingChunk(ChunkHash),
+    /// A referenced chunk is present but its payload no longer hashes
+    /// to its address (at-rest bit rot caught at the read boundary).
+    CorruptChunk(ChunkHash),
 }
 
 impl fmt::Display for RestoreError {
@@ -52,6 +55,7 @@ impl fmt::Display for RestoreError {
         match self {
             RestoreError::UnknownFile(id) => write!(f, "unknown file {id}"),
             RestoreError::MissingChunk(h) => write!(f, "missing chunk {h}"),
+            RestoreError::CorruptChunk(h) => write!(f, "chunk {h} failed checksum verification"),
         }
     }
 }
@@ -83,7 +87,10 @@ impl FileCatalog {
         };
         for chunk in chunker.chunk(data) {
             manifest.chunks.push((chunk.hash, chunk.len() as u32));
-            self.store.put(chunk.hash, chunk.data);
+            self.store
+                .put(chunk.hash, chunk.data)
+                // simlint::allow(D003): the chunker computed `hash` from these bytes
+                .expect("chunker hash matches payload");
         }
         let id = FileId(self.next_id);
         self.next_id += 1;
@@ -94,38 +101,64 @@ impl FileCatalog {
     /// Stores a file from externally produced chunk hashes + payloads
     /// (the upload path from the edge: the ring ships unique chunks, the
     /// manifest references all of them).
-    pub fn store_manifest(&mut self, chunks: Vec<(ChunkHash, bytes::Bytes)>) -> FileId {
+    ///
+    /// # Errors
+    ///
+    /// [`IntegrityError`] when any payload does not hash to its claimed
+    /// address — the upload was damaged in flight. The catalog is left
+    /// unchanged: no chunk is referenced and no manifest is recorded, so
+    /// a corrupt batch cannot leak dangling references.
+    pub fn store_manifest(
+        &mut self,
+        chunks: Vec<(ChunkHash, bytes::Bytes)>,
+    ) -> Result<FileId, IntegrityError> {
+        // Validate the whole batch before referencing anything.
+        for (hash, data) in &chunks {
+            let actual = ChunkHash::of(data);
+            if actual != *hash {
+                return Err(IntegrityError {
+                    claimed: *hash,
+                    actual,
+                });
+            }
+        }
         let mut manifest = Manifest {
             chunks: Vec::new(),
             total_len: chunks.iter().map(|(_, b)| b.len() as u64).sum(),
         };
         for (hash, data) in chunks {
             manifest.chunks.push((hash, data.len() as u32));
-            self.store.put(hash, data);
+            // simlint::allow(D003): every pair was verified in the loop above
+            self.store.put(hash, data).expect("pair verified above");
         }
         let id = FileId(self.next_id);
         self.next_id += 1;
         self.manifests.insert(id, manifest);
-        id
+        Ok(id)
     }
 
     /// Reassembles a file byte-exact.
     ///
     /// # Errors
     ///
-    /// [`RestoreError::UnknownFile`] or [`RestoreError::MissingChunk`].
+    /// [`RestoreError::UnknownFile`], [`RestoreError::MissingChunk`], or
+    /// [`RestoreError::CorruptChunk`] when a stored payload no longer
+    /// hashes to its address (the verify-on-read boundary: rot is
+    /// reported, never silently reassembled into a file).
     pub fn restore_file(&self, id: FileId) -> Result<Vec<u8>, RestoreError> {
         let manifest = self
             .manifests
             .get(&id)
             .ok_or(RestoreError::UnknownFile(id))?;
         let mut out = Vec::with_capacity(manifest.total_len as usize);
-        for (hash, len) in &manifest.chunks {
+        for (hash, _) in &manifest.chunks {
             let data = self
                 .store
                 .get(hash)
                 .ok_or(RestoreError::MissingChunk(*hash))?;
-            debug_assert_eq!(data.len(), *len as usize);
+            if ChunkHash::of(&data) != *hash {
+                return Err(RestoreError::CorruptChunk(*hash));
+            }
             out.extend_from_slice(&data);
         }
         Ok(out)
@@ -157,6 +190,12 @@ impl FileCatalog {
     /// The underlying chunk store (statistics, durability integration).
     pub fn store(&self) -> &ChunkStore {
         &self.store
+    }
+
+    /// Mutable access to the chunk store (fault injection, scrub
+    /// integration).
+    pub fn store_mut(&mut self) -> &mut ChunkStore {
+        &mut self.store
     }
 }
 
@@ -228,10 +267,40 @@ mod tests {
             .iter()
             .map(|b| (ChunkHash::of(b), b.clone()))
             .collect();
-        let id = catalog.store_manifest(chunks);
+        let id = catalog.store_manifest(chunks).unwrap();
         let restored = catalog.restore_file(id).unwrap();
         let expected: Vec<u8> = payloads.iter().flat_map(|b| b.to_vec()).collect();
         assert_eq!(restored, expected);
+    }
+
+    #[test]
+    fn store_manifest_rejects_corrupt_upload_atomically() {
+        let mut catalog = FileCatalog::new();
+        let good = bytes::Bytes::from_static(b"good chunk");
+        let bad = bytes::Bytes::from_static(b"tampered in flight");
+        let chunks = vec![
+            (ChunkHash::of(&good), good),
+            (ChunkHash::of(b"what the edge hashed"), bad.clone()),
+        ];
+        let err = catalog.store_manifest(chunks).unwrap_err();
+        assert_eq!(err.actual, ChunkHash::of(&bad));
+        // Atomic: the good chunk was not referenced either.
+        assert_eq!(catalog.file_count(), 0);
+        assert_eq!(catalog.store().stats().unique_chunks, 0);
+    }
+
+    #[test]
+    fn restore_detects_bit_rot_under_a_valid_manifest() {
+        let chunker = FixedChunker::new(16).unwrap();
+        let mut catalog = FileCatalog::new();
+        let data: Vec<u8> = (0..256u32).map(|i| (i * 7 % 251) as u8).collect();
+        let id = catalog.store_file(&chunker, &data);
+        let victim = catalog.manifest(id).unwrap().chunks[2].0;
+        assert!(catalog.store_mut().corrupt_chunk(&victim, 5));
+        assert_eq!(
+            catalog.restore_file(id).unwrap_err(),
+            RestoreError::CorruptChunk(victim)
+        );
     }
 
     #[test]

@@ -62,6 +62,9 @@ pub enum DurableError {
     Unrecoverable(ChunkHash),
     /// The erasure coder rejected the payload.
     Encode(String),
+    /// The payload failed checksum verification: a corrupted upload was
+    /// refused, or every readable copy has rotted beyond repair.
+    Corrupt(ChunkHash),
 }
 
 impl fmt::Display for DurableError {
@@ -73,6 +76,7 @@ impl fmt::Display for DurableError {
                 write!(f, "chunk {h} unrecoverable: too many fragments lost")
             }
             DurableError::Encode(msg) => write!(f, "erasure encode failed: {msg}"),
+            DurableError::Corrupt(h) => write!(f, "chunk {h} failed checksum verification"),
         }
     }
 }
@@ -167,8 +171,14 @@ impl DurableStore {
     ///
     /// # Errors
     ///
-    /// Currently infallible for valid stores; `Result` for uniformity.
+    /// [`DurableError::Corrupt`] when `data` does not hash to `hash`
+    /// (the upload was damaged in flight; nothing is stored), or
+    /// [`DurableError::Encode`] when the erasure coder rejects the
+    /// payload.
     pub fn put(&mut self, hash: ChunkHash, data: Bytes) -> Result<(), DurableError> {
+        if ChunkHash::of(&data) != hash {
+            return Err(DurableError::Corrupt(hash));
+        }
         if self.chunks.contains_key(&hash) {
             return Ok(());
         }
@@ -200,11 +210,16 @@ impl DurableStore {
         Ok(())
     }
 
-    /// Reads a chunk, reconstructing from surviving fragments.
+    /// Reads a chunk, reconstructing from surviving fragments. Every
+    /// returned payload is verified against its content address; rotted
+    /// replicas are skipped in favour of clean ones, and under erasure
+    /// coding a single rotted shard is rebuilt from parity.
     ///
     /// # Errors
     ///
-    /// [`DurableError::UnknownChunk`] or [`DurableError::Unrecoverable`].
+    /// [`DurableError::UnknownChunk`], [`DurableError::Unrecoverable`],
+    /// or [`DurableError::Corrupt`] when fragments are readable but no
+    /// combination of them yields bytes that hash to the address.
     pub fn get(&self, hash: &ChunkHash) -> Result<Bytes, DurableError> {
         let meta = self
             .chunks
@@ -213,16 +228,26 @@ impl DurableStore {
         let fragments = self.durability.fragments();
         match &self.rs {
             None => {
-                // Any surviving replica serves.
+                // Any surviving replica serves — but only after its bytes
+                // re-hash to the chunk's address. A rotted replica is as
+                // bad as a failed node; the scan moves on past it.
+                let mut saw_fragment = false;
                 for f in 0..fragments {
                     let node = (meta.base + f) % self.nodes.len();
                     if !self.failed[node] {
                         if let Some(data) = self.nodes[node].get(hash) {
-                            return Ok(data.clone());
+                            saw_fragment = true;
+                            if ChunkHash::of(data) == *hash {
+                                return Ok(data.clone());
+                            }
                         }
                     }
                 }
-                Err(DurableError::Unrecoverable(*hash))
+                if saw_fragment {
+                    Err(DurableError::Corrupt(*hash))
+                } else {
+                    Err(DurableError::Unrecoverable(*hash))
+                }
             }
             Some(rs) => {
                 let mut shards: Vec<Option<Vec<u8>>> = Vec::with_capacity(fragments);
@@ -234,11 +259,52 @@ impl DurableStore {
                         shards.push(self.nodes[node].get(hash).map(|b| b.to_vec()));
                     }
                 }
-                rs.reconstruct(&shards, meta.len)
+                let data = rs
+                    .reconstruct(&shards, meta.len)
                     .map(Bytes::from)
-                    .map_err(|_| DurableError::Unrecoverable(*hash))
+                    .map_err(|_| DurableError::Unrecoverable(*hash))?;
+                if ChunkHash::of(&data) == *hash {
+                    return Ok(data);
+                }
+                // A present shard rotted in place. Parity absorbs that
+                // too: drop each readable shard in turn and let the
+                // decoder rebuild it from the survivors.
+                for f in 0..fragments {
+                    let Some(suspect) = shards[f].take() else {
+                        continue;
+                    };
+                    if let Ok(rebuilt) = rs.reconstruct(&shards, meta.len) {
+                        let rebuilt = Bytes::from(rebuilt);
+                        if ChunkHash::of(&rebuilt) == *hash {
+                            return Ok(rebuilt);
+                        }
+                    }
+                    shards[f] = Some(suspect);
+                }
+                Err(DurableError::Corrupt(*hash))
             }
         }
+    }
+
+    /// Flips one bit of the stored copy of fragment `fragment` — fault
+    /// injection for integrity tests. Returns `false` when the chunk is
+    /// unknown or that fragment holds no bytes.
+    pub fn corrupt_fragment(&mut self, hash: &ChunkHash, fragment: usize, bit: usize) -> bool {
+        let Some(meta) = self.chunks.get(hash) else {
+            return false;
+        };
+        let node = (meta.base + (fragment % self.durability.fragments())) % self.nodes.len();
+        let Some(frag) = self.nodes[node].get_mut(hash) else {
+            return false;
+        };
+        if frag.is_empty() {
+            return false;
+        }
+        let mut raw = frag.to_vec();
+        let b = bit % (raw.len() * 8);
+        raw[b / 8] ^= 1 << (b % 8);
+        *frag = Bytes::from(raw);
+        true
     }
 
     /// Marks a storage node failed (its fragments become unreadable).
@@ -391,6 +457,47 @@ mod tests {
         s.put(h, b).unwrap();
         assert_eq!(s.physical_bytes(), before);
         assert_eq!(s.chunk_count(), 1);
+    }
+
+    #[test]
+    fn corrupt_upload_is_rejected() {
+        let mut s = DurableStore::new(3, Durability::Replicated { copies: 2 }).unwrap();
+        let (h, _) = chunk(1);
+        let tampered = Bytes::from_static(b"not what was hashed");
+        assert!(matches!(
+            s.put(h, tampered).unwrap_err(),
+            DurableError::Corrupt(_)
+        ));
+        assert_eq!(s.chunk_count(), 0);
+        assert_eq!(s.physical_bytes(), 0);
+    }
+
+    #[test]
+    fn replica_rot_is_skipped_in_favor_of_a_clean_copy() {
+        let mut s = DurableStore::new(4, Durability::Replicated { copies: 3 }).unwrap();
+        let (h, b) = chunk(2);
+        s.put(h, b.clone()).unwrap();
+        assert!(s.corrupt_fragment(&h, 1, 9));
+        assert_eq!(s.get(&h).unwrap(), b);
+        // Rot every copy and the read degrades to a typed error.
+        s.corrupt_fragment(&h, 0, 3);
+        s.corrupt_fragment(&h, 2, 17);
+        assert!(matches!(s.get(&h).unwrap_err(), DurableError::Corrupt(_)));
+    }
+
+    #[test]
+    fn erasure_decode_repairs_a_rotted_shard() {
+        let mut s = DurableStore::new(6, Durability::ErasureCoded { k: 4, m: 2 }).unwrap();
+        let (h, b) = chunk(3);
+        s.put(h, b.clone()).unwrap();
+        assert!(s.corrupt_fragment(&h, 2, 11));
+        assert_eq!(s.get(&h).unwrap(), b, "parity absorbs one rotted shard");
+        // One node down *and* one rotted shard still decodes (m = 2).
+        s.fail_node(5);
+        assert_eq!(s.get(&h).unwrap(), b);
+        // A second rotted shard exhausts the parity budget.
+        s.corrupt_fragment(&h, 0, 4);
+        assert!(matches!(s.get(&h).unwrap_err(), DurableError::Corrupt(_)));
     }
 
     #[test]

@@ -15,6 +15,13 @@
 //!   [`Durability::ErasureCoded`] (the paper's future-work extension),
 //!   surviving node failures within the configured tolerance.
 //!
+//! Every boundary verifies content addresses: uploads whose payload does
+//! not hash to the claimed address are refused with a typed
+//! [`IntegrityError`], restores re-hash each chunk before reassembly
+//! ([`RestoreError::CorruptChunk`]), and [`DurableStore`] reads skip
+//! rotted replicas or rebuild a rotted shard from parity before giving
+//! up with [`DurableError::Corrupt`].
+//!
 //! # Example
 //!
 //! ```
@@ -37,4 +44,4 @@ mod store;
 
 pub use catalog::{FileCatalog, FileId, Manifest, RestoreError};
 pub use durable::{Durability, DurableError, DurableStore};
-pub use store::{ChunkStore, ChunkStoreStats};
+pub use store::{ChunkStore, ChunkStoreStats, IntegrityError};

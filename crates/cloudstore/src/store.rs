@@ -3,6 +3,7 @@
 use bytes::Bytes;
 use ef_chunking::ChunkHash;
 use std::collections::BTreeMap;
+use std::fmt;
 
 /// Aggregate statistics of a [`ChunkStore`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -29,6 +30,34 @@ impl ChunkStoreStats {
     }
 }
 
+/// A chunk upload whose payload does not hash to its claimed address.
+///
+/// Content-addressed storage is only sound when every stored payload
+/// actually hashes to its key: a mismatched pair would dedup future
+/// uploads against bytes they do not contain (a *false duplicate*),
+/// silently corrupting every file that references the chunk. The store
+/// therefore re-hashes every upload and surfaces mismatches as this
+/// typed error instead of panicking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IntegrityError {
+    /// The address the caller claimed for the payload.
+    pub claimed: ChunkHash,
+    /// What the payload actually hashes to.
+    pub actual: ChunkHash,
+}
+
+impl fmt::Display for IntegrityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "chunk upload corrupt: claimed {} but payload hashes to {}",
+            self.claimed, self.actual
+        )
+    }
+}
+
+impl std::error::Error for IntegrityError {}
+
 #[derive(Debug, Clone)]
 struct Entry {
     data: Bytes,
@@ -51,8 +80,8 @@ struct Entry {
 /// let mut store = ChunkStore::new();
 /// let payload = Bytes::from_static(b"chunk-bytes");
 /// let hash = ChunkHash::of(&payload);
-/// assert!(store.put(hash, payload.clone()));  // stored
-/// assert!(!store.put(hash, payload));         // deduplicated
+/// assert!(store.put(hash, payload.clone()).unwrap());  // stored
+/// assert!(!store.put(hash, payload).unwrap());          // deduplicated
 /// assert_eq!(store.stats().unique_chunks, 1);
 /// assert_eq!(store.stats().references, 2);
 /// ```
@@ -69,18 +98,24 @@ impl ChunkStore {
         Self::default()
     }
 
-    /// Stores (or references) a chunk. Returns `true` when the payload
-    /// was physically stored, `false` when it deduplicated against an
-    /// existing copy.
+    /// Stores (or references) a chunk. Returns `Ok(true)` when the
+    /// payload was physically stored, `Ok(false)` when it deduplicated
+    /// against an existing copy.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics when `hash` does not match `data` (a corrupted upload) —
-    /// in debug builds only, as the check hashes the payload.
-    pub fn put(&mut self, hash: ChunkHash, data: Bytes) -> bool {
-        debug_assert_eq!(hash, ChunkHash::of(&data), "hash/payload mismatch");
+    /// [`IntegrityError`] when `hash` does not match `data` (a corrupted
+    /// upload). Nothing is stored or referenced in that case.
+    pub fn put(&mut self, hash: ChunkHash, data: Bytes) -> Result<bool, IntegrityError> {
+        let actual = ChunkHash::of(&data);
+        if actual != hash {
+            return Err(IntegrityError {
+                claimed: hash,
+                actual,
+            });
+        }
         self.logical_bytes += data.len() as u64;
-        match self.entries.get_mut(&hash) {
+        Ok(match self.entries.get_mut(&hash) {
             Some(entry) => {
                 entry.refs += 1;
                 false
@@ -90,7 +125,25 @@ impl ChunkStore {
                 self.entries.insert(hash, Entry { data, refs: 1 });
                 true
             }
+        })
+    }
+
+    /// Flips one bit of a stored payload in place — fault injection for
+    /// integrity tests. The chunk keeps its (now wrong) address, exactly
+    /// the shape of at-rest bit rot. Returns `false` when the hash is
+    /// not stored or the payload is empty.
+    pub fn corrupt_chunk(&mut self, hash: &ChunkHash, bit: usize) -> bool {
+        let Some(entry) = self.entries.get_mut(hash) else {
+            return false;
+        };
+        if entry.data.is_empty() {
+            return false;
         }
+        let mut raw = entry.data.to_vec();
+        let b = bit % (raw.len() * 8);
+        raw[b / 8] ^= 1 << (b % 8);
+        entry.data = Bytes::from(raw);
+        true
     }
 
     /// Reads a chunk's payload.
@@ -150,9 +203,9 @@ mod tests {
     fn put_dedups_and_counts() {
         let mut store = ChunkStore::new();
         let (h, b) = chunk("aaaa");
-        assert!(store.put(h, b.clone()));
-        assert!(!store.put(h, b.clone()));
-        assert!(!store.put(h, b));
+        assert!(store.put(h, b.clone()).unwrap());
+        assert!(!store.put(h, b.clone()).unwrap());
+        assert!(!store.put(h, b).unwrap());
         let s = store.stats();
         assert_eq!(s.unique_chunks, 1);
         assert_eq!(s.references, 3);
@@ -165,8 +218,8 @@ mod tests {
     fn release_garbage_collects_at_zero() {
         let mut store = ChunkStore::new();
         let (h, b) = chunk("bbbb");
-        store.put(h, b.clone());
-        store.put(h, b);
+        store.put(h, b.clone()).unwrap();
+        store.put(h, b).unwrap();
         assert_eq!(store.release(&h), Some(false)); // one ref left
         assert!(store.contains(&h));
         assert_eq!(store.release(&h), Some(true)); // freed
@@ -178,7 +231,7 @@ mod tests {
     fn get_returns_payload() {
         let mut store = ChunkStore::new();
         let (h, b) = chunk("content");
-        store.put(h, b.clone());
+        store.put(h, b.clone()).unwrap();
         assert_eq!(store.get(&h), Some(b));
         let (other, _) = chunk("other");
         assert_eq!(store.get(&other), None);
@@ -200,8 +253,32 @@ mod tests {
         let mut store = ChunkStore::new();
         for s in ["a", "b", "c"] {
             let (h, b) = chunk(s);
-            store.put(h, b);
+            store.put(h, b).unwrap();
         }
         assert_eq!(store.hashes().count(), 3);
+    }
+
+    #[test]
+    fn mismatched_upload_is_rejected_not_stored() {
+        let mut store = ChunkStore::new();
+        let (h, _) = chunk("claimed");
+        let payload = Bytes::from_static(b"different-bytes");
+        let err = store.put(h, payload.clone()).unwrap_err();
+        assert_eq!(err.claimed, h);
+        assert_eq!(err.actual, ChunkHash::of(&payload));
+        assert_eq!(store.stats(), ChunkStoreStats::default());
+    }
+
+    #[test]
+    fn corrupt_chunk_flips_one_bit_and_breaks_the_address() {
+        let mut store = ChunkStore::new();
+        let (h, b) = chunk("payload");
+        store.put(h, b.clone()).unwrap();
+        assert!(store.corrupt_chunk(&h, 12));
+        let rotten = store.get(&h).unwrap();
+        assert_ne!(rotten, b);
+        assert_ne!(ChunkHash::of(&rotten), h);
+        let (missing, _) = chunk("absent");
+        assert!(!store.corrupt_chunk(&missing, 0));
     }
 }

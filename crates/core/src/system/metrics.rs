@@ -67,6 +67,11 @@ pub struct RobustnessMetrics {
     /// restarted or none has converged yet).
     #[serde(default)]
     pub recovery_latency_ns_max: u64,
+    /// End-to-end integrity counters: frames rejected by wire checksums,
+    /// scrub progress, mismatches detected, and how each one was
+    /// resolved (read-repair, cloud decode, or declared lost).
+    #[serde(default)]
+    pub integrity: ef_kvstore::IntegrityStats,
 }
 
 impl RobustnessMetrics {
@@ -93,6 +98,7 @@ impl RobustnessMetrics {
                 .map(|(_, d)| d.as_nanos())
                 .max()
                 .unwrap_or(0),
+            integrity: cluster.integrity(),
         }
     }
 

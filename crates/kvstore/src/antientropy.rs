@@ -244,11 +244,26 @@ impl crate::sim::SimCluster {
         for x in 0..live.len() {
             for y in (x + 1)..live.len() {
                 let (a, b) = (live[x], live[y]);
-                // Tree exchange, both directions, over the faulty network.
+                // Tree exchange, both directions, over the faulty
+                // network. A summary corrupted by wire rot fails its
+                // frame checksum at the receiver and counts as rejected;
+                // either way the pair aborts for this round and retries
+                // at the next tick.
                 let summary = tree_wire_size(depth);
-                let ab = self.network.send(now, a, b, summary);
-                let ba = self.network.send(now, b, a, summary);
-                if !(matches!(ab, Ok(Some(_))) && matches!(ba, Ok(Some(_)))) {
+                let ab = self.network.send_framed(now, a, b, summary);
+                let ba = self.network.send_framed(now, b, a, summary);
+                let mut intact = true;
+                for leg in [&ab, &ba] {
+                    match leg {
+                        Ok(Some(delivery)) if delivery.corrupt => {
+                            self.integrity_acc.frames_rejected += 1;
+                            intact = false;
+                        }
+                        Ok(Some(_)) => {}
+                        _ => intact = false,
+                    }
+                }
+                if !intact {
                     clean.insert(a, false);
                     clean.insert(b, false);
                     continue;

@@ -50,6 +50,14 @@ pub struct ChaosScenarioConfig {
     pub base_loss: f64,
     /// Upper bound for each burst's loss probability.
     pub max_burst_loss: f64,
+    /// Seeded at-rest bit-rot strikes to schedule: each flips a handful
+    /// of bits in the victim's storage-engine values or durable WAL
+    /// bytes (see [`SimCluster::storage_rot_at`]).
+    pub storage_rots: usize,
+    /// Per-message wire bit-rot probability applied to all links for the
+    /// whole run (0 disables). Corrupted frames fail their checksum at
+    /// the receiver and are rejected, never silently accepted.
+    pub wire_rot: f64,
 }
 
 impl Default for ChaosScenarioConfig {
@@ -66,6 +74,8 @@ impl Default for ChaosScenarioConfig {
             departures: 0,
             base_loss: 0.05,
             max_burst_loss: 0.4,
+            storage_rots: 0,
+            wire_rot: 0.0,
         }
     }
 }
@@ -129,6 +139,17 @@ pub enum ChaosEvent {
         at: SimTime,
         /// The departing node.
         node: NodeId,
+    },
+    /// At-rest bit rot strikes `node` at `at`: a handful of seeded bit
+    /// flips across its stored values and WAL bytes (a crash-stopped
+    /// victim's parked disk rots instead).
+    StorageRot {
+        /// When the rot strikes.
+        at: SimTime,
+        /// The struck node.
+        node: NodeId,
+        /// Seed for the flip positions.
+        rot_seed: u64,
     },
 }
 
@@ -235,6 +256,21 @@ impl ChaosScenario {
             events.push(ChaosEvent::Depart { at, node });
         }
 
+        // Storage-rot draws come last, so scenarios without rot keep
+        // their RNG trace — and therefore their whole schedule —
+        // bit-identical to pre-rot builds. Victims may overlap other
+        // faults: rotting a crash-stopped node's parked disk is exactly
+        // the interesting case.
+        for _ in 0..config.storage_rots {
+            let node = edge[pick(&mut rng, edge.len())];
+            // Strike in the 10–70% band: late enough that the victim
+            // holds data, early enough for scrub detection and repair
+            // on-screen.
+            let at = SimTime::ZERO + dur * (0.1 + rng.unit() * 0.6);
+            let rot_seed = rng.next_u64();
+            events.push(ChaosEvent::StorageRot { at, node, rot_seed });
+        }
+
         ChaosScenario {
             seed,
             config: *config,
@@ -257,12 +293,16 @@ impl ChaosScenario {
         &self.events
     }
 
-    /// Builds the network half of the scenario: background loss plus
-    /// every partition and loss burst, seeded with the scenario seed.
+    /// Builds the network half of the scenario: background loss and wire
+    /// bit rot plus every partition and loss burst, seeded with the
+    /// scenario seed.
     pub fn fault_plan(&self) -> FaultPlan {
         let mut plan = FaultPlan::new(self.seed);
         if self.config.base_loss > 0.0 {
             plan = plan.loss(FaultScope::All, self.config.base_loss);
+        }
+        if self.config.wire_rot > 0.0 {
+            plan = plan.bitrot(FaultScope::All, self.config.wire_rot);
         }
         for ev in &self.events {
             match *ev {
@@ -280,7 +320,8 @@ impl ChaosScenario {
                 | ChaosEvent::Revive { .. }
                 | ChaosEvent::CrashStop { .. }
                 | ChaosEvent::Restart { .. }
-                | ChaosEvent::Depart { .. } => {}
+                | ChaosEvent::Depart { .. }
+                | ChaosEvent::StorageRot { .. } => {}
             }
         }
         plan
@@ -302,6 +343,9 @@ impl ChaosScenario {
                 ChaosEvent::CrashStop { at, node } => cluster.crash_stop_at(at, node),
                 ChaosEvent::Restart { at, node } => cluster.restart_at(at, node),
                 ChaosEvent::Depart { at, node } => cluster.depart_at(at, node),
+                ChaosEvent::StorageRot { at, node, rot_seed } => {
+                    cluster.storage_rot_at(at, node, rot_seed);
+                }
                 ChaosEvent::Partition { .. } | ChaosEvent::LossBurst { .. } => {}
             }
         }
@@ -464,6 +508,67 @@ mod tests {
                 + cfg.loss_bursts
                 + 2 * cfg.crash_stops
                 + cfg.departures
+                + cfg.storage_rots
+        );
+    }
+
+    #[test]
+    fn storage_rot_events_are_seeded_and_wire_rot_reaches_the_plan() {
+        let net = testbed();
+        let cfg = ChaosScenarioConfig {
+            crashes: 0,
+            partitions: 0,
+            loss_bursts: 0,
+            base_loss: 0.0,
+            storage_rots: 2,
+            wire_rot: 1.0,
+            ..ChaosScenarioConfig::default()
+        };
+        let s = ChaosScenario::generate(4, net.topology(), &cfg);
+        assert_eq!(s.events().len(), 2);
+        let mut seeds = std::collections::BTreeSet::new();
+        for ev in s.events() {
+            let ChaosEvent::StorageRot { at, rot_seed, .. } = *ev else {
+                panic!("expected storage rot, got {ev:?}");
+            };
+            assert!(at > SimTime::ZERO);
+            seeds.insert(rot_seed);
+        }
+        assert_eq!(seeds.len(), 2, "rot seeds must be distinct");
+        // The wire-rot knob reaches the fault plan: with probability 1
+        // every non-loopback frame is flagged corrupt (not dropped).
+        let mut rigged = testbed();
+        s.rig(&mut rigged);
+        let nodes = rigged.topology().edge_nodes();
+        let delivery = rigged
+            .send_framed(SimTime::ZERO, nodes[0], nodes[1], 64)
+            .unwrap()
+            .expect("bit rot corrupts, never drops");
+        assert!(delivery.corrupt, "frame survived total wire rot intact");
+    }
+
+    #[test]
+    fn adding_rot_leaves_the_existing_schedule_untouched() {
+        // The storage-rot draws are appended after every existing draw,
+        // so turning rot on extends a scenario instead of reshuffling it:
+        // the crash/partition/loss/departure schedule stays bit-identical.
+        let net = testbed();
+        let base = ChaosScenarioConfig::default();
+        let rotted = ChaosScenarioConfig {
+            storage_rots: 3,
+            wire_rot: 0.02,
+            ..base
+        };
+        let plain = ChaosScenario::generate(11, net.topology(), &base);
+        let extended = ChaosScenario::generate(11, net.topology(), &rotted);
+        assert_eq!(
+            &extended.events()[..plain.events().len()],
+            plain.events(),
+            "rot knobs reshuffled the pre-existing schedule"
+        );
+        assert_eq!(
+            extended.events().len(),
+            plain.events().len() + rotted.storage_rots
         );
     }
 

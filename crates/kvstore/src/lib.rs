@@ -45,6 +45,7 @@ mod antientropy;
 mod chaos;
 mod cluster;
 mod failure;
+mod integrity;
 mod msg;
 mod node;
 mod retry;
@@ -57,12 +58,15 @@ pub use antientropy::MerkleTree;
 pub use chaos::{nth_op_id, ChaosEvent, ChaosScenario, ChaosScenarioConfig};
 pub use cluster::{ClusterConfig, ClusterError, LocalCluster};
 pub use failure::{HeartbeatDetector, Liveness, Sweep};
+pub use integrity::{checksum64, Checksum64, IntegrityError, IntegrityStats};
 pub use msg::{ClientOp, Completion, Message, OpId, OpResult, Outbound};
 pub use node::{Consistency, NodeState};
 pub use retry::RetryPolicy;
 pub use ring::HashRing;
 pub use sim::{OpLatency, RecoveryStats, SimCluster};
-pub use storage::{StorageEngine, StorageStats, WalError, WalRecord, WriteAheadLog};
+pub use storage::{
+    ReplayNotes, ScrubChunk, StorageEngine, StorageStats, WalError, WalRecord, WriteAheadLog,
+};
 pub use threaded::ThreadedCluster;
 
 /// Hashes a key to its position ("token") on the ring.

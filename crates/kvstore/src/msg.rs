@@ -146,7 +146,9 @@ impl Message {
     /// Approximate wire size in bytes (header + payload), charged to the
     /// sender's uplink by the simulated driver.
     pub fn wire_size(&self) -> u64 {
-        const HEADER: u64 = 48; // envelope, ids, framing
+        // Envelope + ids + framing, including the 8-byte frame checksum
+        // ([`Message::frame_checksum`]).
+        const HEADER: u64 = 48;
         let payload = match self {
             Message::ReplicaWrite { key, value, .. } | Message::HintReplay { key, value } => {
                 key.len() + value.as_ref().map_or(0, Bytes::len)
@@ -156,6 +158,64 @@ impl Message {
             Message::ReadResp { value, .. } => value.as_ref().map_or(0, Bytes::len),
         };
         HEADER + payload as u64
+    }
+
+    /// The frame checksum stamped on every wire message: a digest of the
+    /// message kind and its full content, length-delimited field by
+    /// field. The simulated driver carries it with the frame and verifies
+    /// it on delivery; wire bit rot (which damages the payload, the
+    /// checksum, or both) makes the two disagree and the frame is
+    /// rejected instead of silently accepted.
+    pub fn frame_checksum(&self) -> u64 {
+        use crate::integrity::Checksum64;
+        fn field(c: &mut Checksum64, bytes: &[u8]) {
+            c.update_u64(bytes.len() as u64);
+            c.update(bytes);
+        }
+        fn opt(c: &mut Checksum64, value: &Option<Bytes>) {
+            match value {
+                Some(v) => {
+                    c.update_u64(1);
+                    field(c, v);
+                }
+                None => c.update_u64(0),
+            }
+        }
+        let mut c = Checksum64::new();
+        match self {
+            Message::ReplicaWrite { op_id, key, value } => {
+                c.update_u64(1);
+                c.update_u64(op_id.coordinator.0 as u64);
+                c.update_u64(op_id.seq);
+                field(&mut c, key);
+                opt(&mut c, value);
+            }
+            Message::WriteAck { op_id, from } => {
+                c.update_u64(2);
+                c.update_u64(op_id.coordinator.0 as u64);
+                c.update_u64(op_id.seq);
+                c.update_u64(from.0 as u64);
+            }
+            Message::ReplicaRead { op_id, key } => {
+                c.update_u64(3);
+                c.update_u64(op_id.coordinator.0 as u64);
+                c.update_u64(op_id.seq);
+                field(&mut c, key);
+            }
+            Message::ReadResp { op_id, from, value } => {
+                c.update_u64(4);
+                c.update_u64(op_id.coordinator.0 as u64);
+                c.update_u64(op_id.seq);
+                c.update_u64(from.0 as u64);
+                opt(&mut c, value);
+            }
+            Message::HintReplay { key, value } => {
+                c.update_u64(5);
+                field(&mut c, key);
+                opt(&mut c, value);
+            }
+        }
+        c.finish()
     }
 }
 
@@ -200,6 +260,55 @@ mod tests {
             from: NodeId(1),
         };
         assert_eq!(ack.wire_size(), 48);
+    }
+
+    #[test]
+    fn frame_checksums_distinguish_kind_and_content() {
+        let op_id = OpId {
+            coordinator: NodeId(0),
+            seq: 1,
+        };
+        let write = Message::ReplicaWrite {
+            op_id,
+            key: Bytes::from_static(b"k"),
+            value: Some(Bytes::from_static(b"v")),
+        };
+        assert_eq!(write.frame_checksum(), write.frame_checksum());
+        // Same fields, different kind.
+        let hint = Message::HintReplay {
+            key: Bytes::from_static(b"k"),
+            value: Some(Bytes::from_static(b"v")),
+        };
+        assert_ne!(write.frame_checksum(), hint.frame_checksum());
+        // A one-byte payload change moves the checksum.
+        let write2 = Message::ReplicaWrite {
+            op_id,
+            key: Bytes::from_static(b"k"),
+            value: Some(Bytes::from_static(b"w")),
+        };
+        assert_ne!(write.frame_checksum(), write2.frame_checksum());
+        // Delete (None) vs empty value digest differently.
+        let del = Message::ReplicaWrite {
+            op_id,
+            key: Bytes::from_static(b"k"),
+            value: None,
+        };
+        let empty = Message::ReplicaWrite {
+            op_id,
+            key: Bytes::from_static(b"k"),
+            value: Some(Bytes::new()),
+        };
+        assert_ne!(del.frame_checksum(), empty.frame_checksum());
+        // Key/value boundary is length-delimited.
+        let ab = Message::HintReplay {
+            key: Bytes::from_static(b"ab"),
+            value: Some(Bytes::from_static(b"c")),
+        };
+        let a_bc = Message::HintReplay {
+            key: Bytes::from_static(b"a"),
+            value: Some(Bytes::from_static(b"bc")),
+        };
+        assert_ne!(ab.frame_checksum(), a_bc.frame_checksum());
     }
 
     #[test]

@@ -14,6 +14,7 @@
 //! back the hints are replayed (`HintReplay`), restoring replication.
 
 use crate::cluster::ClusterConfig;
+use crate::integrity::IntegrityStats;
 use crate::msg::{ClientOp, Completion, Message, OpId, OpResult, Outbound};
 use crate::ring::HashRing;
 use crate::storage::{StorageEngine, WalError, WalRecord, WriteAheadLog};
@@ -134,6 +135,9 @@ pub struct NodeState {
     rereplicated: u64,
     /// Hints dropped because their target permanently departed.
     hints_dropped: u64,
+    /// Integrity counters: checksum mismatches caught serving reads, and
+    /// scrub/repair work attributed to this node by the driver.
+    integrity: IntegrityStats,
 }
 
 impl NodeState {
@@ -168,6 +172,7 @@ impl NodeState {
             wal_records_replayed: 0,
             rereplicated: 0,
             hints_dropped: 0,
+            integrity: IntegrityStats::default(),
         }
     }
 
@@ -272,6 +277,39 @@ impl NodeState {
     /// (diagnostics).
     pub fn hints_dropped(&self) -> u64 {
         self.hints_dropped
+    }
+
+    /// Integrity counters accumulated at this node (diagnostics).
+    pub fn integrity(&self) -> IntegrityStats {
+        self.integrity
+    }
+
+    /// Mutable access to the node's integrity counters, for the driver
+    /// to attribute scrub and read-repair work.
+    pub(crate) fn integrity_mut(&mut self) -> &mut IntegrityStats {
+        &mut self.integrity
+    }
+
+    /// Mutable access to the durable WAL, for the chaos layer's
+    /// storage-rot injection.
+    pub(crate) fn wal_mut(&mut self) -> &mut WriteAheadLog {
+        &mut self.wal
+    }
+
+    /// Reads a key through checksum verification. A corrupt entry is
+    /// counted, dropped from the volatile engine (the WAL still holds
+    /// the clean bytes), and reported as absent — so read repair, hint
+    /// replay, and anti-entropy back-fill it from a healthy copy instead
+    /// of a rotted value ever being served or compared.
+    pub(crate) fn verified_get(&mut self, key: &Bytes) -> Option<Bytes> {
+        match self.storage.get_verified(key) {
+            Ok(v) => v,
+            Err(_) => {
+                self.integrity.mismatches_found += 1;
+                self.storage.delete(key.clone());
+                None
+            }
+        }
     }
 
     /// Logs a put to the WAL, then applies it to the storage engine.
@@ -474,7 +512,7 @@ impl NodeState {
                 // Local replica: apply immediately.
                 match &op {
                     ClientOp::Get(key) | ClientOp::CheckAndInsert(key, _) => {
-                        let v = self.storage.get(key);
+                        let v = self.verified_get(key);
                         if v.is_none() {
                             pending.answered_none.push(self.id);
                         }
@@ -834,7 +872,7 @@ impl NodeState {
                 )
             }
             Message::ReplicaRead { op_id, key } => {
-                let value = self.storage.get(&key);
+                let value = self.verified_get(&key);
                 (
                     vec![Outbound {
                         to: from,

@@ -11,11 +11,13 @@
 
 use crate::cluster::ClusterConfig;
 use crate::failure::HeartbeatDetector;
+use crate::integrity::IntegrityStats;
 use crate::msg::{ClientOp, Message, OpId, OpResult, Outbound};
 use crate::node::NodeState;
 use crate::retry::RetryPolicy;
 use crate::ring::HashRing;
 use crate::storage::WriteAheadLog;
+use bytes::Bytes;
 use ef_netsim::{Network, NodeId};
 use ef_simcore::{DetRng, SimDuration, SimTime, Simulator};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
@@ -44,11 +46,14 @@ impl OpLatency {
 enum Event {
     /// A client operation begins at its coordinator.
     Start { coordinator: NodeId, op: ClientOp },
-    /// A message arrives at `to`.
+    /// A message arrives at `to`. `crc` is the frame checksum stamped at
+    /// the sender (damaged in flight by wire bit rot); the receiver
+    /// verifies it against the message before accepting.
     Deliver {
         from: NodeId,
         to: NodeId,
         msg: Message,
+        crc: u64,
     },
     /// `node` broadcasts a heartbeat and re-arms its tick.
     HeartbeatTick { node: NodeId },
@@ -68,6 +73,13 @@ enum Event {
     /// Run one anti-entropy round across all live replica pairs and
     /// re-arm the next tick.
     AntiEntropyTick,
+    /// Run one background-scrub slice on every live node and re-arm the
+    /// next tick.
+    ScrubTick,
+    /// Seeded at-rest bit rot strikes `node`: a handful of bit flips
+    /// across its storage-engine values and durable WAL bytes (a parked
+    /// disk rots too).
+    StorageRot { node: NodeId, rot_seed: u64 },
     /// Retransmission timer for a coordinated op: retry its outstanding
     /// requests, or time the op out once the budget is spent.
     Rto { op_id: OpId, attempt: u32 },
@@ -94,6 +106,9 @@ pub struct RecoveryStats {
     pub hints_dropped: u64,
     /// Dead declarations across all observers (suspect → dead edges).
     pub dead_declared: u64,
+    /// Torn WAL tails truncated during restarts (a partial final record
+    /// — a mid-write crash — cut back to the last whole record).
+    pub torn_tails_truncated: u64,
 }
 
 /// A store cluster whose messages travel over a simulated network.
@@ -147,6 +162,21 @@ pub struct SimCluster {
     /// Anti-entropy schedule: (interval, Merkle depth); None until
     /// enabled.
     pub(crate) antientropy: Option<(SimDuration, u32)>,
+    /// Background-scrub schedule: (interval, per-node byte budget per
+    /// round); None until enabled.
+    scrub: Option<(SimDuration, u64)>,
+    /// Per-node scrub resume cursors (None = start of key space).
+    scrub_cursors: BTreeMap<NodeId, Option<Bytes>>,
+    /// Driver-level integrity counters: frame rejections, scrub and
+    /// repair work, recovery-lattice outcomes, plus counters folded in
+    /// from crash-stopped and departed nodes.
+    pub(crate) integrity_acc: IntegrityStats,
+    /// Verification-failure strikes per node, feeding quarantine.
+    verify_failures: BTreeMap<NodeId, u32>,
+    /// Nodes quarantined for repeated verification failures: their
+    /// heartbeats are suppressed so the ordinary suspect → dead
+    /// machinery takes them out of service.
+    quarantined: BTreeSet<NodeId>,
     /// Recovery-pipeline counters.
     pub(crate) recovery: RecoveryStats,
     /// When each node last restarted from its WAL.
@@ -206,6 +236,11 @@ impl SimCluster {
             disks: BTreeMap::new(),
             departed: BTreeSet::new(),
             antientropy: None,
+            scrub: None,
+            scrub_cursors: BTreeMap::new(),
+            integrity_acc: IntegrityStats::default(),
+            verify_failures: BTreeMap::new(),
+            quarantined: BTreeSet::new(),
             recovery: RecoveryStats::default(),
             restarted_at: BTreeMap::new(),
             recovered_at: BTreeMap::new(),
@@ -332,6 +367,38 @@ impl SimCluster {
         self.sim.schedule_after(interval, Event::AntiEntropyTick);
     }
 
+    /// Enables the background scrub: every `interval`, each live node
+    /// verifies the checksums of the next `byte_budget` bytes of its key
+    /// space. A corrupt entry is dropped and read-repaired from a live
+    /// ring replica over the (faulty, billed) network; a replica whose
+    /// own copies keep failing verification is quarantined. Entries with
+    /// no healthy live replica are counted lost — the system layer may
+    /// later reclassify them as recovered by cloud erasure decoding via
+    /// [`SimCluster::note_cloud_decode`].
+    ///
+    /// Call before `run`; the first round fires one `interval` from now.
+    ///
+    /// # Panics
+    ///
+    /// Panics when already enabled, `interval` is zero, or `byte_budget`
+    /// is zero.
+    pub fn enable_scrub(&mut self, interval: SimDuration, byte_budget: u64) {
+        assert!(self.scrub.is_none(), "scrub already enabled");
+        assert!(!interval.is_zero(), "interval must be positive");
+        assert!(byte_budget > 0, "byte budget must be positive");
+        self.scrub = Some((interval, byte_budget));
+        self.sim.schedule_after(interval, Event::ScrubTick);
+    }
+
+    /// Schedules a seeded at-rest bit-rot strike at `node` at `at`: a
+    /// handful of bit flips across the node's storage-engine values and
+    /// its durable WAL bytes. If the node is crash-stopped at that time,
+    /// the rot lands on its parked disk instead.
+    pub fn storage_rot_at(&mut self, at: SimTime, node: NodeId, rot_seed: u64) {
+        self.sim
+            .schedule_at(at, Event::StorageRot { node, rot_seed });
+    }
+
     /// Schedules a crash of `node` at `at` (requires heartbeats enabled
     /// for peers to *notice*; messages to a crashed node are dropped
     /// either way). The node keeps its volatile state — this models a
@@ -423,7 +490,7 @@ impl SimCluster {
     /// misconfigured cluster whose ops can wait forever — prefer
     /// [`SimCluster::run_until`] for explicit horizons.
     pub fn run(&mut self) -> Vec<OpLatency> {
-        if self.heartbeat_interval.is_none() && self.antientropy.is_none() {
+        if self.heartbeat_interval.is_none() && self.antientropy.is_none() && self.scrub.is_none() {
             return self.run_until(SimTime::MAX);
         }
         let deadline = self.sim.now() + SimDuration::from_secs_f64(Self::RUN_SAFETY_DEADLINE_SECS);
@@ -503,9 +570,17 @@ impl SimCluster {
                         self.arm_rto(op_id, 0);
                     }
                 }
-                Event::Deliver { from, to, msg } => {
+                Event::Deliver { from, to, msg, crc } => {
                     if self.crashed.contains(&to) {
                         return true; // dropped on the floor
+                    }
+                    if msg.frame_checksum() != crc {
+                        // Wire rot damaged the frame in flight: the
+                        // receiver's checksum verification rejects it —
+                        // never a silent acceptance. Retries, hint
+                        // replay, and anti-entropy absorb the loss.
+                        self.integrity_acc.frames_rejected += 1;
+                        return true;
                     }
                     let Some(node) = self.nodes.get_mut(&to) else {
                         return true;
@@ -523,20 +598,29 @@ impl SimCluster {
                     if self.departed.contains(&node) {
                         return true; // permanently gone: the chain dies
                     }
-                    if !self.crashed.contains(&node) {
+                    // A quarantined node is deliberately silenced: peers
+                    // stop hearing it and the ordinary suspect → dead
+                    // machinery takes it out of service.
+                    if !self.crashed.contains(&node) && !self.quarantined.contains(&node) {
                         // Broadcast liveness to every peer.
                         let peers: Vec<NodeId> =
                             self.nodes.keys().copied().filter(|p| *p != node).collect();
                         for peer in peers {
                             // Heartbeats ride the same faulty links as
-                            // data: loss or partition silences them.
-                            let sent = self.network.send(now, node, peer, 64);
+                            // data: loss or partition silences them, and
+                            // a bit-rotted heartbeat fails its frame
+                            // check at the receiver and is discarded.
+                            let sent = self.network.send_framed(now, node, peer, 64);
                             debug_assert!(sent.is_ok(), "heartbeat peer missing uplink");
-                            let Some(arrival) = sent.unwrap_or(None) else {
+                            let Some(delivery) = sent.unwrap_or(None) else {
                                 continue;
                             };
+                            if delivery.corrupt {
+                                self.integrity_acc.frames_rejected += 1;
+                                continue;
+                            }
                             self.sim.schedule_at(
-                                arrival,
+                                delivery.arrival,
                                 Event::HeartbeatArrive {
                                     from: node,
                                     to: peer,
@@ -603,6 +687,15 @@ impl SimCluster {
                         self.anti_entropy_round(now, depth);
                         self.sim.schedule_after(interval, Event::AntiEntropyTick);
                     }
+                }
+                Event::ScrubTick => {
+                    if let Some((interval, byte_budget)) = self.scrub {
+                        self.scrub_round(now, byte_budget);
+                        self.sim.schedule_after(interval, Event::ScrubTick);
+                    }
+                }
+                Event::StorageRot { node, rot_seed } => {
+                    self.apply_storage_rot(node, rot_seed);
                 }
                 Event::Rto { op_id, attempt } => {
                     self.on_rto(now, op_id, attempt);
@@ -680,6 +773,143 @@ impl SimCluster {
             .schedule_after(base + jitter, Event::Rto { op_id, attempt });
     }
 
+    /// Runs one background-scrub round: every live node verifies the
+    /// checksums of the next `byte_budget` bytes of its key space.
+    /// Corrupt entries are dropped from the volatile engine (the WAL
+    /// still holds the clean bytes) and read-repaired from a live ring
+    /// replica.
+    fn scrub_round(&mut self, now: SimTime, byte_budget: u64) {
+        let scanned: Vec<NodeId> = self
+            .nodes
+            .keys()
+            .copied()
+            .filter(|n| !self.crashed.contains(n))
+            .collect();
+        for node in scanned {
+            let cursor = self.scrub_cursors.get(&node).cloned().flatten();
+            let Some(state) = self.nodes.get(&node) else {
+                continue;
+            };
+            let chunk = state.storage().scrub(cursor.as_ref(), byte_budget);
+            self.scrub_cursors.insert(node, chunk.next_cursor.clone());
+            self.integrity_acc.entries_scrubbed += chunk.entries;
+            self.integrity_acc.scrub_bytes += chunk.bytes;
+            for key in chunk.corrupt {
+                self.integrity_acc.mismatches_found += 1;
+                if let Some(state) = self.nodes.get_mut(&node) {
+                    // Drop the poison; the repair below (or hint replay /
+                    // anti-entropy) restores a verified copy.
+                    state.storage_mut().delete(key.clone());
+                }
+                self.read_repair(now, node, key);
+            }
+        }
+    }
+
+    /// Verification-failure strikes before a node is quarantined. High
+    /// enough that one storage-rot strike (a handful of flips) does not
+    /// by itself condemn a node.
+    const QUARANTINE_STRIKES: u32 = 6;
+
+    /// Read-repairs `key` at `node` after a checksum mismatch: ask each
+    /// other live ring replica in turn (paying request network costs)
+    /// for a verified copy, and stream the first healthy answer back as
+    /// a hint replay — durably applied on arrival, and itself subject to
+    /// wire faults (a lost repair is backfilled by anti-entropy).
+    /// Replicas whose own copy is rotted accrue strikes toward
+    /// quarantine. With no healthy live replica the record is lost at
+    /// this layer.
+    fn read_repair(&mut self, now: SimTime, node: NodeId, key: Bytes) {
+        let replicas = self.ring.replicas(&key, self.config.replication_factor);
+        for replica in replicas {
+            if replica == node
+                || self.crashed.contains(&replica)
+                || self.quarantined.contains(&replica)
+                || !self.nodes.contains_key(&replica)
+            {
+                continue;
+            }
+            // Charge the repair request to the scrubbing node's uplink; a
+            // lost request just moves on to the next replica.
+            let sent = self.network.send(now, node, replica, 48 + key.len() as u64);
+            if !matches!(sent, Ok(Some(_))) {
+                continue;
+            }
+            let result = self
+                .nodes
+                .get_mut(&replica)
+                // simlint::allow(D003): membership checked above
+                .expect("replica membership checked above")
+                .storage_mut()
+                .get_verified(&key);
+            match result {
+                Ok(Some(value)) => {
+                    let out = vec![Outbound {
+                        to: node,
+                        msg: Message::HintReplay {
+                            key: key.clone(),
+                            value: Some(value),
+                        },
+                    }];
+                    self.dispatch(now, replica, out);
+                    self.integrity_acc.read_repairs += 1;
+                    return;
+                }
+                Ok(None) => {} // the replica never held it
+                Err(_) => {
+                    // The replica's copy is rotted too: drop it, count
+                    // it, and strike toward quarantine.
+                    let state = self
+                        .nodes
+                        .get_mut(&replica)
+                        // simlint::allow(D003): membership checked above
+                        .expect("replica membership checked above");
+                    state.integrity_mut().mismatches_found += 1;
+                    state.storage_mut().delete(key.clone());
+                    self.note_verify_failure(replica);
+                }
+            }
+        }
+        // No live replica produced a healthy copy: lost at this layer
+        // (the system layer may erasure-decode it from the cloud).
+        self.integrity_acc.lost_records += 1;
+    }
+
+    /// Records a verification failure at `node`; past the strike
+    /// threshold the node is quarantined.
+    fn note_verify_failure(&mut self, node: NodeId) {
+        let strikes = self.verify_failures.entry(node).or_insert(0);
+        *strikes += 1;
+        if *strikes >= Self::QUARANTINE_STRIKES && self.quarantined.insert(node) {
+            self.integrity_acc.quarantines += 1;
+        }
+    }
+
+    /// Applies a seeded storage-rot strike at `node`: a handful of bit
+    /// flips, each choosing between the volatile engine's value blocks
+    /// and the durable WAL bytes. A crash-stopped node's parked disk
+    /// takes every flip on the WAL.
+    fn apply_storage_rot(&mut self, node: NodeId, rot_seed: u64) {
+        let mut rng = DetRng::new(rot_seed).substream("storage-rot");
+        const FLIPS: usize = 3;
+        for _ in 0..FLIPS {
+            // Three draws per flip regardless of target, so the trace
+            // shape is fixed.
+            let target_wal = rng.unit() < 0.5;
+            let byte = (rng.unit() * 65_536.0) as usize;
+            let bit = (rng.unit() * 8.0) as usize;
+            if let Some(state) = self.nodes.get_mut(&node) {
+                if target_wal {
+                    state.wal_mut().flip_bit(byte, bit);
+                } else {
+                    state.storage_mut().corrupt_nth_value(byte, bit);
+                }
+            } else if let Some(wal) = self.disks.get_mut(&node) {
+                wal.flip_bit(byte, bit);
+            }
+        }
+    }
+
     /// Crash-stops `node`: drop its volatile state, resolve its in-flight
     /// coordinated ops as timed out, keep its WAL for a later restart.
     fn crash_stop(&mut self, now: SimTime, node: NodeId) {
@@ -687,6 +917,8 @@ impl SimCluster {
             return; // already down or departed
         };
         self.crashed.insert(node);
+        // The node's integrity counters outlive its volatile state.
+        self.integrity_acc.merge(&state.integrity());
         let (wal, completions) = state.crash();
         for c in completions {
             self.record(c.op_id, c.result, now);
@@ -702,16 +934,38 @@ impl SimCluster {
         if self.departed.contains(&node) || self.nodes.contains_key(&node) {
             return; // departed forever, or never crash-stopped
         }
-        let Some(wal) = self.disks.remove(&node) else {
+        let Some(mut wal) = self.disks.remove(&node) else {
             return;
         };
+        // Run the recovery lattice on the disk first: a rotted snapshot
+        // falls back to the stashed pre-compaction log, a torn tail is
+        // truncated back to the last whole record, and a corrupt record
+        // *body* surfaces as an error — in which case the disk is
+        // re-parked for diagnosis and the node stays dead rather than
+        // rejoining with silently-wrong state.
+        match wal.recover_replay() {
+            Ok((_, notes)) => {
+                if notes.torn_tail {
+                    self.recovery.torn_tails_truncated += 1;
+                    self.integrity_acc.torn_tails_truncated += 1;
+                }
+                if notes.snapshot_fallback {
+                    self.integrity_acc.snapshot_fallbacks += 1;
+                }
+            }
+            Err(_) => {
+                self.integrity_acc.wal_corrupt_bodies += 1;
+                self.disks.insert(node, wal);
+                return;
+            }
+        }
         // The master ring is the membership truth: it still holds this
         // node (crash-stops keep the slot) and already excludes any peer
         // that departed while this node was down, so the recovered view
         // needs no catch-up surgery. Data the node should have received
         // meanwhile arrives via peer hint replay and anti-entropy.
         let Ok(recovered) = NodeState::recover(node, self.ring.clone(), &self.config, wal) else {
-            return; // torn disk: the node stays dead (never happens in-sim)
+            return; // unreachable: the lattice above already vetted the log
         };
         self.crashed.remove(&node);
         self.recovery.restarts += 1;
@@ -753,6 +1007,8 @@ impl SimCluster {
             return;
         }
         if let Some(state) = self.nodes.remove(&node) {
+            // The node's integrity counters outlive it.
+            self.integrity_acc.merge(&state.integrity());
             let (_lost_disk, completions) = state.crash();
             for c in completions {
                 self.record(c.op_id, c.result, now);
@@ -834,17 +1090,27 @@ impl SimCluster {
             // network memberships diverged, impossible by construction;
             // release builds degrade it to a drop, which the retry and
             // failure-detector machinery already absorbs.
-            let sent = self.network.send(now, from, ob.to, ob.msg.wire_size());
+            let sent = self
+                .network
+                .send_framed(now, from, ob.to, ob.msg.wire_size());
             debug_assert!(sent.is_ok(), "dispatch target missing uplink");
-            let Some(arrival) = sent.unwrap_or(None) else {
+            let Some(delivery) = sent.unwrap_or(None) else {
                 continue;
             };
+            let mut crc = ob.msg.frame_checksum();
+            if delivery.corrupt {
+                // Wire rot damaged the frame in flight: model it as the
+                // carried checksum no longer matching the payload, so
+                // the receiver detects and rejects it.
+                crc ^= 0xDEAD_BEEF_0BAD_F00D;
+            }
             self.sim.schedule_at(
-                arrival,
+                delivery.arrival,
                 Event::Deliver {
                     from,
                     to: ob.to,
                     msg: ob.msg,
+                    crc,
                 },
             );
         }
@@ -896,9 +1162,41 @@ impl SimCluster {
         self.nodes.get(&id)
     }
 
+    /// Mutable access to a member node's state — fault injection for
+    /// integrity tests (e.g. planting bit rot in its storage engine).
+    pub fn node_mut(&mut self, id: NodeId) -> Option<&mut NodeState> {
+        self.nodes.get_mut(&id)
+    }
+
     /// Recovery-pipeline counters accumulated so far.
     pub fn recovery_stats(&self) -> RecoveryStats {
         self.recovery
+    }
+
+    /// Integrity counters accumulated so far: the driver's accumulator
+    /// (frame rejections, scrub and repair work, recovery-lattice
+    /// outcomes, plus counters folded in from crash-stopped and departed
+    /// nodes) merged with every live node's own counters.
+    pub fn integrity(&self) -> IntegrityStats {
+        let mut total = self.integrity_acc;
+        for node in self.nodes.values() {
+            total.merge(&node.integrity());
+        }
+        total
+    }
+
+    /// Reclassifies `n` lost records as recovered by the cloud's erasure
+    /// decoding — the system layer's fallback when no edge replica held
+    /// a healthy copy. Clamped to the records actually lost.
+    pub fn note_cloud_decode(&mut self, n: u64) {
+        let n = n.min(self.integrity_acc.lost_records);
+        self.integrity_acc.lost_records -= n;
+        self.integrity_acc.cloud_decodes += n;
+    }
+
+    /// Nodes quarantined for repeated verification failures.
+    pub fn quarantined(&self) -> Vec<NodeId> {
+        self.quarantined.iter().copied().collect()
     }
 
     /// The master ring: current membership truth after any departures.
@@ -1160,6 +1458,192 @@ mod tests {
             .stats()
             .live_keys;
         assert!(keys_on_2 > 0, "hint replay never reached the revived node");
+    }
+
+    #[test]
+    fn wire_rot_rejects_frames_and_ops_resolve() {
+        use ef_netsim::{FaultPlan, FaultScope};
+        let mut net = edge_network(1, 3);
+        net.set_fault_plan(FaultPlan::new(7).bitrot(FaultScope::All, 1.0));
+        let members = net.topology().edge_nodes();
+        let mut cluster = SimCluster::new(
+            members.clone(),
+            net,
+            ClusterConfig {
+                replication_factor: 2,
+                consistency: Consistency::One,
+                ..ClusterConfig::default()
+            },
+        );
+        let mut t = SimTime::ZERO;
+        for i in 0..10u32 {
+            cluster.submit(
+                t,
+                members[0],
+                ClientOp::Put(
+                    Bytes::from(i.to_be_bytes().to_vec()),
+                    Bytes::from_static(b"v"),
+                ),
+            );
+            t += ef_simcore::SimDuration::from_millis(50);
+        }
+        let done = cluster.run();
+        // Every op resolves (locally satisfied or timed out by the
+        // auto-armed retry policy) and every rotted frame was rejected at
+        // the receiver rather than silently accepted.
+        assert_eq!(done.len(), 10);
+        let integrity = cluster.integrity();
+        assert!(
+            integrity.frames_rejected > 0,
+            "no frames rejected under total wire rot"
+        );
+        assert_eq!(
+            cluster.network().messages_corrupted(),
+            integrity.frames_rejected,
+            "every corrupted frame must be rejected on delivery"
+        );
+    }
+
+    #[test]
+    fn scrub_detects_and_read_repairs_planted_rot() {
+        let net = edge_network(1, 3);
+        let members = net.topology().edge_nodes();
+        let mut cluster = SimCluster::new(
+            members.clone(),
+            net,
+            ClusterConfig {
+                replication_factor: 2,
+                consistency: Consistency::All,
+                ..ClusterConfig::default()
+            },
+        );
+        let mut t = SimTime::ZERO;
+        for i in 0..20u32 {
+            cluster.submit(
+                t,
+                members[0],
+                ClientOp::Put(
+                    Bytes::from(i.to_be_bytes().to_vec()),
+                    Bytes::from(vec![b'v'; 32]),
+                ),
+            );
+            t += ef_simcore::SimDuration::from_millis(10);
+        }
+        cluster.run();
+        // Rot one stored value on node 0. Consistency ALL replicated
+        // every key to both of its replicas, so a healthy copy exists.
+        let rotted = cluster
+            .nodes
+            .get_mut(&members[0])
+            .unwrap()
+            .storage_mut()
+            .corrupt_nth_value(3, 5)
+            .expect("node 0 holds at least one value");
+        cluster.enable_scrub(ef_simcore::SimDuration::from_millis(100), 1 << 20);
+        cluster.run_until(SimTime::from_secs_f64(2.0));
+        let integrity = cluster.integrity();
+        assert_eq!(integrity.mismatches_found, 1);
+        assert_eq!(integrity.read_repairs, 1);
+        assert_eq!(integrity.lost_records, 0);
+        assert!(integrity.entries_scrubbed > 0);
+        assert!(integrity.scrub_bytes > 0);
+        // The rotted entry is back with verified bytes.
+        let repaired = cluster
+            .nodes
+            .get_mut(&members[0])
+            .unwrap()
+            .storage_mut()
+            .get_verified(&rotted)
+            .expect("repaired entry verifies");
+        assert_eq!(repaired, Some(Bytes::from(vec![b'v'; 32])));
+    }
+
+    #[test]
+    fn restart_runs_the_recovery_lattice() {
+        let net = edge_network(1, 3);
+        let members = net.topology().edge_nodes();
+        let mut cluster = SimCluster::new(
+            members.clone(),
+            net,
+            ClusterConfig {
+                replication_factor: 2,
+                consistency: Consistency::All,
+                wal_snapshot_every: 4,
+                ..ClusterConfig::default()
+            },
+        );
+        let mut t = SimTime::ZERO;
+        for i in 0..30u32 {
+            cluster.submit(
+                t,
+                members[0],
+                ClientOp::Put(
+                    Bytes::from(i.to_be_bytes().to_vec()),
+                    Bytes::from_static(b"value"),
+                ),
+            );
+            t += ef_simcore::SimDuration::from_millis(10);
+        }
+        cluster.run();
+        // Rot the parked disk's snapshot: recovery falls back to the
+        // stashed pre-compaction log and the node still rejoins.
+        cluster.crash_stop_at(SimTime::from_secs_f64(1.0), members[1]);
+        cluster.run_until(SimTime::from_secs_f64(1.1));
+        let disk = cluster.disks.get_mut(&members[1]).unwrap();
+        assert!(disk.snapshots_taken() >= 1, "fixture never compacted");
+        assert!(disk.flip_bit(2, 3));
+        cluster.restart_at(SimTime::from_secs_f64(1.2), members[1]);
+        cluster.run_until(SimTime::from_secs_f64(1.3));
+        assert!(
+            cluster.nodes.contains_key(&members[1]),
+            "snapshot fallback failed"
+        );
+        assert_eq!(cluster.integrity().snapshot_fallbacks, 1);
+        assert_eq!(cluster.recovery_stats().restarts, 1);
+
+        // A corrupt record *body* parks the disk and keeps the node dead.
+        cluster.crash_stop_at(SimTime::from_secs_f64(2.0), members[2]);
+        cluster.run_until(SimTime::from_secs_f64(2.1));
+        let mut bad = WriteAheadLog::new(0);
+        bad.append_put(b"a", b"value");
+        assert!(bad.flip_bit(10, 7)); // first value byte: body, not framing
+        cluster.disks.insert(members[2], bad);
+        cluster.restart_at(SimTime::from_secs_f64(2.2), members[2]);
+        cluster.run_until(SimTime::from_secs_f64(2.3));
+        assert!(
+            !cluster.nodes.contains_key(&members[2]),
+            "corrupt body must keep the node dead"
+        );
+        assert!(
+            cluster.disks.contains_key(&members[2]),
+            "disk re-parked for diagnosis"
+        );
+        assert_eq!(cluster.integrity().wal_corrupt_bodies, 1);
+        assert_eq!(cluster.recovery_stats().restarts, 1);
+    }
+
+    #[test]
+    fn repeated_verify_failures_quarantine_and_silence_a_node() {
+        use ef_simcore::SimDuration;
+        let net = edge_network(1, 3);
+        let members = net.topology().edge_nodes();
+        let mut cluster = SimCluster::new(members.clone(), net, ClusterConfig::default());
+        cluster.enable_heartbeats(SimDuration::from_millis(100), SimDuration::from_millis(350));
+        for _ in 0..SimCluster::QUARANTINE_STRIKES {
+            cluster.note_verify_failure(members[2]);
+        }
+        assert_eq!(cluster.quarantined(), vec![members[2]]);
+        assert_eq!(cluster.integrity().quarantines, 1);
+        // Its heartbeats are suppressed: peers suspect it like a crashed
+        // node and the usual down/hint machinery takes over.
+        cluster.run_until(SimTime::from_secs_f64(1.0));
+        for &peer in &members[..2] {
+            assert_eq!(
+                cluster.suspects_of(peer),
+                vec![members[2]],
+                "peer {peer} did not suspect the quarantined node"
+            );
+        }
     }
 
     #[test]

@@ -17,6 +17,10 @@
 //!    link's propagation latency (factors multiply when windows overlap).
 //! 4. **Jitter** — each matching [`FaultPlan::jitter`] rule adds a uniform
 //!    `[0, max_extra]` delay.
+//! 5. **Bit rot** — each matching [`FaultPlan::bitrot`] rule draws once; if
+//!    any draw fires the message is delivered *corrupted*
+//!    ([`FaultOutcome::DeliverCorrupt`]) for the receiver's frame checksum
+//!    to reject.
 //!
 //! Loopback traffic (`src == dst`) never traverses a link and is exempt from
 //! all faults.
@@ -92,6 +96,13 @@ struct DegradeRule {
 }
 
 #[derive(Debug, Clone)]
+struct BitRotRule {
+    scope: FaultScope,
+    window: Window,
+    probability: f64,
+}
+
+#[derive(Debug, Clone)]
 struct PartitionRule {
     a: SiteId,
     b: SiteId,
@@ -110,6 +121,8 @@ pub struct FaultStats {
     pub degraded: u64,
     /// Messages that received jitter.
     pub jittered: u64,
+    /// Messages delivered with corrupted payload bits (wire bit rot).
+    pub corrupted: u64,
 }
 
 impl FaultStats {
@@ -124,6 +137,10 @@ impl FaultStats {
 pub enum FaultOutcome {
     /// Deliver, with this much extra propagation delay (possibly zero).
     Deliver(SimDuration),
+    /// Deliver with this much extra delay, but with payload bits flipped
+    /// in flight (wire bit rot): the receiver's frame checksum is
+    /// expected to reject it.
+    DeliverCorrupt(SimDuration),
     /// The message is lost.
     Drop,
 }
@@ -155,6 +172,7 @@ pub struct FaultPlan {
     loss: Vec<LossRule>,
     jitter: Vec<JitterRule>,
     degrade: Vec<DegradeRule>,
+    bitrot: Vec<BitRotRule>,
     partitions: Vec<PartitionRule>,
     stats: FaultStats,
 }
@@ -168,6 +186,7 @@ impl FaultPlan {
             loss: Vec::new(),
             jitter: Vec::new(),
             degrade: Vec::new(),
+            bitrot: Vec::new(),
             partitions: Vec::new(),
             stats: FaultStats::default(),
         }
@@ -260,6 +279,40 @@ impl FaultPlan {
         self
     }
 
+    /// Adds a permanent bit-rot rule: matching messages are delivered
+    /// with corrupted payload bits with `probability`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `probability` is not within `[0, 1]`.
+    pub fn bitrot(self, scope: FaultScope, probability: f64) -> Self {
+        self.bitrot_window(scope, probability, SimTime::ZERO, SimTime::MAX)
+    }
+
+    /// Adds a bit-rot rule active during `[from, until)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `probability` is not within `[0, 1]`.
+    pub fn bitrot_window(
+        mut self,
+        scope: FaultScope,
+        probability: f64,
+        from: SimTime,
+        until: SimTime,
+    ) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&probability),
+            "bit-rot probability {probability} outside [0, 1]"
+        );
+        self.bitrot.push(BitRotRule {
+            scope,
+            window: Window { from, until },
+            probability,
+        });
+        self
+    }
+
     /// Schedules a symmetric partition between sites `a` and `b` from
     /// `from` until it heals at `heal_at`. All messages between the two
     /// sites are dropped during the window.
@@ -337,6 +390,17 @@ impl FaultPlan {
             {
                 self.stats.jittered += 1;
                 extra += rule.max_extra * self.rng.unit();
+            }
+        }
+        // Bit rot draws come last so plans without rot rules keep their
+        // RNG trace (and thus all verdicts) bit-identical.
+        for rule in &self.bitrot {
+            if rule.window.contains(now)
+                && rule.scope.matches(src, dst, src_site, dst_site)
+                && self.rng.unit() < rule.probability
+            {
+                self.stats.corrupted += 1;
+                return FaultOutcome::DeliverCorrupt(extra);
             }
         }
         FaultOutcome::Deliver(extra)
@@ -428,7 +492,9 @@ mod tests {
                 // factor 3 → extra = 2 * base
                 assert!((extra.as_millis_f64() - 2.0 * base.as_millis_f64()).abs() < 1e-6);
             }
-            FaultOutcome::Drop => panic!("degradation must not drop"),
+            FaultOutcome::Drop | FaultOutcome::DeliverCorrupt(_) => {
+                panic!("degradation must not drop or corrupt")
+            }
         }
         // Outside the window: clean.
         assert_eq!(
@@ -448,7 +514,9 @@ mod tests {
                     assert!(extra <= max, "jitter {extra} exceeds bound");
                     seen_nonzero |= !extra.is_zero();
                 }
-                FaultOutcome::Drop => panic!("jitter must not drop"),
+                FaultOutcome::Drop | FaultOutcome::DeliverCorrupt(_) => {
+                    panic!("jitter must not drop or corrupt")
+                }
             }
         }
         assert!(seen_nonzero, "jitter never fired");
@@ -475,9 +543,78 @@ mod tests {
     }
 
     #[test]
+    fn bitrot_corrupts_seeded_fraction_without_dropping() {
+        let verdicts = |seed| {
+            let mut plan = FaultPlan::new(seed).bitrot(FaultScope::All, 0.25);
+            judge_all(&mut plan, 200, SimTime::ZERO)
+        };
+        assert_eq!(verdicts(7), verdicts(7), "same seed must replay");
+        assert_ne!(verdicts(7), verdicts(8), "different seeds must differ");
+        let mut plan = FaultPlan::new(7).bitrot(FaultScope::All, 0.25);
+        let out = judge_all(&mut plan, 400, SimTime::ZERO);
+        let n_rotted = out
+            .iter()
+            .filter(|o| matches!(o, FaultOutcome::DeliverCorrupt(_)))
+            .count();
+        assert!(out.iter().all(|o| *o != FaultOutcome::Drop));
+        assert!((50..=160).contains(&n_rotted), "rot count {n_rotted}");
+        assert_eq!(plan.stats().corrupted, n_rotted as u64);
+        assert_eq!(plan.stats().dropped(), 0, "rot must not count as loss");
+    }
+
+    #[test]
+    fn bitrot_window_scopes_in_time() {
+        let mut plan = FaultPlan::new(9).bitrot_window(
+            FaultScope::All,
+            1.0,
+            SimTime::from_secs_f64(1.0),
+            SimTime::from_secs_f64(2.0),
+        );
+        assert_eq!(
+            judge_all(&mut plan, 1, SimTime::ZERO)[0],
+            FaultOutcome::Deliver(SimDuration::ZERO)
+        );
+        assert_eq!(
+            judge_all(&mut plan, 1, SimTime::from_secs_f64(1.5))[0],
+            FaultOutcome::DeliverCorrupt(SimDuration::ZERO)
+        );
+        assert_eq!(
+            judge_all(&mut plan, 1, SimTime::from_secs_f64(2.0))[0],
+            FaultOutcome::Deliver(SimDuration::ZERO)
+        );
+    }
+
+    #[test]
+    fn bitrot_rules_leave_clean_plan_traces_untouched() {
+        // A plan with loss+jitter must produce the same verdicts whether
+        // or not a (never-matching) bit-rot rule exists: rot draws come
+        // after all legacy draws and only for matching rules.
+        let base = |seed| {
+            let mut plan = FaultPlan::new(seed)
+                .loss(FaultScope::All, 0.3)
+                .jitter(FaultScope::All, SimDuration::from_millis(2));
+            judge_all(&mut plan, 100, SimTime::ZERO)
+        };
+        let with_rot = |seed| {
+            let mut plan = FaultPlan::new(seed)
+                .loss(FaultScope::All, 0.3)
+                .jitter(FaultScope::All, SimDuration::from_millis(2))
+                .bitrot(FaultScope::ToNode(NodeId(99)), 1.0);
+            judge_all(&mut plan, 100, SimTime::ZERO)
+        };
+        assert_eq!(base(21), with_rot(21));
+    }
+
+    #[test]
     #[should_panic(expected = "outside [0, 1]")]
     fn rejects_bad_probability() {
         FaultPlan::new(0).loss(FaultScope::All, 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "bit-rot probability")]
+    fn rejects_bad_bitrot_probability() {
+        FaultPlan::new(0).bitrot(FaultScope::All, -0.1);
     }
 
     #[test]

@@ -20,10 +20,11 @@
 //!
 //! On top of both sits a **chaos layer**: a seeded [`FaultPlan`] attached to
 //! the network injects message loss, latency jitter, scheduled link
-//! degradations, and site-pair partitions with heal times. Fault-aware
-//! callers use [`Network::send`], which returns `None` for lost messages;
-//! everything is driven by a deterministic RNG so runs replay bit-identically
-//! from a seed.
+//! degradations, site-pair partitions with heal times, and wire bit rot.
+//! Fault-aware callers use [`Network::send`], which returns `None` for lost
+//! messages; checksum-aware callers use [`Network::send_framed`], which also
+//! flags frames corrupted in flight. Everything is driven by a deterministic
+//! RNG so runs replay bit-identically from a seed.
 //!
 //! # Example
 //!
@@ -54,5 +55,5 @@ mod topology;
 pub use fault::{FaultOutcome, FaultPlan, FaultScope, FaultStats};
 pub use id::{NodeId, SiteId};
 pub use link::{LinkParams, NetworkConfig};
-pub use network::{Network, NetworkError};
+pub use network::{Delivery, Network, NetworkError};
 pub use topology::{SiteKind, Topology, TopologyBuilder};

@@ -26,6 +26,16 @@ impl fmt::Display for NetworkError {
 
 impl std::error::Error for NetworkError {}
 
+/// Verdict of a fault-aware framed send ([`Network::send_framed`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Delivery {
+    /// When the frame arrives at the destination.
+    pub arrival: SimTime,
+    /// True when payload bits were flipped in flight (wire bit rot): the
+    /// receiver's frame checksum is expected to reject the message.
+    pub corrupt: bool,
+}
+
 /// A simulated network over a [`Topology`].
 ///
 /// Two complementary interfaces:
@@ -53,6 +63,7 @@ pub struct Network {
     messages_sent: u64,
     messages_dropped: u64,
     bytes_dropped: u64,
+    messages_corrupted: u64,
 }
 
 impl Network {
@@ -68,6 +79,7 @@ impl Network {
             messages_sent: 0,
             messages_dropped: 0,
             bytes_dropped: 0,
+            messages_corrupted: 0,
         }
     }
 
@@ -193,19 +205,60 @@ impl Network {
         dst: NodeId,
         bytes: u64,
     ) -> Result<Option<SimTime>, NetworkError> {
+        Ok(self.send_framed(now, src, dst, bytes)?.map(|d| d.arrival))
+    }
+
+    /// Like [`Network::send`], but reports whether the delivered frame
+    /// was corrupted in flight by a bit-rot rule. Checksum-aware callers
+    /// use this and reject corrupt frames at the receiver; plain
+    /// [`Network::send`] callers see a corrupt frame as an ordinary
+    /// arrival (the corruption still counts in
+    /// [`Network::messages_corrupted`]).
+    ///
+    /// # Errors
+    ///
+    /// [`NetworkError::UnknownNode`] when `src` has no uplink.
+    ///
+    /// # Panics
+    ///
+    /// Panics when arrivals go backwards in time (see
+    /// [`FifoServer::serve`]).
+    pub fn send_framed(
+        &mut self,
+        now: SimTime,
+        src: NodeId,
+        dst: NodeId,
+        bytes: u64,
+    ) -> Result<Option<Delivery>, NetworkError> {
         let base_latency = self.link(src, dst).latency;
         let arrival = self.transfer(now, src, dst, bytes)?;
         if src == dst {
-            return Ok(Some(arrival));
+            return Ok(Some(Delivery {
+                arrival,
+                corrupt: false,
+            }));
         }
         let src_site = self.topology.site_of(src);
         let dst_site = self.topology.site_of(dst);
         let Some(plan) = self.fault_plan.as_mut() else {
-            return Ok(Some(arrival));
+            return Ok(Some(Delivery {
+                arrival,
+                corrupt: false,
+            }));
         };
         Ok(
             match plan.judge(now, src, dst, src_site, dst_site, base_latency) {
-                FaultOutcome::Deliver(extra) => Some(arrival + extra),
+                FaultOutcome::Deliver(extra) => Some(Delivery {
+                    arrival: arrival + extra,
+                    corrupt: false,
+                }),
+                FaultOutcome::DeliverCorrupt(extra) => {
+                    self.messages_corrupted += 1;
+                    Some(Delivery {
+                        arrival: arrival + extra,
+                        corrupt: true,
+                    })
+                }
                 FaultOutcome::Drop => {
                     self.messages_dropped += 1;
                     self.bytes_dropped += bytes;
@@ -243,6 +296,11 @@ impl Network {
         self.bytes_dropped
     }
 
+    /// Frames delivered with in-flight payload corruption.
+    pub fn messages_corrupted(&self) -> u64 {
+        self.messages_corrupted
+    }
+
     /// Resets occupancy state and counters (e.g. between experiment runs).
     /// Fault-plan counters reset too; its RNG position and schedule do not.
     pub fn reset_occupancy(&mut self) {
@@ -253,6 +311,7 @@ impl Network {
         self.messages_sent = 0;
         self.messages_dropped = 0;
         self.bytes_dropped = 0;
+        self.messages_corrupted = 0;
         if let Some(plan) = self.fault_plan.as_mut() {
             plan.reset_stats();
         }
@@ -455,6 +514,34 @@ mod tests {
                 .unwrap();
             assert!(a >= clean && a <= clean + max_extra, "arrival {a}");
         }
+    }
+
+    #[test]
+    fn send_framed_flags_rotted_frames() {
+        use crate::fault::{FaultPlan, FaultScope};
+        let mut net = testbed();
+        net.set_fault_plan(FaultPlan::new(6).bitrot(FaultScope::All, 1.0));
+        let d = net
+            .send_framed(SimTime::ZERO, NodeId(0), NodeId(2), 64)
+            .unwrap()
+            .unwrap();
+        assert!(d.corrupt, "full bit rot must flag the frame");
+        assert_eq!(net.messages_corrupted(), 1);
+        assert_eq!(net.messages_dropped(), 0, "rot is not loss");
+        // Loopback is exempt from faults.
+        let lb = net
+            .send_framed(SimTime::ZERO, NodeId(3), NodeId(3), 64)
+            .unwrap()
+            .unwrap();
+        assert!(!lb.corrupt);
+        // Plain send still reports the arrival but counts the rot.
+        assert!(net
+            .send(SimTime::ZERO, NodeId(0), NodeId(2), 64)
+            .unwrap()
+            .is_some());
+        assert_eq!(net.messages_corrupted(), 2);
+        net.reset_occupancy();
+        assert_eq!(net.messages_corrupted(), 0);
     }
 
     #[test]

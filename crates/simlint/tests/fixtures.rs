@@ -155,6 +155,33 @@ fn json_report_is_well_formed() {
 }
 
 #[test]
+fn checksum_sites_carry_no_bare_suppressions() {
+    // The integrity pipeline's verify sites, in their own shape: a
+    // checksum mismatch must be surfaced as data, and any suppression
+    // at such a site must be justified in-source.
+    let findings = lint_fixture("integrity_checks.rs");
+    // Two bare directives at the verify sites → S001 ...
+    let mut s001: Vec<u32> = findings
+        .iter()
+        .filter(|f| f.rule == RuleId::S001)
+        .map(|f| f.line)
+        .collect();
+    s001.sort_unstable();
+    assert_eq!(s001, vec![22, 29]);
+    // ... and neither silences the panicking code underneath.
+    assert_eq!(spans(&findings, RuleId::D003), vec![(23, 9), (30, 24)]);
+    // The reasoned directive on the guarded read is honored.
+    assert!(findings
+        .iter()
+        .any(|f| f.rule == RuleId::D003 && f.suppressed && f.line == 39));
+    // The checksum fold itself is integer math over a slice: no D004
+    // (float accumulation) and no D001 (hash-order iteration).
+    assert!(findings
+        .iter()
+        .all(|f| matches!(f.rule, RuleId::D003 | RuleId::S001)));
+}
+
+#[test]
 fn wal_recovery_shapes_fire_every_rule() {
     // The crash-recovery subsystem's tempting mistakes, in its own
     // shape: hash-ordered WAL replay, wall-clock snapshot stamps,

@@ -1,0 +1,41 @@
+// Fixture: checksum-verification sites in the shape of the integrity
+// pipeline (wire frames, WAL records, scrub). A mismatch is a fault to
+// surface and repair — never a panic — and a lint suppression at a
+// verify site must say *why* it is safe; bare directives are rejected
+// and silence nothing.
+
+pub struct Frame {
+    payload: Vec<u8>,
+    crc: u64,
+}
+
+fn checksum(bytes: &[u8]) -> u64 {
+    bytes.iter().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+        (h ^ *b as u64).wrapping_mul(0x0000_0100_0000_01b3)
+    })
+}
+
+// BAD: a corrupted frame is data to reject, not a crash; the bare
+// directive is itself a violation and does not silence the panic.
+pub fn reject_or_die(f: &Frame) {
+    if checksum(&f.payload) != f.crc {
+        // simlint::allow(D003)
+        panic!("frame checksum mismatch");
+    }
+}
+
+// BAD: empty reason — still bare, still rejected.
+pub fn first_byte(f: &Frame) -> u8 {
+    // simlint::allow(D003):
+    *f.payload.first().unwrap()
+}
+
+// GOOD: a reasoned directive at a verify site is honored.
+pub fn verified_len(f: &Frame) -> Option<usize> {
+    if checksum(&f.payload) != f.crc {
+        return None;
+    }
+    // simlint::allow(D003): the mismatch arm above already returned None
+    let first = f.payload.first().unwrap();
+    Some(*first as usize + f.payload.len())
+}

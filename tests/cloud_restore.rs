@@ -38,7 +38,11 @@ fn edge_dedup_to_cloud_restore_roundtrip() {
             }
             manifest_chunks.push((c.hash, c.data.clone()));
         }
-        file_ids.push(catalog.store_manifest(manifest_chunks));
+        file_ids.push(
+            catalog
+                .store_manifest(manifest_chunks)
+                .expect("edge-shipped chunks hash to their addresses"),
+        );
         originals.push(file);
     }
 

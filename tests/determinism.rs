@@ -99,6 +99,91 @@ fn chaos_run_actually_exercised_faults() {
     );
 }
 
+/// One bit-rot chaos experiment: wire rot on every link, seeded at-rest
+/// storage rot, and the background scrub all enabled at once.
+fn bitrot_metrics(seed: u64) -> SystemMetrics {
+    let net = Network::new(
+        TopologyBuilder::new()
+            .edge_sites(4, 2)
+            .cloud_site(2)
+            .build(),
+        NetworkConfig::paper_testbed(),
+    );
+    let ds = datasets::accelerometer(4, seed);
+    let workload = Workload::from_dataset(&ds, 4, 400, seed as u32);
+    let mut metrics = run_system(
+        &net,
+        &workload,
+        &Strategy::CloudAssisted,
+        &SystemConfig::paper_testbed(),
+    );
+
+    let mut chaos_net = Network::new(
+        TopologyBuilder::new().edge_site(2).edge_site(2).build(),
+        NetworkConfig::paper_testbed(),
+    );
+    let scenario = ChaosScenario::generate(
+        seed,
+        chaos_net.topology(),
+        &ChaosScenarioConfig {
+            base_loss: 0.1,
+            storage_rots: 3,
+            wire_rot: 0.05,
+            ..ChaosScenarioConfig::default()
+        },
+    );
+    scenario.rig(&mut chaos_net);
+    let members = chaos_net.topology().edge_nodes();
+    let mut cluster = SimCluster::new(members.clone(), chaos_net, ClusterConfig::default());
+    cluster.enable_scrub(SimDuration::from_millis(150), 32 * 1024);
+    scenario.apply(&mut cluster);
+    let mut t = SimTime::ZERO;
+    for i in 0..60u32 {
+        let key = Bytes::from(i.to_be_bytes().to_vec());
+        cluster.submit(
+            t,
+            members[(i as usize) % members.len()],
+            ClientOp::CheckAndInsert(key.clone(), key),
+        );
+        t += SimDuration::from_millis(40);
+    }
+    cluster.run_until(SimTime::ZERO + SimDuration::from_secs_f64(30.0));
+    metrics.robustness = RobustnessMetrics::from_sim(&cluster);
+    metrics
+}
+
+/// The determinism contract extends to the integrity machinery: a run
+/// with wire + storage bit rot and the scrub enabled must replay
+/// byte-identically — frame rejections, scrub cursors, read-repairs and
+/// all — and must actually exercise the corruption paths.
+#[test]
+fn bitrot_scrub_run_replays_byte_for_byte() {
+    let a = bitrot_metrics(42);
+    let b = bitrot_metrics(42);
+
+    let json_a = serde_json::to_string(&a).expect("metrics serialize");
+    let json_b = serde_json::to_string(&b).expect("metrics serialize");
+    assert_eq!(json_a, json_b, "serialized bit-rot metrics diverged");
+    assert_eq!(
+        format!("{a:?}"),
+        format!("{b:?}"),
+        "debug rendering diverged across bit-rot runs"
+    );
+
+    // Vacuity guards: the run must reject corrupted frames and scrub
+    // real entries, or the replay proves nothing about those paths.
+    assert!(
+        a.robustness.integrity.frames_rejected > 0,
+        "wire rot never rejected a frame: {:?}",
+        a.robustness.integrity
+    );
+    assert!(
+        a.robustness.integrity.entries_scrubbed > 0,
+        "the scrub never ran: {:?}",
+        a.robustness.integrity
+    );
+}
+
 #[test]
 fn different_seeds_change_the_schedule() {
     let a = chaos_metrics(7);
