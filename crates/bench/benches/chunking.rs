@@ -36,6 +36,14 @@ fn bench_chunkers(c: &mut Criterion) {
     group.bench_with_input(BenchmarkId::new("gear-cdc", 8192), &data, |b, d| {
         b.iter(|| cdc.chunk(d).len())
     });
+    // The seed byte-at-a-time pipeline, kept as the fast path's baseline.
+    group.bench_with_input(BenchmarkId::new("gear-cdc-seed", 8192), &data, |b, d| {
+        b.iter(|| cdc.chunk_reference(d).len())
+    });
+    // Boundary scan alone (no fingerprinting): the quad gear scanner.
+    group.bench_with_input(BenchmarkId::new("gear-scan", 8192), &data, |b, d| {
+        b.iter(|| cdc.boundaries(d).len())
+    });
 
     group.finish();
 }

@@ -15,5 +15,27 @@ fn bench_sha256(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_sha256);
+fn bench_sha256_batch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sha256-batch");
+    for size in [4 * 1024usize, 128 * 1024] {
+        // 64 equal-size messages: the block-parallel wide path at full
+        // occupancy, the shape the chunking pipeline produces.
+        let bufs: Vec<Vec<u8>> = (0..64u8).map(|i| vec![i; size]).collect();
+        let slices: Vec<&[u8]> = bufs.iter().map(|b| b.as_slice()).collect();
+        group.throughput(Throughput::Bytes((size * slices.len()) as u64));
+        group.bench_with_input(BenchmarkId::new("digest_batch", size), &slices, |b, s| {
+            b.iter(|| Sha256::digest_batch(s).len())
+        });
+        group.bench_with_input(BenchmarkId::new("digest_scalar", size), &slices, |b, s| {
+            b.iter(|| {
+                s.iter()
+                    .map(|m| Sha256::digest(m)[0] as usize)
+                    .sum::<usize>()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sha256, bench_sha256_batch);
 criterion_main!(benches);

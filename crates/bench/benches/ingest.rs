@@ -1,0 +1,65 @@
+//! End-to-end ingest micro-benchmark: chunk, fingerprint, and dedup-check
+//! a stream through the sharded fingerprint cache and a local index —
+//! the agent-side leg of check-and-insert. `bench_ingest` (src/bin) is
+//! the measured-record counterpart; this keeps the same pipeline under
+//! Criterion's statistics for CI trend tracking.
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ef_chunking::{Chunker, ChunkerKind};
+use ef_kvstore::FingerprintCache;
+use std::collections::BTreeSet;
+
+fn test_data(len: usize) -> Vec<u8> {
+    let mut state = 0x9e37_79b9_u64;
+    (0..len)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 56) as u8
+        })
+        .collect()
+}
+
+fn ingest(chunker: &ChunkerKind, data: &[u8], cache: Option<usize>) -> usize {
+    let mut cache = cache.map(|per_shard| FingerprintCache::new(8, per_shard));
+    let mut index: BTreeSet<[u8; 32]> = BTreeSet::new();
+    for chunk in chunker.chunk(data) {
+        let key = *chunk.hash.as_bytes();
+        if let Some(cache) = cache.as_mut() {
+            if cache.contains(&key) {
+                continue;
+            }
+            cache.insert(Bytes::copy_from_slice(&key));
+        }
+        index.insert(key);
+    }
+    index.len()
+}
+
+fn bench_ingest(c: &mut Criterion) {
+    let data = test_data(8 << 20);
+    let mut group = c.benchmark_group("ingest");
+    group.throughput(Throughput::Bytes(data.len() as u64));
+
+    for chunker in [
+        ChunkerKind::fixed(4096).expect("valid"),
+        ChunkerKind::gear_sized(4096).expect("valid"),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new(chunker.label(), "cache-off"),
+            &data,
+            |b, d| b.iter(|| ingest(&chunker, d, None)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new(chunker.label(), "cache-on"),
+            &data,
+            |b, d| b.iter(|| ingest(&chunker, d, Some(1 << 11))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ingest);
+criterion_main!(benches);

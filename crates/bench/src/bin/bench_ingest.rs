@@ -1,0 +1,215 @@
+//! Ingest hot-path benchmark: the gear-CDC fast scanner vs the seed
+//! byte-at-a-time loop, batched vs scalar fingerprinting, and end-to-end
+//! ingest with the sharded fingerprint cache on and off.
+//!
+//! Prints a table and writes `BENCH_ingest.json` at the repo root in a
+//! stable, flat schema (every key global and unique) that the
+//! `bench_regression` integration test and the CI bench-smoke job parse
+//! without a JSON library. Run with `--quick` for a smoke-sized corpus.
+
+use ef_bench::{fmt, header, quick_mode};
+use ef_chunking::{fingerprint_batch, Chunker, FixedChunker, GearChunkerBuilder, Sha256};
+use ef_datagen::datasets;
+use ef_kvstore::FingerprintCache;
+use std::collections::BTreeSet;
+use std::time::Instant;
+
+/// Schema tag checked by the regression test; bump on layout changes.
+const SCHEMA: &str = "efdedup-bench-ingest/v1";
+
+fn main() {
+    let (files_per_source, chunks_per_file, reps) = if quick_mode() {
+        (1usize, 150usize, 2usize)
+    } else {
+        (3, 600, 5)
+    };
+
+    // The same synthetic corpus the chunking ablation uses: several
+    // sources per dataset with real cross-source redundancy.
+    let mut streams: Vec<Vec<u8>> = Vec::new();
+    for dataset in [
+        datasets::accelerometer(4, 42),
+        datasets::traffic_video(4, 42),
+    ] {
+        for s in 0..4usize {
+            for f in 0..files_per_source {
+                streams.push(dataset.file(s, 0, f as u32, chunks_per_file));
+            }
+        }
+    }
+    let views: Vec<&[u8]> = streams.iter().map(|s| s.as_slice()).collect();
+    let total_bytes: usize = streams.iter().map(Vec::len).sum();
+    let mb = total_bytes as f64 / 1e6;
+
+    let fixed = FixedChunker::new(4096).expect("valid");
+    let gear = GearChunkerBuilder::new()
+        .min_size(1024)
+        .target_size(4096)
+        .max_size(16 * 1024)
+        .build()
+        .expect("valid");
+
+    header(&format!(
+        "Ingest hot path ({:.1} MB corpus, best of {reps})",
+        mb
+    ));
+
+    // --- Chunking throughput -------------------------------------------
+    let fixed_secs = best_secs(reps, || {
+        views.iter().map(|v| fixed.chunk(v).len()).sum::<usize>()
+    });
+    let seed_secs = best_secs(reps, || {
+        views
+            .iter()
+            .map(|v| gear.chunk_reference(v).len())
+            .sum::<usize>()
+    });
+    let fast_secs = best_secs(reps, || {
+        views.iter().map(|v| gear.chunk(v).len()).sum::<usize>()
+    });
+    let fixed_mbps = mb / fixed_secs;
+    let seed_mbps = mb / seed_secs;
+    let fast_mbps = mb / fast_secs;
+    let speedup = fast_mbps / seed_mbps;
+
+    println!("{:<26} {:>12}", "chunk+fingerprint path", "MB/s");
+    println!("{:<26} {}", "fixed-4k (batched)", fmt(fixed_mbps));
+    println!("{:<26} {}", "gear-cdc seed (scalar)", fmt(seed_mbps));
+    println!("{:<26} {}", "gear-cdc fast (batched)", fmt(fast_mbps));
+    println!("{:<26} {}", "gear fast/seed speedup", fmt(speedup));
+
+    // --- Fingerprinting throughput (isolated from chunking) ------------
+    let payloads: Vec<&[u8]> = views
+        .iter()
+        .flat_map(|v| {
+            gear.boundaries(v)
+                .windows(2)
+                .map(|w| &v[w[0]..w[1]])
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    let scalar_secs = best_secs(reps, || {
+        payloads.iter().map(|p| Sha256::digest(p)[0]).sum::<u8>()
+    });
+    let batch_secs = best_secs(reps, || fingerprint_batch(&payloads).len());
+    let scalar_mbps = mb / scalar_secs;
+    let batch_mbps = mb / batch_secs;
+
+    println!("\n{:<26} {:>12}", "fingerprinting", "MB/s");
+    println!("{:<26} {}", "sha-256 scalar", fmt(scalar_mbps));
+    println!("{:<26} {}", "sha-256 batched", fmt(batch_mbps));
+    println!(
+        "{:<26} {}",
+        "batch/scalar speedup",
+        fmt(batch_mbps / scalar_mbps)
+    );
+
+    // --- End-to-end ingest: chunk, fingerprint, dedup-check ------------
+    let total_chunks: usize = views.iter().map(|v| gear.chunk(v).len()).sum();
+    let off_secs = best_secs(reps, || ingest(&gear, &views, None));
+    let on_secs = best_secs(reps, || ingest(&gear, &views, Some((8, 1 << 14))));
+    let off_ops = total_chunks as f64 / off_secs;
+    let on_ops = total_chunks as f64 / on_secs;
+
+    // Hit rate from one counted pass (timing passes discard the cache).
+    let mut cache = FingerprintCache::new(8, 1 << 14);
+    let mut index: BTreeSet<[u8; 32]> = BTreeSet::new();
+    for v in &views {
+        for chunk in gear.chunk(v) {
+            let key = *chunk.hash.as_bytes();
+            if !cache.contains(&key) {
+                index.insert(key);
+                cache.insert(bytes::Bytes::copy_from_slice(&key));
+            }
+        }
+    }
+    let hit_rate = cache.stats().hit_rate();
+
+    println!("\n{:<26} {:>12}", "ingest (chunks/s)", "ops/s");
+    println!("{:<26} {}", "cache off", fmt(off_ops));
+    println!("{:<26} {}", "cache on (8x16k)", fmt(on_ops));
+    println!("{:<26} {}", "cache hit rate", fmt(hit_rate));
+
+    // --- Dedup ratios: the fast path must not change the answer --------
+    let ratio_fixed = ef_chunking::joint_dedup_ratio(&fixed, &views);
+    let ratio_fast = ef_chunking::joint_dedup_ratio(&gear, &views);
+    let ratio_seed = seed_ratio(&gear, &views);
+    let delta_pct = (ratio_fast - ratio_seed).abs() / ratio_seed * 100.0;
+
+    println!("\n{:<26} {:>12}", "dedup ratio", "x");
+    println!("{:<26} {}", "fixed-4k", fmt(ratio_fixed));
+    println!("{:<26} {}", "gear-cdc seed", fmt(ratio_seed));
+    println!("{:<26} {}", "gear-cdc fast", fmt(ratio_fast));
+    println!("{:<26} {}", "fast vs seed delta %", fmt(delta_pct));
+
+    // --- BENCH_ingest.json ---------------------------------------------
+    // Hand-formatted so the schema is byte-stable and greppable; parsed
+    // by tests/bench_regression.rs and the CI bench-smoke job.
+    let json = format!(
+        "{{\n  \"schema\": \"{SCHEMA}\",\n  \"corpus_bytes\": {total_bytes},\n  \
+         \"fixed_chunk_mbps\": {fixed_mbps:.2},\n  \
+         \"gear_seed_chunk_mbps\": {seed_mbps:.2},\n  \
+         \"gear_fast_chunk_mbps\": {fast_mbps:.2},\n  \
+         \"gear_chunk_speedup\": {speedup:.3},\n  \
+         \"fingerprint_scalar_mbps\": {scalar_mbps:.2},\n  \
+         \"fingerprint_batch_mbps\": {batch_mbps:.2},\n  \
+         \"ingest_cache_off_ops_per_sec\": {off_ops:.1},\n  \
+         \"ingest_cache_on_ops_per_sec\": {on_ops:.1},\n  \
+         \"ingest_cache_hit_rate\": {hit_rate:.4},\n  \
+         \"dedup_ratio_fixed\": {ratio_fixed:.4},\n  \
+         \"dedup_ratio_gear_seed\": {ratio_seed:.4},\n  \
+         \"dedup_ratio_gear_fast\": {ratio_fast:.4},\n  \
+         \"dedup_ratio_gear_delta_pct\": {delta_pct:.4}\n}}\n"
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_ingest.json");
+    std::fs::write(path, json).expect("write BENCH_ingest.json");
+    println!("\nwrote {path}");
+}
+
+/// Best-of-`reps` wall time of `f` after one warm-up call.
+fn best_secs<T, F: FnMut() -> T>(reps: usize, mut f: F) -> f64 {
+    f();
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        std::hint::black_box(f());
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// One ingest pass: chunk each stream, then per chunk consult the cache
+/// (when enabled) and fall back to the index — the agent's local leg of
+/// check-and-insert.
+fn ingest(gear: &ef_chunking::GearChunker, views: &[&[u8]], cache: Option<(usize, usize)>) {
+    let mut cache = cache.map(|(shards, per_shard)| FingerprintCache::new(shards, per_shard));
+    let mut index: BTreeSet<[u8; 32]> = BTreeSet::new();
+    for v in views {
+        for chunk in gear.chunk(v) {
+            let key = *chunk.hash.as_bytes();
+            if let Some(cache) = cache.as_mut() {
+                if cache.contains(&key) {
+                    continue;
+                }
+                cache.insert(bytes::Bytes::copy_from_slice(&key));
+            }
+            index.insert(key);
+        }
+    }
+    std::hint::black_box(index.len());
+}
+
+/// Joint dedup ratio through the *seed* (reference) gear pipeline.
+fn seed_ratio(gear: &ef_chunking::GearChunker, views: &[&[u8]]) -> f64 {
+    let total: usize = views.iter().map(|v| v.len()).sum();
+    let mut seen: BTreeSet<[u8; 32]> = BTreeSet::new();
+    let mut unique_bytes = 0usize;
+    for v in views {
+        for chunk in gear.chunk_reference(v) {
+            if seen.insert(*chunk.hash.as_bytes()) {
+                unique_bytes += chunk.len();
+            }
+        }
+    }
+    total as f64 / unique_bytes as f64
+}

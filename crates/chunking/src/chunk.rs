@@ -142,6 +142,14 @@ impl Chunk {
         Chunk { offset, data, hash }
     }
 
+    /// Builds a chunk whose hash was already computed — by
+    /// [`fingerprint_batch`] on the ingest hot path. The caller guarantees
+    /// `hash == ChunkHash::of(&data)`; debug builds verify it.
+    pub fn with_hash(offset: u64, data: Bytes, hash: ChunkHash) -> Self {
+        debug_assert_eq!(hash, ChunkHash::of(&data), "precomputed hash mismatch");
+        Chunk { offset, data, hash }
+    }
+
     /// Chunk length in bytes.
     pub fn len(&self) -> usize {
         self.data.len()
@@ -151,6 +159,20 @@ impl Chunk {
     pub fn is_empty(&self) -> bool {
         self.data.is_empty()
     }
+}
+
+/// Fingerprints a batch of chunk payloads with the block-parallel SHA-256
+/// engine ([`Sha256::digest_batch`]).
+///
+/// This is the one hashing entry point of the ingest hot path: both
+/// chunking engines cut boundaries first, then fingerprint every payload of
+/// a buffer in a single batch so independent chunks share the compression
+/// rounds. Digests are bit-identical to per-payload [`ChunkHash::of`].
+pub fn fingerprint_batch(payloads: &[&[u8]]) -> Vec<ChunkHash> {
+    Sha256::digest_batch(payloads)
+        .into_iter()
+        .map(ChunkHash::from_bytes)
+        .collect()
 }
 
 /// Splits byte buffers into [`Chunk`]s.
@@ -216,6 +238,22 @@ mod tests {
         assert_eq!(c.offset, 10);
         assert_eq!(c.len(), 7);
         assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn with_hash_keeps_fields() {
+        let c = Chunk::with_hash(3, Bytes::from_static(b"xyz"), ChunkHash::of(b"xyz"));
+        assert_eq!(c, Chunk::new(3, Bytes::from_static(b"xyz")));
+    }
+
+    #[test]
+    fn fingerprint_batch_matches_of() {
+        let payloads: Vec<Vec<u8>> = (0..20u8).map(|i| vec![i; 100 * i as usize]).collect();
+        let slices: Vec<&[u8]> = payloads.iter().map(|p| p.as_slice()).collect();
+        let hashes = fingerprint_batch(&slices);
+        for (i, p) in slices.iter().enumerate() {
+            assert_eq!(hashes[i], ChunkHash::of(p));
+        }
     }
 
     #[test]

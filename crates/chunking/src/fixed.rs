@@ -71,13 +71,22 @@ impl Default for FixedChunker {
 }
 
 impl Chunker for FixedChunker {
+    /// Cuts equal-size chunks, then fingerprints all payloads in one
+    /// [`crate::fingerprint_batch`] call on the block-parallel SHA-256 path.
     fn chunk(&self, data: &[u8]) -> Vec<Chunk> {
         let src = Bytes::copy_from_slice(data);
-        let mut out = Vec::with_capacity(data.len() / self.chunk_size + 1);
+        let n = data.len().div_ceil(self.chunk_size);
+        let payloads: Vec<&[u8]> = data.chunks(self.chunk_size).collect();
+        let hashes = crate::chunk::fingerprint_batch(&payloads);
+        let mut out = Vec::with_capacity(n);
         let mut offset = 0usize;
-        while offset < src.len() {
+        for hash in hashes {
             let end = (offset + self.chunk_size).min(src.len());
-            out.push(Chunk::new(offset as u64, src.slice(offset..end)));
+            out.push(Chunk::with_hash(
+                offset as u64,
+                src.slice(offset..end),
+                hash,
+            ));
             offset = end;
         }
         out

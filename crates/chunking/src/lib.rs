@@ -37,10 +37,12 @@ mod cdc;
 mod chunk;
 mod fixed;
 mod index;
+mod kind;
 pub mod sha256;
 
 pub use cdc::{GearChunker, GearChunkerBuilder, InvalidCdcConfigError};
-pub use chunk::{Chunk, ChunkHash, Chunker, ParseChunkHashError};
+pub use chunk::{fingerprint_batch, Chunk, ChunkHash, Chunker, ParseChunkHashError};
 pub use fixed::{FixedChunker, InvalidChunkSizeError};
 pub use index::{dedup_ratio, joint_dedup_ratio, ChunkIndex, InMemoryChunkIndex};
-pub use sha256::Sha256;
+pub use kind::ChunkerKind;
+pub use sha256::{Sha256, BATCH_LANES};

@@ -211,56 +211,308 @@ impl Sha256 {
         h.finalize()
     }
 
+    /// Hashes a batch of independent messages with a block-parallel inner
+    /// loop: up to [`BATCH_LANES`] messages advance through the compression
+    /// function together, laid out structure-of-arrays so the per-round
+    /// word operations act lanewise (and autovectorize). Digests are
+    /// bit-identical to calling [`Sha256::digest`] per message.
+    ///
+    /// SHA-256's compression function is a long serial dependency chain, so
+    /// a single message cannot be vectorized — but a *batch* of messages
+    /// can, which is exactly the shape the chunking pipeline produces.
+    /// Lanes refill from the batch as short messages finish; once the batch
+    /// can no longer keep every lane busy, the stragglers finish on the
+    /// scalar path from their current mid-stream state.
+    pub fn digest_batch(messages: &[&[u8]]) -> Vec<[u8; 32]> {
+        let mut out = vec![[0u8; 32]; messages.len()];
+        if messages.len() < BATCH_LANES {
+            for (slot, msg) in out.iter_mut().zip(messages) {
+                *slot = Sha256::digest(msg);
+            }
+            return out;
+        }
+
+        // Transposed running states: states[r][l] is word r of lane l.
+        let mut states = [[0u32; BATCH_LANES]; 8];
+        // Which message each lane is hashing (usize::MAX = lane empty),
+        // the next padded-block index, and the lane's total block count.
+        let mut lane_msg = [usize::MAX; BATCH_LANES];
+        let mut lane_block = [0usize; BATCH_LANES];
+        let mut lane_total = [0usize; BATCH_LANES];
+        let mut next = 0usize;
+
+        loop {
+            for l in 0..BATCH_LANES {
+                if lane_msg[l] == usize::MAX && next < messages.len() {
+                    lane_msg[l] = next;
+                    lane_block[l] = 0;
+                    lane_total[l] = padded_blocks(messages[next].len());
+                    for r in 0..8 {
+                        states[r][l] = H0[r];
+                    }
+                    next += 1;
+                }
+            }
+            if lane_msg.contains(&usize::MAX) {
+                break;
+            }
+            let mut blocks = [[0u8; 64]; BATCH_LANES];
+            for l in 0..BATCH_LANES {
+                blocks[l] = padded_block(messages[lane_msg[l]], lane_block[l]);
+            }
+            compress_wide(&mut states, &blocks);
+            for l in 0..BATCH_LANES {
+                lane_block[l] += 1;
+                if lane_block[l] == lane_total[l] {
+                    let m = lane_msg[l];
+                    for r in 0..8 {
+                        out[m][r * 4..r * 4 + 4].copy_from_slice(&states[r][l].to_be_bytes());
+                    }
+                    lane_msg[l] = usize::MAX;
+                }
+            }
+        }
+
+        // Scalar drain: finish lanes stranded mid-message when the batch
+        // ran out of refills, continuing from their wide-path state.
+        for l in 0..BATCH_LANES {
+            let m = lane_msg[l];
+            if m == usize::MAX {
+                continue;
+            }
+            let mut st = [0u32; 8];
+            for r in 0..8 {
+                st[r] = states[r][l];
+            }
+            for b in lane_block[l]..lane_total[l] {
+                compress_block(&mut st, &padded_block(messages[m], b));
+            }
+            for r in 0..8 {
+                out[m][r * 4..r * 4 + 4].copy_from_slice(&st[r].to_be_bytes());
+            }
+        }
+        out
+    }
+
     fn compress(&mut self, block: &[u8; 64]) {
-        let mut w = [0u32; 64];
-        for (i, word) in w.iter_mut().take(16).enumerate() {
-            *word = u32::from_be_bytes([
-                block[i * 4],
-                block[i * 4 + 1],
-                block[i * 4 + 2],
-                block[i * 4 + 3],
+        compress_block(&mut self.state, block);
+    }
+}
+
+/// Number of independent messages the block-parallel compressor of
+/// [`Sha256::digest_batch`] advances per round.
+///
+/// Eight `u32` lanes fill two SSE2 vectors (or one AVX2 vector) per
+/// operation when LLVM vectorizes the lanewise loops below, and give the
+/// scheduler enough slack to keep lanes busy across uneven message lengths.
+pub const BATCH_LANES: usize = 8;
+
+type Lanes = [u32; BATCH_LANES];
+
+#[inline(always)]
+fn splat(x: u32) -> Lanes {
+    [x; BATCH_LANES]
+}
+
+#[inline(always)]
+fn add(a: Lanes, b: Lanes) -> Lanes {
+    let mut r = [0u32; BATCH_LANES];
+    for i in 0..BATCH_LANES {
+        r[i] = a[i].wrapping_add(b[i]);
+    }
+    r
+}
+
+#[inline(always)]
+fn xor(a: Lanes, b: Lanes) -> Lanes {
+    let mut r = [0u32; BATCH_LANES];
+    for i in 0..BATCH_LANES {
+        r[i] = a[i] ^ b[i];
+    }
+    r
+}
+
+#[inline(always)]
+fn and(a: Lanes, b: Lanes) -> Lanes {
+    let mut r = [0u32; BATCH_LANES];
+    for i in 0..BATCH_LANES {
+        r[i] = a[i] & b[i];
+    }
+    r
+}
+
+#[inline(always)]
+fn andnot(a: Lanes, b: Lanes) -> Lanes {
+    let mut r = [0u32; BATCH_LANES];
+    for i in 0..BATCH_LANES {
+        r[i] = !a[i] & b[i];
+    }
+    r
+}
+
+#[inline(always)]
+fn rotr(a: Lanes, n: u32) -> Lanes {
+    let mut r = [0u32; BATCH_LANES];
+    for i in 0..BATCH_LANES {
+        r[i] = a[i].rotate_right(n);
+    }
+    r
+}
+
+#[inline(always)]
+fn shr(a: Lanes, n: u32) -> Lanes {
+    let mut r = [0u32; BATCH_LANES];
+    for i in 0..BATCH_LANES {
+        r[i] = a[i] >> n;
+    }
+    r
+}
+
+/// One SHA-256 compression round over [`BATCH_LANES`] independent blocks,
+/// structure-of-arrays: `states[r][l]` is state word `r` of lane `l`.
+///
+/// `inline(never)` is load-bearing: as a standalone function LLVM
+/// vectorizes every lanewise loop below, but inlined into the caller's
+/// large body the SLP vectorizer gives up and scalarizes 8× the work.
+#[inline(never)]
+fn compress_wide(states: &mut [Lanes; 8], blocks: &[[u8; 64]; BATCH_LANES]) {
+    let mut w = [[0u32; BATCH_LANES]; 64];
+    for (t, word) in w.iter_mut().take(16).enumerate() {
+        for (l, block) in blocks.iter().enumerate() {
+            word[l] = u32::from_be_bytes([
+                block[t * 4],
+                block[t * 4 + 1],
+                block[t * 4 + 2],
+                block[t * 4 + 3],
             ]);
         }
-        for i in 16..64 {
-            let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
-            let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
-            w[i] = w[i - 16]
-                .wrapping_add(s0)
-                .wrapping_add(w[i - 7])
-                .wrapping_add(s1);
-        }
-
-        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.state;
-        for i in 0..64 {
-            let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
-            let ch = (e & f) ^ (!e & g);
-            let temp1 = h
-                .wrapping_add(s1)
-                .wrapping_add(ch)
-                .wrapping_add(K[i])
-                .wrapping_add(w[i]);
-            let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
-            let maj = (a & b) ^ (a & c) ^ (b & c);
-            let temp2 = s0.wrapping_add(maj);
-            h = g;
-            g = f;
-            f = e;
-            e = d.wrapping_add(temp1);
-            d = c;
-            c = b;
-            b = a;
-            a = temp1.wrapping_add(temp2);
-        }
-
-        self.state[0] = self.state[0].wrapping_add(a);
-        self.state[1] = self.state[1].wrapping_add(b);
-        self.state[2] = self.state[2].wrapping_add(c);
-        self.state[3] = self.state[3].wrapping_add(d);
-        self.state[4] = self.state[4].wrapping_add(e);
-        self.state[5] = self.state[5].wrapping_add(f);
-        self.state[6] = self.state[6].wrapping_add(g);
-        self.state[7] = self.state[7].wrapping_add(h);
     }
+    for t in 16..64 {
+        let s0 = xor(
+            xor(rotr(w[t - 15], 7), rotr(w[t - 15], 18)),
+            shr(w[t - 15], 3),
+        );
+        let s1 = xor(
+            xor(rotr(w[t - 2], 17), rotr(w[t - 2], 19)),
+            shr(w[t - 2], 10),
+        );
+        w[t] = add(add(w[t - 16], s0), add(w[t - 7], s1));
+    }
+
+    let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = *states;
+    for (kt, wt) in K.iter().zip(w.iter()) {
+        let s1 = xor(xor(rotr(e, 6), rotr(e, 11)), rotr(e, 25));
+        let ch = xor(and(e, f), andnot(e, g));
+        let temp1 = add(add(h, s1), add(ch, add(splat(*kt), *wt)));
+        let s0 = xor(xor(rotr(a, 2), rotr(a, 13)), rotr(a, 22));
+        let maj = xor(xor(and(a, b), and(a, c)), and(b, c));
+        let temp2 = add(s0, maj);
+        h = g;
+        g = f;
+        f = e;
+        e = add(d, temp1);
+        d = c;
+        c = b;
+        b = a;
+        a = add(temp1, temp2);
+    }
+
+    states[0] = add(states[0], a);
+    states[1] = add(states[1], b);
+    states[2] = add(states[2], c);
+    states[3] = add(states[3], d);
+    states[4] = add(states[4], e);
+    states[5] = add(states[5], f);
+    states[6] = add(states[6], g);
+    states[7] = add(states[7], h);
+}
+
+/// One SHA-256 compression round (FIPS 180-4 §6.2.2) over a single block.
+///
+/// `inline(never)` keeps the round function a standalone unit: inlined
+/// into `update`'s loop the vectorizer mangles the message schedule into
+/// half-vector shuffles that run slower than clean scalar code.
+#[inline(never)]
+fn compress_block(state: &mut [u32; 8], block: &[u8; 64]) {
+    let mut w = [0u32; 64];
+    for (i, word) in w.iter_mut().take(16).enumerate() {
+        *word = u32::from_be_bytes([
+            block[i * 4],
+            block[i * 4 + 1],
+            block[i * 4 + 2],
+            block[i * 4 + 3],
+        ]);
+    }
+    for i in 16..64 {
+        let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
+        let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
+        w[i] = w[i - 16]
+            .wrapping_add(s0)
+            .wrapping_add(w[i - 7])
+            .wrapping_add(s1);
+    }
+
+    let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = *state;
+    for i in 0..64 {
+        let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+        let ch = (e & f) ^ (!e & g);
+        let temp1 = h
+            .wrapping_add(s1)
+            .wrapping_add(ch)
+            .wrapping_add(K[i])
+            .wrapping_add(w[i]);
+        let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+        let maj = (a & b) ^ (a & c) ^ (b & c);
+        let temp2 = s0.wrapping_add(maj);
+        h = g;
+        g = f;
+        f = e;
+        e = d.wrapping_add(temp1);
+        d = c;
+        c = b;
+        b = a;
+        a = temp1.wrapping_add(temp2);
+    }
+
+    state[0] = state[0].wrapping_add(a);
+    state[1] = state[1].wrapping_add(b);
+    state[2] = state[2].wrapping_add(c);
+    state[3] = state[3].wrapping_add(d);
+    state[4] = state[4].wrapping_add(e);
+    state[5] = state[5].wrapping_add(f);
+    state[6] = state[6].wrapping_add(g);
+    state[7] = state[7].wrapping_add(h);
+}
+
+/// Number of 64-byte blocks a `len`-byte message occupies once SHA-256
+/// padding (0x80, zeros, 64-bit length) is appended.
+fn padded_blocks(len: usize) -> usize {
+    len / 64 + if len % 64 >= 56 { 2 } else { 1 }
+}
+
+/// Materializes padded block `index` of `msg` without buffering the whole
+/// padded message: data blocks are copied straight out of `msg`, the 0x80
+/// terminator lands right after the last data byte, and the final block
+/// carries the big-endian bit length.
+fn padded_block(msg: &[u8], index: usize) -> [u8; 64] {
+    let mut block = [0u8; 64];
+    let start = index * 64;
+    if start + 64 <= msg.len() {
+        block.copy_from_slice(&msg[start..start + 64]);
+        return block;
+    }
+    let len = msg.len();
+    if start < len {
+        block[..len - start].copy_from_slice(&msg[start..]);
+    }
+    if start <= len {
+        block[len - start] = 0x80;
+    }
+    if index + 1 == padded_blocks(len) {
+        let bits = (len as u64) * 8;
+        block[56..].copy_from_slice(&bits.to_be_bytes());
+    }
+    block
 }
 
 #[cfg(test)]
@@ -348,6 +600,58 @@ mod tests {
         let a = Sha256::digest(b"chunk-a");
         let b = Sha256::digest(b"chunk-b");
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn batch_matches_scalar_on_awkward_lengths() {
+        // Every padding edge case (0, 55, 56, 63, 64, 119, 120) plus sizes
+        // straddling block counts, in a batch long enough to exercise the
+        // wide path, lane refill, and the scalar drain.
+        let lens = [
+            0usize, 1, 55, 56, 57, 63, 64, 65, 119, 120, 127, 128, 129, 200, 1000, 4096, 5000, 3,
+            64, 0, 777,
+        ];
+        let bufs: Vec<Vec<u8>> = lens
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| (0..n).map(|j| ((i * 131 + j * 7) % 251) as u8).collect())
+            .collect();
+        let slices: Vec<&[u8]> = bufs.iter().map(|b| b.as_slice()).collect();
+        let batched = Sha256::digest_batch(&slices);
+        for (i, s) in slices.iter().enumerate() {
+            assert_eq!(
+                batched[i],
+                Sha256::digest(s),
+                "message {i} (len {})",
+                s.len()
+            );
+        }
+    }
+
+    #[test]
+    fn batch_smaller_than_lane_count() {
+        let slices: Vec<&[u8]> = vec![b"a", b"bb", b"ccc"];
+        let batched = Sha256::digest_batch(&slices);
+        assert_eq!(batched.len(), 3);
+        for (i, s) in slices.iter().enumerate() {
+            assert_eq!(batched[i], Sha256::digest(s));
+        }
+    }
+
+    #[test]
+    fn batch_empty_input() {
+        assert!(Sha256::digest_batch(&[]).is_empty());
+    }
+
+    #[test]
+    fn batch_uniform_large_messages() {
+        // All lanes run in lockstep with no refill churn: the pure wide path.
+        let bufs: Vec<Vec<u8>> = (0..16u8).map(|i| vec![i; 8192]).collect();
+        let slices: Vec<&[u8]> = bufs.iter().map(|b| b.as_slice()).collect();
+        let batched = Sha256::digest_batch(&slices);
+        for (i, s) in slices.iter().enumerate() {
+            assert_eq!(batched[i], Sha256::digest(s));
+        }
     }
 
     #[test]

@@ -7,7 +7,7 @@ use crate::estimator::{Estimator, EstimatorConfig, FittedModel, GroundTruth};
 use crate::model::Snod2Instance;
 use crate::partition::{DedupOnly, NetworkOnly, Partition, Partitioner, SmartGreedy};
 use crate::system::{run_system, Strategy, SystemConfig, SystemMetrics, Workload};
-use ef_chunking::FixedChunker;
+use ef_chunking::ChunkerKind;
 use ef_datagen::datasets::Dataset;
 use ef_datagen::{datasets, CharacteristicVector, GenerativeModel, SourceSpec};
 use ef_netsim::{Network, NetworkConfig, TopologyBuilder};
@@ -118,10 +118,33 @@ pub fn estimation_experiment(
     chunks_per_sample: usize,
     seed: u64,
 ) -> Vec<EstimationSlot> {
-    assert!(slots > 0, "need at least one slot");
     let dataset = kind.build(2, seed);
     // simlint::allow(D003): the dataset model's chunk size is validated at model construction
-    let chunker = FixedChunker::new(dataset.model().chunk_size()).expect("valid chunk size");
+    let chunker = ChunkerKind::fixed(dataset.model().chunk_size()).expect("valid chunk size");
+    estimation_slots(&dataset, &chunker, slots, chunks_per_sample)
+}
+
+/// [`estimation_experiment`] with the caller's choice of chunking
+/// engine: the probe samples are cut by `chunker` (fixed or gear-CDC)
+/// and Algorithm 1 fits whatever ratios that engine measures.
+pub fn estimation_experiment_with(
+    kind: DatasetKind,
+    chunker: &ChunkerKind,
+    slots: u32,
+    chunks_per_sample: usize,
+    seed: u64,
+) -> Vec<EstimationSlot> {
+    let dataset = kind.build(2, seed);
+    estimation_slots(&dataset, chunker, slots, chunks_per_sample)
+}
+
+fn estimation_slots(
+    dataset: &Dataset,
+    chunker: &ChunkerKind,
+    slots: u32,
+    chunks_per_sample: usize,
+) -> Vec<EstimationSlot> {
+    assert!(slots > 0, "need at least one slot");
     let estimator = Estimator::new(EstimatorConfig::default());
 
     let mut out = Vec::new();
@@ -130,7 +153,7 @@ pub fn estimation_experiment(
         let files: Vec<Vec<u8>> = (0..2)
             .map(|s| dataset.file(s, slot, 0, chunks_per_sample))
             .collect();
-        let truth = GroundTruth::measure(&chunker, &files);
+        let truth = GroundTruth::measure(chunker, &files);
         let fitted = match &previous {
             None => estimator.fit(&truth),
             Some(prev) => estimator.fit_warm(&truth, prev),
@@ -570,6 +593,32 @@ mod tests {
             );
             assert!(!s.rows.is_empty());
         }
+    }
+
+    #[test]
+    fn estimation_experiment_with_matches_the_default_under_fixed() {
+        let ds = DatasetKind::Accelerometer.build(2, 7);
+        let chunker = ChunkerKind::fixed(ds.model().chunk_size()).unwrap();
+        let explicit = estimation_experiment_with(DatasetKind::Accelerometer, &chunker, 2, 400, 7);
+        let default = estimation_experiment(DatasetKind::Accelerometer, 2, 400, 7);
+        assert_eq!(format!("{explicit:?}"), format!("{default:?}"));
+    }
+
+    #[test]
+    fn estimation_experiment_runs_under_gear_cdc() {
+        let chunker = ChunkerKind::gear_sized(4096).unwrap();
+        let slots = estimation_experiment_with(DatasetKind::Accelerometer, &chunker, 2, 400, 7);
+        assert_eq!(slots.len(), 2);
+        for s in &slots {
+            assert!(!s.rows.is_empty());
+            assert!(s.mse.is_finite() && s.mean_rel_error.is_finite());
+            for r in &s.rows {
+                assert!(r.real >= 1.0 && r.estimated.is_finite(), "{r:?}");
+            }
+        }
+        // Deterministic: same seed, same fit.
+        let again = estimation_experiment_with(DatasetKind::Accelerometer, &chunker, 2, 400, 7);
+        assert_eq!(format!("{slots:?}"), format!("{again:?}"));
     }
 
     #[test]

@@ -34,6 +34,21 @@ pub struct SystemConfig {
     pub tcp_window_bytes: f64,
     /// Parallel upload flows per agent.
     pub upload_streams: usize,
+    /// Per-node fingerprint-cache capacity in entries; 0 disables the
+    /// cache (the paper-testbed default, keeping the headline experiments
+    /// cache-free and directly comparable to earlier runs). A cache hit
+    /// confirms a duplicate locally, skipping the ring lookup; see the
+    /// DESIGN.md hot-path section for the one-sided soundness argument.
+    #[serde(default)]
+    pub cache_capacity: usize,
+    /// LRU shards per node's fingerprint cache (bounds eviction scan
+    /// domains and mirrors the concurrent layout a real agent would use).
+    #[serde(default = "default_cache_shards")]
+    pub cache_shards: usize,
+}
+
+fn default_cache_shards() -> usize {
+    8
 }
 
 impl SystemConfig {
@@ -49,6 +64,17 @@ impl SystemConfig {
             lookup_wire_bytes: 80,
             tcp_window_bytes: 512.0 * 1024.0,
             upload_streams: 4,
+            cache_capacity: 0,
+            cache_shards: default_cache_shards(),
+        }
+    }
+
+    /// The paper-testbed calibration with the fingerprint cache enabled
+    /// at `capacity` entries per node.
+    pub fn with_cache(capacity: usize) -> Self {
+        SystemConfig {
+            cache_capacity: capacity,
+            ..Self::paper_testbed()
         }
     }
 
@@ -75,6 +101,10 @@ impl SystemConfig {
         );
         assert!(self.tcp_window_bytes > 0.0, "tcp window must be positive");
         assert!(self.upload_streams > 0, "need at least one upload stream");
+        assert!(
+            self.cache_capacity == 0 || self.cache_shards > 0,
+            "an enabled cache needs at least one shard"
+        );
     }
 }
 
@@ -110,6 +140,26 @@ mod tests {
     fn zero_gamma_rejected() {
         SystemConfig {
             replication_factor: 0,
+            ..SystemConfig::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    fn cache_defaults_off_and_with_cache_enables() {
+        assert_eq!(SystemConfig::default().cache_capacity, 0);
+        let cfg = SystemConfig::with_cache(4096);
+        cfg.validate();
+        assert_eq!(cfg.cache_capacity, 4096);
+        assert!(cfg.cache_shards > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn enabled_cache_needs_shards() {
+        SystemConfig {
+            cache_capacity: 100,
+            cache_shards: 0,
             ..SystemConfig::default()
         }
         .validate();

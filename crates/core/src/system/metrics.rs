@@ -72,6 +72,10 @@ pub struct RobustnessMetrics {
     /// resolved (read-repair, cloud decode, or declared lost).
     #[serde(default)]
     pub integrity: ef_kvstore::IntegrityStats,
+    /// Fingerprint-cache counters aggregated over the index coordinators
+    /// (all zero when the cache was not enabled).
+    #[serde(default)]
+    pub cache: ef_kvstore::CacheStats,
 }
 
 impl RobustnessMetrics {
@@ -99,12 +103,17 @@ impl RobustnessMetrics {
                 .max()
                 .unwrap_or(0),
             integrity: cluster.integrity(),
+            cache: cluster.cache_stats(),
         }
     }
 
-    /// True when the run saw no fault-handling activity at all.
+    /// True when the run saw no fault-handling activity at all. Cache
+    /// traffic is not fault activity, so it is ignored here.
     pub fn is_quiet(&self) -> bool {
-        *self == RobustnessMetrics::default()
+        RobustnessMetrics {
+            cache: ef_kvstore::CacheStats::default(),
+            ..*self
+        } == RobustnessMetrics::default()
     }
 }
 
@@ -140,6 +149,10 @@ pub struct SystemMetrics {
     /// fields in serialized input default to zero).
     #[serde(default)]
     pub robustness: RobustnessMetrics,
+    /// Fingerprint-cache counters of the analytic ingest pass (all zero
+    /// when `SystemConfig::cache_capacity` is 0, the default).
+    #[serde(default)]
+    pub cache: ef_kvstore::CacheStats,
     /// Per-node details.
     pub nodes: Vec<NodeMetrics>,
 }
@@ -174,11 +187,30 @@ mod tests {
             aggregate_throughput_mbps: 0.0,
             mean_node_throughput_mbps: 0.0,
             robustness: RobustnessMetrics::default(),
+            cache: ef_kvstore::CacheStats::default(),
             nodes: Vec::new(),
         };
         assert_eq!(m.aggregate_cost(0.0), 1_000.0);
         assert_eq!(m.aggregate_cost(2.0), 1_100.0);
         assert!(m.robustness.is_quiet());
+    }
+
+    #[test]
+    fn quietness_ignores_cache_traffic() {
+        // Cache hits are not fault activity: a fault-free cached run must
+        // still read as quiet, while any real fault counter flips it.
+        let mut r = RobustnessMetrics {
+            cache: ef_kvstore::CacheStats {
+                hits: 10,
+                misses: 5,
+                evictions: 1,
+                insertions: 5,
+            },
+            ..RobustnessMetrics::default()
+        };
+        assert!(r.is_quiet());
+        r.index_timeouts = 1;
+        assert!(!r.is_quiet());
     }
 
     #[test]

@@ -6,7 +6,7 @@ use crate::system::config::SystemConfig;
 use crate::system::metrics::{NodeMetrics, RobustnessMetrics, SystemMetrics};
 use crate::system::workload::Workload;
 use bytes::Bytes;
-use ef_kvstore::{ClusterConfig, Consistency, LocalCluster};
+use ef_kvstore::{CacheStats, ClusterConfig, Consistency, FingerprintCache, LocalCluster};
 use ef_netsim::{Network, NodeId};
 use std::collections::BTreeSet;
 
@@ -74,6 +74,7 @@ pub fn run_system(
     let mut lookup_ms_total = vec![0.0f64; n];
     let mut local_lookups = vec![0u64; n];
     let mut remote_served = vec![0u64; n]; // lookups this node served for peers
+    let mut cache_stats = CacheStats::default();
     let scope_unique_total: u64 = match strategy {
         Strategy::Smart(partition) => {
             partition
@@ -100,6 +101,22 @@ pub fn run_system(
                 .map(|i| partition.ring_of(i).expect("covered"))
                 .collect();
 
+            // Per-agent fingerprint caches in front of the ring index
+            // (capacity 0 = disabled). A hit means this agent has already
+            // seen the ring confirm the fingerprint durably indexed, so
+            // the chunk is a duplicate — answered locally, no ring RTT,
+            // no index-service CPU on any peer. Misses fall through to
+            // the ring unchanged, so dedup verdicts are identical with
+            // the cache on or off.
+            let cache_on = config.cache_capacity > 0;
+            let per_shard = config
+                .cache_capacity
+                .div_ceil(config.cache_shards.max(1))
+                .max(1);
+            let mut caches: Vec<FingerprintCache> = (0..n)
+                .map(|_| FingerprintCache::new(config.cache_shards, per_shard))
+                .collect();
+
             // Round-robin across nodes: parallel agents make progress
             // together, so cross-node duplicates are detected fairly.
             let max_len = chunks.iter().copied().max().unwrap_or(0) as usize;
@@ -112,6 +129,11 @@ pub fn run_system(
                     let me = edge_ids[node];
                     let cluster = &mut clusters[ring_of[node]];
                     let key = hash.as_bytes();
+                    if cache_on && caches[node].contains(key) {
+                        // Duplicate confirmed locally.
+                        local_lookups[node] += 1;
+                        continue;
+                    }
                     let replicas = cluster.ring().replicas(key, config.replication_factor);
                     if replicas.contains(&me) {
                         local_lookups[node] += 1;
@@ -135,7 +157,15 @@ pub fn run_system(
                     if is_new {
                         unique[node] += 1;
                     }
+                    if cache_on {
+                        // Either verdict proves the fingerprint is now
+                        // durably present in the ring index.
+                        caches[node].insert(Bytes::copy_from_slice(key));
+                    }
                 }
+            }
+            for cache in &caches {
+                cache_stats.absorb(&cache.stats());
             }
             clusters.iter().map(|c| c.distinct_keys() as u64).sum()
         }
@@ -253,6 +283,7 @@ pub fn run_system(
         // injection; chaos experiments snapshot real counters via
         // `RobustnessMetrics::from_sim`.
         robustness: RobustnessMetrics::default(),
+        cache: cache_stats,
         nodes,
     }
 }
@@ -453,6 +484,49 @@ mod tests {
             assert!(m.aggregate_throughput_mbps > 0.0);
             assert!((m.dedup_ratio - m.total_chunks as f64 / m.unique_chunks as f64).abs() < 1e-9);
         }
+    }
+
+    #[test]
+    fn cache_preserves_dedup_and_cuts_network_cost() {
+        // The one-sided cache may change *when* a duplicate is detected
+        // (locally vs via the ring) but never *whether*: every dedup
+        // quantity must be bit-identical with the cache on or off, while
+        // measured lookup network cost can only shrink.
+        let net = testbed();
+        let ds = datasets::accelerometer(8, 42);
+        let w = Workload::from_dataset(&ds, 8, 600, 0);
+        let partition = smart_partition(8, 2);
+        let off = run_system(
+            &net,
+            &w,
+            &Strategy::Smart(partition.clone()),
+            &SystemConfig::paper_testbed(),
+        );
+        let on = run_system(
+            &net,
+            &w,
+            &Strategy::Smart(partition),
+            &SystemConfig::with_cache(1 << 16),
+        );
+        assert_eq!(off.unique_chunks, on.unique_chunks);
+        assert_eq!(off.dedup_ratio, on.dedup_ratio);
+        assert_eq!(off.storage_bytes, on.storage_bytes);
+        for (a, b) in off.nodes.iter().zip(&on.nodes) {
+            assert_eq!(a.unique_chunks, b.unique_chunks);
+        }
+        assert!(
+            on.network_cost_ms <= off.network_cost_ms,
+            "cache increased network cost: {} -> {}",
+            off.network_cost_ms,
+            on.network_cost_ms
+        );
+        assert_eq!(off.cache, CacheStats::default());
+        assert!(on.cache.hits > 0, "cache never hit: {:?}", on.cache);
+        assert_eq!(
+            on.cache.hits + on.cache.misses,
+            on.total_chunks,
+            "every chunk is exactly one lookup"
+        );
     }
 
     #[test]

@@ -1,0 +1,297 @@
+//! Sharded, bounded LRU fingerprint cache — the local fast path in front
+//! of the ring index.
+//!
+//! A coordinator that has already learned a fingerprint is a duplicate
+//! (because one of its own check-and-insert ops resolved as such, durably)
+//! can answer the next lookup for that fingerprint locally, skipping the
+//! ring round-trip entirely. The cache is *one-sided by construction*:
+//!
+//! * It only ever answers "duplicate" — a hit short-circuits the lookup;
+//!   a miss changes nothing and the op traverses the ring as before.
+//! * It is only populated from non-degraded duplicate/unique verdicts,
+//!   i.e. after the fingerprint is durably present in the ring index.
+//! * It is volatile: a crash-stop or departure drops it with the rest of
+//!   the node's in-memory state, so a restarted node re-learns from the
+//!   ring rather than trusting pre-crash answers.
+//!
+//! A stale entry can therefore claim at worst "duplicate" for a
+//! fingerprint that *is* durably indexed — never manufacture a false
+//! duplicate for data that was never stored.
+//!
+//! Determinism: shards are `BTreeMap`s keyed by fingerprint plus a
+//! monotonic recency sequence — iteration order, eviction order, and
+//! shard selection (via [`key_token`]) are all independent of allocation
+//! or hash-seed nondeterminism, so cached runs replay bit-identically.
+
+use crate::key_token;
+use bytes::Bytes;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Hit/miss/eviction counters for a [`FingerprintCache`], reported up
+/// through `SystemMetrics`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct CacheStats {
+    /// Lookups answered locally (duplicate confirmed without a ring trip).
+    #[serde(default)]
+    pub hits: u64,
+    /// Lookups that fell through to the ring.
+    #[serde(default)]
+    pub misses: u64,
+    /// Entries evicted by the per-shard capacity bound.
+    #[serde(default)]
+    pub evictions: u64,
+    /// Entries inserted (first sight of a fingerprint on this node).
+    #[serde(default)]
+    pub insertions: u64,
+}
+
+impl CacheStats {
+    /// Hit fraction over all lookups, 0.0 when nothing was looked up.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Folds another counter set into this one (per-node → system totals).
+    pub fn absorb(&mut self, other: &CacheStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.evictions += other.evictions;
+        self.insertions += other.insertions;
+    }
+}
+
+/// One LRU shard: fingerprint → recency sequence, plus the inverted order
+/// map the evictor pops from. Both sides are `BTreeMap`s so every
+/// traversal is deterministically ordered.
+#[derive(Debug, Clone, Default)]
+struct CacheShard {
+    entries: BTreeMap<Bytes, u64>,
+    order: BTreeMap<u64, Bytes>,
+}
+
+/// A sharded, bounded, deterministic LRU set of fingerprints known to be
+/// present in the ring index.
+///
+/// # Example
+///
+/// ```
+/// use ef_kvstore::FingerprintCache;
+/// use bytes::Bytes;
+///
+/// let mut cache = FingerprintCache::new(4, 2);
+/// let key = Bytes::from_static(b"fp-1");
+/// assert!(!cache.contains(&key)); // miss: ask the ring
+/// cache.insert(key.clone());      // ring said duplicate/unique, durably
+/// assert!(cache.contains(&key));  // hit: duplicate confirmed locally
+/// assert_eq!(cache.stats().hits, 1);
+/// assert_eq!(cache.stats().misses, 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FingerprintCache {
+    shards: Vec<CacheShard>,
+    per_shard_capacity: usize,
+    next_seq: u64,
+    stats: CacheStats,
+}
+
+impl FingerprintCache {
+    /// Creates a cache with `shards` LRU shards of `per_shard_capacity`
+    /// entries each. Zero values are clamped to 1.
+    pub fn new(shards: usize, per_shard_capacity: usize) -> Self {
+        FingerprintCache {
+            shards: vec![CacheShard::default(); shards.max(1)],
+            per_shard_capacity: per_shard_capacity.max(1),
+            next_seq: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Total capacity across all shards.
+    pub fn capacity(&self) -> usize {
+        self.shards.len() * self.per_shard_capacity
+    }
+
+    /// Number of fingerprints currently cached.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.entries.len()).sum()
+    }
+
+    /// True when no fingerprints are cached.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| s.entries.is_empty())
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    fn shard_index(&self, key: &[u8]) -> usize {
+        (key_token(key) % self.shards.len() as u64) as usize
+    }
+
+    /// Looks `key` up, recording a hit or miss and refreshing recency on
+    /// a hit. A `true` answer means the fingerprint was durably indexed
+    /// when it was inserted — i.e. the chunk is a duplicate.
+    pub fn contains(&mut self, key: &[u8]) -> bool {
+        let seq = self.bump_seq();
+        let shard = self.shard_index(key);
+        let shard = &mut self.shards[shard];
+        match shard.entries.get_mut(key) {
+            Some(slot) => {
+                let old = *slot;
+                *slot = seq;
+                // simlint::allow(D003): order mirrors entries one-to-one by construction
+                let entry = shard.order.remove(&old).expect("order tracks entries");
+                shard.order.insert(seq, entry);
+                self.stats.hits += 1;
+                true
+            }
+            None => {
+                self.stats.misses += 1;
+                false
+            }
+        }
+    }
+
+    /// Inserts `key` as a durably-indexed fingerprint, evicting the least
+    /// recently used entry of its shard when the shard is full. Re-inserting
+    /// an existing key only refreshes its recency.
+    pub fn insert(&mut self, key: Bytes) {
+        let seq = self.bump_seq();
+        let capacity = self.per_shard_capacity;
+        let shard = self.shard_index(&key);
+        let shard = &mut self.shards[shard];
+        if let Some(slot) = shard.entries.get_mut(&key) {
+            let old = *slot;
+            *slot = seq;
+            // simlint::allow(D003): order mirrors entries one-to-one by construction
+            let entry = shard.order.remove(&old).expect("order tracks entries");
+            shard.order.insert(seq, entry);
+            return;
+        }
+        if shard.entries.len() == capacity {
+            // simlint::allow(D003): a full shard holds at least one recency entry
+            let (_, victim) = shard.order.pop_first().expect("full shard is non-empty");
+            shard.entries.remove(&victim);
+            self.stats.evictions += 1;
+        }
+        shard.entries.insert(key.clone(), seq);
+        shard.order.insert(seq, key);
+        self.stats.insertions += 1;
+    }
+
+    /// Drops every entry — the volatile-state reset on crash-stop or
+    /// departure. Counters survive (they describe the run, not the state).
+    pub fn clear(&mut self) {
+        for shard in &mut self.shards {
+            shard.entries.clear();
+            shard.order.clear();
+        }
+    }
+
+    fn bump_seq(&mut self) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        seq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(i: u32) -> Bytes {
+        Bytes::from(i.to_be_bytes().to_vec())
+    }
+
+    #[test]
+    fn miss_then_insert_then_hit() {
+        let mut cache = FingerprintCache::new(4, 8);
+        assert!(!cache.contains(&key(1)));
+        cache.insert(key(1));
+        assert!(cache.contains(&key(1)));
+        assert_eq!(cache.stats().hits, 1);
+        assert_eq!(cache.stats().misses, 1);
+        assert_eq!(cache.stats().insertions, 1);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn eviction_is_lru_per_shard() {
+        // One shard makes the LRU order globally observable.
+        let mut cache = FingerprintCache::new(1, 2);
+        cache.insert(key(1));
+        cache.insert(key(2));
+        assert!(cache.contains(&key(1))); // 1 becomes most recent
+        cache.insert(key(3)); // evicts 2, the least recent
+        assert!(cache.contains(&key(1)));
+        assert!(!cache.contains(&key(2)));
+        assert!(cache.contains(&key(3)));
+        assert_eq!(cache.stats().evictions, 1);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn reinsert_refreshes_recency_without_growth() {
+        let mut cache = FingerprintCache::new(1, 2);
+        cache.insert(key(1));
+        cache.insert(key(2));
+        cache.insert(key(1)); // refresh, not duplicate entry
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats().insertions, 2);
+        cache.insert(key(3)); // evicts 2 (1 was refreshed)
+        assert!(!cache.contains(&key(2)));
+        assert!(cache.contains(&key(1)));
+    }
+
+    #[test]
+    fn clear_drops_entries_keeps_counters() {
+        let mut cache = FingerprintCache::new(2, 4);
+        cache.insert(key(1));
+        assert!(cache.contains(&key(1)));
+        cache.clear();
+        assert!(cache.is_empty());
+        assert!(!cache.contains(&key(1)));
+        assert_eq!(cache.stats().hits, 1);
+        assert_eq!(cache.stats().insertions, 1);
+    }
+
+    #[test]
+    fn capacity_bound_holds_under_churn() {
+        let mut cache = FingerprintCache::new(4, 8);
+        for i in 0..10_000u32 {
+            cache.insert(key(i));
+        }
+        assert!(cache.len() <= cache.capacity());
+        let s = cache.stats();
+        assert_eq!(s.insertions - s.evictions, cache.len() as u64);
+    }
+
+    #[test]
+    fn zero_dimensions_clamp() {
+        let cache = FingerprintCache::new(0, 0);
+        assert_eq!(cache.capacity(), 1);
+    }
+
+    #[test]
+    fn hit_rate_math() {
+        let mut cache = FingerprintCache::new(2, 8);
+        assert_eq!(cache.stats().hit_rate(), 0.0);
+        cache.insert(key(7));
+        cache.contains(&key(7));
+        cache.contains(&key(8));
+        assert!((cache.stats().hit_rate() - 0.5).abs() < 1e-12);
+        let mut total = CacheStats::default();
+        total.absorb(&cache.stats());
+        total.absorb(&cache.stats());
+        assert_eq!(total.hits, 2);
+        assert_eq!(total.misses, 2);
+    }
+}

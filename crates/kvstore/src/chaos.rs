@@ -399,19 +399,26 @@ mod tests {
         let members = net.topology().edge_nodes();
         let mut cluster = SimCluster::new(members.clone(), net, ClusterConfig::default());
         cluster.enable_heartbeats(SimDuration::from_millis(100), SimDuration::from_millis(350));
+        // The whole sweep runs with the fingerprint cache on: the
+        // soundness and completion properties below must hold with
+        // cached duplicate verdicts in the mix, and the tiny capacity
+        // forces evictions so that path is exercised too.
+        cluster.enable_fingerprint_cache(1, 2);
         scenario.apply(&mut cluster);
 
         let mut key_of: HashMap<OpId, u32> = HashMap::new();
         let mut next_seq: HashMap<NodeId, u64> = HashMap::new();
         let mut t = SimTime::ZERO + SimDuration::from_millis(13);
-        let mut turn = 0usize;
         for rep in 0..REPEATS {
             for k in 0..KEYS {
-                // Rotate coordinators so crashes and partitions hit some
-                // of them; avoid resubmitting a key through the same
-                // coordinator twice in a row.
-                let coordinator = members[(turn + rep as usize) % members.len()];
-                turn += 1;
+                // Coordinators rotate across keys so crashes and
+                // partitions hit some of them. Reps 0 and 1 route a key
+                // through the *same* coordinator — the second pass is the
+                // fingerprint cache's local duplicate verdict — while the
+                // final rep shifts coordinators so cross-coordinator
+                // duplicates still traverse the ring under chaos.
+                let shift = usize::from(rep + 1 == REPEATS);
+                let coordinator = members[(k as usize + shift) % members.len()];
                 let seq = next_seq.entry(coordinator).or_insert(0);
                 key_of.insert(nth_op_id(coordinator, *seq), k);
                 *seq += 1;
@@ -432,6 +439,7 @@ mod tests {
         let mut total_timeouts = 0;
         let mut total_degraded = 0;
         let mut total_dropped = 0;
+        let mut cache = crate::cache::CacheStats::default();
         for seed in 0..25u64 {
             let (done, key_of, cluster) = run_chaos(seed);
             // (b) Every submitted op resolved: completed, timed out, or
@@ -468,12 +476,21 @@ mod tests {
             total_timeouts += cluster.timeouts();
             total_degraded += cluster.degraded_ops();
             total_dropped += cluster.network().messages_dropped();
+            cache.absorb(&cluster.cache_stats());
         }
         // The sweep must actually exercise the chaos paths, or the
         // properties above are vacuous.
         assert!(total_dropped > 0, "no message was ever dropped");
         assert!(total_timeouts > 0, "no op ever timed out");
         assert!(total_degraded > 0, "no op ever degraded");
+        // Likewise the cache: the soundness property above is only
+        // meaningful with cached duplicate verdicts (and evictions)
+        // actually occurring across the sweep.
+        assert!(cache.hits > 0, "the fingerprint cache never hit: {cache:?}");
+        assert!(
+            cache.evictions > 0,
+            "the tiny cache never evicted: {cache:?}"
+        );
     }
 
     #[test]

@@ -42,6 +42,7 @@
 #![warn(missing_docs)]
 
 mod antientropy;
+mod cache;
 mod chaos;
 mod cluster;
 mod failure;
@@ -55,6 +56,7 @@ mod storage;
 mod threaded;
 
 pub use antientropy::MerkleTree;
+pub use cache::{CacheStats, FingerprintCache};
 pub use chaos::{nth_op_id, ChaosEvent, ChaosScenario, ChaosScenarioConfig};
 pub use cluster::{ClusterConfig, ClusterError, LocalCluster};
 pub use failure::{HeartbeatDetector, Liveness, Sweep};

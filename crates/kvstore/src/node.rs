@@ -469,10 +469,12 @@ impl NodeState {
         self.ring = ring;
     }
 
-    /// Starts coordinating a client operation. Returns the assigned op id,
-    /// messages to send, and — when the operation completes locally (e.g.
-    /// rf=1 and this node is the replica) — its completion.
-    pub fn begin(&mut self, op: ClientOp) -> (OpId, Vec<Outbound>, Option<Completion>) {
+    /// Allocates the next operation id without starting an operation.
+    ///
+    /// The coordinator's fingerprint-cache fast path resolves an op
+    /// locally but must still consume one sequence number, so cached and
+    /// uncached runs assign identical op ids to identical submissions.
+    pub fn next_op_id(&mut self) -> OpId {
         let op_id = OpId {
             coordinator: self.id,
             seq: self.next_seq,
@@ -480,6 +482,14 @@ impl NodeState {
         self.next_seq += 1;
         // Persist the floor so op ids stay unique across a crash-restart.
         self.wal.set_seq_floor(self.next_seq);
+        op_id
+    }
+
+    /// Starts coordinating a client operation. Returns the assigned op id,
+    /// messages to send, and — when the operation completes locally (e.g.
+    /// rf=1 and this node is the replica) — its completion.
+    pub fn begin(&mut self, op: ClientOp) -> (OpId, Vec<Outbound>, Option<Completion>) {
+        let op_id = self.next_op_id();
 
         let replicas = self.ring.replicas(op.key(), self.replication_factor);
         let rf = replicas.len();

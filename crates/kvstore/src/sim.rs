@@ -9,6 +9,7 @@
 //! reproduce the paper's observation that remote hash lookups dominate
 //! deduplication latency.
 
+use crate::cache::{CacheStats, FingerprintCache};
 use crate::cluster::ClusterConfig;
 use crate::failure::HeartbeatDetector;
 use crate::integrity::IntegrityStats;
@@ -186,6 +187,13 @@ pub struct SimCluster {
     pub(crate) recovered_at: BTreeMap<NodeId, SimTime>,
     /// Synthetic op ids issued for submissions to dead coordinators.
     dead_submissions: u64,
+    /// Per-coordinator fingerprint caches (None until enabled). A hit
+    /// answers a check-and-insert locally as a duplicate; see
+    /// [`FingerprintCache`] for the one-sided soundness argument.
+    caches: Option<BTreeMap<NodeId, FingerprintCache>>,
+    /// Keys of in-flight check-and-insert ops awaiting cache population.
+    /// Keyed lookups only — never iterated, so the HashMap is safe.
+    cache_keys: HashMap<OpId, Bytes>,
 }
 
 impl SimCluster {
@@ -245,7 +253,33 @@ impl SimCluster {
             restarted_at: BTreeMap::new(),
             recovered_at: BTreeMap::new(),
             dead_submissions: 0,
+            caches: None,
+            cache_keys: HashMap::new(),
         }
+    }
+
+    /// Enables the per-coordinator fingerprint cache: `shards` LRU shards
+    /// of `per_shard_capacity` entries on every node. Call before
+    /// submitting ops; cached and uncached runs stay op-id compatible.
+    pub fn enable_fingerprint_cache(&mut self, shards: usize, per_shard_capacity: usize) {
+        self.caches = Some(
+            self.nodes
+                .keys()
+                .map(|id| (*id, FingerprintCache::new(shards, per_shard_capacity)))
+                .collect(),
+        );
+    }
+
+    /// Aggregated fingerprint-cache counters across all coordinators
+    /// (zeros when the cache was never enabled).
+    pub fn cache_stats(&self) -> CacheStats {
+        let mut total = CacheStats::default();
+        if let Some(caches) = &self.caches {
+            for cache in caches.values() {
+                total.absorb(&cache.stats());
+            }
+        }
+        total
     }
 
     /// Sets (or replaces) the per-op timeout/retry policy. Affects ops
@@ -551,8 +585,46 @@ impl SimCluster {
                         );
                         return true;
                     };
+                    // Fingerprint-cache fast path: a coordinator that has
+                    // already learned this fingerprint is durably indexed
+                    // answers "duplicate" locally with no ring traffic. A
+                    // crashed coordinator cannot answer clients, so it
+                    // gets no fast path. The op still consumes a sequence
+                    // number (`next_op_id`) so cached and uncached runs
+                    // assign identical op ids.
+                    let cache_key = match (&self.caches, &op) {
+                        (Some(_), ClientOp::CheckAndInsert(key, _))
+                            if !self.crashed.contains(&coordinator) =>
+                        {
+                            Some(key.clone())
+                        }
+                        _ => None,
+                    };
+                    if let Some(key) = &cache_key {
+                        let hit = self
+                            .caches
+                            .as_mut()
+                            .and_then(|caches| caches.get_mut(&coordinator))
+                            .is_some_and(|cache| cache.contains(key));
+                        if hit {
+                            let op_id = node.next_op_id();
+                            self.starts.insert(op_id, now);
+                            self.record(
+                                op_id,
+                                OpResult::Dedup {
+                                    unique: false,
+                                    degraded: false,
+                                },
+                                now,
+                            );
+                            return true;
+                        }
+                    }
                     let (op_id, outbound, completion) = node.begin(op);
                     self.starts.insert(op_id, now);
+                    if let Some(key) = cache_key {
+                        self.cache_keys.insert(op_id, key);
+                    }
                     if let Some(c) = completion {
                         self.record(c.op_id, c.result, now);
                     }
@@ -917,6 +989,12 @@ impl SimCluster {
             return; // already down or departed
         };
         self.crashed.insert(node);
+        // The fingerprint cache is volatile: it dies with the node, so a
+        // restarted node re-learns from the ring instead of trusting
+        // pre-crash answers. Counters survive (they describe the run).
+        if let Some(cache) = self.caches.as_mut().and_then(|c| c.get_mut(&node)) {
+            cache.clear();
+        }
         // The node's integrity counters outlive its volatile state.
         self.integrity_acc.merge(&state.integrity());
         let (wal, completions) = state.crash();
@@ -1005,6 +1083,10 @@ impl SimCluster {
     fn depart(&mut self, now: SimTime, node: NodeId) {
         if !self.departed.insert(node) {
             return;
+        }
+        // Volatile state, cache included, dies with the departed node.
+        if let Some(cache) = self.caches.as_mut().and_then(|c| c.get_mut(&node)) {
+            cache.clear();
         }
         if let Some(state) = self.nodes.remove(&node) {
             // The node's integrity counters outlive it.
@@ -1123,6 +1205,25 @@ impl SimCluster {
             // simlint::allow(D003): every completion stems from a Start event that recorded its op id
             .expect("completion for unknown op");
         self.inflight = self.inflight.saturating_sub(1);
+        // Cache population: only a non-degraded dedup verdict proves the
+        // fingerprint is durably present in the ring index (unique ⇒ we
+        // just wrote it with the required acks; duplicate ⇒ it was already
+        // there). Degraded assume-unique verdicts and unavailability teach
+        // the cache nothing — that is the one-sided soundness invariant.
+        if let Some(key) = self.cache_keys.remove(&op_id) {
+            if let OpResult::Dedup {
+                degraded: false, ..
+            } = result
+            {
+                if let Some(cache) = self
+                    .caches
+                    .as_mut()
+                    .and_then(|caches| caches.get_mut(&op_id.coordinator))
+                {
+                    cache.insert(key);
+                }
+            }
+        }
         self.completed.push(OpLatency {
             op_id,
             result,
@@ -1659,5 +1760,95 @@ mod tests {
         cluster.run();
         assert!(cluster.network().messages_sent() > 0);
         assert!(cluster.network().bytes_sent() > 0);
+    }
+
+    /// Submits the same key `n` times through one coordinator, 100ms apart.
+    fn submit_repeats(cluster: &mut SimCluster, coordinator: NodeId, n: u32) {
+        let mut t = SimTime::ZERO;
+        for _ in 0..n {
+            cluster.submit(
+                t,
+                coordinator,
+                ClientOp::CheckAndInsert(Bytes::from_static(b"fp"), Bytes::from_static(b"v")),
+            );
+            t += SimDuration::from_millis(100);
+        }
+    }
+
+    #[test]
+    fn cache_hit_skips_the_ring_round_trip() {
+        let build = |cache: bool| {
+            let net = edge_network(2, 2);
+            let members = net.topology().edge_nodes();
+            let mut cluster = SimCluster::new(members.clone(), net, ClusterConfig::default());
+            if cache {
+                cluster.enable_fingerprint_cache(2, 16);
+            }
+            submit_repeats(&mut cluster, members[0], 3);
+            let done = cluster.run();
+            (done, cluster)
+        };
+        let (uncached, _) = build(false);
+        let (cached, cluster) = build(true);
+
+        // Verdict sequence identical: one unique, then duplicates.
+        let verdicts = |done: &[OpLatency]| -> Vec<OpResult> {
+            done.iter().map(|l| l.result.clone()).collect::<Vec<_>>()
+        };
+        assert_eq!(verdicts(&uncached), verdicts(&cached));
+        // Op ids identical too: the cached fast path still consumes one
+        // sequence number per op.
+        assert_eq!(
+            uncached.iter().map(|l| l.op_id).collect::<Vec<_>>(),
+            cached.iter().map(|l| l.op_id).collect::<Vec<_>>()
+        );
+        // The first op misses (and populates), the second and third hit
+        // and complete instantly — strictly faster than the uncached run.
+        let stats = cluster.cache_stats();
+        assert_eq!(stats.hits, 2, "{stats:?}");
+        assert_eq!(stats.misses, 1, "{stats:?}");
+        assert_eq!(stats.insertions, 1, "{stats:?}");
+        assert_eq!(cached[1].latency(), SimDuration::ZERO);
+        assert!(uncached[1].latency() > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn crash_stop_drops_the_cache() {
+        let net = edge_network(2, 2);
+        let members = net.topology().edge_nodes();
+        let mut cluster = SimCluster::new(members.clone(), net, ClusterConfig::default());
+        cluster.enable_fingerprint_cache(2, 16);
+        let coordinator = members[0];
+        let key = Bytes::from_static(b"fp");
+        // Learn the fingerprint, then crash-stop and restart the
+        // coordinator between two more submissions of the same key.
+        cluster.submit(
+            SimTime::ZERO,
+            coordinator,
+            ClientOp::CheckAndInsert(key.clone(), key.clone()),
+        );
+        cluster.crash_stop_at(SimTime::ZERO + SimDuration::from_millis(500), coordinator);
+        cluster.restart_at(SimTime::ZERO + SimDuration::from_millis(800), coordinator);
+        cluster.submit(
+            SimTime::ZERO + SimDuration::from_millis(1200),
+            coordinator,
+            ClientOp::CheckAndInsert(key.clone(), key.clone()),
+        );
+        cluster.run_until(SimTime::ZERO + SimDuration::from_secs_f64(10.0));
+        // The post-restart lookup must NOT be served from pre-crash cache
+        // state: it misses, traverses the ring, and only then repopulates.
+        let stats = cluster.cache_stats();
+        assert_eq!(stats.hits, 0, "{stats:?}");
+        assert_eq!(stats.misses, 2, "{stats:?}");
+    }
+
+    #[test]
+    fn cache_disabled_reports_zero_stats() {
+        let net = edge_network(1, 2);
+        let members = net.topology().edge_nodes();
+        let mut cluster = SimCluster::new(members.clone(), net, ClusterConfig::default());
+        submit_repeats(&mut cluster, members[0], 2);
+        cluster.run();
+        assert_eq!(cluster.cache_stats(), crate::cache::CacheStats::default());
     }
 }

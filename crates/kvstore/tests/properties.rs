@@ -137,3 +137,84 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    /// One-sided soundness of the fingerprint cache as a data structure:
+    /// under arbitrary interleavings of inserts, lookups, evictions
+    /// (tiny capacities), and clears (restarts), `contains` may forget
+    /// keys but never reports a key that was not inserted since the last
+    /// clear.
+    #[test]
+    fn cache_never_invents_keys(
+        ops in proptest::collection::vec((0u8..3, 0u8..32), 1..200),
+        shards in 1usize..5,
+        per_shard in 1usize..4,
+    ) {
+        let mut cache = ef_kvstore::FingerprintCache::new(shards, per_shard);
+        let mut inserted: std::collections::HashSet<u8> = Default::default();
+        for (kind, key) in ops {
+            let k = [key];
+            match kind {
+                0 => {
+                    cache.insert(Bytes::copy_from_slice(&k));
+                    inserted.insert(key);
+                }
+                1 => {
+                    if cache.contains(&k) {
+                        prop_assert!(
+                            inserted.contains(&key),
+                            "cache invented key {key} — false duplicate"
+                        );
+                    }
+                }
+                _ => {
+                    cache.clear();
+                    inserted.clear();
+                }
+            }
+            prop_assert!(cache.len() <= cache.capacity());
+        }
+    }
+
+    /// Cached verdicts change nothing observable: an arbitrary
+    /// check-and-insert schedule on a healthy cluster resolves to the
+    /// identical per-op outcome (same op ids, same unique/duplicate
+    /// verdicts) with the cache on and off — only latencies may differ.
+    #[test]
+    fn cache_on_and_off_agree_on_every_verdict(
+        schedule in proptest::collection::vec((0u8..12, 0u8..6), 1..60),
+    ) {
+        use ef_kvstore::{ClientOp, SimCluster};
+        use ef_netsim::{Network, NetworkConfig, TopologyBuilder};
+        use ef_simcore::{SimDuration, SimTime};
+
+        let run = |cached: bool| {
+            let topo = TopologyBuilder::new().edge_site(3).edge_site(3).build();
+            let net = Network::new(topo, NetworkConfig::paper_testbed());
+            let members = net.topology().edge_nodes();
+            let mut cluster = SimCluster::new(members.clone(), net, ClusterConfig::default());
+            if cached {
+                cluster.enable_fingerprint_cache(2, 2);
+            }
+            let mut t = SimTime::ZERO + SimDuration::from_millis(5);
+            for &(key, coord) in &schedule {
+                let coordinator = members[coord as usize % members.len()];
+                let key = Bytes::from(vec![key]);
+                cluster.submit(t, coordinator, ClientOp::CheckAndInsert(key.clone(), key));
+                t += SimDuration::from_millis(97);
+            }
+            let mut done = cluster.run_until(t + SimDuration::from_secs(60));
+            done.sort_by_key(|l| (l.op_id.coordinator, l.op_id.seq));
+            (done, cluster.inflight())
+        };
+        let (off, inflight_off) = run(false);
+        let (on, inflight_on) = run(true);
+        prop_assert_eq!(inflight_off, 0, "uncached run left ops in flight");
+        prop_assert_eq!(inflight_on, 0, "cached run left ops in flight");
+        prop_assert_eq!(off.len(), on.len());
+        for (a, b) in off.iter().zip(&on) {
+            prop_assert_eq!(a.op_id, b.op_id);
+            prop_assert_eq!(&a.result, &b.result, "op {:?} diverged", a.op_id);
+        }
+    }
+}

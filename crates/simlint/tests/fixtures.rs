@@ -182,6 +182,49 @@ fn checksum_sites_carry_no_bare_suppressions() {
 }
 
 #[test]
+fn cache_shard_shapes_fire_and_the_btree_cache_is_clean() {
+    // The fingerprint cache's tempting mistakes, in its own shape:
+    // hash-ordered eviction scans, wall-clock recency stamps, and a
+    // float hit-rate fold in hash order.
+    let findings = lint_fixture("cache_shard.rs");
+    assert_eq!(spans(&findings, RuleId::D001), vec![(14, 32), (29, 15)]);
+    assert_eq!(spans(&findings, RuleId::D002), vec![(24, 28)]);
+    assert_eq!(spans(&findings, RuleId::D004), vec![(29, 24)]);
+    // The BTreeMap shard — the real FingerprintCache's layout — and the
+    // point lookups below it produce no findings at all.
+    assert!(
+        findings.iter().all(|f| f.line < 32),
+        "the deterministic half of the fixture fired: {:?}",
+        findings
+            .iter()
+            .filter(|f| f.line >= 32)
+            .map(Finding::render)
+            .collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn the_real_fingerprint_cache_lints_clean() {
+    // The production cache must exemplify what the fixture above pins:
+    // BTreeMap shards, logical recency ticks, no unordered iteration.
+    let src = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../kvstore/src/cache.rs"
+    ))
+    .expect("cache source readable");
+    let findings = lint_source(&src, &SIM_CTX);
+    assert!(
+        findings.iter().all(|f| f.suppressed),
+        "FingerprintCache has unsuppressed findings: {:?}",
+        findings
+            .iter()
+            .filter(|f| !f.suppressed)
+            .map(Finding::render)
+            .collect::<Vec<_>>()
+    );
+}
+
+#[test]
 fn wal_recovery_shapes_fire_every_rule() {
     // The crash-recovery subsystem's tempting mistakes, in its own
     // shape: hash-ordered WAL replay, wall-clock snapshot stamps,

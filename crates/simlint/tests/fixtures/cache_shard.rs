@@ -1,0 +1,63 @@
+// Fixture: the fingerprint-cache shapes. The real cache (ef-kvstore's
+// FingerprintCache) keeps BTreeMap shards and a BTreeMap recency index
+// precisely to avoid every finding below; this fixture pins the linter
+// against the tempting HashMap rewrite of the same data structure.
+use std::collections::{BTreeMap, HashMap};
+
+struct HashShard {
+    entries: HashMap<Vec<u8>, u64>,
+}
+
+fn evict_scans_in_hash_order(shard: &mut HashShard) -> Option<Vec<u8>> {
+    // Picking a victim by iterating the map makes eviction order — and
+    // therefore every downstream hit/miss counter — nondeterministic.
+    let victim = shard.entries.keys().next().cloned();
+    if let Some(k) = &victim {
+        shard.entries.remove(k);
+    }
+    victim
+}
+
+fn stamp_with_wall_clock(shard: &mut HashShard, key: Vec<u8>) {
+    // Recency from the wall clock instead of a logical tick: two runs
+    // of the same schedule produce different LRU orders.
+    let stamp = std::time::Instant::now();
+    shard.entries.insert(key, stamp.elapsed().as_nanos() as u64);
+}
+
+fn hit_rate_folds_floats_in_hash_order(per_shard: &HashMap<u32, f64>) -> f64 {
+    per_shard.values().sum::<f64>()
+}
+
+struct BTreeShard {
+    entries: BTreeMap<Vec<u8>, u64>,
+    order: BTreeMap<u64, Vec<u8>>,
+}
+
+fn deterministic_evict(shard: &mut BTreeShard) -> Option<Vec<u8>> {
+    // The ordered recency index makes first-key eviction replayable;
+    // none of this observes hash order.
+    let (tick, key) = {
+        let (t, k) = shard.order.iter().next()?;
+        (*t, k.clone())
+    };
+    shard.order.remove(&tick);
+    shard.entries.remove(&key);
+    Some(key)
+}
+
+fn lookups_are_fine(shard: &HashShard, key: &[u8]) -> bool {
+    // Point lookups and size queries never observe iteration order.
+    shard.entries.contains_key(key) || shard.entries.len() == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_code_is_exempt() {
+        let m: HashMap<u8, u8> = HashMap::new();
+        for _ in m.keys() {}
+    }
+}

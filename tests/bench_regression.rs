@@ -1,0 +1,95 @@
+//! Regression gate on the committed ingest benchmark record.
+//!
+//! `bench_ingest` (crates/bench) measures the hot path and writes
+//! `BENCH_ingest.json` at the repo root; this test pins the promises the
+//! overhaul makes — the gear-CDC fast path is at least 3× the seed
+//! byte-loop chunker and produces the *same* dedup ratio (within 2%) —
+//! and that the record carries all three headline metrics (chunking
+//! MB/s, fingerprint batch MB/s, ingest ops/s). The file is parsed by
+//! hand: the schema is flat with globally unique keys precisely so no
+//! JSON library is needed here or in the CI smoke job.
+
+use std::fs;
+
+const RECORD: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_ingest.json");
+
+/// Extracts the numeric value of a top-level `"key": value` pair.
+fn metric(json: &str, key: &str) -> f64 {
+    let needle = format!("\"{key}\":");
+    let at = json
+        .find(&needle)
+        .unwrap_or_else(|| panic!("BENCH_ingest.json missing key {key:?}"));
+    let rest = &json[at + needle.len()..];
+    let end = rest
+        .find([',', '}'])
+        .unwrap_or_else(|| panic!("unterminated value for {key:?}"));
+    rest[..end]
+        .trim()
+        .parse()
+        .unwrap_or_else(|e| panic!("value for {key:?} is not a number: {e}"))
+}
+
+fn record() -> String {
+    fs::read_to_string(RECORD).expect("BENCH_ingest.json exists at the repo root")
+}
+
+#[test]
+fn record_carries_the_schema_tag() {
+    assert!(
+        record().contains("\"schema\": \"efdedup-bench-ingest/v1\""),
+        "unknown or missing schema tag"
+    );
+}
+
+#[test]
+fn gear_fast_path_is_at_least_3x_the_seed_chunker() {
+    let json = record();
+    let seed = metric(&json, "gear_seed_chunk_mbps");
+    let fast = metric(&json, "gear_fast_chunk_mbps");
+    let speedup = metric(&json, "gear_chunk_speedup");
+    assert!(seed > 0.0, "seed throughput not positive: {seed}");
+    assert!(
+        fast / seed >= 3.0,
+        "gear fast path regressed below 3x the seed chunker: {fast} vs {seed} MB/s"
+    );
+    assert!(
+        (speedup - fast / seed).abs() < 0.01,
+        "recorded speedup {speedup} disagrees with {fast}/{seed}"
+    );
+}
+
+#[test]
+fn gear_fast_path_preserves_the_dedup_ratio() {
+    let json = record();
+    let seed = metric(&json, "dedup_ratio_gear_seed");
+    let fast = metric(&json, "dedup_ratio_gear_fast");
+    let delta = metric(&json, "dedup_ratio_gear_delta_pct");
+    assert!(
+        delta <= 2.0,
+        "fast-path dedup ratio drifted {delta}% from the seed chunker"
+    );
+    assert!(
+        ((fast - seed).abs() / seed * 100.0 - delta).abs() < 0.01,
+        "recorded delta {delta} disagrees with ratios {fast} vs {seed}"
+    );
+}
+
+#[test]
+fn record_carries_all_three_headline_metrics() {
+    let json = record();
+    for key in [
+        "gear_fast_chunk_mbps",
+        "fingerprint_batch_mbps",
+        "ingest_cache_on_ops_per_sec",
+    ] {
+        assert!(
+            metric(&json, key) > 0.0,
+            "headline metric {key} not positive"
+        );
+    }
+    let hit_rate = metric(&json, "ingest_cache_hit_rate");
+    assert!(
+        (0.0..=1.0).contains(&hit_rate),
+        "cache hit rate out of range: {hit_rate}"
+    );
+}

@@ -51,16 +51,22 @@ fn run_rotten(
     let mut cluster = SimCluster::new(members.clone(), net, ClusterConfig::default());
     cluster.enable_heartbeats(SimDuration::from_millis(100), SimDuration::from_millis(350));
     cluster.enable_scrub(SimDuration::from_millis(250), 64 * 1024);
+    // Rot + cache together: a cached duplicate verdict must stay sound
+    // even while wire and storage corruption churn underneath it.
+    cluster.enable_fingerprint_cache(1, 2);
     scenario.apply(&mut cluster);
 
     let mut key_of: HashMap<OpId, u32> = HashMap::new();
     let mut next_seq: HashMap<NodeId, u64> = HashMap::new();
     let mut t = SimTime::ZERO + SimDuration::from_millis(13);
-    let mut turn = 0usize;
     for rep in 0..REPEATS {
         for k in 0..KEYS {
-            let coordinator = members[(turn + rep as usize) % members.len()];
-            turn += 1;
+            // Reps 0 and 1 route a key through the same coordinator so
+            // the second pass exercises the fingerprint cache; the final
+            // rep shifts coordinators so cross-coordinator duplicates
+            // still traverse the (rotting) ring.
+            let shift = usize::from(rep + 1 == REPEATS);
+            let coordinator = members[(k as usize + shift) % members.len()];
             let seq = next_seq.entry(coordinator).or_insert(0);
             key_of.insert(nth_op_id(coordinator, *seq), k);
             *seq += 1;
@@ -80,6 +86,7 @@ fn run_rotten(
 #[test]
 fn corruption_sweep_no_false_duplicates() {
     let mut total = IntegrityStats::default();
+    let mut cache = efdedup_repro::kvstore::CacheStats::default();
     for seed in 0..SEEDS {
         let (done, key_of, cluster) = run_rotten(seed);
         assert_eq!(cluster.inflight(), 0, "seed {seed}: ops still in flight");
@@ -116,6 +123,7 @@ fn corruption_sweep_no_false_duplicates() {
             "seed {seed}: resolved more corruptions than were detected: {integ:?}"
         );
         total.merge(&integ);
+        cache.absorb(&cluster.cache_stats());
     }
     // The sweep must exercise every detection boundary, or the
     // invariants above are vacuous.
@@ -123,6 +131,9 @@ fn corruption_sweep_no_false_duplicates() {
     assert!(total.mismatches_found > 0, "storage rot was never detected");
     assert!(total.entries_scrubbed > 0, "the scrub never ran");
     assert!(total.read_repairs > 0, "read-repair never fired: {total:?}");
+    // And the fingerprint cache must have served verdicts under rot, or
+    // its soundness was never tested here.
+    assert!(cache.hits > 0, "the fingerprint cache never hit: {cache:?}");
 }
 
 /// Exact accounting on planted rot, per seed: one rotted replica is

@@ -184,6 +184,98 @@ fn bitrot_scrub_run_replays_byte_for_byte() {
     );
 }
 
+/// A cached gear-CDC ingest: dataset bytes are chunked by the gear-CDC
+/// fast path (quad scan + batched fingerprints), every chunk hash is
+/// checked-and-inserted through a chaos-rigged cluster running the
+/// per-node fingerprint cache, and the analytic half runs with the cache
+/// enabled too. Exercises every piece of the hot-path overhaul at once.
+fn cached_gear_metrics(seed: u64) -> SystemMetrics {
+    let net = Network::new(
+        TopologyBuilder::new()
+            .edge_sites(4, 2)
+            .cloud_site(2)
+            .build(),
+        NetworkConfig::paper_testbed(),
+    );
+    let ds = datasets::accelerometer(4, seed);
+    let workload = Workload::from_dataset(&ds, 4, 400, seed as u32);
+    let partition = Partition::new(vec![(0..2).collect(), (2..4).collect()]).expect("valid");
+    let mut metrics = run_system(
+        &net,
+        &workload,
+        &Strategy::Smart(partition),
+        &SystemConfig::with_cache(1 << 12),
+    );
+
+    let mut chaos_net = Network::new(
+        TopologyBuilder::new().edge_site(2).edge_site(2).build(),
+        NetworkConfig::paper_testbed(),
+    );
+    let scenario = ChaosScenario::generate(
+        seed,
+        chaos_net.topology(),
+        &ChaosScenarioConfig {
+            base_loss: 0.1,
+            ..ChaosScenarioConfig::default()
+        },
+    );
+    scenario.rig(&mut chaos_net);
+    let members = chaos_net.topology().edge_nodes();
+    let mut cluster = SimCluster::new(members.clone(), chaos_net, ClusterConfig::default());
+    cluster.enable_fingerprint_cache(2, 8);
+    scenario.apply(&mut cluster);
+
+    // Two passes over the same gear-chunked stream, each chunk routed to
+    // a per-chunk-stable coordinator: the second pass rides the cache.
+    let chunker = ChunkerKind::gear_sized(4096).expect("valid");
+    let stream = ds.file(0, 0, seed as u32, 120);
+    let mut t = SimTime::ZERO;
+    for _rep in 0..2 {
+        for (i, chunk) in chunker.chunk(&stream).iter().enumerate() {
+            let key = Bytes::copy_from_slice(chunk.hash.as_bytes());
+            cluster.submit(
+                t,
+                members[i % members.len()],
+                ClientOp::CheckAndInsert(key.clone(), key),
+            );
+            t += SimDuration::from_millis(40);
+        }
+    }
+    cluster.run();
+    metrics.robustness = RobustnessMetrics::from_sim(&cluster);
+    metrics
+}
+
+/// The determinism contract extends to the whole hot-path overhaul: a
+/// gear-CDC ingest with batched fingerprints and the fingerprint cache
+/// enabled in both halves replays byte-identically, and the cache
+/// actually serves hits in both (else the replay proves nothing new).
+#[test]
+fn cached_gear_cdc_run_replays_byte_for_byte() {
+    let a = cached_gear_metrics(42);
+    let b = cached_gear_metrics(42);
+
+    let json_a = serde_json::to_string(&a).expect("metrics serialize");
+    let json_b = serde_json::to_string(&b).expect("metrics serialize");
+    assert_eq!(json_a, json_b, "serialized cached-gear metrics diverged");
+    assert_eq!(
+        format!("{a:?}"),
+        format!("{b:?}"),
+        "debug rendering diverged across cached gear-CDC runs"
+    );
+
+    assert!(
+        a.cache.hits > 0,
+        "analytic half never hit the cache: {:?}",
+        a.cache
+    );
+    assert!(
+        a.robustness.cache.hits > 0,
+        "sim half never hit the cache: {:?}",
+        a.robustness.cache
+    );
+}
+
 #[test]
 fn different_seeds_change_the_schedule() {
     let a = chaos_metrics(7);

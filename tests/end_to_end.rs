@@ -8,45 +8,56 @@ use efdedup_repro::prelude::*;
 
 #[test]
 fn threaded_ring_dedup_matches_reference_measurement() {
+    // Both chunking engines, same contract: whatever the chunker, the
+    // distributed ring must land on exactly the local reference ratio.
     let dataset = datasets::traffic_video(4, 3);
-    let chunker = FixedChunker::new(dataset.model().chunk_size()).unwrap();
     let streams: Vec<Vec<u8>> = (0..4).map(|s| dataset.file(s, 0, 0, 300)).collect();
 
-    // Reference: joint dedup ratio measured with a local index.
-    let views: Vec<&[u8]> = streams.iter().map(|s| s.as_slice()).collect();
-    let reference = ef_chunking::joint_dedup_ratio(&chunker, &views);
+    for chunker in ChunkerKind::both(dataset.model().chunk_size()).unwrap() {
+        // Reference: joint dedup ratio measured with a local index.
+        let views: Vec<&[u8]> = streams.iter().map(|s| s.as_slice()).collect();
+        let reference = ef_chunking::joint_dedup_ratio(&chunker, &views);
 
-    // System: a 4-node threaded D2-ring deduplicating the same bytes.
-    let members: Vec<NodeId> = (0..4).map(NodeId).collect();
-    let ring = ThreadedCluster::start(members.clone(), ClusterConfig::default());
-    let mut total = 0usize;
-    let mut unique = 0usize;
-    for (node, stream) in streams.iter().enumerate() {
-        for chunk in chunker.chunk(stream) {
-            total += 1;
-            if ring
-                .check_and_insert(
-                    members[node],
-                    chunk.hash.as_bytes(),
-                    Bytes::from_static(&[1]),
-                )
-                .unwrap()
-            {
-                unique += 1;
+        // System: a 4-node threaded D2-ring deduplicating the same bytes.
+        let members: Vec<NodeId> = (0..4).map(NodeId).collect();
+        let ring = ThreadedCluster::start(members.clone(), ClusterConfig::default());
+        // Byte-weighted like the reference: gear-CDC chunks vary in size,
+        // so chunk counts and byte totals are no longer interchangeable.
+        let mut total = 0usize;
+        let mut unique = 0usize;
+        for (node, stream) in streams.iter().enumerate() {
+            for chunk in chunker.chunk(stream) {
+                total += chunk.len();
+                if ring
+                    .check_and_insert(
+                        members[node],
+                        chunk.hash.as_bytes(),
+                        Bytes::from_static(&[1]),
+                    )
+                    .unwrap()
+                {
+                    unique += chunk.len();
+                }
             }
         }
-    }
-    ring.shutdown();
+        ring.shutdown();
 
-    let measured = total as f64 / unique as f64;
-    assert!(
-        (measured - reference).abs() < 1e-9,
-        "ring dedup {measured} != reference {reference}"
-    );
-    assert!(
-        measured > 1.4,
-        "video data should dedup well, got {measured}"
-    );
+        let measured = total as f64 / unique as f64;
+        assert!(
+            (measured - reference).abs() < 1e-9,
+            "{}: ring dedup {measured} != reference {reference}",
+            chunker.label()
+        );
+        // The pool-aligned fixed chunker resolves the video duplicates;
+        // gear-CDC boundaries don't line up with the 4 kB pools, so it
+        // only has to stay sound (ratio >= 1), not match the alignment.
+        let floor = if chunker.label() == "fixed" { 1.4 } else { 1.0 };
+        assert!(
+            measured >= floor,
+            "{}: expected ratio >= {floor}, got {measured}",
+            chunker.label()
+        );
+    }
 }
 
 #[test]

@@ -3,9 +3,11 @@
 //! of the paper would check first.
 
 use efdedup::experiments::{
-    alpha_sweep, cost_comparison, estimation_experiment, ratio_vs_rings, scale_sweep,
-    throughput_vs_nodes, throughput_vs_wan_latency, tradeoff_sweep, DatasetKind, SweepConfig,
+    alpha_sweep, cost_comparison, estimation_experiment, estimation_experiment_with,
+    ratio_vs_rings, scale_sweep, throughput_vs_nodes, throughput_vs_wan_latency, tradeoff_sweep,
+    DatasetKind, SweepConfig,
 };
+use efdedup_repro::chunking::ChunkerKind;
 
 fn quick() -> SweepConfig {
     SweepConfig {
@@ -30,6 +32,28 @@ fn fig2_3_estimation_error_bound() {
             );
         }
         // Warm slots may not be wildly worse than the cold fit.
+        assert!(slots[1].mean_rel_error < slots[0].mean_rel_error + 0.04);
+    }
+}
+
+/// Fig. 2/3 under the gear-CDC fast path: Algorithm 1 fits whatever
+/// ratios the variable-size chunker measures, to the same error bound —
+/// the estimator does not depend on pool-aligned chunk boundaries.
+#[test]
+fn fig2_3_estimation_error_bound_under_gear_cdc() {
+    let chunker = ChunkerKind::gear_sized(4096).unwrap();
+    for kind in [DatasetKind::Accelerometer, DatasetKind::TrafficVideo] {
+        let slots = estimation_experiment_with(kind, &chunker, 3, 400, 11);
+        for s in &slots {
+            assert!(
+                s.mean_rel_error < 0.06,
+                "{} ({}): slot {} error {}",
+                kind.label(),
+                chunker.label(),
+                s.slot,
+                s.mean_rel_error
+            );
+        }
         assert!(slots[1].mean_rel_error < slots[0].mean_rel_error + 0.04);
     }
 }
