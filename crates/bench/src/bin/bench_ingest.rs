@@ -10,12 +10,16 @@
 use ef_bench::{fmt, header, quick_mode};
 use ef_chunking::{fingerprint_batch, Chunker, FixedChunker, GearChunkerBuilder, Sha256};
 use ef_datagen::datasets;
-use ef_kvstore::FingerprintCache;
+use ef_kvstore::{CacheStats, ClusterConfig, Consistency, FingerprintCache, LocalCluster};
+use ef_netsim::NodeId;
 use std::collections::BTreeSet;
 use std::time::Instant;
 
 /// Schema tag checked by the regression test; bump on layout changes.
-const SCHEMA: &str = "efdedup-bench-ingest/v1";
+/// v2: the ingest section measures the ring-backed dedup-check leg over
+/// pre-computed fingerprints (chunking excluded), and the cached side
+/// runs the second-sight admission policy.
+const SCHEMA: &str = "efdedup-bench-ingest/v2";
 
 fn main() {
     let (files_per_source, chunks_per_file, reps) = if quick_mode() {
@@ -104,30 +108,43 @@ fn main() {
         fmt(batch_mbps / scalar_mbps)
     );
 
-    // --- End-to-end ingest: chunk, fingerprint, dedup-check ------------
-    let total_chunks: usize = views.iter().map(|v| gear.chunk(v).len()).sum();
-    let off_secs = best_secs(reps, || ingest(&gear, &views, None));
-    let on_secs = best_secs(reps, || ingest(&gear, &views, Some((8, 1 << 14))));
+    // --- Dedup-check ingest: the agent's ring-index leg ----------------
+    // Chunking is measured above; here pre-computed fingerprints are
+    // streamed through the ring key-value store exactly as the system
+    // runner does — with and without the fingerprint cache in front. The
+    // cached side uses second-sight admission, so one-hit-wonder chunks
+    // never churn the LRU and the common miss costs one bit probe.
+    //
+    // An untimed population pass first ingests the corpus (the write
+    // path is measured by the kvstore benches, not here); the timed
+    // section then replays the corpus for `EPOCHS` rounds — the periodic
+    // re-upload traffic edge dedup exists for, where every fingerprint
+    // is a duplicate the index must confirm. Under second sight the
+    // first replay earns each fingerprint admission and later replays
+    // hit locally.
+    const EPOCHS: usize = 3;
+    let epoch_keys: Vec<[u8; 32]> = views
+        .iter()
+        .flat_map(|v| {
+            gear.chunk(v)
+                .into_iter()
+                .map(|c| *c.hash.as_bytes())
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    let total_chunks = epoch_keys.len() * EPOCHS;
+    let off_secs = best_of(reps, || ingest(&epoch_keys, EPOCHS, false).0);
+    let on_secs = best_of(reps, || ingest(&epoch_keys, EPOCHS, true).0);
     let off_ops = total_chunks as f64 / off_secs;
     let on_ops = total_chunks as f64 / on_secs;
 
     // Hit rate from one counted pass (timing passes discard the cache).
-    let mut cache = FingerprintCache::new(8, 1 << 14);
-    let mut index: BTreeSet<[u8; 32]> = BTreeSet::new();
-    for v in &views {
-        for chunk in gear.chunk(v) {
-            let key = *chunk.hash.as_bytes();
-            if !cache.contains(&key) {
-                index.insert(key);
-                cache.insert(bytes::Bytes::copy_from_slice(&key));
-            }
-        }
-    }
-    let hit_rate = cache.stats().hit_rate();
+    let (_, counted) = ingest(&epoch_keys, EPOCHS, true);
+    let hit_rate = counted.hit_rate();
 
-    println!("\n{:<26} {:>12}", "ingest (chunks/s)", "ops/s");
+    println!("\n{:<26} {:>12}", "re-ingest dedup-check", "ops/s");
     println!("{:<26} {}", "cache off", fmt(off_ops));
-    println!("{:<26} {}", "cache on (8x16k)", fmt(on_ops));
+    println!("{:<26} {}", "cache on (8x16k, 2nd-sight)", fmt(on_ops));
     println!("{:<26} {}", "cache hit rate", fmt(hit_rate));
 
     // --- Dedup ratios: the fast path must not change the answer --------
@@ -153,6 +170,7 @@ fn main() {
          \"gear_chunk_speedup\": {speedup:.3},\n  \
          \"fingerprint_scalar_mbps\": {scalar_mbps:.2},\n  \
          \"fingerprint_batch_mbps\": {batch_mbps:.2},\n  \
+         \"ingest_epochs\": {EPOCHS},\n  \
          \"ingest_cache_off_ops_per_sec\": {off_ops:.1},\n  \
          \"ingest_cache_on_ops_per_sec\": {on_ops:.1},\n  \
          \"ingest_cache_hit_rate\": {hit_rate:.4},\n  \
@@ -178,25 +196,60 @@ fn best_secs<T, F: FnMut() -> T>(reps: usize, mut f: F) -> f64 {
     best
 }
 
-/// One ingest pass: chunk each stream, then per chunk consult the cache
-/// (when enabled) and fall back to the index — the agent's local leg of
-/// check-and-insert.
-fn ingest(gear: &ef_chunking::GearChunker, views: &[&[u8]], cache: Option<(usize, usize)>) {
-    let mut cache = cache.map(|(shards, per_shard)| FingerprintCache::new(shards, per_shard));
-    let mut index: BTreeSet<[u8; 32]> = BTreeSet::new();
-    for v in views {
-        for chunk in gear.chunk(v) {
-            let key = *chunk.hash.as_bytes();
+/// One ingest experiment: an untimed population pass pushes the corpus
+/// fingerprints through the ring key-value store, then `epochs` timed
+/// replay rounds drive the dedup-check leg — per fingerprint consult
+/// the cache (when enabled) and fall back to the ring, exactly as the
+/// system runner does. Returns the timed-section seconds and the cache
+/// counters of the whole run.
+fn ingest(epoch_keys: &[[u8; 32]], epochs: usize, cached: bool) -> (f64, CacheStats) {
+    let members: Vec<NodeId> = (0..4).map(NodeId).collect();
+    let mut cluster = LocalCluster::new(
+        members.clone(),
+        ClusterConfig {
+            replication_factor: 2,
+            consistency: Consistency::One,
+            ..ClusterConfig::default()
+        },
+    );
+    let mut cache = cached.then(|| FingerprintCache::new(8, 1 << 14).with_second_sight());
+    let mut round = |keys: &[[u8; 32]], cluster: &mut LocalCluster| {
+        let mut checked = 0usize;
+        for key in keys {
             if let Some(cache) = cache.as_mut() {
-                if cache.contains(&key) {
-                    continue;
+                if cache.contains(key) {
+                    continue; // duplicate confirmed locally, no ring trip
                 }
-                cache.insert(bytes::Bytes::copy_from_slice(&key));
             }
-            index.insert(key);
+            checked += 1;
+            cluster
+                .check_and_insert(members[0], key, bytes::Bytes::from_static(&[1]))
+                .expect("instant-delivery cluster cannot fail");
+            if let Some(cache) = cache.as_mut() {
+                cache.insert(bytes::Bytes::copy_from_slice(key));
+            }
         }
+        checked
+    };
+    round(epoch_keys, &mut cluster); // population (untimed)
+    let start = Instant::now();
+    let mut checked = 0usize;
+    for _ in 0..epochs {
+        checked += round(epoch_keys, &mut cluster);
     }
-    std::hint::black_box(index.len());
+    let secs = start.elapsed().as_secs_f64();
+    std::hint::black_box(checked);
+    (secs, cache.map(|c| c.stats()).unwrap_or_default())
+}
+
+/// Best (minimum) of `reps` values returned by `f`, after one warm-up.
+fn best_of<F: FnMut() -> f64>(reps: usize, mut f: F) -> f64 {
+    f();
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        best = best.min(f());
+    }
+    best
 }
 
 /// Joint dedup ratio through the *seed* (reference) gear pipeline.

@@ -45,6 +45,12 @@ pub struct SystemConfig {
     /// domains and mirrors the concurrent layout a real agent would use).
     #[serde(default = "default_cache_shards")]
     pub cache_shards: usize,
+    /// Second-sight cache admission: fingerprints enter the cache only on
+    /// their second sighting, shielding warm entries from one-hit-wonder
+    /// churn. Ignored when the cache is disabled; off by default so
+    /// earlier cached runs stay comparable.
+    #[serde(default)]
+    pub cache_second_sight: bool,
 }
 
 fn default_cache_shards() -> usize {
@@ -66,6 +72,7 @@ impl SystemConfig {
             upload_streams: 4,
             cache_capacity: 0,
             cache_shards: default_cache_shards(),
+            cache_second_sight: false,
         }
     }
 

@@ -76,6 +76,11 @@ pub struct RobustnessMetrics {
     /// (all zero when the cache was not enabled).
     #[serde(default)]
     pub cache: ef_kvstore::CacheStats,
+    /// Gray-failure mitigation counters: hedged lookups, load shedding,
+    /// queue pressure and adaptive-timeout activity (all zero when the
+    /// mitigations were not enabled).
+    #[serde(default)]
+    pub gray: ef_kvstore::GrayFailureStats,
 }
 
 impl RobustnessMetrics {
@@ -104,14 +109,25 @@ impl RobustnessMetrics {
                 .unwrap_or(0),
             integrity: cluster.integrity(),
             cache: cluster.cache_stats(),
+            gray: cluster.gray_stats(),
         }
     }
 
     /// True when the run saw no fault-handling activity at all. Cache
-    /// traffic is not fault activity, so it is ignored here.
+    /// traffic is not fault activity, so it is ignored here; likewise
+    /// the passive gray-failure observation counters (RTT samples,
+    /// adapted timers, queue high-water mark), which accrue on every op
+    /// once the mitigations are enabled even when nothing is wrong.
+    /// Active mitigation — hedges, sheds, gray marks — is not quiet.
     pub fn is_quiet(&self) -> bool {
         RobustnessMetrics {
             cache: ef_kvstore::CacheStats::default(),
+            gray: ef_kvstore::GrayFailureStats {
+                rtt_samples: 0,
+                rto_adaptations: 0,
+                queue_peak: 0,
+                ..self.gray
+            },
             ..*self
         } == RobustnessMetrics::default()
     }
@@ -205,10 +221,20 @@ mod tests {
                 misses: 5,
                 evictions: 1,
                 insertions: 5,
+                ..ef_kvstore::CacheStats::default()
             },
             ..RobustnessMetrics::default()
         };
         assert!(r.is_quiet());
+        // Passive gray observation is not fault activity either...
+        r.gray.rtt_samples = 40;
+        r.gray.rto_adaptations = 12;
+        r.gray.queue_peak = 3;
+        assert!(r.is_quiet());
+        // ...but active mitigation is.
+        r.gray.hedges_fired = 1;
+        assert!(!r.is_quiet());
+        r.gray.hedges_fired = 0;
         r.index_timeouts = 1;
         assert!(!r.is_quiet());
     }

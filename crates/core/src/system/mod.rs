@@ -28,7 +28,7 @@ mod run;
 mod workload;
 
 pub use config::SystemConfig;
-pub use ef_kvstore::CacheStats;
+pub use ef_kvstore::{CacheStats, GrayFailureStats};
 pub use metrics::{NodeMetrics, RobustnessMetrics, SystemMetrics};
 pub use run::{run_system, Strategy};
 pub use workload::Workload;

@@ -44,6 +44,10 @@ pub struct CacheStats {
     /// Entries inserted (first sight of a fingerprint on this node).
     #[serde(default)]
     pub insertions: u64,
+    /// Insertions deferred by the second-sight admission policy (always
+    /// zero when the policy is off).
+    #[serde(default)]
+    pub deferred: u64,
 }
 
 impl CacheStats {
@@ -63,6 +67,87 @@ impl CacheStats {
         self.misses += other.misses;
         self.evictions += other.evictions;
         self.insertions += other.insertions;
+        self.deferred += other.deferred;
+    }
+}
+
+/// The second-sight admission filter: two deterministic bitmaps over
+/// [`key_token`] values.
+///
+/// * `seen` records fingerprints sighted once — an insert whose token is
+///   not yet in `seen` just sets the bit and defers admission, so
+///   one-hit-wonder fingerprints (the overwhelming majority under low
+///   dedup ratios) never pay LRU bookkeeping or evict a proven-warm
+///   entry.
+/// * `present` is a one-sided membership filter over the admitted
+///   entries: a clear bit proves the fingerprint is not cached, letting
+///   [`FingerprintCache::contains`] reject the common miss with one hash
+///   and one bit probe instead of a `BTreeMap` descent.
+///
+/// Token collisions only ever *admit early* (a `seen` false positive) or
+/// *probe further* (a stale `present` bit after eviction) — the map of
+/// real entries stays the sole authority on hits, so the one-sided
+/// soundness argument of the cache is untouched. `seen` is wiped once a
+/// quarter of its bits could be set, bounding its false-positive rate.
+#[derive(Debug, Clone)]
+struct SecondSight {
+    seen: Vec<u64>,
+    present: Vec<u64>,
+    mask: u64,
+    deferred_since_reset: u64,
+    reset_threshold: u64,
+}
+
+impl SecondSight {
+    fn new(capacity: usize) -> Self {
+        // 8 bits per cache slot keeps both filters sparse at full load.
+        let bits = (capacity.saturating_mul(8)).next_power_of_two().max(1024);
+        SecondSight {
+            seen: vec![0; bits / 64],
+            present: vec![0; bits / 64],
+            mask: bits as u64 - 1,
+            deferred_since_reset: 0,
+            reset_threshold: bits as u64 / 4,
+        }
+    }
+
+    fn slot(&self, token: u64) -> (usize, u64) {
+        let bit = token & self.mask;
+        ((bit / 64) as usize, 1u64 << (bit % 64))
+    }
+
+    fn maybe_present(&self, token: u64) -> bool {
+        let (word, bit) = self.slot(token);
+        self.present[word] & bit != 0
+    }
+
+    fn mark_present(&mut self, token: u64) {
+        let (word, bit) = self.slot(token);
+        self.present[word] |= bit;
+    }
+
+    /// Records a sighting; true when the token was already seen (the
+    /// fingerprint has earned admission).
+    fn sight(&mut self, token: u64) -> bool {
+        let (word, bit) = self.slot(token);
+        if self.seen[word] & bit != 0 {
+            return true;
+        }
+        if self.deferred_since_reset >= self.reset_threshold {
+            // Wipe before recording so the newest sighting survives the
+            // reset; bounds the filter's false-positive rate at ~25%.
+            self.seen.fill(0);
+            self.deferred_since_reset = 0;
+        }
+        self.seen[word] |= bit;
+        self.deferred_since_reset += 1;
+        false
+    }
+
+    fn clear(&mut self) {
+        self.seen.fill(0);
+        self.present.fill(0);
+        self.deferred_since_reset = 0;
     }
 }
 
@@ -98,6 +183,7 @@ pub struct FingerprintCache {
     per_shard_capacity: usize,
     next_seq: u64,
     stats: CacheStats,
+    second_sight: Option<SecondSight>,
 }
 
 impl FingerprintCache {
@@ -109,7 +195,27 @@ impl FingerprintCache {
             per_shard_capacity: per_shard_capacity.max(1),
             next_seq: 0,
             stats: CacheStats::default(),
+            second_sight: None,
         }
+    }
+
+    /// Enables the second-sight admission policy: a fingerprint is only
+    /// admitted into the LRU on its *second* insert — the first sighting
+    /// sets a bit in a deterministic filter and defers. One-hit-wonder
+    /// fingerprints (most chunks, at realistic dedup ratios) then never
+    /// churn the LRU or evict a proven-warm entry, and the common miss
+    /// is rejected by a bit probe instead of a map descent. Off by
+    /// default; hit answers remain exactly as sound either way, because
+    /// only the real entry map ever answers "duplicate".
+    #[must_use]
+    pub fn with_second_sight(mut self) -> Self {
+        self.second_sight = Some(SecondSight::new(self.capacity()));
+        self
+    }
+
+    /// True when the second-sight admission policy is active.
+    pub fn second_sight_enabled(&self) -> bool {
+        self.second_sight.is_some()
     }
 
     /// Total capacity across all shards.
@@ -140,6 +246,14 @@ impl FingerprintCache {
     /// a hit. A `true` answer means the fingerprint was durably indexed
     /// when it was inserted — i.e. the chunk is a duplicate.
     pub fn contains(&mut self, key: &[u8]) -> bool {
+        if let Some(filter) = &self.second_sight {
+            // A clear `present` bit proves the key was never admitted:
+            // reject the common miss with one hash and one bit probe.
+            if !filter.maybe_present(key_token(key)) {
+                self.stats.misses += 1;
+                return false;
+            }
+        }
         let seq = self.bump_seq();
         let shard = self.shard_index(key);
         let shard = &mut self.shards[shard];
@@ -164,6 +278,19 @@ impl FingerprintCache {
     /// recently used entry of its shard when the shard is full. Re-inserting
     /// an existing key only refreshes its recency.
     pub fn insert(&mut self, key: Bytes) {
+        if let Some(filter) = &mut self.second_sight {
+            let token = key_token(&key);
+            // Tokens of already-admitted keys fall through to the
+            // refresh path below; fresh tokens must earn a second
+            // sighting before paying LRU bookkeeping.
+            if !filter.maybe_present(token) {
+                if !filter.sight(token) {
+                    self.stats.deferred += 1;
+                    return;
+                }
+                filter.mark_present(token);
+            }
+        }
         let seq = self.bump_seq();
         let capacity = self.per_shard_capacity;
         let shard = self.shard_index(&key);
@@ -193,6 +320,9 @@ impl FingerprintCache {
         for shard in &mut self.shards {
             shard.entries.clear();
             shard.order.clear();
+        }
+        if let Some(filter) = &mut self.second_sight {
+            filter.clear();
         }
     }
 
@@ -278,6 +408,67 @@ mod tests {
     fn zero_dimensions_clamp() {
         let cache = FingerprintCache::new(0, 0);
         assert_eq!(cache.capacity(), 1);
+    }
+
+    #[test]
+    fn second_sight_defers_first_sighting_and_admits_second() {
+        let mut cache = FingerprintCache::new(1, 8).with_second_sight();
+        assert!(cache.second_sight_enabled());
+        assert!(!cache.contains(&key(1)));
+        cache.insert(key(1)); // first sighting: deferred
+        assert!(!cache.contains(&key(1)));
+        assert_eq!(cache.len(), 0);
+        assert_eq!(cache.stats().deferred, 1);
+        assert_eq!(cache.stats().insertions, 0);
+        cache.insert(key(1)); // second sighting: admitted
+        assert!(cache.contains(&key(1)));
+        assert_eq!(cache.stats().insertions, 1);
+        assert_eq!(cache.stats().deferred, 1);
+    }
+
+    #[test]
+    fn second_sight_shields_warm_entries_from_one_hit_wonders() {
+        let mut cache = FingerprintCache::new(1, 8).with_second_sight();
+        cache.insert(key(1));
+        cache.insert(key(1)); // proven warm, admitted
+
+        // A scan of single-sighted fingerprints defers instead of
+        // churning the LRU (token collisions may admit a few early, but
+        // a tiny cache cannot be flushed by a scan of one-hit wonders).
+        for i in 100..200u32 {
+            cache.insert(key(i));
+        }
+        assert!(cache.contains(&key(1)), "warm entry evicted by scan");
+        assert_eq!(cache.stats().evictions, 0);
+        assert!(cache.stats().deferred >= 90, "{:?}", cache.stats());
+    }
+
+    #[test]
+    fn second_sight_never_invents_hits() {
+        let mut cache = FingerprintCache::new(4, 16).with_second_sight();
+        for i in 0..500u32 {
+            cache.insert(key(i)); // each fingerprint sighted once
+        }
+        // Whatever the admission filter believes, only the real entry
+        // map answers lookups: a never-inserted key can never hit.
+        for i in 500..1000u32 {
+            assert!(!cache.contains(&key(i)), "never-inserted key {i} hit");
+        }
+    }
+
+    #[test]
+    fn second_sight_clears_with_the_cache() {
+        let mut cache = FingerprintCache::new(2, 8).with_second_sight();
+        cache.insert(key(7));
+        cache.insert(key(7));
+        assert!(cache.contains(&key(7)));
+        cache.clear();
+        assert!(!cache.contains(&key(7)));
+        // The filter reset too: re-learning starts from a deferral.
+        cache.insert(key(7));
+        assert!(!cache.contains(&key(7)));
+        cache.insert(key(7));
+        assert!(cache.contains(&key(7)));
     }
 
     #[test]

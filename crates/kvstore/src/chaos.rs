@@ -58,6 +58,21 @@ pub struct ChaosScenarioConfig {
     /// whole run (0 disables). Corrupted frames fail their checksum at
     /// the receiver and are rejected, never silently accepted.
     pub wire_rot: f64,
+    /// Fail-slow (gray-failure) windows to schedule: each picks an edge
+    /// node whose outbound service rate is divided by a drawn factor for
+    /// the window — the node stays up and answers, just slowly.
+    pub slow_nodes: usize,
+    /// Fail-slow storage windows to schedule: each picks an edge node
+    /// whose WAL fsyncs and snapshot writes stall by a drawn factor for
+    /// the window, delaying its replies without dropping anything.
+    pub storage_stalls: usize,
+    /// Congested-link windows to schedule: each picks a distinct edge
+    /// site pair whose effective bandwidth is divided by a drawn factor
+    /// (skipped when the topology has fewer than two edge sites).
+    pub congestions: usize,
+    /// Upper bound for every fail-slow factor draw (service, stall, and
+    /// bandwidth); factors land in `[1, max_slow_factor]`.
+    pub max_slow_factor: f64,
 }
 
 impl Default for ChaosScenarioConfig {
@@ -76,6 +91,10 @@ impl Default for ChaosScenarioConfig {
             max_burst_loss: 0.4,
             storage_rots: 0,
             wire_rot: 0.0,
+            slow_nodes: 0,
+            storage_stalls: 0,
+            congestions: 0,
+            max_slow_factor: 4.0,
         }
     }
 }
@@ -150,6 +169,46 @@ pub enum ChaosEvent {
         node: NodeId,
         /// Seed for the flip positions.
         rot_seed: u64,
+    },
+    /// `node` fails slow in `[from, until)`: its outbound service rate
+    /// is divided by `service_factor` while it keeps answering — the
+    /// gray failure that liveness detectors built on silence never see.
+    SlowNode {
+        /// Window start.
+        from: SimTime,
+        /// Window end.
+        until: SimTime,
+        /// The gray node.
+        node: NodeId,
+        /// Service-time multiplier (≥ 1).
+        service_factor: f64,
+    },
+    /// `node`'s storage stalls in `[from, until)`: WAL fsyncs and
+    /// snapshot writes take `stall_factor` times longer, delaying its
+    /// replies without losing durability.
+    StorageStall {
+        /// Window start.
+        from: SimTime,
+        /// Window end.
+        until: SimTime,
+        /// The stalled node.
+        node: NodeId,
+        /// Storage-latency multiplier (≥ 1).
+        stall_factor: f64,
+    },
+    /// The `a`↔`b` links are congested in `[from, until)`: effective
+    /// bandwidth is divided by `bandwidth_factor` in both directions.
+    Congestion {
+        /// Window start.
+        from: SimTime,
+        /// Window end.
+        until: SimTime,
+        /// One congested site.
+        a: SiteId,
+        /// The other site.
+        b: SiteId,
+        /// Bandwidth divisor (≥ 1).
+        bandwidth_factor: f64,
     },
 }
 
@@ -271,6 +330,58 @@ impl ChaosScenario {
             events.push(ChaosEvent::StorageRot { at, node, rot_seed });
         }
 
+        // Gray-failure draws come after every pre-existing draw (the
+        // same append-only discipline as storage rot above), so turning
+        // the fail-slow knobs on extends a scenario without reshuffling
+        // the crash/partition/loss/rot schedule.
+        let factor_span = (config.max_slow_factor - 1.0).max(0.0);
+        for _ in 0..config.slow_nodes {
+            let node = edge[pick(&mut rng, edge.len())];
+            // Slow down in the first half and stay gray 20–60% of the
+            // window: long enough for RTT estimators to adapt and for
+            // hedges to fire while the workload is still running.
+            let from = SimTime::ZERO + dur * (rng.unit() * 0.5);
+            let until = from + dur * (0.2 + rng.unit() * 0.4);
+            let service_factor = 1.0 + rng.unit() * factor_span;
+            events.push(ChaosEvent::SlowNode {
+                from,
+                until,
+                node,
+                service_factor,
+            });
+        }
+        for _ in 0..config.storage_stalls {
+            let node = edge[pick(&mut rng, edge.len())];
+            let from = SimTime::ZERO + dur * (rng.unit() * 0.5);
+            let until = from + dur * (0.1 + rng.unit() * 0.3);
+            let stall_factor = 1.0 + rng.unit() * factor_span;
+            events.push(ChaosEvent::StorageStall {
+                from,
+                until,
+                node,
+                stall_factor,
+            });
+        }
+        if sites.len() >= 2 {
+            for _ in 0..config.congestions {
+                let i = pick(&mut rng, sites.len());
+                let mut j = pick(&mut rng, sites.len() - 1);
+                if j >= i {
+                    j += 1;
+                }
+                let from = SimTime::ZERO + dur * (rng.unit() * 0.6);
+                let until = from + dur * (0.1 + rng.unit() * 0.3);
+                let bandwidth_factor = 1.0 + rng.unit() * factor_span;
+                events.push(ChaosEvent::Congestion {
+                    from,
+                    until,
+                    a: sites[i],
+                    b: sites[j],
+                    bandwidth_factor,
+                });
+            }
+        }
+
         ChaosScenario {
             seed,
             config: *config,
@@ -316,12 +427,30 @@ impl ChaosScenario {
                 } => {
                     plan = plan.loss_window(FaultScope::All, probability, from, until);
                 }
+                ChaosEvent::SlowNode {
+                    from,
+                    until,
+                    node,
+                    service_factor,
+                } => {
+                    plan = plan.slow_node(node, service_factor, from, until);
+                }
+                ChaosEvent::Congestion {
+                    from,
+                    until,
+                    a,
+                    b,
+                    bandwidth_factor,
+                } => {
+                    plan = plan.throttle(FaultScope::SitePair(a, b), bandwidth_factor, from, until);
+                }
                 ChaosEvent::Crash { .. }
                 | ChaosEvent::Revive { .. }
                 | ChaosEvent::CrashStop { .. }
                 | ChaosEvent::Restart { .. }
                 | ChaosEvent::Depart { .. }
-                | ChaosEvent::StorageRot { .. } => {}
+                | ChaosEvent::StorageRot { .. }
+                | ChaosEvent::StorageStall { .. } => {}
             }
         }
         plan
@@ -346,7 +475,21 @@ impl ChaosScenario {
                 ChaosEvent::StorageRot { at, node, rot_seed } => {
                     cluster.storage_rot_at(at, node, rot_seed);
                 }
-                ChaosEvent::Partition { .. } | ChaosEvent::LossBurst { .. } => {}
+                ChaosEvent::StorageStall {
+                    from,
+                    until,
+                    node,
+                    stall_factor,
+                } => {
+                    cluster.storage_stall_at(from, until, node, stall_factor);
+                }
+                // Slow nodes and congested links live entirely in the
+                // network's fault plan; the cluster only ever observes
+                // them through stretched RTTs.
+                ChaosEvent::Partition { .. }
+                | ChaosEvent::LossBurst { .. }
+                | ChaosEvent::SlowNode { .. }
+                | ChaosEvent::Congestion { .. } => {}
             }
         }
     }
@@ -526,6 +669,9 @@ mod tests {
                 + 2 * cfg.crash_stops
                 + cfg.departures
                 + cfg.storage_rots
+                + cfg.slow_nodes
+                + cfg.storage_stalls
+                + cfg.congestions
         );
     }
 
@@ -586,6 +732,98 @@ mod tests {
         assert_eq!(
             extended.events().len(),
             plain.events().len() + rotted.storage_rots
+        );
+    }
+
+    #[test]
+    fn adding_slow_faults_leaves_the_existing_schedule_untouched() {
+        // Same append-only discipline as storage rot: the gray-failure
+        // draws run after every pre-existing draw, so turning them on
+        // extends a scenario without reshuffling it.
+        let net = testbed();
+        let base = ChaosScenarioConfig {
+            storage_rots: 2,
+            ..ChaosScenarioConfig::default()
+        };
+        let grayed = ChaosScenarioConfig {
+            slow_nodes: 2,
+            storage_stalls: 1,
+            congestions: 1,
+            max_slow_factor: 6.0,
+            ..base
+        };
+        let plain = ChaosScenario::generate(17, net.topology(), &base);
+        let extended = ChaosScenario::generate(17, net.topology(), &grayed);
+        assert_eq!(
+            &extended.events()[..plain.events().len()],
+            plain.events(),
+            "gray-failure knobs reshuffled the pre-existing schedule"
+        );
+        assert_eq!(
+            extended.events().len(),
+            plain.events().len() + grayed.slow_nodes + grayed.storage_stalls + grayed.congestions
+        );
+    }
+
+    #[test]
+    fn slow_events_reach_the_fault_plan() {
+        let net = testbed();
+        let cfg = ChaosScenarioConfig {
+            crashes: 0,
+            partitions: 0,
+            loss_bursts: 0,
+            base_loss: 0.0,
+            slow_nodes: 1,
+            congestions: 1,
+            storage_stalls: 1,
+            max_slow_factor: 6.0,
+            ..ChaosScenarioConfig::default()
+        };
+        let s = ChaosScenario::generate(8, net.topology(), &cfg);
+        assert_eq!(s.events().len(), 3);
+        let Some(&ChaosEvent::SlowNode {
+            from,
+            until,
+            node,
+            service_factor,
+        }) = s
+            .events()
+            .iter()
+            .find(|e| matches!(e, ChaosEvent::SlowNode { .. }))
+        else {
+            panic!("expected a slow-node event");
+        };
+        assert!(from < until);
+        assert!((1.0..=cfg.max_slow_factor).contains(&service_factor));
+        let plan = s.fault_plan();
+        // The slow window is visible to the gray-node oracle for its
+        // whole duration and nowhere outside it.
+        let mid = from + (until - from) * 0.5;
+        assert!(plan.is_slow_at(node, mid));
+        assert!(!plan.is_slow_at(node, until));
+        let Some(&ChaosEvent::Congestion {
+            from: c_from,
+            a,
+            b,
+            bandwidth_factor,
+            ..
+        }) = s
+            .events()
+            .iter()
+            .find(|e| matches!(e, ChaosEvent::Congestion { .. }))
+        else {
+            panic!("expected a congestion event");
+        };
+        assert_ne!(a, b, "congestion must pick distinct sites");
+        assert!((1.0..=cfg.max_slow_factor).contains(&bandwidth_factor));
+        // The throttle reaches the plan: a message between the congested
+        // sites during the window sees a stretched service factor.
+        let mut plan = plan;
+        let nodes = net.topology().edge_nodes();
+        let got = plan.service_factor(c_from, nodes[0], nodes[1], a, b);
+        assert!(
+            (got - bandwidth_factor).abs() < 1e-12 || got > bandwidth_factor,
+            "throttle factor {bandwidth_factor} not applied: {got}"
         );
     }
 

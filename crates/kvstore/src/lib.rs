@@ -46,6 +46,7 @@ mod cache;
 mod chaos;
 mod cluster;
 mod failure;
+mod gray;
 mod integrity;
 mod msg;
 mod node;
@@ -60,6 +61,7 @@ pub use cache::{CacheStats, FingerprintCache};
 pub use chaos::{nth_op_id, ChaosEvent, ChaosScenario, ChaosScenarioConfig};
 pub use cluster::{ClusterConfig, ClusterError, LocalCluster};
 pub use failure::{HeartbeatDetector, Liveness, Sweep};
+pub use gray::{AdaptiveTimeouts, GrayFailureStats, RttEstimator};
 pub use integrity::{checksum64, Checksum64, IntegrityError, IntegrityStats};
 pub use msg::{ClientOp, Completion, Message, OpId, OpResult, Outbound};
 pub use node::{Consistency, NodeState};

@@ -88,6 +88,11 @@ struct Pending {
     /// Set once the op lost its read phase to unavailability or timeout
     /// and fell back to "assume unique".
     degraded: bool,
+    /// The backup replica a speculative hedge read was sent to, if one
+    /// fired. Hedge responses are handled out of band: a `Some` value
+    /// soundly completes the read phase early; a "not found" teaches
+    /// nothing (the backup may simply not hold the key) and is ignored.
+    hedge: Option<NodeId>,
 }
 
 /// Post-completion read-repair bookkeeping: late responses still arrive
@@ -127,6 +132,9 @@ pub struct NodeState {
     retries: u64,
     /// Check-and-inserts that completed degraded (diagnostics).
     degraded_ops: u64,
+    /// Hedged reads whose backup response completed the op first
+    /// (diagnostics).
+    hedges_won: u64,
     /// The node's durable write-ahead log (survives crash-stops).
     wal: WriteAheadLog,
     /// WAL records replayed at the last [`NodeState::recover`].
@@ -168,6 +176,7 @@ impl NodeState {
             timeouts: 0,
             retries: 0,
             degraded_ops: 0,
+            hedges_won: 0,
             wal: WriteAheadLog::new(config.wal_snapshot_every),
             wal_records_replayed: 0,
             rereplicated: 0,
@@ -254,6 +263,21 @@ impl NodeState {
     /// Check-and-inserts that completed degraded (diagnostics).
     pub fn degraded_ops(&self) -> u64 {
         self.degraded_ops
+    }
+
+    /// Hedged reads whose backup response completed the op first
+    /// (diagnostics).
+    pub fn hedges_won(&self) -> u64 {
+        self.hedges_won
+    }
+
+    /// The peers a pending op is still waiting on, in id order. Empty
+    /// for unknown/completed ops.
+    pub fn outstanding_peers(&self, op_id: OpId) -> Vec<NodeId> {
+        self.pending
+            .get(&op_id)
+            .map(|p| p.outstanding.iter().copied().collect())
+            .unwrap_or_default()
     }
 
     /// The node's write-ahead log (diagnostics).
@@ -514,6 +538,7 @@ impl NodeState {
             answered_none: Vec::new(),
             payload,
             degraded: false,
+            hedge: None,
         };
         let mut outbound = Vec::new();
 
@@ -695,6 +720,10 @@ impl NodeState {
         pending.value = None;
         pending.answered_none.clear();
         pending.outstanding.clear();
+        // The read phase is over: a straggling hedge response must not
+        // complete the write phase (it would flip an already-degraded
+        // "assume unique" into a late duplicate verdict mid-write).
+        pending.hedge = None;
         let replicas = self.ring.replicas(&pending.key, self.replication_factor);
         pending.required = self
             .consistency
@@ -783,6 +812,51 @@ impl NodeState {
             self.retries += 1;
         }
         out
+    }
+
+    /// Fires a speculative hedged read for a pending read-phase op: pick
+    /// the next ring successor *beyond* the primary replica set (the node
+    /// anti-entropy and re-replication would promote first) and send it
+    /// the same `ReplicaRead`, without adding it to the outstanding set —
+    /// its answer never counts toward the consistency quorum. A `Some`
+    /// response proves the key is durably stored and soundly completes
+    /// the op as a duplicate/value; a "not found" from the backup (which
+    /// may simply not hold the key) is discarded, so hedging can never
+    /// manufacture a false unique, let alone a false duplicate.
+    ///
+    /// At most one hedge fires per op. Peers in `avoid` (down, slow/gray,
+    /// or already-contacted nodes) are skipped. Returns the hedge request
+    /// to send, or `None` when the op is unknown, not in a read phase,
+    /// already hedged, or no eligible backup exists.
+    pub fn hedge(&mut self, op_id: OpId, avoid: &BTreeSet<NodeId>) -> Option<Outbound> {
+        let p = self.pending.get_mut(&op_id)?;
+        if !matches!(p.kind, OpKind::Read | OpKind::CaiRead) || p.hedge.is_some() {
+            return None;
+        }
+        let primaries: BTreeSet<NodeId> = self
+            .ring
+            .replicas(&p.key, self.replication_factor)
+            .into_iter()
+            .collect();
+        let target = self
+            .ring
+            .replicas(&p.key, self.replication_factor + 2)
+            .into_iter()
+            .find(|n| {
+                !primaries.contains(n)
+                    && *n != self.id
+                    && !self.down.contains(n)
+                    && !avoid.contains(n)
+                    && !p.outstanding.contains(n)
+            })?;
+        p.hedge = Some(target);
+        Some(Outbound {
+            to: target,
+            msg: Message::ReplicaRead {
+                op_id,
+                key: p.key.clone(),
+            },
+        })
     }
 
     /// Gives up on a pending op after its retry budget is exhausted.
@@ -922,6 +996,28 @@ impl NodeState {
         read_value: Option<Option<Bytes>>,
     ) -> (Vec<Outbound>, Option<Completion>) {
         if let Some(mut pending) = self.pending.remove(&op_id) {
+            if pending.hedge == Some(from) && !pending.outstanding.contains(&from) {
+                // Response from the hedge backup, which never joins the
+                // quorum. Only a positive sighting completes the op: the
+                // backup proving it holds the key is sound evidence of a
+                // duplicate, while "not found" teaches nothing (the
+                // backup may simply never have been written).
+                if matches!(pending.kind, OpKind::Read | OpKind::CaiRead) {
+                    if let Some(Some(value)) = read_value {
+                        self.hedges_won += 1;
+                        let result = match pending.kind {
+                            OpKind::Read => OpResult::Value(Some(value)),
+                            _ => OpResult::Dedup {
+                                unique: false,
+                                degraded: false,
+                            },
+                        };
+                        return (Vec::new(), Some(Completion { op_id, result }));
+                    }
+                }
+                self.pending.insert(op_id, pending);
+                return (Vec::new(), None);
+            }
             if !pending.outstanding.remove(&from) {
                 // Duplicate or stray ack; put the op back untouched.
                 self.pending.insert(op_id, pending);

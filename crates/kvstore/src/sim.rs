@@ -12,6 +12,7 @@
 use crate::cache::{CacheStats, FingerprintCache};
 use crate::cluster::ClusterConfig;
 use crate::failure::HeartbeatDetector;
+use crate::gray::{AdaptiveTimeouts, GrayFailureStats};
 use crate::integrity::IntegrityStats;
 use crate::msg::{ClientOp, Message, OpId, OpResult, Outbound};
 use crate::node::NodeState;
@@ -84,6 +85,15 @@ enum Event {
     /// Retransmission timer for a coordinated op: retry its outstanding
     /// requests, or time the op out once the budget is spent.
     Rto { op_id: OpId, attempt: u32 },
+    /// Hedge timer for a coordinated read-phase op: if still pending,
+    /// fire one speculative probe at a backup replica.
+    Hedge { op_id: OpId },
+    /// A fail-slow node's stretched fsync completes: release the acks it
+    /// was holding back.
+    Flush {
+        from: NodeId,
+        outbound: Vec<Outbound>,
+    },
 }
 
 /// Counters from the crash-recovery pipeline: WAL replay, anti-entropy
@@ -194,6 +204,27 @@ pub struct SimCluster {
     /// Keys of in-flight check-and-insert ops awaiting cache population.
     /// Keyed lookups only — never iterated, so the HashMap is safe.
     cache_keys: HashMap<OpId, Bytes>,
+    /// Adaptive per-peer RTO estimators (None until enabled).
+    adaptive: Option<AdaptiveTimeouts>,
+    /// Hedged-read budget: max speculative probes per run (None = off).
+    hedging: Option<u64>,
+    /// Admission-control bound on a coordinator's pending ops (None =
+    /// off).
+    admission: Option<usize>,
+    /// Uplink-backpressure threshold for background work (None = off).
+    backpressure: Option<SimDuration>,
+    /// Smoothed-RTT threshold marking a peer slow/gray (None = off).
+    slow_watch: Option<SimDuration>,
+    /// Currently slow-marked (observer, peer) edges.
+    slow: BTreeSet<(NodeId, NodeId)>,
+    /// Registered fail-slow storage stalls: (from, until, node, factor).
+    stalls: Vec<(SimTime, SimTime, NodeId, f64)>,
+    /// First-transmission stamps for in-flight (op, peer) request edges.
+    /// Keyed lookups only — never iterated, so the HashMap is safe.
+    sent_at: HashMap<(OpId, NodeId), SimTime>,
+    /// Driver-level gray-failure counters (node-held hedge wins are
+    /// folded in by `gray_stats`, or here when a node dies).
+    gray_acc: GrayFailureStats,
 }
 
 impl SimCluster {
@@ -255,6 +286,15 @@ impl SimCluster {
             dead_submissions: 0,
             caches: None,
             cache_keys: HashMap::new(),
+            adaptive: None,
+            hedging: None,
+            admission: None,
+            backpressure: None,
+            slow_watch: None,
+            slow: BTreeSet::new(),
+            stalls: Vec::new(),
+            sent_at: HashMap::new(),
+            gray_acc: GrayFailureStats::default(),
         }
     }
 
@@ -266,6 +306,25 @@ impl SimCluster {
             self.nodes
                 .keys()
                 .map(|id| (*id, FingerprintCache::new(shards, per_shard_capacity)))
+                .collect(),
+        );
+    }
+
+    /// [`SimCluster::enable_fingerprint_cache`] with the second-sight
+    /// admission policy: fingerprints enter a coordinator's cache only on
+    /// their second sighting, so one-hit-wonder chunks never churn the
+    /// LRU. Verdicts are unchanged either way — admission only moves the
+    /// hit/miss split, never the soundness of a hit.
+    pub fn enable_second_sight_cache(&mut self, shards: usize, per_shard_capacity: usize) {
+        self.caches = Some(
+            self.nodes
+                .keys()
+                .map(|id| {
+                    (
+                        *id,
+                        FingerprintCache::new(shards, per_shard_capacity).with_second_sight(),
+                    )
+                })
                 .collect(),
         );
     }
@@ -433,6 +492,109 @@ impl SimCluster {
             .schedule_at(at, Event::StorageRot { node, rot_seed });
     }
 
+    /// Registers a fail-slow storage stall at `node` over `[from, until)`:
+    /// the node's fsyncs crawl by `stall_factor`, so its acks to replica
+    /// writes and hint replays leave late and its scrub rounds cover
+    /// proportionally fewer bytes. The node stays up and its data stays
+    /// correct — the gray middle ground between healthy and crashed that
+    /// binary failure detectors cannot see.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `stall_factor < 1.0` or the window is empty.
+    pub fn storage_stall_at(
+        &mut self,
+        from: SimTime,
+        until: SimTime,
+        node: NodeId,
+        stall_factor: f64,
+    ) {
+        assert!(
+            stall_factor >= 1.0,
+            "stall factor {stall_factor} must be >= 1 (1 = healthy)"
+        );
+        assert!(until > from, "stall window must not be empty");
+        self.stalls.push((from, until, node, stall_factor));
+    }
+
+    /// Enables adaptive per-peer retransmission timeouts: every ack
+    /// feeds a Jacobson/Karels RTT estimator for its (coordinator, peer)
+    /// edge, and retry timers use the worst outstanding peer's RTO
+    /// (clamped to `[floor, ceiling]`) instead of the fixed policy
+    /// delay. Call before submitting ops.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `floor` is zero or `ceiling <= floor`.
+    pub fn enable_adaptive_rto(&mut self, floor: SimDuration, ceiling: SimDuration) {
+        self.adaptive = Some(AdaptiveTimeouts::new(floor, ceiling));
+    }
+
+    /// Enables hedged dedup lookups: a read-phase op still pending at
+    /// half its retransmission delay fires one speculative probe at the
+    /// next ring successor beyond the primary replica set, steering
+    /// around slow-marked peers. At most `budget` hedges fire per run.
+    /// Only a positive sighting ("I hold the key") completes an op
+    /// early, so hedging preserves one-sided dedup soundness: it can
+    /// never manufacture a false duplicate.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `budget` is zero.
+    pub fn enable_hedged_reads(&mut self, budget: u64) {
+        assert!(budget > 0, "hedge budget must be positive");
+        self.hedging = Some(budget);
+    }
+
+    /// Enables admission control: a coordinator with `max_pending` ops
+    /// already in flight sheds new client ops as
+    /// [`OpResult::Unavailable`] instead of queueing them behind work it
+    /// cannot finish in time. Sheds still consume sequence numbers,
+    /// keeping op ids identical with and without the limiter.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `max_pending` is zero.
+    pub fn enable_admission_control(&mut self, max_pending: usize) {
+        assert!(max_pending > 0, "admission limit must be positive");
+        self.admission = Some(max_pending);
+    }
+
+    /// Enables uplink backpressure for background work: an anti-entropy
+    /// or scrub round scheduled while any live member's uplink is booked
+    /// out for more than `threshold` yields its slot (and re-arms)
+    /// rather than pile bulk transfers behind latency-critical dedup
+    /// traffic.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `threshold` is zero.
+    pub fn enable_backpressure(&mut self, threshold: SimDuration) {
+        assert!(
+            !threshold.is_zero(),
+            "backpressure threshold must be positive"
+        );
+        self.backpressure = Some(threshold);
+    }
+
+    /// Enables gray-peer ("slow") detection on top of the adaptive RTT
+    /// estimators: a peer whose smoothed RTT exceeds `threshold` is
+    /// marked [`crate::Liveness::Slow`] at its observer and avoided by
+    /// hedges until its RTT recovers. Requires
+    /// [`SimCluster::enable_adaptive_rto`] first.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `threshold` is zero or adaptive RTO is not enabled.
+    pub fn enable_slow_detection(&mut self, threshold: SimDuration) {
+        assert!(!threshold.is_zero(), "slow threshold must be positive");
+        assert!(
+            self.adaptive.is_some(),
+            "slow detection needs adaptive RTO (call enable_adaptive_rto first)"
+        );
+        self.slow_watch = Some(threshold);
+    }
+
     /// Schedules a crash of `node` at `at` (requires heartbeats enabled
     /// for peers to *notice*; messages to a crashed node are dropped
     /// either way). The node keeps its volatile state — this models a
@@ -585,6 +747,28 @@ impl SimCluster {
                         );
                         return true;
                     };
+                    // Admission control: a coordinator whose pending-op
+                    // queue is already at the limit sheds the new op at
+                    // the door instead of queueing it behind work it
+                    // cannot finish in time. The shed still consumes a
+                    // sequence number so limited and unlimited runs
+                    // assign identical op ids. Client dedup ops are the
+                    // highest-priority class — they shed only here, at
+                    // the hard queue bound; background anti-entropy and
+                    // scrub rounds yield first (see `backpressure_yield`).
+                    if let Some(limit) = self.admission {
+                        if node.pending_count() >= limit {
+                            let op_id = node.next_op_id();
+                            let required = self
+                                .config
+                                .consistency
+                                .required(self.config.replication_factor);
+                            self.gray_acc.sheds_critical += 1;
+                            self.starts.insert(op_id, now);
+                            self.record(op_id, OpResult::Unavailable { acks: 0, required }, now);
+                            return true;
+                        }
+                    }
                     // Fingerprint-cache fast path: a coordinator that has
                     // already learned this fingerprint is durably indexed
                     // answers "duplicate" locally with no ring traffic. A
@@ -640,6 +824,24 @@ impl SimCluster {
                             .is_some_and(|n| n.is_pending(op_id))
                     {
                         self.arm_rto(op_id, 0);
+                        // Hedged reads: arm one speculative backup probe
+                        // at half the retransmission delay — late enough
+                        // that a healthy replica has long since answered,
+                        // early enough to beat the full RTO when the
+                        // primary is gray. The timer self-cancels if the
+                        // op completes first (`on_hedge` re-checks).
+                        if let (Some(_), Some(policy)) = (self.hedging, self.retry_policy) {
+                            let (base, _) = self.rto_base(op_id, 0, &policy);
+                            let delay = self.hedge_delay(op_id, base);
+                            self.sim.schedule_after(delay, Event::Hedge { op_id });
+                        }
+                    }
+                    if self.admission.is_some() {
+                        let depth = self
+                            .nodes
+                            .get(&coordinator)
+                            .map_or(0, |n| n.pending_count() as u64);
+                        self.gray_acc.queue_peak = self.gray_acc.queue_peak.max(depth);
                     }
                 }
                 Event::Deliver { from, to, msg, crc } => {
@@ -654,6 +856,33 @@ impl SimCluster {
                         self.integrity_acc.frames_rejected += 1;
                         return true;
                     }
+                    // Adaptive RTT sampling: an ack closes the timing
+                    // loop opened when `dispatch` stamped the request's
+                    // first transmission (Karn's rule — retransmits never
+                    // restamp, so a retried op measures from its first
+                    // send: a conservative over-estimate under loss).
+                    if self.adaptive.is_some() {
+                        let acked_op = match &msg {
+                            Message::WriteAck { op_id, .. } | Message::ReadResp { op_id, .. } => {
+                                Some(*op_id)
+                            }
+                            _ => None,
+                        };
+                        if let Some(op_id) = acked_op {
+                            if let Some(t0) = self.sent_at.remove(&(op_id, from)) {
+                                let sample = now.saturating_since(t0);
+                                if let Some(adaptive) = self.adaptive.as_mut() {
+                                    adaptive.observe(to, from, sample);
+                                }
+                                self.gray_acc.rtt_samples += 1;
+                                self.note_slowness(to, from);
+                            }
+                        }
+                    }
+                    let stalled_write = matches!(
+                        msg,
+                        Message::ReplicaWrite { .. } | Message::HintReplay { .. }
+                    );
                     let Some(node) = self.nodes.get_mut(&to) else {
                         return true;
                     };
@@ -661,7 +890,25 @@ impl SimCluster {
                     for c in completions {
                         self.record(c.op_id, c.result, now);
                     }
-                    self.dispatch(now, to, outbound);
+                    let stall = if stalled_write {
+                        self.stall_factor(to, now)
+                    } else {
+                        1.0
+                    };
+                    if stall > 1.0 && !outbound.is_empty() {
+                        // Fail-slow storage: the replica's fsync crawls,
+                        // so its acks leave only after the stretched
+                        // flush. The write itself applies on arrival —
+                        // only the acknowledgement is late, mirroring a
+                        // disk that is slow, not wrong.
+                        let penalty = SimDuration::from_nanos(
+                            (Self::NOMINAL_FSYNC_NANOS as f64 * (stall - 1.0)).round() as u64,
+                        );
+                        self.sim
+                            .schedule_after(penalty, Event::Flush { from: to, outbound });
+                    } else {
+                        self.dispatch(now, to, outbound);
+                    }
                 }
                 Event::HeartbeatTick { node } => {
                     let Some(interval) = self.heartbeat_interval else {
@@ -756,13 +1003,21 @@ impl SimCluster {
                 }
                 Event::AntiEntropyTick => {
                     if let Some((interval, depth)) = self.antientropy {
-                        self.anti_entropy_round(now, depth);
+                        if self.backpressure_yield(now) {
+                            self.gray_acc.sheds_background += 1;
+                        } else {
+                            self.anti_entropy_round(now, depth);
+                        }
                         self.sim.schedule_after(interval, Event::AntiEntropyTick);
                     }
                 }
                 Event::ScrubTick => {
                     if let Some((interval, byte_budget)) = self.scrub {
-                        self.scrub_round(now, byte_budget);
+                        if self.backpressure_yield(now) {
+                            self.gray_acc.sheds_background += 1;
+                        } else {
+                            self.scrub_round(now, byte_budget);
+                        }
                         self.sim.schedule_after(interval, Event::ScrubTick);
                     }
                 }
@@ -771,6 +1026,16 @@ impl SimCluster {
                 }
                 Event::Rto { op_id, attempt } => {
                     self.on_rto(now, op_id, attempt);
+                }
+                Event::Hedge { op_id } => {
+                    self.on_hedge(now, op_id);
+                }
+                Event::Flush { from, outbound } => {
+                    // A node that crash-stopped or departed between the
+                    // stalled write and its flush completing never acks.
+                    if !self.crashed.contains(&from) {
+                        self.dispatch(now, from, outbound);
+                    }
                 }
             }
         }
@@ -831,18 +1096,165 @@ impl SimCluster {
     }
 
     /// Schedules the retransmission timer for `op_id`'s attempt
-    /// `attempt`, with exponential backoff and seeded jitter.
+    /// `attempt`, with exponential backoff and seeded jitter. With
+    /// adaptive RTO enabled the base tracks the measured per-peer RTT
+    /// instead of the fixed policy delay; the jitter draw is taken either
+    /// way, so adaptive and fixed runs consume identical randomness.
     fn arm_rto(&mut self, op_id: OpId, attempt: u32) {
         let Some(policy) = self.retry_policy else {
             return;
         };
-        let base = policy.delay(attempt);
+        let (base, adapted) = self.rto_base(op_id, attempt, &policy);
+        if adapted {
+            self.gray_acc.rto_adaptations += 1;
+        }
         let jitter = match (&mut self.rto_rng, policy.jitter_frac) {
             (Some(rng), frac) if frac > 0.0 => base * (frac * rng.unit()),
             _ => SimDuration::ZERO,
         };
         self.sim
             .schedule_after(base + jitter, Event::Rto { op_id, attempt });
+    }
+
+    /// The base retransmission delay for `op_id`'s attempt `attempt`:
+    /// the per-peer adaptive RTO when the estimators hold samples for
+    /// the op's outstanding peers (worst peer wins — the timer must
+    /// outlast the slowest leg of the quorum), otherwise the fixed
+    /// policy delay. Returns the base and whether it was adapted.
+    fn rto_base(&self, op_id: OpId, attempt: u32, policy: &RetryPolicy) -> (SimDuration, bool) {
+        if let Some(adaptive) = &self.adaptive {
+            let coordinator = op_id.coordinator;
+            let worst = self
+                .nodes
+                .get(&coordinator)
+                .map(|n| n.outstanding_peers(op_id))
+                .unwrap_or_default()
+                .into_iter()
+                .filter_map(|peer| adaptive.rto_of(coordinator, peer))
+                .max();
+            if let Some(rto) = worst {
+                // Back off like the fixed policy so a persistently
+                // silent quorum still escalates, then re-clamp.
+                let scaled = rto * policy.backoff.powi(attempt.min(16) as i32);
+                let clamped = scaled.max(adaptive.floor()).min(adaptive.ceiling());
+                return (clamped, true);
+            }
+        }
+        (policy.delay(attempt), false)
+    }
+
+    /// Hedge delay for `op_id`: half the retransmission base normally,
+    /// but when the coordinator already marks an outstanding peer slow
+    /// the probe fires after only the adaptive floor. The base scales
+    /// with the *slow* peer's inflated RTO — waiting half of that out
+    /// would concede exactly the tail the hedge exists to cut, so a
+    /// known-gray quorum is probed at the earliest plausible moment.
+    fn hedge_delay(&self, op_id: OpId, base: SimDuration) -> SimDuration {
+        let coordinator = op_id.coordinator;
+        let gray_outstanding = self
+            .nodes
+            .get(&coordinator)
+            .map(|n| n.outstanding_peers(op_id))
+            .unwrap_or_default()
+            .into_iter()
+            .any(|peer| self.slow.contains(&(coordinator, peer)));
+        match (&self.adaptive, gray_outstanding) {
+            (Some(adaptive), true) => adaptive.floor().min(base * 0.5),
+            _ => base * 0.5,
+        }
+    }
+
+    /// Handles a hedge timer firing for `op_id`: if the op is still
+    /// pending its read phase and the cluster-wide hedge budget has
+    /// room, fire one speculative backup probe, steering around peers
+    /// the coordinator currently marks slow.
+    fn on_hedge(&mut self, now: SimTime, op_id: OpId) {
+        let Some(budget) = self.hedging else {
+            return;
+        };
+        if self.gray_acc.hedges_fired >= budget {
+            return;
+        }
+        let coordinator = op_id.coordinator;
+        if self.crashed.contains(&coordinator) {
+            return;
+        }
+        let avoid: BTreeSet<NodeId> = self
+            .slow
+            .iter()
+            .filter(|(obs, _)| *obs == coordinator)
+            .map(|&(_, peer)| peer)
+            .collect();
+        let Some(ob) = self
+            .nodes
+            .get_mut(&coordinator)
+            .and_then(|n| n.hedge(op_id, &avoid))
+        else {
+            return;
+        };
+        self.gray_acc.hedges_fired += 1;
+        self.dispatch(now, coordinator, vec![ob]);
+    }
+
+    /// Re-evaluates the slow-peer verdict for `(observer, peer)` after a
+    /// fresh RTT sample: an estimator whose smoothed RTT sits above the
+    /// configured threshold marks the peer gray — steering hedges away
+    /// and overlaying [`crate::Liveness::Slow`] — and a recovered
+    /// estimator clears the mark.
+    fn note_slowness(&mut self, observer: NodeId, peer: NodeId) {
+        let Some(threshold) = self.slow_watch else {
+            return;
+        };
+        let srtt = self
+            .adaptive
+            .as_ref()
+            .and_then(|a| a.srtt_of(observer, peer));
+        if srtt.is_some_and(|s| s > threshold) {
+            if self.slow.insert((observer, peer)) {
+                self.gray_acc.slow_marks += 1;
+                if let Some(fd) = self.detectors.get_mut(&observer) {
+                    fd.mark_slow(peer);
+                }
+            }
+        } else if self.slow.remove(&(observer, peer)) {
+            if let Some(fd) = self.detectors.get_mut(&observer) {
+                fd.clear_slow(peer);
+            }
+        }
+    }
+
+    /// True when uplink backpressure says background work should yield:
+    /// some live member's uplink is booked solid for longer than the
+    /// configured threshold, so an anti-entropy or scrub round would
+    /// pile bulk transfers behind latency-critical dedup traffic.
+    /// Background rounds are the first shed class; client ops shed only
+    /// at the admission-control bound.
+    fn backpressure_yield(&self, now: SimTime) -> bool {
+        let Some(threshold) = self.backpressure else {
+            return false;
+        };
+        self.nodes.keys().any(|&n| {
+            !self.crashed.contains(&n)
+                && self.network.uplink_free_at(n).saturating_since(now) > threshold
+        })
+    }
+
+    /// Nominal healthy fsync cost (nanoseconds) used to convert a
+    /// fail-slow stall factor into an absolute ack delay: a factor-`f`
+    /// stall stretches a flush from one nominal fsync to `f` of them,
+    /// and the replica's ack waits out the difference.
+    const NOMINAL_FSYNC_NANOS: u64 = 500_000;
+
+    /// The strongest storage-stall factor covering `node` at `now`
+    /// (1.0 = healthy).
+    fn stall_factor(&self, node: NodeId, now: SimTime) -> f64 {
+        let mut factor = 1.0f64;
+        for &(from, until, n, f) in &self.stalls {
+            if n == node && now >= from && now < until {
+                factor = factor.max(f);
+            }
+        }
+        factor
     }
 
     /// Runs one background-scrub round: every live node verifies the
@@ -859,10 +1271,18 @@ impl SimCluster {
             .collect();
         for node in scanned {
             let cursor = self.scrub_cursors.get(&node).cloned().flatten();
+            // Fail-slow storage stretches every read the scrubber makes:
+            // a stalled node covers proportionally fewer bytes per round.
+            let stall = self.stall_factor(node, now);
+            let budget = if stall > 1.0 {
+                ((byte_budget as f64 / stall).max(1.0)) as u64
+            } else {
+                byte_budget
+            };
             let Some(state) = self.nodes.get(&node) else {
                 continue;
             };
-            let chunk = state.storage().scrub(cursor.as_ref(), byte_budget);
+            let chunk = state.storage().scrub(cursor.as_ref(), budget);
             self.scrub_cursors.insert(node, chunk.next_cursor.clone());
             self.integrity_acc.entries_scrubbed += chunk.entries;
             self.integrity_acc.scrub_bytes += chunk.bytes;
@@ -997,6 +1417,7 @@ impl SimCluster {
         }
         // The node's integrity counters outlive its volatile state.
         self.integrity_acc.merge(&state.integrity());
+        self.gray_acc.hedges_won += state.hedges_won();
         let (wal, completions) = state.crash();
         for c in completions {
             self.record(c.op_id, c.result, now);
@@ -1091,6 +1512,7 @@ impl SimCluster {
         if let Some(state) = self.nodes.remove(&node) {
             // The node's integrity counters outlive it.
             self.integrity_acc.merge(&state.integrity());
+            self.gray_acc.hedges_won += state.hedges_won();
             let (_lost_disk, completions) = state.crash();
             for c in completions {
                 self.record(c.op_id, c.result, now);
@@ -1166,6 +1588,21 @@ impl SimCluster {
 
     pub(crate) fn dispatch(&mut self, now: SimTime, from: NodeId, outbound: Vec<Outbound>) {
         for ob in outbound {
+            // Adaptive RTT sampling: stamp the *first* transmission of
+            // each (op, peer) request edge. Karn's rule — retransmits
+            // keep the original stamp, so a retried request's eventual
+            // ack measures from its first send and only over-estimates.
+            if self.adaptive.is_some() {
+                let op_id = match &ob.msg {
+                    Message::ReplicaWrite { op_id, .. } | Message::ReplicaRead { op_id, .. } => {
+                        Some(*op_id)
+                    }
+                    _ => None,
+                };
+                if let Some(op_id) = op_id {
+                    self.sent_at.entry((op_id, ob.to)).or_insert(now);
+                }
+            }
             // `send` applies the network's fault plan: Ok(None) means
             // the message was lost or partitioned away (bandwidth still
             // charged to the sender's uplink). Err means the cluster and
@@ -1256,6 +1693,33 @@ impl SimCluster {
     /// mode across all coordinators.
     pub fn degraded_ops(&self) -> u64 {
         self.nodes.values().map(NodeState::degraded_ops).sum()
+    }
+
+    /// Gray-failure mitigation counters: hedges fired/won, load sheds by
+    /// class, queue high-water mark, RTT samples and timer adaptations.
+    /// All zeros unless a mitigation was enabled.
+    pub fn gray_stats(&self) -> GrayFailureStats {
+        let mut total = self.gray_acc;
+        total.hedges_won += self.nodes.values().map(NodeState::hedges_won).sum::<u64>();
+        total
+    }
+
+    /// The clamped adaptive RTO `observer` currently holds for `peer`
+    /// (None without samples or when adaptive RTO is disabled).
+    pub fn adaptive_rto_of(&self, observer: NodeId, peer: NodeId) -> Option<SimDuration> {
+        self.adaptive
+            .as_ref()
+            .and_then(|a| a.rto_of(observer, peer))
+    }
+
+    /// Peers `observer` currently marks slow (gray), per the RTT
+    /// threshold of [`SimCluster::enable_slow_detection`].
+    pub fn slow_of(&self, observer: NodeId) -> Vec<NodeId> {
+        self.slow
+            .iter()
+            .filter(|(obs, _)| *obs == observer)
+            .map(|&(_, peer)| peer)
+            .collect()
     }
 
     /// A member node's state (counters, storage), for inspection.
@@ -1850,5 +2314,391 @@ mod tests {
         submit_repeats(&mut cluster, members[0], 2);
         cluster.run();
         assert_eq!(cluster.cache_stats(), crate::cache::CacheStats::default());
+    }
+
+    #[test]
+    fn gray_stats_quiet_without_mitigations() {
+        let net = edge_network(1, 3);
+        let members = net.topology().edge_nodes();
+        let mut cluster = SimCluster::new(members.clone(), net, ClusterConfig::default());
+        submit_repeats(&mut cluster, members[0], 4);
+        cluster.run();
+        assert!(
+            cluster.gray_stats().is_quiet(),
+            "{:?}",
+            cluster.gray_stats()
+        );
+    }
+
+    #[test]
+    fn storage_stall_delays_replica_acks() {
+        // Twin clusters, identical ops; one replica suffers a fail-slow
+        // storage stall. The stalled run's write latency must grow by
+        // roughly the stretched-fsync penalty while the data stays
+        // correct — slow, not wrong.
+        let run = |stall: Option<f64>| {
+            let net = edge_network(1, 3);
+            let members = net.topology().edge_nodes();
+            let mut cluster = SimCluster::new(
+                members.clone(),
+                net,
+                ClusterConfig {
+                    replication_factor: 2,
+                    consistency: Consistency::All,
+                    ..ClusterConfig::default()
+                },
+            );
+            if let Some(factor) = stall {
+                for &m in &members {
+                    cluster.storage_stall_at(
+                        SimTime::ZERO,
+                        SimTime::from_secs_f64(100.0),
+                        m,
+                        factor,
+                    );
+                }
+            }
+            cluster.submit(
+                SimTime::ZERO,
+                members[0],
+                ClientOp::Put(Bytes::from_static(b"key"), Bytes::from_static(b"v")),
+            );
+            let done = cluster.run();
+            assert_eq!(done.len(), 1);
+            assert_eq!(done[0].result, OpResult::Written);
+            done[0].latency()
+        };
+        let healthy = run(None);
+        let stalled = run(Some(20.0));
+        // factor 20 ⇒ 19 extra nominal fsyncs ⇒ +9.5ms on the ack path.
+        let penalty = stalled.saturating_sub(healthy);
+        assert!(
+            penalty >= SimDuration::from_millis(9),
+            "stall penalty {penalty} too small"
+        );
+    }
+
+    #[test]
+    fn adaptive_rto_learns_and_stays_clamped() {
+        let net = edge_network(1, 3);
+        let members = net.topology().edge_nodes();
+        let mut cluster = SimCluster::new(
+            members.clone(),
+            net,
+            ClusterConfig {
+                replication_factor: 2,
+                consistency: Consistency::All,
+                ..ClusterConfig::default()
+            },
+        );
+        cluster.set_retry_policy(RetryPolicy::new(42));
+        let floor = SimDuration::from_micros(500);
+        let ceiling = SimDuration::from_secs(1);
+        cluster.enable_adaptive_rto(floor, ceiling);
+        let mut t = SimTime::ZERO;
+        for i in 0..10u32 {
+            cluster.submit(
+                t,
+                members[0],
+                ClientOp::Put(
+                    Bytes::from(i.to_be_bytes().to_vec()),
+                    Bytes::from_static(b"v"),
+                ),
+            );
+            t += SimDuration::from_millis(50);
+        }
+        let done = cluster.run();
+        assert!(done.iter().all(|l| l.result == OpResult::Written));
+        let stats = cluster.gray_stats();
+        assert!(stats.rtt_samples > 0, "no RTT samples collected");
+        let mut adapted = 0;
+        for &peer in &members {
+            if let Some(rto) = cluster.adaptive_rto_of(members[0], peer) {
+                assert!(rto >= floor && rto <= ceiling, "rto {rto} out of clamp");
+                adapted += 1;
+            }
+        }
+        assert!(adapted > 0, "no per-peer estimator got samples");
+    }
+
+    #[test]
+    fn adaptive_rto_golden_schedule_is_pinned() {
+        // Repeated writes of one key over an otherwise idle, fault-free
+        // network produce identical RTT samples each round, so the
+        // Jacobson/Karels estimator follows a fully deterministic
+        // integer trajectory: srtt locks to the first sample and rttvar
+        // decays by a quarter per round until the floor clamp catches
+        // the RTO. Nothing on this path consumes randomness (retry
+        // jitter only shifts stale timers), so the schedule is pinned
+        // unconditionally — no keystream probe needed, unlike the
+        // jittered golden test in `retry.rs`.
+        let net = edge_network(1, 3);
+        let members = net.topology().edge_nodes();
+        let mut cluster = SimCluster::new(
+            members.clone(),
+            net,
+            ClusterConfig {
+                replication_factor: 2,
+                consistency: Consistency::All,
+                ..ClusterConfig::default()
+            },
+        );
+        cluster.set_retry_policy(RetryPolicy::new(42));
+        let floor = SimDuration::from_millis(2);
+        let ceiling = SimDuration::from_secs(1);
+        cluster.enable_adaptive_rto(floor, ceiling);
+        // Pick a key whose replica set contains the coordinator, so each
+        // round produces exactly one remote (coordinator, peer) sample.
+        let key = (0u32..)
+            .map(|i| Bytes::from(i.to_be_bytes().to_vec()))
+            .find(|k| cluster.ring().replicas(k, 2).contains(&members[0]))
+            .unwrap();
+        let peer = cluster
+            .ring()
+            .replicas(&key, 2)
+            .into_iter()
+            .find(|&n| n != members[0])
+            .unwrap();
+        let mut schedule = Vec::new();
+        for _ in 0..5 {
+            let at = cluster.now() + SimDuration::from_millis(200);
+            cluster.submit(at, members[0], ClientOp::Put(key.clone(), key.clone()));
+            let done = cluster.run();
+            assert_eq!(done.len(), 1);
+            schedule.push(
+                cluster
+                    .adaptive_rto_of(members[0], peer)
+                    .expect("estimator has samples")
+                    .as_nanos(),
+            );
+        }
+        // Structural invariants hold whatever the topology numbers are.
+        assert!(schedule.windows(2).all(|w| w[1] <= w[0]), "{schedule:?}");
+        for &rto in &schedule {
+            assert!(rto >= floor.as_nanos() && rto <= ceiling.as_nanos());
+        }
+        assert_eq!(
+            cluster.gray_stats().rto_adaptations,
+            4,
+            "first op is unadapted, the rest use the estimator"
+        );
+        // The exact trajectory for the paper-testbed topology.
+        assert_eq!(
+            schedule,
+            vec![5_101_446, 4_251_206, 3_613_526, 3_135_266, 2_776_570],
+            "adapted RTO schedule drifted"
+        );
+    }
+
+    #[test]
+    fn hedged_read_wins_against_a_slow_primary() {
+        use ef_netsim::FaultPlan;
+        // Four nodes, RF=1: the key's only primary is made grossly slow
+        // (fail-slow, not dead), and the key is planted on the backup
+        // successor a hedge would probe. The hedged read must complete
+        // from the backup's positive sighting long before the primary's
+        // crawling response or the retry timeout.
+        let mut net = edge_network(2, 2);
+        let members = net.topology().edge_nodes();
+        let value = Bytes::from_static(b"payload");
+        // Find a key whose single primary is not the coordinator.
+        let coordinator = members[0];
+        let probe_net = Network::new(
+            ef_netsim::TopologyBuilder::new()
+                .edge_site(2)
+                .edge_site(2)
+                .build(),
+            ef_netsim::NetworkConfig::paper_testbed(),
+        );
+        let ring = HashRing::with_nodes(
+            probe_net.topology().edge_nodes(),
+            ClusterConfig::default().vnodes,
+        );
+        let key = (0u32..)
+            .map(|i| Bytes::from(i.to_be_bytes().to_vec()))
+            .find(|k| ring.replicas(k, 1)[0] != coordinator)
+            .unwrap();
+        let primary = ring.replicas(&key, 1)[0];
+        // The hedge target: first extended successor that is neither the
+        // primary nor the coordinator (mirrors `NodeState::hedge`).
+        let backup = ring
+            .replicas(&key, 3)
+            .into_iter()
+            .find(|&n| n != primary && n != coordinator)
+            .unwrap();
+        net.set_fault_plan(FaultPlan::new(11).slow_node(
+            primary,
+            400.0,
+            SimTime::ZERO,
+            SimTime::from_secs_f64(100.0),
+        ));
+        let mut cluster = SimCluster::new(
+            members.clone(),
+            net,
+            ClusterConfig {
+                replication_factor: 1,
+                consistency: Consistency::One,
+                ..ClusterConfig::default()
+            },
+        );
+        cluster.enable_hedged_reads(4);
+        // Plant the key on primary and backup alike: hedging may change
+        // *when* the answer arrives, never *what* it is.
+        for &holder in &[primary, backup] {
+            cluster
+                .node_mut(holder)
+                .unwrap()
+                .storage_mut()
+                .put(key.clone(), value.clone());
+        }
+        cluster.submit(SimTime::ZERO, coordinator, ClientOp::Get(key.clone()));
+        let done = cluster.run();
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].result, OpResult::Value(Some(value)));
+        let stats = cluster.gray_stats();
+        assert_eq!(stats.hedges_fired, 1, "{stats:?}");
+        assert_eq!(stats.hedges_won, 1, "{stats:?}");
+        // The win beat both the slow primary (~400x RTT) and the retry
+        // timeout (100ms base + backoff).
+        assert!(
+            done[0].latency() < SimDuration::from_millis(100),
+            "hedge did not accelerate the read: {}",
+            done[0].latency()
+        );
+    }
+
+    #[test]
+    fn admission_control_sheds_overload_and_keeps_op_ids() {
+        let run = |limit: Option<usize>| {
+            let net = edge_network(1, 3);
+            let members = net.topology().edge_nodes();
+            let mut cluster = SimCluster::new(
+                members.clone(),
+                net,
+                ClusterConfig {
+                    replication_factor: 2,
+                    consistency: Consistency::All,
+                    ..ClusterConfig::default()
+                },
+            );
+            cluster.set_retry_policy(RetryPolicy::new(9));
+            if let Some(limit) = limit {
+                cluster.enable_admission_control(limit);
+            }
+            // A burst: every op lands before any replica can answer.
+            for i in 0..10u32 {
+                cluster.submit(
+                    SimTime::ZERO,
+                    members[0],
+                    ClientOp::Put(
+                        Bytes::from(i.to_be_bytes().to_vec()),
+                        Bytes::from_static(b"v"),
+                    ),
+                );
+            }
+            let mut done = cluster.run();
+            done.sort_by_key(|l| l.op_id);
+            (done, cluster.gray_stats())
+        };
+        let (unlimited, quiet) = run(None);
+        let (limited, stats) = run(Some(2));
+        assert!(quiet.is_quiet());
+        assert_eq!(limited.len(), 10, "every op resolves, shed or served");
+        let sheds = limited
+            .iter()
+            .filter(|l| matches!(l.result, OpResult::Unavailable { .. }))
+            .count() as u64;
+        assert_eq!(sheds, 8, "burst of 10 at limit 2 sheds the rest");
+        assert_eq!(stats.sheds_critical, sheds);
+        assert_eq!(stats.queue_peak, 2, "{stats:?}");
+        // Op-id compatibility: shedding never renumbers operations.
+        let ids = |ls: &[OpLatency]| ls.iter().map(|l| l.op_id).collect::<Vec<_>>();
+        assert_eq!(ids(&unlimited), ids(&limited));
+    }
+
+    #[test]
+    fn backpressure_yields_background_rounds_under_load() {
+        let net = edge_network(1, 2);
+        let members = net.topology().edge_nodes();
+        let mut cluster = SimCluster::new(
+            members.clone(),
+            net,
+            ClusterConfig {
+                replication_factor: 2,
+                consistency: Consistency::All,
+                ..ClusterConfig::default()
+            },
+        );
+        cluster.enable_anti_entropy(SimDuration::from_millis(5), 4);
+        cluster.enable_backpressure(SimDuration::from_micros(100));
+        // A burst of fat writes books the uplink solid for tens of
+        // milliseconds; anti-entropy ticks landing inside the backlog
+        // must yield rather than pile bulk Merkle traffic on top.
+        for i in 0..20u32 {
+            cluster.submit(
+                SimTime::ZERO,
+                members[0],
+                ClientOp::Put(
+                    Bytes::from(i.to_be_bytes().to_vec()),
+                    Bytes::from(vec![b'x'; 200_000]),
+                ),
+            );
+        }
+        cluster.run_until(SimTime::from_secs_f64(2.0));
+        let stats = cluster.gray_stats();
+        assert!(stats.sheds_background > 0, "{stats:?}");
+        // Once the backlog drains the rounds resume — shedding is a
+        // yield, not a cancellation.
+        assert!(
+            cluster.recovery_stats().antientropy_rounds > 0,
+            "anti-entropy never resumed after the backlog"
+        );
+    }
+
+    #[test]
+    fn slow_detection_marks_gray_peers() {
+        use ef_netsim::FaultPlan;
+        let mut net = edge_network(1, 3);
+        let members = net.topology().edge_nodes();
+        let victim = members[1];
+        net.set_fault_plan(FaultPlan::new(13).slow_node(
+            victim,
+            50.0,
+            SimTime::ZERO,
+            SimTime::from_secs_f64(100.0),
+        ));
+        let mut cluster = SimCluster::new(
+            members.clone(),
+            net,
+            ClusterConfig {
+                replication_factor: 2,
+                consistency: Consistency::All,
+                ..ClusterConfig::default()
+            },
+        );
+        cluster.enable_adaptive_rto(SimDuration::from_micros(500), SimDuration::from_secs(2));
+        cluster.enable_slow_detection(SimDuration::from_millis(5));
+        let mut t = SimTime::ZERO;
+        for i in 0..30u32 {
+            cluster.submit(
+                t,
+                members[0],
+                ClientOp::Put(
+                    Bytes::from(i.to_be_bytes().to_vec()),
+                    Bytes::from_static(b"v"),
+                ),
+            );
+            t += SimDuration::from_millis(20);
+        }
+        cluster.run();
+        let stats = cluster.gray_stats();
+        assert!(stats.slow_marks >= 1, "{stats:?}");
+        assert!(
+            cluster.slow_of(members[0]).contains(&victim),
+            "coordinator never marked the fail-slow peer gray: {:?}",
+            cluster.slow_of(members[0])
+        );
+        // A healthy peer is not smeared.
+        assert!(!cluster.slow_of(members[0]).contains(&members[2]));
     }
 }

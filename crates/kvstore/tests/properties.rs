@@ -217,4 +217,106 @@ proptest! {
             prop_assert_eq!(&a.result, &b.result, "op {:?} diverged", a.op_id);
         }
     }
+
+    /// Hedge soundness: under an arbitrary fail-slow plan (arbitrary
+    /// victim, arbitrary severity), an arbitrary check-and-insert
+    /// schedule resolves to the identical per-op dedup verdict with the
+    /// whole gray-mitigation stack armed and with it off. Hedging may
+    /// only move *when* an answer arrives, never *what* it is: a hedge
+    /// completes solely on a replica's positive sighting.
+    #[test]
+    fn hedged_and_unhedged_agree_on_every_verdict(
+        schedule in proptest::collection::vec((0u8..10, 0u8..6), 1..24),
+        victim in 0u8..6,
+        severity in 2u32..64,
+    ) {
+        use ef_kvstore::{ClientOp, SimCluster};
+        use ef_netsim::{FaultPlan, Network, NetworkConfig, TopologyBuilder};
+        use ef_simcore::{SimDuration, SimTime};
+
+        let run = |mitigate: bool| {
+            let topo = TopologyBuilder::new().edge_site(3).edge_site(3).build();
+            let mut net = Network::new(topo, NetworkConfig::paper_testbed());
+            let members = net.topology().edge_nodes();
+            let slow = members[victim as usize % members.len()];
+            net.set_fault_plan(FaultPlan::new(7).slow_node(
+                slow,
+                f64::from(severity),
+                SimTime::ZERO,
+                SimTime::MAX,
+            ));
+            let mut cluster = SimCluster::new(members.clone(), net, ClusterConfig::default());
+            if mitigate {
+                cluster.enable_adaptive_rto(
+                    SimDuration::from_micros(500),
+                    SimDuration::from_secs(1),
+                );
+                cluster.enable_slow_detection(SimDuration::from_millis(20));
+                cluster.enable_hedged_reads(1024);
+            }
+            // Ops are spaced past the worst slow-path round trips so each
+            // settles before the next begins: the verdict schedule is then
+            // timing-independent and any hedged/unhedged divergence is a
+            // soundness bug, not a benign race.
+            let mut t = SimTime::ZERO + SimDuration::from_millis(5);
+            for &(key, coord) in &schedule {
+                let coordinator = members[coord as usize % members.len()];
+                let key = Bytes::from(vec![key]);
+                cluster.submit(t, coordinator, ClientOp::CheckAndInsert(key.clone(), key));
+                t += SimDuration::from_millis(2500);
+            }
+            let mut done = cluster.run_until(t + SimDuration::from_secs(60));
+            done.sort_by_key(|l| (l.op_id.coordinator, l.op_id.seq));
+            (done, cluster.inflight())
+        };
+        let (plain, inflight_plain) = run(false);
+        let (hedged, inflight_hedged) = run(true);
+        prop_assert_eq!(inflight_plain, 0, "unhedged run left ops in flight");
+        prop_assert_eq!(inflight_hedged, 0, "hedged run left ops in flight");
+        prop_assert_eq!(plain.len(), hedged.len());
+        for (a, b) in plain.iter().zip(&hedged) {
+            prop_assert_eq!(a.op_id, b.op_id);
+            prop_assert_eq!(
+                &a.result, &b.result,
+                "hedging changed the verdict of op {:?}", a.op_id
+            );
+        }
+    }
+
+    /// The adaptive retransmission timer never escapes its clamp: for
+    /// arbitrary RTT sample sequences — smooth, bursty, or adversarial —
+    /// every published RTO stays within `[floor, ceiling]`, and the
+    /// estimator itself (Jacobson/Karels) never proposes a timeout below
+    /// the smoothed RTT.
+    #[test]
+    fn adaptive_rto_stays_clamped(
+        samples in proptest::collection::vec(0u64..10_000_000_000, 1..50),
+        floor_us in 1u64..5_000,
+        span_us in 0u64..2_000_000,
+    ) {
+        use ef_kvstore::AdaptiveTimeouts;
+        use ef_simcore::SimDuration;
+
+        let floor = SimDuration::from_micros(floor_us);
+        let ceiling = floor + SimDuration::from_micros(span_us);
+        let mut timers = AdaptiveTimeouts::new(floor, ceiling);
+        let mut estimator = ef_kvstore::RttEstimator::new();
+        let observer = NodeId(0);
+        let peer = NodeId(1);
+        for ns in &samples {
+            let sample = SimDuration::from_nanos(*ns);
+            timers.observe(observer, peer, sample);
+            estimator.observe(sample);
+            let rto = timers.rto_of(observer, peer).expect("sampled peer has an RTO");
+            prop_assert!(rto >= floor, "RTO {rto} fell below the floor {floor}");
+            prop_assert!(rto <= ceiling, "RTO {rto} rose above the ceiling {ceiling}");
+            prop_assert!(
+                estimator.rto() >= estimator.srtt(),
+                "raw estimator proposed a timeout below its smoothed RTT"
+            );
+        }
+        prop_assert_eq!(timers.total_samples(), samples.len() as u64);
+        // An unsampled pair publishes nothing rather than a default.
+        prop_assert!(timers.rto_of(peer, observer).is_none());
+    }
 }

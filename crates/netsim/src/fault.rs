@@ -103,6 +103,20 @@ struct BitRotRule {
 }
 
 #[derive(Debug, Clone)]
+struct SlowRule {
+    scope: FaultScope,
+    window: Window,
+    service_factor: f64,
+}
+
+#[derive(Debug, Clone)]
+struct ThrottleRule {
+    scope: FaultScope,
+    window: Window,
+    bandwidth_factor: f64,
+}
+
+#[derive(Debug, Clone)]
 struct PartitionRule {
     a: SiteId,
     b: SiteId,
@@ -123,6 +137,12 @@ pub struct FaultStats {
     pub jittered: u64,
     /// Messages delivered with corrupted payload bits (wire bit rot).
     pub corrupted: u64,
+    /// Messages whose service (serialization) time was stretched by a
+    /// fail-slow node rule.
+    pub slowed: u64,
+    /// Messages whose serialization time was stretched by a congested-link
+    /// bandwidth reduction.
+    pub throttled: u64,
 }
 
 impl FaultStats {
@@ -174,6 +194,8 @@ pub struct FaultPlan {
     degrade: Vec<DegradeRule>,
     bitrot: Vec<BitRotRule>,
     partitions: Vec<PartitionRule>,
+    slow: Vec<SlowRule>,
+    throttle: Vec<ThrottleRule>,
     stats: FaultStats,
 }
 
@@ -188,6 +210,8 @@ impl FaultPlan {
             degrade: Vec::new(),
             bitrot: Vec::new(),
             partitions: Vec::new(),
+            slow: Vec::new(),
+            throttle: Vec::new(),
             stats: FaultStats::default(),
         }
     }
@@ -311,6 +335,151 @@ impl FaultPlan {
             probability,
         });
         self
+    }
+
+    /// Schedules a fail-slow window: during `[from, until)` matching
+    /// messages have their service (serialization) time multiplied by
+    /// `service_factor`. This models a gray node whose CPU or disk serves
+    /// its uplink slower than its link speed suggests — the node is alive,
+    /// answers heartbeats, but everything it transmits takes longer.
+    ///
+    /// The rule never draws from the plan's RNG, so adding one leaves the
+    /// verdict trace of every other rule bit-identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `service_factor < 1`.
+    pub fn slow(
+        mut self,
+        scope: FaultScope,
+        service_factor: f64,
+        from: SimTime,
+        until: SimTime,
+    ) -> Self {
+        assert!(
+            service_factor >= 1.0,
+            "fail-slow service factor {service_factor} < 1"
+        );
+        self.slow.push(SlowRule {
+            scope,
+            window: Window { from, until },
+            service_factor,
+        });
+        self
+    }
+
+    /// Schedules a fail-slow window on everything `node` transmits — the
+    /// common per-node service-rate multiplier form of [`FaultPlan::slow`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `service_factor < 1`.
+    pub fn slow_node(
+        self,
+        node: NodeId,
+        service_factor: f64,
+        from: SimTime,
+        until: SimTime,
+    ) -> Self {
+        self.slow(FaultScope::FromNode(node), service_factor, from, until)
+    }
+
+    /// Schedules a congested-link window: during `[from, until)` matching
+    /// messages see their link's effective bandwidth divided by
+    /// `bandwidth_factor` (serialization time multiplied by it).
+    ///
+    /// Like [`FaultPlan::slow`], the rule is zero-draw and replay-safe.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `bandwidth_factor < 1`.
+    pub fn throttle(
+        mut self,
+        scope: FaultScope,
+        bandwidth_factor: f64,
+        from: SimTime,
+        until: SimTime,
+    ) -> Self {
+        assert!(
+            bandwidth_factor >= 1.0,
+            "throttle bandwidth factor {bandwidth_factor} < 1"
+        );
+        self.throttle.push(ThrottleRule {
+            scope,
+            window: Window { from, until },
+            bandwidth_factor,
+        });
+        self
+    }
+
+    /// The combined service-time stretch factor for one message: the
+    /// product of every matching fail-slow and throttle window at `now`
+    /// (1.0 when none match). Consulted by the network *before* queuing
+    /// the message on the sender's uplink, so a slow node's backlog grows
+    /// exactly as a fail-slow disk or congested NIC would make it grow.
+    ///
+    /// Zero RNG draws: the query never perturbs the plan's verdict trace.
+    pub fn service_factor(
+        &mut self,
+        now: SimTime,
+        src: NodeId,
+        dst: NodeId,
+        src_site: SiteId,
+        dst_site: SiteId,
+    ) -> f64 {
+        let (slow, bandwidth) = self.service_factors(now, src, dst, src_site, dst_site);
+        slow * bandwidth
+    }
+
+    /// Like [`FaultPlan::service_factor`], but keeps the two fault
+    /// families apart: `(slow, bandwidth)`. A fail-slow node degrades
+    /// everything it does — the network stretches its *whole* service
+    /// leg (per-message processing and serialization alike), which is
+    /// what makes a gray node visible even to small control RPCs. A
+    /// congested link only divides bandwidth, so it stretches nothing
+    /// but the bandwidth-proportional serialization time.
+    ///
+    /// Zero RNG draws, like `service_factor`.
+    pub fn service_factors(
+        &mut self,
+        now: SimTime,
+        src: NodeId,
+        dst: NodeId,
+        src_site: SiteId,
+        dst_site: SiteId,
+    ) -> (f64, f64) {
+        let mut slow_factor = 1.0f64;
+        let mut slowed = false;
+        for rule in &self.slow {
+            if rule.window.contains(now) && rule.scope.matches(src, dst, src_site, dst_site) {
+                slow_factor *= rule.service_factor;
+                slowed = true;
+            }
+        }
+        let mut bandwidth_factor = 1.0f64;
+        let mut throttled = false;
+        for rule in &self.throttle {
+            if rule.window.contains(now) && rule.scope.matches(src, dst, src_site, dst_site) {
+                bandwidth_factor *= rule.bandwidth_factor;
+                throttled = true;
+            }
+        }
+        if slowed {
+            self.stats.slowed += 1;
+        }
+        if throttled {
+            self.stats.throttled += 1;
+        }
+        (slow_factor, bandwidth_factor)
+    }
+
+    /// True when any fail-slow or throttle window covering traffic *from*
+    /// `node` is active at `t` — the oracle tests and replica-steering
+    /// heuristics use to ask "is this node gray right now?".
+    pub fn is_slow_at(&self, node: NodeId, t: SimTime) -> bool {
+        self.slow.iter().any(|r| {
+            r.window.contains(t) && matches!(r.scope, FaultScope::FromNode(n) if n == node)
+        })
     }
 
     /// Schedules a symmetric partition between sites `a` and `b` from
@@ -606,9 +775,90 @@ mod tests {
     }
 
     #[test]
+    fn slow_and_throttle_factors_compose_in_window() {
+        let mut plan = FaultPlan::new(13)
+            .slow_node(NodeId(0), 3.0, SimTime::ZERO, SimTime::from_secs_f64(10.0))
+            .throttle(
+                FaultScope::SitePair(SiteId(0), SiteId(1)),
+                2.0,
+                SimTime::ZERO,
+                SimTime::from_secs_f64(10.0),
+            );
+        let f = plan.service_factor(SimTime::ZERO, NodeId(0), NodeId(2), SiteId(0), SiteId(1));
+        assert!((f - 6.0).abs() < 1e-9, "factors must multiply, got {f}");
+        assert_eq!(plan.stats().slowed, 1);
+        assert_eq!(plan.stats().throttled, 1);
+        // Outside the window: clean, no stats movement.
+        let f = plan.service_factor(
+            SimTime::from_secs_f64(10.0),
+            NodeId(0),
+            NodeId(2),
+            SiteId(0),
+            SiteId(1),
+        );
+        assert!((f - 1.0).abs() < 1e-9);
+        assert_eq!(plan.stats().slowed, 1);
+        // Wrong direction for the FromNode slow rule: only the throttle fires.
+        let f = plan.service_factor(SimTime::ZERO, NodeId(2), NodeId(0), SiteId(1), SiteId(0));
+        assert!((f - 2.0).abs() < 1e-9);
+        assert_eq!(plan.stats().slowed, 1);
+        assert_eq!(plan.stats().throttled, 2);
+        assert!(plan.is_slow_at(NodeId(0), SimTime::ZERO));
+        assert!(!plan.is_slow_at(NodeId(2), SimTime::ZERO));
+        assert!(!plan.is_slow_at(NodeId(0), SimTime::from_secs_f64(10.0)));
+    }
+
+    #[test]
+    fn slow_rules_leave_clean_plan_traces_untouched() {
+        // Fail-slow and throttle rules are zero-draw: interleaving
+        // service-factor queries with judged traffic must not perturb the
+        // verdict trace of a probabilistic plan.
+        let base = |seed| {
+            let mut plan = FaultPlan::new(seed)
+                .loss(FaultScope::All, 0.3)
+                .jitter(FaultScope::All, SimDuration::from_millis(2));
+            judge_all(&mut plan, 100, SimTime::ZERO)
+        };
+        let with_slow = |seed| {
+            let mut plan = FaultPlan::new(seed)
+                .loss(FaultScope::All, 0.3)
+                .jitter(FaultScope::All, SimDuration::from_millis(2))
+                .slow_node(NodeId(0), 4.0, SimTime::ZERO, SimTime::MAX)
+                .throttle(FaultScope::All, 2.0, SimTime::ZERO, SimTime::MAX);
+            (0..100)
+                .map(|_| {
+                    // A matching query between every judged message.
+                    plan.service_factor(SimTime::ZERO, NodeId(0), NodeId(2), SiteId(0), SiteId(1));
+                    plan.judge(
+                        SimTime::ZERO,
+                        NodeId(0),
+                        NodeId(2),
+                        SiteId(0),
+                        SiteId(1),
+                        SimDuration::from_millis(5),
+                    )
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(base(21), with_slow(21));
+    }
+
+    #[test]
     #[should_panic(expected = "outside [0, 1]")]
     fn rejects_bad_probability() {
         FaultPlan::new(0).loss(FaultScope::All, 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "service factor")]
+    fn rejects_speedup_slow_rule() {
+        FaultPlan::new(0).slow_node(NodeId(0), 0.9, SimTime::ZERO, SimTime::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth factor")]
+    fn rejects_speedup_throttle_rule() {
+        FaultPlan::new(0).throttle(FaultScope::All, 0.5, SimTime::ZERO, SimTime::MAX);
     }
 
     #[test]

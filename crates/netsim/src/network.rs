@@ -167,8 +167,29 @@ impl Network {
         dst: NodeId,
         bytes: u64,
     ) -> Result<SimTime, NetworkError> {
+        self.transfer_scaled(now, src, dst, bytes, 1.0, 1.0)
+    }
+
+    /// [`Network::transfer`] with the service time stretched by fault
+    /// factors. A fail-slow node (`slow_factor`) degrades its whole
+    /// service leg — serialization *and* the per-message processing
+    /// modeled by the link latency — which is what makes gray nodes
+    /// visible even to small control RPCs. A congested link
+    /// (`bandwidth_factor`) only divides bandwidth, stretching nothing
+    /// but serialization. The stretched serialization occupies the
+    /// sender's uplink, so backlog accumulates exactly as a slow disk
+    /// or NIC would make it.
+    fn transfer_scaled(
+        &mut self,
+        now: SimTime,
+        src: NodeId,
+        dst: NodeId,
+        bytes: u64,
+        slow_factor: f64,
+        bandwidth_factor: f64,
+    ) -> Result<SimTime, NetworkError> {
         let link = self.link(src, dst);
-        let serialization = link.serialization_delay(bytes);
+        let serialization = link.serialization_delay(bytes) * (slow_factor * bandwidth_factor);
         let uplink = self
             .uplinks
             .get_mut(&src)
@@ -176,7 +197,7 @@ impl Network {
         let sent = uplink.serve(now, serialization);
         self.bytes_sent += bytes;
         self.messages_sent += 1;
-        Ok(sent + link.latency)
+        Ok(sent + link.latency * slow_factor)
     }
 
     /// Fault-aware variant of [`Network::transfer`]: sends `bytes` from
@@ -231,8 +252,10 @@ impl Network {
         bytes: u64,
     ) -> Result<Option<Delivery>, NetworkError> {
         let base_latency = self.link(src, dst).latency;
-        let arrival = self.transfer(now, src, dst, bytes)?;
         if src == dst {
+            // Loopback never traverses a link: exempt from all faults,
+            // including fail-slow service stretching.
+            let arrival = self.transfer(now, src, dst, bytes)?;
             return Ok(Some(Delivery {
                 arrival,
                 corrupt: false,
@@ -240,6 +263,16 @@ impl Network {
         }
         let src_site = self.topology.site_of(src);
         let dst_site = self.topology.site_of(dst);
+        // Fail-slow / congested-link stretching is charged on the uplink
+        // *before* the probabilistic verdicts: the message was served
+        // slowly whether or not it is then lost downstream. The query is
+        // zero-draw, so plans without slow rules replay bit-identically.
+        let (slow_factor, bandwidth_factor) = self
+            .fault_plan
+            .as_mut()
+            .map(|p| p.service_factors(now, src, dst, src_site, dst_site))
+            .unwrap_or((1.0, 1.0));
+        let arrival = self.transfer_scaled(now, src, dst, bytes, slow_factor, bandwidth_factor)?;
         let Some(plan) = self.fault_plan.as_mut() else {
             return Ok(Some(Delivery {
                 arrival,
@@ -542,6 +575,83 @@ mod tests {
         assert_eq!(net.messages_corrupted(), 2);
         net.reset_occupancy();
         assert_eq!(net.messages_corrupted(), 0);
+    }
+
+    #[test]
+    fn slow_node_stretches_service_and_backlogs_its_uplink() {
+        use crate::fault::FaultPlan;
+        let mut net = testbed();
+        let bytes = 21_575_000; // ~0.1 s serialization at 1.726 Gbps
+        let clean = net
+            .send(SimTime::ZERO, NodeId(0), NodeId(1), bytes)
+            .unwrap()
+            .unwrap();
+        let clean_backlog = net.uplink_free_at(NodeId(0));
+        net.reset_occupancy();
+        net.set_fault_plan(FaultPlan::new(3).slow_node(
+            NodeId(0),
+            4.0,
+            SimTime::ZERO,
+            SimTime::MAX,
+        ));
+        let slow = net
+            .send(SimTime::ZERO, NodeId(0), NodeId(1), bytes)
+            .unwrap()
+            .unwrap();
+        let gap = (slow - clean).as_secs_f64();
+        // 4x stretches the ~0.1s serialization by 0.3s and the 0.85ms
+        // intra-site latency by 3 * 0.85ms (the whole service leg slows).
+        assert!(
+            (gap - 0.30255).abs() < 1e-3,
+            "4x service should add ~0.30255s: {gap}"
+        );
+        // Backlog grows with the stretch: the next message queues behind it.
+        assert!(net.uplink_free_at(NodeId(0)) > clean_backlog);
+        // Other senders are unaffected.
+        net.reset_occupancy();
+        let other = net
+            .send(SimTime::ZERO, NodeId(1), NodeId(0), bytes)
+            .unwrap()
+            .unwrap();
+        assert_eq!(other, clean);
+        assert_eq!(net.fault_plan().unwrap().stats().slowed, 0);
+    }
+
+    #[test]
+    fn throttle_reduces_effective_bandwidth_on_scoped_links() {
+        use crate::fault::{FaultPlan, FaultScope};
+        use crate::id::SiteId;
+        let mut net = testbed();
+        let bytes = 21_575_000;
+        let clean = net
+            .send(SimTime::ZERO, NodeId(0), NodeId(2), bytes)
+            .unwrap()
+            .unwrap();
+        net.reset_occupancy();
+        net.set_fault_plan(FaultPlan::new(3).throttle(
+            FaultScope::SitePair(SiteId(0), SiteId(1)),
+            2.0,
+            SimTime::ZERO,
+            SimTime::from_secs_f64(100.0),
+        ));
+        let congested = net
+            .send(SimTime::ZERO, NodeId(0), NodeId(2), bytes)
+            .unwrap()
+            .unwrap();
+        let gap = (congested - clean).as_secs_f64();
+        assert!(
+            (gap - 0.1).abs() < 1e-3,
+            "half bandwidth doubles 0.1s: {gap}"
+        );
+        assert_eq!(net.fault_plan().unwrap().stats().throttled, 1);
+        // Intra-site traffic is outside the scope.
+        net.reset_occupancy();
+        let intra = net
+            .send(SimTime::ZERO, NodeId(0), NodeId(1), bytes)
+            .unwrap()
+            .unwrap();
+        let unthrottled = net.transfer_delay(NodeId(0), NodeId(1), bytes);
+        assert_eq!(intra, SimTime::ZERO + unthrottled);
     }
 
     #[test]

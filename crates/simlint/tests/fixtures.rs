@@ -225,6 +225,46 @@ fn the_real_fingerprint_cache_lints_clean() {
 }
 
 #[test]
+fn gray_failure_shapes_fire_every_rule() {
+    // The gray-failure mitigation's tempting mistakes, in its own
+    // shape: wall-clock RTT samples, hash-ordered hedge steering, a
+    // float mean folded in hash order, and a cold-start unwrap.
+    let findings = lint_fixture("gray_failure.rs");
+    assert_eq!(
+        spans(&findings, RuleId::D001),
+        vec![(23, 17), (28, 16)] // hedge steering; mean-RTT fold
+    );
+    assert_eq!(spans(&findings, RuleId::D002), vec![(16, 28)]); // Instant::now
+    assert_eq!(spans(&findings, RuleId::D003), vec![(33, 28)]); // cold-start unwrap
+    assert_eq!(spans(&findings, RuleId::D004), vec![(28, 25)]); // float sum
+                                                                // The integer Jacobson/Karels half and the #[cfg(test)] module are
+                                                                // clean: every finding sits in the HashTimers block.
+    assert!(findings.iter().all(|f| f.line < 36));
+}
+
+#[test]
+fn the_real_rtt_estimator_lints_clean() {
+    // The production gray-failure module must exemplify what the
+    // fixture above pins: integer estimator state, BTreeMap-keyed
+    // per-peer timers, no wall clock, no unordered iteration.
+    let src = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../kvstore/src/gray.rs"
+    ))
+    .expect("gray-failure source readable");
+    let findings = lint_source(&src, &SIM_CTX);
+    assert!(
+        findings.iter().all(|f| f.suppressed),
+        "gray module has unsuppressed findings: {:?}",
+        findings
+            .iter()
+            .filter(|f| !f.suppressed)
+            .map(Finding::render)
+            .collect::<Vec<_>>()
+    );
+}
+
+#[test]
 fn wal_recovery_shapes_fire_every_rule() {
     // The crash-recovery subsystem's tempting mistakes, in its own
     // shape: hash-ordered WAL replay, wall-clock snapshot stamps,

@@ -1,0 +1,58 @@
+// Fixture: the gray-failure mitigation shapes. The real estimator
+// (ef-kvstore's gray module) keeps integer Jacobson/Karels state in
+// BTreeMap-keyed per-peer slots precisely to avoid every finding below;
+// this fixture pins the linter against the tempting float-and-HashMap
+// rewrite of the same machinery.
+use std::collections::{BTreeMap, HashMap};
+
+struct HashTimers {
+    rtt: HashMap<u32, f64>,
+    slow: HashMap<u32, bool>,
+}
+
+fn sample_with_wall_clock(timers: &mut HashTimers, peer: u32) {
+    // An RTT sample from the host clock: two replays of the same
+    // schedule adapt their timers differently.
+    let start = std::time::Instant::now();
+    timers.rtt.insert(peer, start.elapsed().as_secs_f64());
+}
+
+fn hedge_target_in_hash_order(timers: &HashTimers) -> Option<u32> {
+    // Steering the hedge by map iteration picks a different backup
+    // every run: hedge wins, RTT samples and slow marks all diverge.
+    timers.slow.keys().next().copied()
+}
+
+fn mean_rtt_folds_floats_in_hash_order(timers: &HashTimers) -> f64 {
+    // Float accumulation in hash order: the mean itself is run-dependent.
+    timers.rtt.values().sum::<f64>() / timers.rtt.len() as f64
+}
+
+fn rto_unwraps_an_unsampled_peer(timers: &HashTimers, peer: u32) -> f64 {
+    // A peer with no samples yet is the normal cold start, not a bug.
+    *timers.rtt.get(&peer).unwrap()
+}
+
+struct IntegerTimers {
+    srtt_ns: BTreeMap<u32, u64>,
+    rttvar_ns: BTreeMap<u32, u64>,
+}
+
+fn deterministic_rto(timers: &IntegerTimers, peer: u32) -> Option<u64> {
+    // Integer Jacobson/Karels over ordered maps: replayable, no float
+    // drift, and no hash order observed anywhere.
+    let srtt = timers.srtt_ns.get(&peer)?;
+    let var = timers.rttvar_ns.get(&peer)?;
+    Some(srtt + 4 * var)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_code_is_exempt() {
+        let t: HashMap<u32, f64> = HashMap::new();
+        assert!(t.values().sum::<f64>() == 0.0);
+    }
+}

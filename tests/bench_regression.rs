@@ -3,11 +3,13 @@
 //! `bench_ingest` (crates/bench) measures the hot path and writes
 //! `BENCH_ingest.json` at the repo root; this test pins the promises the
 //! overhaul makes — the gear-CDC fast path is at least 3× the seed
-//! byte-loop chunker and produces the *same* dedup ratio (within 2%) —
-//! and that the record carries all three headline metrics (chunking
-//! MB/s, fingerprint batch MB/s, ingest ops/s). The file is parsed by
-//! hand: the schema is flat with globally unique keys precisely so no
-//! JSON library is needed here or in the CI smoke job.
+//! byte-loop chunker and produces the *same* dedup ratio (within 2%),
+//! the second-sight fingerprint cache makes re-ingest dedup checks
+//! *faster* than the uncached ring path — and that the record carries
+//! all three headline metrics (chunking MB/s, fingerprint batch MB/s,
+//! ingest ops/s). The file is parsed by hand: the schema is flat with
+//! globally unique keys precisely so no JSON library is needed here or
+//! in the CI smoke job.
 
 use std::fs;
 
@@ -36,9 +38,28 @@ fn record() -> String {
 #[test]
 fn record_carries_the_schema_tag() {
     assert!(
-        record().contains("\"schema\": \"efdedup-bench-ingest/v1\""),
+        record().contains("\"schema\": \"efdedup-bench-ingest/v2\""),
         "unknown or missing schema tag"
     );
+}
+
+#[test]
+fn cached_reingest_beats_the_uncached_ring_path() {
+    // The point of the fingerprint cache: steady-state re-ingest (every
+    // chunk a duplicate the index must confirm) must be at least as
+    // fast with the second-sight cache in front as without it. PR 5's
+    // record had cache-ON *slower* than cache-OFF; this gate keeps that
+    // regression from coming back.
+    let json = record();
+    let off = metric(&json, "ingest_cache_off_ops_per_sec");
+    let on = metric(&json, "ingest_cache_on_ops_per_sec");
+    assert!(off > 0.0, "uncached throughput not positive: {off}");
+    assert!(
+        on >= off,
+        "cached re-ingest regressed below the uncached ring path: {on} vs {off} ops/s"
+    );
+    let epochs = metric(&json, "ingest_epochs");
+    assert!(epochs >= 2.0, "need at least two replay epochs: {epochs}");
 }
 
 #[test]
