@@ -151,7 +151,7 @@ fn mask_with_bits(bits: u32) -> u64 {
         // Positions (63 - 7i) mod 64 are pairwise distinct because
         // gcd(7, 64) = 1, so exactly `bits` ones are placed.
         let pos = (63 + 64 - (7 * i) % 64) % 64;
-        mask |= 1u64 << pos;
+        mask |= 1u64.wrapping_shl(pos as u32);
     }
     mask
 }
@@ -184,6 +184,8 @@ impl Default for GearChunker {
     fn default() -> Self {
         GearChunkerBuilder::new()
             .build()
+            // simlint::allow(P003): the default 2K/8K/64K config satisfies
+            // every builder invariant; failure here is unreachable
             .expect("default config is valid")
     }
 }
@@ -230,11 +232,11 @@ impl GearChunker {
             fp,
             self.mask_strict,
         ) {
-            Scan::Boundary(advanced) => return self.min_size + advanced,
+            Scan::Boundary(advanced) => return self.min_size.saturating_add(advanced),
             Scan::Through(carried) => fp = carried,
         }
         match scan_region(&self.gear, &data[normal_point..cap], fp, self.mask_loose) {
-            Scan::Boundary(advanced) => normal_point + advanced,
+            Scan::Boundary(advanced) => normal_point.saturating_add(advanced),
             Scan::Through(_) => cap,
         }
     }
@@ -282,7 +284,7 @@ impl GearChunker {
         while offset < data.len() {
             let len = self.next_boundary(&data[offset..]);
             debug_assert!(len > 0);
-            offset += len;
+            offset = offset.saturating_add(len);
             cuts.push(offset);
         }
         cuts
@@ -299,8 +301,9 @@ impl GearChunker {
         while offset < src.len() {
             let len = self.next_boundary_reference(&src[offset..]);
             debug_assert!(len > 0);
-            out.push(Chunk::new(offset as u64, src.slice(offset..offset + len)));
-            offset += len;
+            let end = offset.saturating_add(len);
+            out.push(Chunk::new(offset as u64, src.slice(offset..end)));
+            offset = end;
         }
         out
     }

@@ -48,7 +48,10 @@ impl ChunkHash {
     /// Used as the ring-placement token by the distributed key-value store;
     /// because SHA-256 output is uniform, so is this prefix.
     pub fn prefix64(&self) -> u64 {
-        u64::from_be_bytes(self.0[..8].try_into().expect("8-byte slice"))
+        // Destructuring the fixed-size digest is infallible — no slice
+        // conversion, nothing to panic.
+        let [b0, b1, b2, b3, b4, b5, b6, b7, ..] = self.0;
+        u64::from_be_bytes([b0, b1, b2, b3, b4, b5, b6, b7])
     }
 }
 

@@ -7,7 +7,7 @@
 //! tests) an in-memory implementation suffices.
 
 use crate::chunk::ChunkHash;
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// A deduplication index over chunk hashes.
 ///
@@ -31,7 +31,8 @@ pub trait ChunkIndex {
     }
 }
 
-/// A process-local chunk index backed by a hash set.
+/// A process-local chunk index backed by an ordered set, so every
+/// traversal is deterministic.
 ///
 /// # Example
 ///
@@ -47,7 +48,7 @@ pub trait ChunkIndex {
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct InMemoryChunkIndex {
-    set: HashSet<ChunkHash>,
+    set: BTreeSet<ChunkHash>,
 }
 
 impl InMemoryChunkIndex {
@@ -56,7 +57,7 @@ impl InMemoryChunkIndex {
         Self::default()
     }
 
-    /// Iterates over the stored hashes in unspecified order.
+    /// Iterates over the stored hashes in ascending order.
     pub fn iter(&self) -> impl Iterator<Item = &ChunkHash> {
         self.set.iter()
     }

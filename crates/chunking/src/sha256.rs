@@ -135,13 +135,15 @@ impl Sha256 {
         self.total_len = self
             .total_len
             .checked_add(data.len() as u64)
+            // simlint::allow(P003): a 2^61-byte message cannot occur; the
+            // checked_add makes the overflow policy explicit and loud
             .expect("message too long");
         let mut input = data;
         // Fill a partially filled buffer first.
         if self.buffer_len > 0 {
             let take = input.len().min(64 - self.buffer_len);
-            self.buffer[self.buffer_len..self.buffer_len + take].copy_from_slice(&input[..take]);
-            self.buffer_len += take;
+            self.buffer[self.buffer_len..][..take].copy_from_slice(&input[..take]);
+            self.buffer_len = self.buffer_len.saturating_add(take);
             input = &input[take..];
             if self.buffer_len == 64 {
                 let block = self.buffer;
@@ -166,6 +168,8 @@ impl Sha256 {
 
     /// Consumes the hasher and returns the 32-byte digest.
     pub fn finalize(mut self) -> [u8; 32] {
+        // simlint::allow(P003): a 2^61-byte message cannot occur; the
+        // checked_mul makes the overflow policy explicit and loud
         let bit_len = self.total_len.checked_mul(8).expect("message too long");
         // Append 0x80, pad with zeros, append 64-bit big-endian length.
         let mut pad = [0u8; 128];
@@ -318,6 +322,7 @@ fn splat(x: u32) -> Lanes {
 fn add(a: Lanes, b: Lanes) -> Lanes {
     let mut r = [0u32; BATCH_LANES];
     for i in 0..BATCH_LANES {
+        // simlint::allow(P001): i < BATCH_LANES, the length of every lane array
         r[i] = a[i].wrapping_add(b[i]);
     }
     r
@@ -327,6 +332,7 @@ fn add(a: Lanes, b: Lanes) -> Lanes {
 fn xor(a: Lanes, b: Lanes) -> Lanes {
     let mut r = [0u32; BATCH_LANES];
     for i in 0..BATCH_LANES {
+        // simlint::allow(P001): i < BATCH_LANES, the length of every lane array
         r[i] = a[i] ^ b[i];
     }
     r
@@ -336,6 +342,7 @@ fn xor(a: Lanes, b: Lanes) -> Lanes {
 fn and(a: Lanes, b: Lanes) -> Lanes {
     let mut r = [0u32; BATCH_LANES];
     for i in 0..BATCH_LANES {
+        // simlint::allow(P001): i < BATCH_LANES, the length of every lane array
         r[i] = a[i] & b[i];
     }
     r
@@ -345,6 +352,7 @@ fn and(a: Lanes, b: Lanes) -> Lanes {
 fn andnot(a: Lanes, b: Lanes) -> Lanes {
     let mut r = [0u32; BATCH_LANES];
     for i in 0..BATCH_LANES {
+        // simlint::allow(P001): i < BATCH_LANES, the length of every lane array
         r[i] = !a[i] & b[i];
     }
     r
@@ -354,6 +362,7 @@ fn andnot(a: Lanes, b: Lanes) -> Lanes {
 fn rotr(a: Lanes, n: u32) -> Lanes {
     let mut r = [0u32; BATCH_LANES];
     for i in 0..BATCH_LANES {
+        // simlint::allow(P001): i < BATCH_LANES, the length of every lane array
         r[i] = a[i].rotate_right(n);
     }
     r
@@ -363,6 +372,7 @@ fn rotr(a: Lanes, n: u32) -> Lanes {
 fn shr(a: Lanes, n: u32) -> Lanes {
     let mut r = [0u32; BATCH_LANES];
     for i in 0..BATCH_LANES {
+        // simlint::allow(P001): i < BATCH_LANES, the length of every lane array
         r[i] = a[i] >> n;
     }
     r
@@ -379,6 +389,7 @@ fn compress_wide(states: &mut [Lanes; 8], blocks: &[[u8; 64]; BATCH_LANES]) {
     let mut w = [[0u32; BATCH_LANES]; 64];
     for (t, word) in w.iter_mut().take(16).enumerate() {
         for (l, block) in blocks.iter().enumerate() {
+            // simlint::allow(P001): l < BATCH_LANES, the width of every w row
             word[l] = u32::from_be_bytes([
                 block[t * 4],
                 block[t * 4 + 1],

@@ -73,9 +73,9 @@ impl RttEstimator {
             }
             Some(srtt) => {
                 let err = s.abs_diff(srtt);
-                self.rttvar = self.rttvar + err / 4 - self.rttvar / 4;
+                self.rttvar = (self.rttvar - self.rttvar / 4).saturating_add(err / 4);
                 let adjusted = if s >= srtt {
-                    srtt + err / 8
+                    srtt.saturating_add(err / 8)
                 } else {
                     srtt - err / 8
                 };
@@ -217,14 +217,14 @@ impl GrayFailureStats {
     /// Folds another counter set into this one. Counters add;
     /// `queue_peak` takes the maximum.
     pub fn merge(&mut self, other: &GrayFailureStats) {
-        self.hedges_fired += other.hedges_fired;
-        self.hedges_won += other.hedges_won;
-        self.sheds_background += other.sheds_background;
-        self.sheds_critical += other.sheds_critical;
+        self.hedges_fired = self.hedges_fired.saturating_add(other.hedges_fired);
+        self.hedges_won = self.hedges_won.saturating_add(other.hedges_won);
+        self.sheds_background = self.sheds_background.saturating_add(other.sheds_background);
+        self.sheds_critical = self.sheds_critical.saturating_add(other.sheds_critical);
         self.queue_peak = self.queue_peak.max(other.queue_peak);
-        self.rtt_samples += other.rtt_samples;
-        self.rto_adaptations += other.rto_adaptations;
-        self.slow_marks += other.slow_marks;
+        self.rtt_samples = self.rtt_samples.saturating_add(other.rtt_samples);
+        self.rto_adaptations = self.rto_adaptations.saturating_add(other.rto_adaptations);
+        self.slow_marks = self.slow_marks.saturating_add(other.slow_marks);
     }
 
     /// True when the mitigation layer saw no activity at all.

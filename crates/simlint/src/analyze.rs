@@ -1,15 +1,23 @@
-//! Rule engine: token-level determinism/soundness checks.
+//! Rule engine: parser-backed determinism/soundness checks.
 //!
-//! The rules deliberately work on the token stream rather than a full
-//! AST: the patterns they police (unordered-collection iteration, banned
-//! wall-clock calls, panicking combinators) are locally recognizable,
-//! and a token engine keeps the linter dependency-free so it can run in
+//! The D-series rules work on the token stream directly — the patterns
+//! they police (unordered-collection iteration, banned wall-clock
+//! calls, panicking combinators) are locally recognizable. The P/E/S
+//! families lean on the structural layer in [`crate::parse`]: match
+//! arms split into pattern vs. body, function extents for bound-check
+//! coverage, fixed-size-array bindings, and explicit directive-stack
+//! resolution. Everything stays dependency-free so the linter runs in
 //! minimal build environments. The fixture suite in `tests/` pins the
 //! recognized shapes; anything subtler can be silenced in-source with a
-//! justified `// simlint::allow(D00x): <reason>`.
+//! justified `// simlint::allow(D00x): <reason>` — which rule S002
+//! reports as stale the moment it stops covering a finding.
 
 use crate::lexer::{lex, Comment, Tok, TokKind};
-use crate::{FileCtx, Finding, RuleId};
+use crate::parse::{
+    adjacent, code_lines, comment_lines, enclosing_fn, fixed_array_names, fn_extents, is_ident,
+    is_num_lit, is_punct, match_expressions, matching, matching_angle, test_code_mask,
+};
+use crate::{FileCtx, Finding, RuleId, FAULT_ENUMS};
 use std::collections::BTreeSet;
 
 /// Methods whose call on a `HashMap`/`HashSet` observes iteration order.
@@ -28,6 +36,16 @@ const ITER_METHODS: &[&str] = &[
 /// Constructors that mark a binding as an unordered collection.
 const CTORS: &[&str] = &["new", "with_capacity", "default", "from_iter", "from"];
 
+/// Keywords that can directly precede `[` or an operand position
+/// without making the previous token an expression operand.
+const NON_OPERAND_KEYWORDS: &[&str] = &[
+    "let", "mut", "ref", "in", "return", "else", "if", "while", "match", "for", "loop", "move",
+    "break", "continue", "box", "do", "yield", "dyn", "impl", "where", "use", "as",
+];
+
+/// Methods that count as a bound check on the indexed base (P001).
+const BOUND_METHODS: &[&str] = &["len", "get", "get_mut", "is_empty"];
+
 /// Lints one source file. `ctx` decides which rules apply; findings are
 /// returned with suppressions already resolved (`suppressed == true`
 /// findings are informational).
@@ -36,17 +54,34 @@ pub fn lint_source(src: &str, ctx: &FileCtx) -> Vec<Finding> {
     let excluded = test_code_mask(&toks);
 
     let mut findings = Vec::new();
-    if ctx.sim_critical {
+    if ctx.sim_critical || ctx.hot_path {
         let tracked = unordered_bindings(&toks, &excluded);
         check_d001_d004(&toks, &excluded, &tracked, &mut findings);
-        check_d003(&toks, &excluded, &mut findings);
+        // On the hot-path list a panic site is escalated to P003; the
+        // shape detected is identical.
+        let panic_rule = if ctx.hot_path {
+            RuleId::P003
+        } else {
+            RuleId::D003
+        };
+        check_panics(&toks, &excluded, panic_rule, &mut findings);
+        check_e001(&toks, &excluded, &mut findings);
+    }
+    if ctx.hot_path {
+        check_p001(&toks, &excluded, &mut findings);
+        check_p002(&toks, &excluded, &mut findings);
     }
     if ctx.d002_applies {
         check_d002(&toks, &excluded, &mut findings);
     }
 
-    let suppressions = parse_suppressions(&comments, &mut findings);
-    resolve_suppressions(&mut findings, &suppressions);
+    let mut suppressions = parse_suppressions(&comments, &mut findings);
+    resolve_suppressions(
+        &mut findings,
+        &mut suppressions,
+        &code_lines(&toks),
+        &comment_lines(&comments),
+    );
     findings.sort_by_key(|f| (f.line, f.col, f.rule));
     findings.dedup_by_key(|f| (f.line, f.col, f.rule));
     findings
@@ -56,120 +91,10 @@ pub fn lint_source(src: &str, ctx: &FileCtx) -> Vec<Finding> {
 struct Suppression {
     rules: Vec<RuleId>,
     line: u32,
-}
-
-/// Marks tokens that belong to `#[cfg(test)]`-gated items (or items
-/// under `#[test]`), which every rule skips: test code is allowed to
-/// panic and to use unordered collections for assertions.
-fn test_code_mask(toks: &[Tok]) -> Vec<bool> {
-    let mut mask = vec![false; toks.len()];
-    let mut i = 0usize;
-    while i < toks.len() {
-        if !is_punct(toks, i, "#") {
-            i += 1;
-            continue;
-        }
-        let Some(attr_end) = matching(toks, i + 1, "[", "]") else {
-            i += 1;
-            continue;
-        };
-        if !attr_is_test_gate(&toks[i + 1..=attr_end]) {
-            i = attr_end + 1;
-            continue;
-        }
-        // Skip any further attributes, then the gated item itself.
-        let mut j = attr_end + 1;
-        while is_punct(toks, j, "#") {
-            match matching(toks, j + 1, "[", "]") {
-                Some(e) => j = e + 1,
-                None => break,
-            }
-        }
-        let item_end = item_extent(toks, j);
-        for m in mask.iter_mut().take(item_end + 1).skip(i) {
-            *m = true;
-        }
-        i = item_end + 1;
-    }
-    mask
-}
-
-/// `#[cfg(test)]`, `#[cfg(all(test, ...))]`, `#[test]` — but not
-/// `#[cfg(not(test))]`, which gates *non*-test code.
-fn attr_is_test_gate(attr: &[Tok]) -> bool {
-    let mut has_test = false;
-    let mut has_not = false;
-    let mut has_cfg_or_bare = false;
-    for (k, t) in attr.iter().enumerate() {
-        if t.kind != TokKind::Ident {
-            continue;
-        }
-        match t.text.as_str() {
-            "test" => {
-                has_test = true;
-                // `#[test]` bare form: first token inside the brackets.
-                if k == 1 {
-                    has_cfg_or_bare = true;
-                }
-            }
-            "cfg" => has_cfg_or_bare = true,
-            "not" => has_not = true,
-            _ => {}
-        }
-    }
-    has_test && has_cfg_or_bare && !has_not
-}
-
-/// Extent of the item starting at `start`: through the matching `}` of
-/// its first block, or through a terminating `;`.
-fn item_extent(toks: &[Tok], start: usize) -> usize {
-    let mut depth_paren = 0i32;
-    let mut j = start;
-    while j < toks.len() {
-        match toks[j].text.as_str() {
-            "(" | "[" => depth_paren += 1,
-            ")" | "]" => depth_paren -= 1,
-            "{" if depth_paren == 0 => {
-                return matching(toks, j, "{", "}").unwrap_or(toks.len() - 1);
-            }
-            ";" if depth_paren == 0 => return j,
-            _ => {}
-        }
-        j += 1;
-    }
-    toks.len().saturating_sub(1)
-}
-
-fn is_punct(toks: &[Tok], i: usize, p: &str) -> bool {
-    toks.get(i)
-        .is_some_and(|t| t.kind == TokKind::Punct && t.text == p)
-}
-
-fn is_ident(toks: &[Tok], i: usize, name: &str) -> bool {
-    toks.get(i)
-        .is_some_and(|t| t.kind == TokKind::Ident && t.text == name)
-}
-
-/// Index of the delimiter matching `open` at `start` (which must hold
-/// `open`), or `None`.
-fn matching(toks: &[Tok], start: usize, open: &str, close: &str) -> Option<usize> {
-    if !is_punct(toks, start, open) {
-        return None;
-    }
-    let mut depth = 0i32;
-    for (j, t) in toks.iter().enumerate().skip(start) {
-        if t.kind == TokKind::Punct {
-            if t.text == open {
-                depth += 1;
-            } else if t.text == close {
-                depth -= 1;
-                if depth == 0 {
-                    return Some(j);
-                }
-            }
-        }
-    }
-    None
+    col: u32,
+    /// Set when the directive silenced at least one finding; a directive
+    /// that stays unused is itself reported (S002).
+    used: bool,
 }
 
 /// Collects names bound to `HashMap`/`HashSet` in non-test code: type
@@ -365,30 +290,6 @@ fn check_for_loop(toks: &[Tok], i: usize, name: &str, findings: &mut Vec<Finding
     }
 }
 
-/// Matches `<` ... `>` with nesting (turbofish / generic args).
-fn matching_angle(toks: &[Tok], start: usize) -> Option<usize> {
-    if !is_punct(toks, start, "<") {
-        return None;
-    }
-    let mut depth = 0i32;
-    for (j, t) in toks.iter().enumerate().skip(start) {
-        if t.kind == TokKind::Punct {
-            match t.text.as_str() {
-                "<" => depth += 1,
-                ">" => {
-                    depth -= 1;
-                    if depth == 0 {
-                        return Some(j);
-                    }
-                }
-                ";" | "{" => return None,
-                _ => {}
-            }
-        }
-    }
-    None
-}
-
 /// D002: wall-clock and ambient-entropy APIs.
 fn check_d002(toks: &[Tok], excluded: &[bool], findings: &mut Vec<Finding>) {
     for (i, t) in toks.iter().enumerate() {
@@ -491,8 +392,9 @@ fn in_use_of(toks: &[Tok], i: usize, module: &str) -> bool {
     saw_use && saw_module
 }
 
-/// D003: panicking combinators in non-test library code.
-fn check_d003(toks: &[Tok], excluded: &[bool], findings: &mut Vec<Finding>) {
+/// D003/P003: panicking combinators in non-test library code. The same
+/// shape reports as P003 in hot-path modules, D003 elsewhere.
+fn check_panics(toks: &[Tok], excluded: &[bool], rule: RuleId, findings: &mut Vec<Finding>) {
     for (i, t) in toks.iter().enumerate() {
         if excluded[i] || t.kind != TokKind::Ident {
             continue;
@@ -502,7 +404,7 @@ fn check_d003(toks: &[Tok], excluded: &[bool], findings: &mut Vec<Finding>) {
                 if i >= 1 && is_punct(toks, i - 1, ".") && is_punct(toks, i + 1, "(") =>
             {
                 findings.push(Finding::new(
-                    RuleId::D003,
+                    rule,
                     t.line,
                     t.col,
                     format!(
@@ -514,7 +416,7 @@ fn check_d003(toks: &[Tok], excluded: &[bool], findings: &mut Vec<Finding>) {
             }
             "panic" if is_punct(toks, i + 1, "!") => {
                 findings.push(Finding::new(
-                    RuleId::D003,
+                    rule,
                     t.line,
                     t.col,
                     "`panic!` aborts the simulation; surface the failure as \
@@ -527,9 +429,191 @@ fn check_d003(toks: &[Tok], excluded: &[bool], findings: &mut Vec<Finding>) {
     }
 }
 
+/// P001: postfix indexing `base[expr]` in a hot-path module with no
+/// covering bound check in the enclosing function. Exempt: fixed-size
+/// arrays (bounded by construction), lone integer-literal indices, and
+/// range slices `base[a..b]`. A bound check is any `base.len()` /
+/// `base.get(..)` / `base.is_empty()` mention in the same function.
+fn check_p001(toks: &[Tok], excluded: &[bool], findings: &mut Vec<Finding>) {
+    let fixed = fixed_array_names(toks);
+    let fns = fn_extents(toks);
+    for i in 1..toks.len() {
+        if excluded[i] || !is_punct(toks, i, "[") {
+            continue;
+        }
+        let base = &toks[i - 1];
+        if base.kind != TokKind::Ident || NON_OPERAND_KEYWORDS.contains(&base.text.as_str()) {
+            continue;
+        }
+        let Some(close) = matching(toks, i, "[", "]") else {
+            continue;
+        };
+        if close == i + 1 {
+            continue; // `[]` — a type position, not an index
+        }
+        // Range slice: `..` anywhere inside the index group.
+        let is_range = (i + 1..close.saturating_sub(1)).any(|k| {
+            is_punct(toks, k, ".") && is_punct(toks, k + 1, ".") && adjacent(toks, k, k + 1)
+        });
+        if is_range {
+            continue;
+        }
+        // Lone integer literal index: bounded by inspection.
+        if close == i + 2 && is_num_lit(toks, i + 1) {
+            continue;
+        }
+        if fixed.contains(&base.text) {
+            continue;
+        }
+        let covered = enclosing_fn(&fns, i).is_some_and(|(fs, fe)| {
+            (fs..=fe).any(|k| {
+                is_ident(toks, k, &base.text)
+                    && is_punct(toks, k + 1, ".")
+                    && toks
+                        .get(k + 2)
+                        .is_some_and(|t| BOUND_METHODS.contains(&t.text.as_str()))
+            })
+        });
+        if covered {
+            continue;
+        }
+        findings.push(Finding::new(
+            RuleId::P001,
+            base.line,
+            base.col,
+            format!(
+                "indexing `{}[..]` can panic on a hot path; bound it with \
+                 `.len()`/`.get()` in this function or justify with an allow",
+                base.text
+            ),
+        ));
+    }
+}
+
+/// P002: unchecked `+`/`*`/`<<` (and `+=`/`*=`/`<<=`) between
+/// non-literal integer operands in a hot-path module. An operand that
+/// is a numeric literal makes the growth rate inspectable (`i + 1`,
+/// `x << 2`, `n * 8`), so those are exempt; everything else must be
+/// `wrapping_*`/`checked_*`/`saturating_*` or carry a justified allow.
+fn check_p002(toks: &[Tok], excluded: &[bool], findings: &mut Vec<Finding>) {
+    let mut i = 0usize;
+    while i < toks.len() {
+        if excluded[i] || toks[i].kind != TokKind::Punct {
+            i += 1;
+            continue;
+        }
+        match toks[i].text.as_str() {
+            op @ ("+" | "*") => {
+                // Compound assignment `+=` / `*=`.
+                if is_punct(toks, i + 1, "=") && adjacent(toks, i, i + 1) {
+                    if !is_num_lit(toks, i + 2) {
+                        findings.push(p002_finding(&toks[i], &format!("{op}=")));
+                    }
+                    i += 2;
+                    continue;
+                }
+                // Binary operator: previous token must be an operand.
+                if i >= 1 && is_operand_end(&toks[i - 1]) {
+                    let lit_neighbor = is_num_lit(toks, i - 1) || is_num_lit(toks, i + 1);
+                    if !lit_neighbor {
+                        findings.push(p002_finding(&toks[i], op));
+                    }
+                }
+            }
+            "<" if is_punct(toks, i + 1, "<") && adjacent(toks, i, i + 1) => {
+                // `<<` or `<<=`; the shifted-out bits silently vanish
+                // unless the amount is inspectable.
+                let rhs = if is_punct(toks, i + 2, "=") && adjacent(toks, i + 1, i + 2) {
+                    i + 3
+                } else {
+                    i + 2
+                };
+                let operand_before = i >= 1 && is_operand_end(&toks[i - 1]);
+                if operand_before && !is_num_lit(toks, rhs) {
+                    let op = if rhs == i + 3 { "<<=" } else { "<<" };
+                    findings.push(p002_finding(&toks[i], op));
+                }
+                i = rhs;
+                continue;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+}
+
+/// Can `t` end an expression operand (making a following `+`/`*`
+/// binary rather than unary/deref)?
+fn is_operand_end(t: &Tok) -> bool {
+    match t.kind {
+        TokKind::Ident => !NON_OPERAND_KEYWORDS.contains(&t.text.as_str()),
+        TokKind::Lit => true,
+        TokKind::Punct => t.text == ")" || t.text == "]",
+    }
+}
+
+fn p002_finding(t: &Tok, op: &str) -> Finding {
+    Finding::new(
+        RuleId::P002,
+        t.line,
+        t.col,
+        format!(
+            "unchecked `{op}` on a hot path can overflow; make the policy \
+             explicit with `wrapping_*`/`checked_*`/`saturating_*`"
+        ),
+    )
+}
+
+/// E001: a `match` whose arm *patterns* name one of the fault/liveness
+/// enums must not carry a bare `_` wildcard arm — adding a fault
+/// variant has to force every handler site to be revisited. Guarded
+/// wildcards (`_ if cond`) and catch-all bindings are out of scope:
+/// only the unconditional `_` arm swallows new variants silently.
+fn check_e001(toks: &[Tok], excluded: &[bool], findings: &mut Vec<Finding>) {
+    for mx in match_expressions(toks) {
+        if excluded[mx.kw] {
+            continue;
+        }
+        let fault_enum = mx.arms.iter().find_map(|arm| {
+            (arm.pat.0..arm.pat.1).find_map(|k| {
+                let t = &toks[k];
+                if t.kind == TokKind::Ident
+                    && FAULT_ENUMS.contains(&t.text.as_str())
+                    && is_punct(toks, k + 1, ":")
+                    && is_punct(toks, k + 2, ":")
+                {
+                    Some(t.text.clone())
+                } else {
+                    None
+                }
+            })
+        });
+        let Some(enum_name) = fault_enum else {
+            continue;
+        };
+        for arm in &mx.arms {
+            // `_` lexes as an identifier token.
+            let pat = &toks[arm.pat.0..arm.pat.1];
+            if pat.len() == 1 && pat[0].text == "_" {
+                findings.push(Finding::new(
+                    RuleId::E001,
+                    pat[0].line,
+                    pat[0].col,
+                    format!(
+                        "wildcard `_` arm in a match over fault enum `{enum_name}`; \
+                         enumerate the variants so a new fault type cannot be \
+                         silently swallowed"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
 /// Parses `// simlint::allow(D00x[, D00y]): reason` directives. A
 /// directive with no reason (or an empty one) is itself a violation
-/// (S001) — every exception must be justified in-source.
+/// (S001); one naming a rule that does not exist is S003 — every
+/// exception must be justified and must name a real rule.
 fn parse_suppressions(comments: &[Comment], findings: &mut Vec<Finding>) -> Vec<Suppression> {
     let mut out = Vec::new();
     for c in comments {
@@ -555,19 +639,39 @@ fn parse_suppressions(comments: &[Comment], findings: &mut Vec<Finding>) -> Vec<
             continue;
         };
         let mut rules = Vec::new();
-        let mut bad_rule = false;
+        let mut unknown = None;
         for part in after[..close].split(',') {
             match RuleId::parse(part.trim()) {
                 Some(r) => rules.push(r),
-                None => bad_rule = true,
+                None => unknown = Some(part.trim().to_string()),
             }
         }
-        if bad_rule || rules.is_empty() {
+        if let Some(bad) = unknown {
+            findings.push(Finding::new(
+                RuleId::S003,
+                c.line,
+                c.col,
+                format!("simlint::allow names a rule that does not exist: `{bad}`"),
+            ));
+            continue;
+        }
+        if rules.is_empty() {
             findings.push(Finding::new(
                 RuleId::S001,
                 c.line,
                 c.col,
-                "simlint::allow names an unknown rule id".to_string(),
+                "simlint::allow names no rule".to_string(),
+            ));
+            continue;
+        }
+        if rules.iter().any(RuleId::is_suppression_hygiene) {
+            findings.push(Finding::new(
+                RuleId::S001,
+                c.line,
+                c.col,
+                "S-series rules police the suppression mechanism itself and \
+                 cannot be allowed"
+                    .to_string(),
             ));
             continue;
         }
@@ -587,34 +691,77 @@ fn parse_suppressions(comments: &[Comment], findings: &mut Vec<Finding>) -> Vec<
         out.push(Suppression {
             rules,
             line: c.line,
+            col: c.col,
+            used: false,
         });
     }
     out
 }
 
-/// A suppression covers findings of its rule(s) on its own line or on
-/// the next code line (directly below the directive, allowing stacked
-/// directives).
-fn resolve_suppressions(findings: &mut [Finding], suppressions: &[Suppression]) {
-    for f in findings.iter_mut() {
-        if f.rule == RuleId::S001 {
+/// Lines a directive covers: its own line when code shares it (a
+/// trailing directive binds tightly); otherwise the next code line
+/// reachable through comment-only lines. Stacked directives are
+/// comment-only lines themselves, so a whole stack resolves to the
+/// statement below it — never to a sibling directive, which is the
+/// distinction the old line-walk got wrong.
+fn covered_lines(s: &Suppression, code: &BTreeSet<u32>, comments: &BTreeSet<u32>) -> BTreeSet<u32> {
+    let mut out = BTreeSet::new();
+    if code.contains(&s.line) {
+        out.insert(s.line);
+        return out;
+    }
+    let mut l = s.line + 1;
+    loop {
+        if code.contains(&l) {
+            out.insert(l);
+            break;
+        }
+        if comments.contains(&l) {
+            l += 1; // look through stacked directives / comment lines
             continue;
         }
-        let covered = suppressions.iter().any(|s| {
-            s.rules.contains(&f.rule) && (s.line == f.line || covers_below(s, suppressions, f.line))
-        });
-        if covered {
-            f.suppressed = true;
-        }
+        break; // blank line: the directive is detached
     }
+    out
 }
 
-/// `s` sits on some line above `target`; it covers `target` when every
-/// line strictly between them also holds a suppression directive
-/// (stacked `// simlint::allow` lines above one statement).
-fn covers_below(s: &Suppression, all: &[Suppression], target: u32) -> bool {
-    if s.line >= target {
-        return false;
+/// Marks findings covered by a justified directive as suppressed, then
+/// reports every directive that silenced nothing as stale (S002).
+/// S-series findings are never suppressed: hygiene problems must
+/// surface even under a (mis-)matching allow.
+fn resolve_suppressions(
+    findings: &mut Vec<Finding>,
+    suppressions: &mut [Suppression],
+    code: &BTreeSet<u32>,
+    comments: &BTreeSet<u32>,
+) {
+    for s in suppressions.iter_mut() {
+        let lines = covered_lines(s, code, comments);
+        for f in findings.iter_mut() {
+            if f.rule.is_suppression_hygiene() {
+                continue;
+            }
+            if s.rules.contains(&f.rule) && lines.contains(&f.line) {
+                f.suppressed = true;
+                s.used = true;
+            }
+        }
     }
-    ((s.line + 1)..target).all(|l| all.iter().any(|o| o.line == l))
+    for s in suppressions.iter().filter(|s| !s.used) {
+        let rules = s
+            .rules
+            .iter()
+            .map(|r| r.to_string())
+            .collect::<Vec<_>>()
+            .join(", ");
+        findings.push(Finding::new(
+            RuleId::S002,
+            s.line,
+            s.col,
+            format!(
+                "stale simlint::allow({rules}): the covered lines produce no \
+                 such finding; delete the directive"
+            ),
+        ));
+    }
 }

@@ -1,0 +1,180 @@
+//! Baseline ratchet: per-rule finding counts committed as
+//! `simlint-baseline.json`, diffed against every run. A count that
+//! rises fails CI; a count that falls fails too until the baseline is
+//! shrunk to match — so the recorded debt can only burn down.
+//!
+//! The file is a flat JSON object (`{"D001": 0, ...}`), parsed with a
+//! minimal hand-rolled reader to keep the linter dependency-free.
+
+use crate::RuleId;
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// Per-rule blessed counts.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct Baseline {
+    counts: BTreeMap<RuleId, u64>,
+}
+
+/// One row of the ratchet comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeltaRow {
+    pub rule: RuleId,
+    pub baseline: u64,
+    pub current: u64,
+}
+
+impl DeltaRow {
+    /// Findings not covered by the baseline (a CI failure).
+    pub fn regressed(&self) -> bool {
+        self.current > self.baseline
+    }
+
+    /// Baseline blesses more findings than exist (must be shrunk).
+    pub fn stale(&self) -> bool {
+        self.current < self.baseline
+    }
+}
+
+impl Baseline {
+    /// Builds a baseline from a report's current per-rule counts.
+    pub fn from_counts(counts: &BTreeMap<RuleId, u64>) -> Baseline {
+        Baseline {
+            counts: counts.clone(),
+        }
+    }
+
+    /// Blessed count for one rule (unknown rules bless nothing).
+    pub fn count(&self, rule: RuleId) -> u64 {
+        self.counts.get(&rule).copied().unwrap_or(0)
+    }
+
+    /// Loads and parses a baseline file.
+    pub fn load(path: &Path) -> Result<Baseline, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        Baseline::parse(&text).map_err(|e| format!("{}: {e}", path.display()))
+    }
+
+    /// Parses the flat `{"RULE": count, ...}` object. Unknown keys are
+    /// an error: a stale rule name in the baseline must not silently
+    /// bless nothing.
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let mut counts = BTreeMap::new();
+        let mut chars = text.chars().peekable();
+        skip_ws(&mut chars);
+        if chars.next() != Some('{') {
+            return Err("baseline must be a JSON object".to_string());
+        }
+        loop {
+            skip_ws(&mut chars);
+            match chars.peek() {
+                Some('}') => {
+                    chars.next();
+                    break;
+                }
+                Some('"') => {}
+                _ => return Err("expected `\"rule\"` key or `}`".to_string()),
+            }
+            chars.next(); // opening quote
+            let mut key = String::new();
+            for c in chars.by_ref() {
+                if c == '"' {
+                    break;
+                }
+                key.push(c);
+            }
+            let rule = RuleId::parse(&key).ok_or_else(|| format!("unknown rule id `{key}`"))?;
+            skip_ws(&mut chars);
+            if chars.next() != Some(':') {
+                return Err(format!("missing `:` after `{key}`"));
+            }
+            skip_ws(&mut chars);
+            let mut digits = String::new();
+            while matches!(chars.peek(), Some(c) if c.is_ascii_digit()) {
+                digits.push(chars.next().expect("peeked digit"));
+            }
+            let n: u64 = digits
+                .parse()
+                .map_err(|_| format!("invalid count for `{key}`"))?;
+            if counts.insert(rule, n).is_some() {
+                return Err(format!("duplicate rule `{key}`"));
+            }
+            skip_ws(&mut chars);
+            match chars.next() {
+                Some(',') => continue,
+                Some('}') => break,
+                _ => return Err("expected `,` or `}`".to_string()),
+            }
+        }
+        Ok(Baseline { counts })
+    }
+
+    /// Serializes in the committed format: one rule per line, sorted.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let rows: Vec<String> = RuleId::ALL
+            .iter()
+            .map(|r| format!("  \"{r}\": {}", self.count(*r)))
+            .collect();
+        out.push_str(&rows.join(",\n"));
+        out.push_str("\n}\n");
+        out
+    }
+
+    /// Per-rule comparison against current counts, every rule listed.
+    pub fn delta(&self, counts: &BTreeMap<RuleId, u64>) -> Vec<DeltaRow> {
+        RuleId::ALL
+            .iter()
+            .map(|r| DeltaRow {
+                rule: *r,
+                baseline: self.count(*r),
+                current: counts.get(r).copied().unwrap_or(0),
+            })
+            .collect()
+    }
+}
+
+fn skip_ws(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) {
+    while matches!(chars.peek(), Some(c) if c.is_whitespace()) {
+        chars.next();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrips() {
+        let mut counts = BTreeMap::new();
+        counts.insert(RuleId::D001, 3);
+        counts.insert(RuleId::P002, 1);
+        let b = Baseline::from_counts(&counts);
+        let parsed = Baseline::parse(&b.to_json()).expect("parses");
+        assert_eq!(parsed.count(RuleId::D001), 3);
+        assert_eq!(parsed.count(RuleId::P002), 1);
+        assert_eq!(parsed.count(RuleId::S002), 0);
+    }
+
+    #[test]
+    fn rejects_unknown_rules_and_garbage() {
+        assert!(Baseline::parse("{\"D999\": 0}").is_err());
+        assert!(Baseline::parse("[]").is_err());
+        assert!(Baseline::parse("{\"D001\": 1, \"D001\": 2}").is_err());
+    }
+
+    #[test]
+    fn delta_classifies_rows() {
+        let base = Baseline::parse("{\"D003\": 2}").expect("parses");
+        let mut now = BTreeMap::new();
+        now.insert(RuleId::D003, 3);
+        now.insert(RuleId::P001, 1);
+        let delta = base.delta(&now);
+        let d003 = delta.iter().find(|r| r.rule == RuleId::D003).unwrap();
+        assert!(d003.regressed() && !d003.stale());
+        let p001 = delta.iter().find(|r| r.rule == RuleId::P001).unwrap();
+        assert!(p001.regressed());
+        let d001 = delta.iter().find(|r| r.rule == RuleId::D001).unwrap();
+        assert!(!d001.regressed() && !d001.stale());
+    }
+}

@@ -14,14 +14,15 @@ pub enum TokKind {
     Ident,
     /// A single punctuation character.
     Punct,
-    /// String/char/numeric literal (contents not preserved).
+    /// String/char/numeric literal (contents preserved for numbers only).
     Lit,
 }
 
 /// One lexed token with its 1-based source position.
 #[derive(Debug, Clone)]
 pub struct Tok {
-    /// Identifier text, the punctuation character, or `""` for literals.
+    /// Identifier text, the punctuation character, the digits of a
+    /// numeric literal, or `""` for string/char literals.
     pub text: String,
     /// Token class.
     pub kind: TokKind,
@@ -114,8 +115,13 @@ pub fn lex(src: &str) -> (Vec<Tok>, Vec<Comment>) {
             }
         }
         if c.is_ascii_digit() {
-            consume_number(&mut cur);
-            toks.push(lit(line, col));
+            let text = consume_number(&mut cur);
+            toks.push(Tok {
+                text,
+                kind: TokKind::Lit,
+                line,
+                col,
+            });
             continue;
         }
         if c == '_' || c.is_alphanumeric() {
@@ -320,18 +326,23 @@ fn try_raw_or_byte_string(cur: &mut Cursor, line: u32, col: u32) -> Option<Tok> 
     Some(lit(line, col))
 }
 
-fn consume_number(cur: &mut Cursor) {
+fn consume_number(cur: &mut Cursor) -> String {
     // Digits (any radix chars, underscores), then a fractional part only
     // when `.` is followed by a digit (so `0..n` stays two range dots),
     // then an optional exponent with sign, then an alphanumeric suffix.
-    cur.bump();
+    // The consumed text is preserved so rules can recognize literal
+    // operands (e.g. P001/P002 literal exemptions).
+    let mut text = String::new();
+    text.extend(cur.bump());
     while let Some(c) = cur.peek() {
         if c.is_ascii_alphanumeric() || c == '_' {
             let at_exponent = c == 'e' || c == 'E';
+            text.push(c);
             cur.bump();
             if at_exponent {
                 if let Some(sign) = cur.peek() {
                     if sign == '+' || sign == '-' {
+                        text.push(sign);
                         cur.bump();
                     }
                 }
@@ -340,6 +351,7 @@ fn consume_number(cur: &mut Cursor) {
             let mut p = cur.chars.clone();
             p.next();
             if matches!(p.peek(), Some(d) if d.is_ascii_digit()) {
+                text.push(c);
                 cur.bump();
             } else {
                 break;
@@ -348,6 +360,7 @@ fn consume_number(cur: &mut Cursor) {
             break;
         }
     }
+    text
 }
 
 #[cfg(test)]

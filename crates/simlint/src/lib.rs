@@ -13,11 +13,21 @@
 //! | D002 | all crates but `bench` | wall-clock / ambient entropy (`std::time::{Instant, SystemTime}`, `rand::thread_rng`, `rand::random`, `std::env::var`) |
 //! | D003 | sim-critical crates | `.unwrap()` / `.expect()` / `panic!` in non-test library code |
 //! | D004 | sim-critical crates | float accumulation (`.sum::<f64>()`, `fold` with `+`) over unordered iterators |
-//! | S001 | everywhere | `simlint::allow` directives without a justification |
+//! | P001 | hot-path modules | slice/collection indexing `x[i]` with no covering `.len()`/`.get()` in the enclosing fn (fixed-size arrays, literal indices and ranges exempt) |
+//! | P002 | hot-path modules | unchecked `+`/`*`/`<<` (and their `=` forms) between non-literal integer operands; write `wrapping_*`/`checked_*`/`saturating_*` |
+//! | P003 | hot-path modules | `.unwrap()` / `.expect()` / `panic!` — D003 escalated for the panic-freedom set |
+//! | E001 | sim-critical crates | `_ =>` wildcard arm in a `match` whose patterns name a fault/liveness enum; enumerate the variants |
+//! | S001 | everywhere | `simlint::allow` directive without a justification |
+//! | S002 | everywhere | stale `simlint::allow` — its covered lines produce no finding of the named rule(s) |
+//! | S003 | everywhere | `simlint::allow` naming a rule id that does not exist |
 //!
 //! Sim-critical crates: `simcore`, `netsim`, `kvstore`, `core`,
-//! `cloudstore`. Test code (`#[cfg(test)]` items, `tests/`, `benches/`)
-//! is exempt from all rules.
+//! `cloudstore`, `chunking`. Hot-path modules (the panic-freedom set):
+//! `chunking::cdc`, `chunking::sha256`, `kvstore::cache`,
+//! `kvstore::gray`. Fault/liveness enums policed by E001: `ChaosEvent`,
+//! `FaultRule`, `FaultScope`, `Liveness`, `ClusterError`,
+//! `DurableError`. Test code (`#[cfg(test)]` items, `tests/`,
+//! `benches/`) is exempt from all rules.
 //!
 //! ## Suppressions
 //!
@@ -28,21 +38,61 @@
 //!
 //! A directive must carry a reason after the colon; a bare
 //! `// simlint::allow(D003)` is itself reported (S001). A directive
-//! covers findings on its own line or on the statement directly below
-//! (directives may be stacked).
+//! trailing code covers that line; a directive on its own line covers
+//! the next code line, looking through comment-only lines — so stacked
+//! directives all resolve to the statement below the stack. An allow
+//! that covers no finding is reported stale (S002). S-rules can be
+//! neither allowed nor suppressed.
+//!
+//! ## Baseline ratchet
+//!
+//! `--baseline simlint-baseline.json` diffs per-rule unsuppressed
+//! counts against the committed baseline: any increase fails, and a
+//! decrease fails too until the baseline file is shrunk to match
+//! (`--write-baseline`), so the debt can only burn down.
 
 mod analyze;
+mod baseline;
 mod lexer;
+mod parse;
 mod scan;
 
 pub use analyze::lint_source;
+pub use baseline::Baseline;
 pub use scan::{collect_workspace_files, context_for, display_path};
 
 use std::fmt;
 use std::path::Path;
 
 /// Crates whose library code feeds event emission or RNG draw order.
-pub const SIM_CRITICAL_CRATES: &[&str] = &["simcore", "netsim", "kvstore", "core", "cloudstore"];
+pub const SIM_CRITICAL_CRATES: &[&str] = &[
+    "simcore",
+    "netsim",
+    "kvstore",
+    "core",
+    "cloudstore",
+    "chunking",
+];
+
+/// Modules on the dedup hot path, held to the P-series panic-freedom
+/// rules: a panic here aborts the chunk pipeline mid-batch.
+pub const HOT_PATH_FILES: &[&str] = &[
+    "crates/chunking/src/cdc.rs",
+    "crates/chunking/src/sha256.rs",
+    "crates/kvstore/src/cache.rs",
+    "crates/kvstore/src/gray.rs",
+];
+
+/// Fault/liveness enums whose `match`es must stay exhaustive (E001):
+/// adding a variant must force every handler site to be revisited.
+pub const FAULT_ENUMS: &[&str] = &[
+    "ChaosEvent",
+    "FaultRule",
+    "FaultScope",
+    "Liveness",
+    "ClusterError",
+    "DurableError",
+];
 
 /// Identifier of a lint rule.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -55,8 +105,20 @@ pub enum RuleId {
     D003,
     /// Floating-point accumulation over unordered iterators.
     D004,
+    /// Unchecked indexing on a hot path.
+    P001,
+    /// Unchecked `+`/`*`/`<<` arithmetic on a hot path.
+    P002,
+    /// `unwrap`/`expect`/`panic!` on a hot path (escalated D003).
+    P003,
+    /// Wildcard `_` arm in a match over a fault/liveness enum.
+    E001,
     /// Bare or malformed suppression directive.
     S001,
+    /// Stale suppression directive (covers no finding).
+    S002,
+    /// Suppression directive naming a nonexistent rule.
+    S003,
 }
 
 impl RuleId {
@@ -67,7 +129,13 @@ impl RuleId {
             "D002" => Some(RuleId::D002),
             "D003" => Some(RuleId::D003),
             "D004" => Some(RuleId::D004),
+            "P001" => Some(RuleId::P001),
+            "P002" => Some(RuleId::P002),
+            "P003" => Some(RuleId::P003),
+            "E001" => Some(RuleId::E001),
             "S001" => Some(RuleId::S001),
+            "S002" => Some(RuleId::S002),
+            "S003" => Some(RuleId::S003),
             _ => None,
         }
     }
@@ -78,7 +146,13 @@ impl RuleId {
         RuleId::D002,
         RuleId::D003,
         RuleId::D004,
+        RuleId::P001,
+        RuleId::P002,
+        RuleId::P003,
+        RuleId::E001,
         RuleId::S001,
+        RuleId::S002,
+        RuleId::S003,
     ];
 
     /// One-line description used by `--help`.
@@ -88,8 +162,20 @@ impl RuleId {
             RuleId::D002 => "wall-clock or ambient-entropy API outside bench",
             RuleId::D003 => "unwrap/expect/panic! in sim-critical library code",
             RuleId::D004 => "float accumulation over unordered iterators",
+            RuleId::P001 => "unchecked indexing in a hot-path module",
+            RuleId::P002 => "unchecked +/*/<< arithmetic in a hot-path module",
+            RuleId::P003 => "unwrap/expect/panic! in a hot-path module",
+            RuleId::E001 => "wildcard `_` arm in a match over a fault enum",
             RuleId::S001 => "suppression directive without justification",
+            RuleId::S002 => "stale suppression directive (covers no finding)",
+            RuleId::S003 => "suppression directive naming a nonexistent rule",
         }
+    }
+
+    /// S-series findings police the suppression mechanism itself, so
+    /// they can be neither `--allow`ed nor silenced by a directive.
+    pub fn is_suppression_hygiene(&self) -> bool {
+        matches!(self, RuleId::S001 | RuleId::S002 | RuleId::S003)
     }
 }
 
@@ -100,7 +186,13 @@ impl fmt::Display for RuleId {
             RuleId::D002 => "D002",
             RuleId::D003 => "D003",
             RuleId::D004 => "D004",
+            RuleId::P001 => "P001",
+            RuleId::P002 => "P002",
+            RuleId::P003 => "P003",
+            RuleId::E001 => "E001",
             RuleId::S001 => "S001",
+            RuleId::S002 => "S002",
+            RuleId::S003 => "S003",
         };
         f.write_str(s)
     }
@@ -109,10 +201,12 @@ impl fmt::Display for RuleId {
 /// Which rule families apply to a file.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FileCtx {
-    /// D001/D003/D004 apply (library code of a sim-critical crate).
+    /// D001/D003/D004/E001 apply (library code of a sim-critical crate).
     pub sim_critical: bool,
     /// D002 applies (any crate except `bench`).
     pub d002_applies: bool,
+    /// P-series panic-freedom applies (hot-path module list).
+    pub hot_path: bool,
 }
 
 /// One diagnostic, positioned `file:line:col` (path filled by callers
@@ -175,19 +269,32 @@ pub struct Report {
 }
 
 impl Report {
-    /// Findings that fail the run under the given allow-list. `S001`
-    /// can never be allowed: an unjustified suppression is always an
-    /// error.
+    /// Findings that fail the run under the given allow-list. S-series
+    /// rules can never be allowed: broken suppression hygiene is always
+    /// an error.
     pub fn violations<'a>(&'a self, allowed: &[RuleId]) -> Vec<&'a Finding> {
         self.findings
             .iter()
-            .filter(|f| !f.suppressed && (f.rule == RuleId::S001 || !allowed.contains(&f.rule)))
+            .filter(|f| {
+                !f.suppressed && (f.rule.is_suppression_hygiene() || !allowed.contains(&f.rule))
+            })
             .collect()
     }
 
     /// Count of findings silenced by in-source directives.
     pub fn suppressed_count(&self) -> usize {
         self.findings.iter().filter(|f| f.suppressed).count()
+    }
+
+    /// Per-rule count of unsuppressed findings, independent of any
+    /// allow-list — the quantity the baseline ratchet tracks.
+    pub fn counts(&self) -> std::collections::BTreeMap<RuleId, u64> {
+        let mut out: std::collections::BTreeMap<RuleId, u64> =
+            RuleId::ALL.iter().map(|r| (*r, 0)).collect();
+        for f in self.findings.iter().filter(|f| !f.suppressed) {
+            *out.entry(f.rule).or_insert(0) += 1;
+        }
+        out
     }
 
     /// Serializes the report as JSON (std-only writer).
@@ -199,6 +306,14 @@ impl Report {
             self.violations(allowed).len()
         ));
         out.push_str(&format!("\"suppressed\":{},", self.suppressed_count()));
+        out.push_str("\"counts\":{");
+        for (i, (rule, n)) in self.counts().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{rule}\":{n}"));
+        }
+        out.push_str("},");
         out.push_str("\"findings\":[");
         for (i, f) in self.findings.iter().enumerate() {
             if i > 0 {

@@ -1,8 +1,12 @@
 //! `ef-simlint` CLI: lints the workspace (or explicit paths) and exits
 //! nonzero on violations. CI runs `cargo run -p ef-simlint -- --workspace
-//! --deny-all` as a hard gate.
+//! --deny-all` as a hard gate, plus `--json --baseline
+//! simlint-baseline.json` as the ratchet: per-rule counts may never
+//! rise, and the committed baseline may only shrink.
 
-use ef_simlint::{collect_workspace_files, context_for, display_path, lint_file, Report, RuleId};
+use ef_simlint::{
+    collect_workspace_files, context_for, display_path, lint_file, Baseline, Report, RuleId,
+};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
@@ -12,13 +16,20 @@ ef-simlint — determinism & soundness auditor for the EF-dedup workspace
 USAGE:
     ef-simlint [OPTIONS] [PATHS...]
 
+Lints the whole workspace when no paths are given.
+
 OPTIONS:
-    --workspace        lint every library source in the workspace
-    --root <DIR>       workspace root (default: walk up from cwd)
-    --allow <RULE>     downgrade a rule (repeatable); ignored by --deny-all
-    --deny-all         every rule is an error (CI mode)
-    --json             machine-readable report on stdout
-    -h, --help         show this help and the rule registry
+    --workspace            lint every library source in the workspace
+    --root <DIR>           workspace root (default: walk up from cwd)
+    --allow <RULE>         downgrade a rule (repeatable); ignored by --deny-all
+    --deny-all             every rule is an error (CI mode; ignores baseline)
+    --baseline <FILE>      ratchet: fail if any per-rule count differs from
+                           FILE (default: <root>/simlint-baseline.json when
+                           present)
+    --no-baseline          ignore any baseline file
+    --write-baseline <FILE> write current per-rule counts to FILE and exit
+    --json                 machine-readable report on stdout
+    -h, --help             show this help and the rule registry
 
 RULES:";
 
@@ -27,6 +38,9 @@ struct Opts {
     root: Option<PathBuf>,
     allow: Vec<RuleId>,
     deny_all: bool,
+    baseline: Option<PathBuf>,
+    no_baseline: bool,
+    write_baseline: Option<PathBuf>,
     json: bool,
     paths: Vec<PathBuf>,
 }
@@ -37,6 +51,9 @@ fn parse_args() -> Result<Opts, String> {
         root: None,
         allow: Vec::new(),
         deny_all: false,
+        baseline: None,
+        no_baseline: false,
+        write_baseline: None,
         json: false,
         paths: Vec::new(),
     };
@@ -46,9 +63,18 @@ fn parse_args() -> Result<Opts, String> {
             "--workspace" => opts.workspace = true,
             "--deny-all" => opts.deny_all = true,
             "--json" => opts.json = true,
+            "--no-baseline" => opts.no_baseline = true,
             "--root" => {
                 let dir = args.next().ok_or("--root needs a directory")?;
                 opts.root = Some(PathBuf::from(dir));
+            }
+            "--baseline" => {
+                let file = args.next().ok_or("--baseline needs a file")?;
+                opts.baseline = Some(PathBuf::from(file));
+            }
+            "--write-baseline" => {
+                let file = args.next().ok_or("--write-baseline needs a file")?;
+                opts.write_baseline = Some(PathBuf::from(file));
             }
             "--allow" => {
                 let id = args.next().ok_or("--allow needs a rule id")?;
@@ -68,8 +94,9 @@ fn parse_args() -> Result<Opts, String> {
             path => opts.paths.push(PathBuf::from(path)),
         }
     }
-    if !opts.workspace && opts.paths.is_empty() {
-        return Err("nothing to lint: pass --workspace or explicit paths".to_string());
+    // Bare invocation (and bare `--json`) lints the whole workspace.
+    if opts.paths.is_empty() {
+        opts.workspace = true;
     }
     Ok(opts)
 }
@@ -90,6 +117,27 @@ fn find_workspace_root(start: &Path) -> Option<PathBuf> {
         dir = d.parent().map(Path::to_path_buf);
     }
     None
+}
+
+/// The baseline in effect: an explicit `--baseline`, else the committed
+/// `<root>/simlint-baseline.json` when present. `--deny-all` and
+/// `--no-baseline` run without one (strict mode).
+fn effective_baseline(opts: &Opts, root: &Path) -> Result<Option<Baseline>, String> {
+    if opts.deny_all || opts.no_baseline {
+        return Ok(None);
+    }
+    if let Some(path) = &opts.baseline {
+        return Baseline::load(path).map(Some);
+    }
+    // Auto-load only for whole-workspace runs: partial scans would
+    // read as falsely "stale" against workspace-wide counts.
+    if opts.workspace {
+        let committed = root.join("simlint-baseline.json");
+        if committed.is_file() {
+            return Baseline::load(&committed).map(Some);
+        }
+    }
+    Ok(None)
 }
 
 fn run() -> Result<ExitCode, String> {
@@ -121,8 +169,17 @@ fn run() -> Result<ExitCode, String> {
         .findings
         .sort_by(|a, b| (&a.file, a.line, a.col, a.rule).cmp(&(&b.file, b.line, b.col, b.rule)));
 
+    let counts = report.counts();
+    if let Some(path) = &opts.write_baseline {
+        let baseline = Baseline::from_counts(&counts);
+        std::fs::write(path, baseline.to_json()).map_err(|e| format!("{}: {e}", path.display()))?;
+        eprintln!("ef-simlint: wrote baseline to {}", path.display());
+        return Ok(ExitCode::SUCCESS);
+    }
+
     let allowed: &[RuleId] = if opts.deny_all { &[] } else { &opts.allow };
     let violations = report.violations(allowed);
+    let baseline = effective_baseline(&opts, &root)?;
 
     if opts.json {
         println!("{}", report.to_json(allowed));
@@ -138,6 +195,49 @@ fn run() -> Result<ExitCode, String> {
             violations.len(),
             report.suppressed_count()
         );
+    }
+
+    // Ratchet mode: per-rule counts must match the baseline exactly —
+    // a rise is a regression, a fall means the baseline must shrink.
+    if let Some(baseline) = &baseline {
+        let delta = baseline.delta(&counts);
+        let mut regressed = 0u64;
+        let mut stale = 0u64;
+        if !opts.json {
+            eprintln!("ratchet: rule  baseline  current  delta");
+        }
+        for row in &delta {
+            if row.regressed() {
+                regressed += row.current - row.baseline;
+            }
+            if row.stale() {
+                stale += row.baseline - row.current;
+            }
+            if !opts.json && (row.baseline != 0 || row.current != 0) {
+                eprintln!(
+                    "ratchet: {}  {:>8}  {:>7}  {:>+5}",
+                    row.rule,
+                    row.baseline,
+                    row.current,
+                    row.current as i64 - row.baseline as i64
+                );
+            }
+        }
+        if regressed > 0 {
+            eprintln!(
+                "ef-simlint: ratchet failure: {regressed} finding(s) above the baseline; \
+                 fix them — the baseline only shrinks"
+            );
+            return Ok(ExitCode::FAILURE);
+        }
+        if stale > 0 {
+            eprintln!(
+                "ef-simlint: baseline is stale by {stale} finding(s); shrink it with \
+                 --write-baseline simlint-baseline.json"
+            );
+            return Ok(ExitCode::FAILURE);
+        }
+        return Ok(ExitCode::SUCCESS);
     }
 
     Ok(if violations.is_empty() {

@@ -1,0 +1,448 @@
+//! Item-level parse over the token stream: the structural layer the
+//! P/E/S rule families need beyond bare lexemes.
+//!
+//! This is deliberately not a full AST (simlint stays dependency-free,
+//! same rule as the SHA-256 implementation): it recovers exactly the
+//! structure the rules consume —
+//!
+//! * item extents and the `#[cfg(test)]` mask (which tokens belong to
+//!   test-gated items),
+//! * `match` expressions with their arm patterns and bodies separated
+//!   (so exhaustiveness rules can tell a `_` *pattern* from a `_` in an
+//!   arm body),
+//! * function extents (so bound-check coverage is scoped to the
+//!   enclosing function),
+//! * fixed-size-array bindings (`name: [T; N]`, `let name = [e; N]`),
+//!   whose indexing cannot grow out from under a checked bound,
+//! * the classification of source lines into code / comment-only /
+//!   blank, which makes suppression-directive stacking explicit.
+
+use crate::lexer::{Comment, Tok, TokKind};
+use std::collections::BTreeSet;
+
+pub(crate) fn is_punct(toks: &[Tok], i: usize, p: &str) -> bool {
+    toks.get(i)
+        .is_some_and(|t| t.kind == TokKind::Punct && t.text == p)
+}
+
+pub(crate) fn is_ident(toks: &[Tok], i: usize, name: &str) -> bool {
+    toks.get(i)
+        .is_some_and(|t| t.kind == TokKind::Ident && t.text == name)
+}
+
+/// A numeric literal (the lexer preserves digits; string/char literals
+/// lex with empty text).
+pub(crate) fn is_num_lit(toks: &[Tok], i: usize) -> bool {
+    toks.get(i).is_some_and(|t| {
+        t.kind == TokKind::Lit && t.text.chars().next().is_some_and(|c| c.is_ascii_digit())
+    })
+}
+
+/// Two consecutive tokens that are adjacent in the source (`+` `=`
+/// forming `+=`, `<` `<` forming `<<`).
+pub(crate) fn adjacent(toks: &[Tok], a: usize, b: usize) -> bool {
+    match (toks.get(a), toks.get(b)) {
+        (Some(x), Some(y)) => x.line == y.line && y.col == x.col + 1,
+        _ => false,
+    }
+}
+
+/// Index of the delimiter matching `open` at `start` (which must hold
+/// `open`), or `None`.
+pub(crate) fn matching(toks: &[Tok], start: usize, open: &str, close: &str) -> Option<usize> {
+    if !is_punct(toks, start, open) {
+        return None;
+    }
+    let mut depth = 0i32;
+    for (j, t) in toks.iter().enumerate().skip(start) {
+        if t.kind == TokKind::Punct {
+            if t.text == open {
+                depth += 1;
+            } else if t.text == close {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(j);
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Matches `<` ... `>` with nesting (turbofish / generic args).
+pub(crate) fn matching_angle(toks: &[Tok], start: usize) -> Option<usize> {
+    if !is_punct(toks, start, "<") {
+        return None;
+    }
+    let mut depth = 0i32;
+    for (j, t) in toks.iter().enumerate().skip(start) {
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "<" => depth += 1,
+                ">" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return Some(j);
+                    }
+                }
+                ";" | "{" => return None,
+                _ => {}
+            }
+        }
+    }
+    None
+}
+
+/// Extent of the item starting at `start`: through the matching `}` of
+/// its first block, or through a terminating `;`.
+pub(crate) fn item_extent(toks: &[Tok], start: usize) -> usize {
+    let mut depth_paren = 0i32;
+    let mut j = start;
+    while j < toks.len() {
+        match toks[j].text.as_str() {
+            "(" | "[" => depth_paren += 1,
+            ")" | "]" => depth_paren -= 1,
+            "{" if depth_paren == 0 => {
+                return matching(toks, j, "{", "}").unwrap_or(toks.len() - 1);
+            }
+            ";" if depth_paren == 0 => return j,
+            _ => {}
+        }
+        j += 1;
+    }
+    toks.len().saturating_sub(1)
+}
+
+/// Marks tokens that belong to `#[cfg(test)]`-gated items (or items
+/// under `#[test]`), which every rule skips: test code is allowed to
+/// panic and to use unordered collections for assertions.
+pub(crate) fn test_code_mask(toks: &[Tok]) -> Vec<bool> {
+    let mut mask = vec![false; toks.len()];
+    let mut i = 0usize;
+    while i < toks.len() {
+        if !is_punct(toks, i, "#") {
+            i += 1;
+            continue;
+        }
+        let Some(attr_end) = matching(toks, i + 1, "[", "]") else {
+            i += 1;
+            continue;
+        };
+        if !attr_is_test_gate(&toks[i + 1..=attr_end]) {
+            i = attr_end + 1;
+            continue;
+        }
+        // Skip any further attributes, then the gated item itself.
+        let mut j = attr_end + 1;
+        while is_punct(toks, j, "#") {
+            match matching(toks, j + 1, "[", "]") {
+                Some(e) => j = e + 1,
+                None => break,
+            }
+        }
+        let item_end = item_extent(toks, j);
+        for m in mask.iter_mut().take(item_end + 1).skip(i) {
+            *m = true;
+        }
+        i = item_end + 1;
+    }
+    mask
+}
+
+/// `#[cfg(test)]`, `#[cfg(all(test, ...))]`, `#[test]` — but not
+/// `#[cfg(not(test))]`, which gates *non*-test code.
+fn attr_is_test_gate(attr: &[Tok]) -> bool {
+    let mut has_test = false;
+    let mut has_not = false;
+    let mut has_cfg_or_bare = false;
+    for (k, t) in attr.iter().enumerate() {
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        match t.text.as_str() {
+            "test" => {
+                has_test = true;
+                // `#[test]` bare form: first token inside the brackets.
+                if k == 1 {
+                    has_cfg_or_bare = true;
+                }
+            }
+            "cfg" => has_cfg_or_bare = true,
+            "not" => has_not = true,
+            _ => {}
+        }
+    }
+    has_test && has_cfg_or_bare && !has_not
+}
+
+/// One arm of a `match`: pattern tokens `[pat.0, pat.1)` (guard
+/// included), body tokens `[body.0, body.1)`.
+pub(crate) struct MatchArm {
+    pub pat: (usize, usize),
+    #[allow(dead_code)]
+    pub body: (usize, usize),
+}
+
+/// A `match` expression: the `match` keyword token and its arms.
+pub(crate) struct MatchExpr {
+    pub kw: usize,
+    pub arms: Vec<MatchArm>,
+}
+
+/// Extracts every `match` expression (nested ones included — each is
+/// reported independently). Patterns are split from bodies at the
+/// top-level `=>`, so callers can reason about what an arm *matches*
+/// separately from what it *does* — the distinction E001 needs.
+pub(crate) fn match_expressions(toks: &[Tok]) -> Vec<MatchExpr> {
+    let mut out = Vec::new();
+    for kw in 0..toks.len() {
+        if !(toks[kw].kind == TokKind::Ident && toks[kw].text == "match") {
+            continue;
+        }
+        // Scrutinee: struct literals are not allowed there without
+        // parens, so the first `{` at depth 0 opens the arm block.
+        let mut depth = 0i32;
+        let mut body_open = None;
+        let mut j = kw + 1;
+        while j < toks.len() {
+            match toks[j].text.as_str() {
+                "(" | "[" => depth += 1,
+                ")" | "]" => {
+                    depth -= 1;
+                    if depth < 0 {
+                        break;
+                    }
+                }
+                "{" if depth == 0 && toks[j].kind == TokKind::Punct => {
+                    body_open = Some(j);
+                    break;
+                }
+                ";" if depth == 0 => break,
+                _ => {}
+            }
+            j += 1;
+        }
+        let Some(open) = body_open else { continue };
+        let Some(close) = matching(toks, open, "{", "}") else {
+            continue;
+        };
+        out.push(MatchExpr {
+            kw,
+            arms: parse_arms(toks, open, close),
+        });
+    }
+    out
+}
+
+fn parse_arms(toks: &[Tok], open: usize, close: usize) -> Vec<MatchArm> {
+    let mut arms = Vec::new();
+    let mut k = open + 1;
+    while k < close {
+        // Pattern (guard included): up to the top-level `=>`.
+        let pat_start = k;
+        let mut depth = 0i32;
+        let mut arrow = None;
+        let mut m = k;
+        while m < close {
+            if toks[m].kind == TokKind::Punct {
+                match toks[m].text.as_str() {
+                    "(" | "[" | "{" => depth += 1,
+                    ")" | "]" | "}" => depth -= 1,
+                    "=" if depth == 0 && is_punct(toks, m + 1, ">") && adjacent(toks, m, m + 1) => {
+                        arrow = Some(m);
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            m += 1;
+        }
+        let Some(arrow) = arrow else { break };
+        // Body: a block arm ends at its `}`; an expression arm at the
+        // next top-level `,` (or the match's closing brace).
+        let body_start = arrow + 2;
+        let body_end;
+        if is_punct(toks, body_start, "{") {
+            let e = matching(toks, body_start, "{", "}").unwrap_or(close);
+            body_end = (e + 1).min(close);
+            k = body_end;
+            if is_punct(toks, k, ",") {
+                k += 1;
+            }
+        } else {
+            let mut depth = 0i32;
+            let mut m = body_start;
+            while m < close {
+                if toks[m].kind == TokKind::Punct {
+                    match toks[m].text.as_str() {
+                        "(" | "[" | "{" => depth += 1,
+                        ")" | "]" | "}" => depth -= 1,
+                        "," if depth == 0 => break,
+                        _ => {}
+                    }
+                }
+                m += 1;
+            }
+            body_end = m;
+            k = if is_punct(toks, m, ",") { m + 1 } else { m };
+        }
+        arms.push(MatchArm {
+            pat: (pat_start, arrow),
+            body: (body_start, body_end),
+        });
+    }
+    arms
+}
+
+/// Extents (inclusive token ranges) of every `fn` item, innermost-last
+/// for nested functions.
+pub(crate) fn fn_extents(toks: &[Tok]) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    for i in 0..toks.len() {
+        if toks[i].kind == TokKind::Ident && toks[i].text == "fn" {
+            out.push((i, item_extent(toks, i)));
+        }
+    }
+    out
+}
+
+/// The innermost function extent containing token `i`, if any.
+pub(crate) fn enclosing_fn(extents: &[(usize, usize)], i: usize) -> Option<(usize, usize)> {
+    extents
+        .iter()
+        .filter(|(s, e)| *s <= i && i <= *e)
+        .min_by_key(|(s, e)| e - s)
+        .copied()
+}
+
+/// Names bound to fixed-size arrays anywhere in the file: type
+/// ascriptions `name: [T; N]` (fields, params, consts, lets — through
+/// `&`, `&'a`, `mut`) and initializers `name = [expr; N]`. Indexing
+/// such a binding is bounded by construction, so P001 exempts it.
+pub(crate) fn fixed_array_names(toks: &[Tok]) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    for i in 0..toks.len() {
+        if toks[i].kind != TokKind::Ident {
+            continue;
+        }
+        // `name : [&|&'a|mut]* "[" ... ; ... "]"`
+        if is_punct(toks, i + 1, ":") && !is_punct(toks, i + 2, ":") {
+            let mut j = i + 2;
+            loop {
+                if is_punct(toks, j, "&") || is_ident(toks, j, "mut") {
+                    j += 1;
+                } else if is_punct(toks, j, "'") {
+                    j += 2; // lifetime: quote + ident
+                } else {
+                    break;
+                }
+            }
+            if is_punct(toks, j, "[") && bracket_has_toplevel_semi(toks, j) {
+                out.insert(toks[i].text.clone());
+                continue;
+            }
+        }
+        // `name = [expr; N]` (also nested `[[e; N]; M]` — the outer
+        // bracket still carries a top-level `;`).
+        if is_punct(toks, i + 1, "=")
+            && is_punct(toks, i + 2, "[")
+            && bracket_has_toplevel_semi(toks, i + 2)
+        {
+            out.insert(toks[i].text.clone());
+        }
+    }
+    out
+}
+
+fn bracket_has_toplevel_semi(toks: &[Tok], open: usize) -> bool {
+    let Some(close) = matching(toks, open, "[", "]") else {
+        return false;
+    };
+    let mut depth = 0i32;
+    for t in &toks[open..=close] {
+        if t.kind != TokKind::Punct {
+            continue;
+        }
+        match t.text.as_str() {
+            "(" | "[" | "{" => depth += 1,
+            ")" | "]" | "}" => depth -= 1,
+            ";" if depth == 1 => return true,
+            _ => {}
+        }
+    }
+    false
+}
+
+/// Lines that hold at least one token — "code lines" for directive
+/// resolution. A suppression binds to its own line when code shares it,
+/// otherwise to the next code line reachable through comment-only
+/// lines (stacked directives are comment lines, so a stack resolves to
+/// the statement below it, never to a sibling directive).
+pub(crate) fn code_lines(toks: &[Tok]) -> BTreeSet<u32> {
+    toks.iter().map(|t| t.line).collect()
+}
+
+/// Lines occupied by comments (block comments span all their lines).
+pub(crate) fn comment_lines(comments: &[Comment]) -> BTreeSet<u32> {
+    let mut out = BTreeSet::new();
+    for c in comments {
+        let span = c.text.matches('\n').count() as u32;
+        for l in c.line..=c.line + span {
+            out.insert(l);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn match_arms_split_pattern_from_body() {
+        let (toks, _) = lex("fn f(e: E) -> u32 { match e { E::A => 1, E::B { x } => x, _ => 0 } }");
+        let ms = match_expressions(&toks);
+        assert_eq!(ms.len(), 1);
+        assert_eq!(ms[0].arms.len(), 3);
+        let pat2: Vec<&str> = toks[ms[0].arms[2].pat.0..ms[0].arms[2].pat.1]
+            .iter()
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(pat2, vec!["_"]);
+    }
+
+    #[test]
+    fn nested_matches_are_both_found() {
+        let (toks, _) = lex("fn f() { match a { X::P => match b { Y::Q => 1, _ => 2 }, _ => 3 } }");
+        let ms = match_expressions(&toks);
+        assert_eq!(ms.len(), 2);
+        assert_eq!(ms[0].arms.len(), 2);
+        assert_eq!(ms[1].arms.len(), 2);
+    }
+
+    #[test]
+    fn fixed_arrays_are_recognized() {
+        let (toks, _) = lex("struct S { gear: [u64; 256] }\n\
+             fn f(w: &mut [u32; 64], s: &[u8]) { let pad = [0u8; 128]; let v = vec![0u8; 9]; }");
+        let names = fixed_array_names(&toks);
+        assert!(names.contains("gear"));
+        assert!(names.contains("w"));
+        assert!(names.contains("pad"));
+        assert!(!names.contains("s"), "slices are not fixed arrays");
+        assert!(!names.contains("v"), "vec! is not a fixed array");
+    }
+
+    #[test]
+    fn enclosing_fn_picks_innermost() {
+        let (toks, _) = lex("fn outer() { fn inner() { body(); } tail(); }");
+        let fns = fn_extents(&toks);
+        assert_eq!(fns.len(), 2);
+        let body_ix = toks.iter().position(|t| t.text == "body").unwrap();
+        let (s, _) = enclosing_fn(&fns, body_ix).unwrap();
+        assert_eq!(toks[s + 1].text, "inner");
+        let tail_ix = toks.iter().position(|t| t.text == "tail").unwrap();
+        let (s, _) = enclosing_fn(&fns, tail_ix).unwrap();
+        assert_eq!(toks[s + 1].text, "outer");
+    }
+}

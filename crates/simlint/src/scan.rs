@@ -1,6 +1,6 @@
 //! Workspace file discovery and per-file rule scoping.
 
-use crate::{FileCtx, SIM_CRITICAL_CRATES};
+use crate::{FileCtx, HOT_PATH_FILES, SIM_CRITICAL_CRATES};
 use std::path::{Path, PathBuf};
 
 /// Directory names never descended into.
@@ -66,9 +66,11 @@ pub fn context_for(rel: &str) -> FileCtx {
         .iter()
         .any(|c| rel.starts_with(&format!("crates/{c}/src/")));
     let d002_applies = !rel.starts_with("crates/bench/");
+    let hot_path = HOT_PATH_FILES.contains(&rel);
     FileCtx {
         sim_critical,
         d002_applies,
+        hot_path,
     }
 }
 
@@ -88,11 +90,17 @@ mod tests {
     #[test]
     fn context_scoping() {
         let sim = context_for("crates/netsim/src/network.rs");
-        assert!(sim.sim_critical && sim.d002_applies);
+        assert!(sim.sim_critical && sim.d002_applies && !sim.hot_path);
         let bench = context_for("crates/bench/src/lib.rs");
         assert!(!bench.sim_critical && !bench.d002_applies);
-        let chunking = context_for("crates/chunking/src/cdc.rs");
-        assert!(!chunking.sim_critical && chunking.d002_applies);
+        // The chunking crate is sim-critical, and its CDC/SHA modules
+        // sit on the panic-freedom hot-path list.
+        let cdc = context_for("crates/chunking/src/cdc.rs");
+        assert!(cdc.sim_critical && cdc.d002_applies && cdc.hot_path);
+        let index = context_for("crates/chunking/src/index.rs");
+        assert!(index.sim_critical && !index.hot_path);
+        let cache = context_for("crates/kvstore/src/cache.rs");
+        assert!(cache.hot_path);
         let root = context_for("src/lib.rs");
         assert!(!root.sim_critical && root.d002_applies);
     }

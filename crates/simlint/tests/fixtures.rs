@@ -7,12 +7,32 @@ use ef_simlint::{lint_source, FileCtx, Finding, RuleId};
 const SIM_CTX: FileCtx = FileCtx {
     sim_critical: true,
     d002_applies: true,
+    hot_path: false,
+};
+
+/// The panic-freedom context: hot-path modules are also sim-critical.
+const HOT_CTX: FileCtx = FileCtx {
+    sim_critical: true,
+    d002_applies: true,
+    hot_path: true,
 };
 
 fn lint_fixture(name: &str) -> Vec<Finding> {
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures/");
     let src = std::fs::read_to_string(format!("{path}{name}")).expect("fixture exists");
     lint_source(&src, &SIM_CTX)
+}
+
+fn lint_fixture_hot(name: &str) -> Vec<Finding> {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures/");
+    let src = std::fs::read_to_string(format!("{path}{name}")).expect("fixture exists");
+    lint_source(&src, &HOT_CTX)
+}
+
+fn lint_real(rel: &str, ctx: &FileCtx) -> Vec<Finding> {
+    let path = format!("{}/../{rel}", env!("CARGO_MANIFEST_DIR"));
+    let src = std::fs::read_to_string(&path).expect("workspace source readable");
+    lint_source(&src, ctx)
 }
 
 fn spans(findings: &[Finding], rule: RuleId) -> Vec<(u32, u32)> {
@@ -114,9 +134,10 @@ fn justified_suppressions_are_honored() {
 #[test]
 fn bare_suppressions_are_rejected() {
     let findings = lint_fixture("bare_suppression.rs");
-    // Three directives lack a justification (bare, empty reason,
-    // unknown rule) -> three S001 findings ...
-    assert_eq!(spans(&findings, RuleId::S001).len(), 3);
+    // Two directives lack a justification (bare, empty reason) -> S001;
+    // the unknown-rule directive is its own class -> S003 ...
+    assert_eq!(spans(&findings, RuleId::S001).len(), 2);
+    assert_eq!(spans(&findings, RuleId::S003).len(), 1);
     // ... and none of them silences the underlying D001.
     assert_eq!(spans(&findings, RuleId::D001).len(), 3);
 }
@@ -137,7 +158,8 @@ fn s001_cannot_be_allowed() {
         findings: lint_fixture("bare_suppression.rs"),
         files_scanned: 1,
     };
-    // Allowing every D-rule still leaves the S001s as violations.
+    // Allowing every D-rule still leaves the S-series as violations
+    // (two S001, one S003).
     let allowed = [RuleId::D001, RuleId::D002, RuleId::D003, RuleId::D004];
     assert_eq!(report.violations(&allowed).len(), 3);
 }
@@ -206,13 +228,9 @@ fn cache_shard_shapes_fire_and_the_btree_cache_is_clean() {
 #[test]
 fn the_real_fingerprint_cache_lints_clean() {
     // The production cache must exemplify what the fixture above pins:
-    // BTreeMap shards, logical recency ticks, no unordered iteration.
-    let src = std::fs::read_to_string(concat!(
-        env!("CARGO_MANIFEST_DIR"),
-        "/../kvstore/src/cache.rs"
-    ))
-    .expect("cache source readable");
-    let findings = lint_source(&src, &SIM_CTX);
+    // BTreeMap shards, logical recency ticks, no unordered iteration —
+    // now under the full panic-freedom context.
+    let findings = lint_real("kvstore/src/cache.rs", &HOT_CTX);
     assert!(
         findings.iter().all(|f| f.suppressed),
         "FingerprintCache has unsuppressed findings: {:?}",
@@ -246,13 +264,9 @@ fn gray_failure_shapes_fire_every_rule() {
 fn the_real_rtt_estimator_lints_clean() {
     // The production gray-failure module must exemplify what the
     // fixture above pins: integer estimator state, BTreeMap-keyed
-    // per-peer timers, no wall clock, no unordered iteration.
-    let src = std::fs::read_to_string(concat!(
-        env!("CARGO_MANIFEST_DIR"),
-        "/../kvstore/src/gray.rs"
-    ))
-    .expect("gray-failure source readable");
-    let findings = lint_source(&src, &SIM_CTX);
+    // per-peer timers, no wall clock, no unordered iteration — under
+    // the full panic-freedom context.
+    let findings = lint_real("kvstore/src/gray.rs", &HOT_CTX);
     assert!(
         findings.iter().all(|f| f.suppressed),
         "gray module has unsuppressed findings: {:?}",
@@ -262,6 +276,137 @@ fn the_real_rtt_estimator_lints_clean() {
             .map(Finding::render)
             .collect::<Vec<_>>()
     );
+}
+
+#[test]
+fn the_real_chunker_hot_loops_lint_clean() {
+    // The gear-CDC fast path and the 8-lane SHA-256 join the
+    // panic-freedom set: every index is bounded or fixed-size, every
+    // wrap is spelled wrapping_*, every remaining exception justified.
+    for rel in ["chunking/src/cdc.rs", "chunking/src/sha256.rs"] {
+        let findings = lint_real(rel, &HOT_CTX);
+        assert!(
+            findings.iter().all(|f| f.suppressed),
+            "{rel} has unsuppressed findings: {:?}",
+            findings
+                .iter()
+                .filter(|f| !f.suppressed)
+                .map(Finding::render)
+                .collect::<Vec<_>>()
+        );
+    }
+}
+
+#[test]
+fn p001_fires_with_exact_spans() {
+    let findings = lint_fixture_hot("p001.rs");
+    assert_eq!(
+        spans(&findings, RuleId::P001),
+        vec![
+            (13, 14), // self.present[word] with no bound check
+            (43, 5),  // data[i] with no bound check
+        ],
+    );
+    // Fixed arrays, literal indices, ranges, len()-covered and
+    // get()-based access: nothing else fires.
+    assert!(findings.iter().all(|f| f.rule == RuleId::P001));
+}
+
+#[test]
+fn p002_fires_with_exact_spans() {
+    let findings = lint_fixture_hot("p002.rs");
+    assert_eq!(
+        spans(&findings, RuleId::P002),
+        vec![
+            (7, 21),  // a + b
+            (8, 9),   // acc += b
+            (9, 15),  // acc * b
+            (10, 9),  // acc *= b
+            (11, 21), // a << b
+            (12, 9),  // acc += xs.len() as u64
+        ],
+    );
+    // Literal-operand forms and wrapping_*/saturating_* methods are
+    // exempt.
+    assert!(findings.iter().all(|f| f.rule == RuleId::P002));
+}
+
+#[test]
+fn p003_escalates_panics_on_the_hot_path() {
+    let findings = lint_fixture_hot("p003.rs");
+    assert_eq!(
+        spans(&findings, RuleId::P003),
+        vec![(6, 7), (10, 7), (15, 9)],
+    );
+    // The same sites report as P003, not D003, and the #[cfg(test)]
+    // module stays exempt.
+    assert!(findings.iter().all(|f| f.rule == RuleId::P003));
+}
+
+#[test]
+fn e001_fires_only_on_wildcards_over_fault_patterns() {
+    let findings = lint_fixture("e001.rs");
+    assert_eq!(spans(&findings, RuleId::E001), vec![(18, 9)]);
+    // Exhaustive fault matches, non-fault enums, guarded wildcards,
+    // and fault values appearing only in arm *bodies* are all clean.
+    assert!(findings.iter().all(|f| f.rule == RuleId::E001));
+}
+
+#[test]
+fn e001_catches_the_wildcard_when_the_enum_grows() {
+    // Phantom-variant drill: the enum has a variant the wildcard
+    // handler was never written for; E001 reports exactly that arm.
+    let findings = lint_fixture("e001_phantom.rs");
+    assert_eq!(spans(&findings, RuleId::E001), vec![(17, 9)]);
+    assert_eq!(findings.len(), 1);
+}
+
+#[test]
+fn s002_reports_stale_suppressions() {
+    let findings = lint_fixture("s002.rs");
+    // Stale directive, blank-line-detached directive, wrong-rule
+    // directive — each reported at its own position.
+    assert_eq!(
+        spans(&findings, RuleId::S002),
+        vec![(11, 5), (16, 5), (22, 5)],
+    );
+    // The live directive suppresses its D003 and is not stale.
+    assert!(findings
+        .iter()
+        .any(|f| f.rule == RuleId::D003 && f.suppressed && f.line == 7));
+    // The wrong-rule directive leaves its D001 unsuppressed.
+    assert_eq!(spans(&findings, RuleId::D001), vec![(23, 7)]);
+}
+
+#[test]
+fn s003_reports_nonexistent_rules() {
+    let findings = lint_fixture("s003.rs");
+    assert_eq!(spans(&findings, RuleId::S003), vec![(5, 5), (10, 5)]);
+    // Neither directive silences the code below it.
+    assert_eq!(spans(&findings, RuleId::D003), vec![(6, 7)]);
+    assert_eq!(spans(&findings, RuleId::D001), vec![(11, 7)]);
+}
+
+#[test]
+fn directive_stacks_resolve_to_the_statement_below() {
+    // Regression for the S001 stack bug: a stack of directives binds to
+    // the first code line below it, and a plain comment between a
+    // directive and its code does not break the chain.
+    let findings = lint_fixture("s001_stack.rs");
+    assert!(
+        findings.iter().all(|f| f.suppressed),
+        "unsuppressed: {:?}",
+        findings
+            .iter()
+            .filter(|f| !f.suppressed)
+            .map(Finding::render)
+            .collect::<Vec<_>>()
+    );
+    // No directive in the stack is reported stale or bare.
+    assert!(!findings.iter().any(|f| f.rule.is_suppression_hygiene()));
+    // Both rules were actually exercised.
+    assert!(findings.iter().any(|f| f.rule == RuleId::D001));
+    assert!(findings.iter().any(|f| f.rule == RuleId::D004));
 }
 
 #[test]

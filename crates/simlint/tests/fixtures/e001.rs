@@ -1,0 +1,50 @@
+// Fixture: E001 — matches over fault enums may not use a bare `_`
+// wildcard arm. Non-fault enums, guarded wildcards, and matches that
+// only *produce* fault values in arm bodies are out of scope.
+
+pub enum ChaosEvent {
+    Crash,
+    Revive,
+}
+
+pub enum Color {
+    Red,
+    Blue,
+}
+
+pub fn wildcard_over_fault(e: &ChaosEvent) -> u32 {
+    match e {
+        ChaosEvent::Crash => 1,
+        _ => 0,
+    }
+}
+
+pub fn exhaustive_over_fault(e: &ChaosEvent) -> u32 {
+    match e {
+        ChaosEvent::Crash => 1,
+        ChaosEvent::Revive => 2,
+    }
+}
+
+pub fn wildcard_over_plain(c: &Color) -> u32 {
+    match c {
+        Color::Red => 1,
+        _ => 0,
+    }
+}
+
+pub fn guarded_wildcard(e: &ChaosEvent, armed: bool) -> u32 {
+    match e {
+        ChaosEvent::Crash if armed => 1,
+        _ if armed => 2,
+        ChaosEvent::Crash => 3,
+        ChaosEvent::Revive => 4,
+    }
+}
+
+pub fn fault_in_body_only(code: u32) -> ChaosEvent {
+    match code {
+        0 => ChaosEvent::Crash,
+        _ => ChaosEvent::Revive,
+    }
+}

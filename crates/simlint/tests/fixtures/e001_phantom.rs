@@ -1,0 +1,27 @@
+// Fixture: E001 phantom-variant drill — the enum carries a variant the
+// wildcard handler was never written for; the `_` arm that would
+// silently swallow it is exactly what E001 reports, and the revisited
+// handler that enumerates every variant is clean.
+
+pub enum ChaosEvent {
+    Crash,
+    Revive,
+    /// The variant added after the handler below was written.
+    PhantomPartition,
+}
+
+pub fn handler_written_before_the_variant(e: &ChaosEvent) -> &'static str {
+    match e {
+        ChaosEvent::Crash => "crash",
+        ChaosEvent::Revive => "revive",
+        _ => "swallowed",
+    }
+}
+
+pub fn handler_revisited(e: &ChaosEvent) -> &'static str {
+    match e {
+        ChaosEvent::Crash => "crash",
+        ChaosEvent::Revive => "revive",
+        ChaosEvent::PhantomPartition => "partition",
+    }
+}

@@ -1,0 +1,26 @@
+// Fixture: P002 — unchecked +/*/<< arithmetic on the hot path. A
+// numeric-literal operand makes the growth rate inspectable and is
+// exempt; wrapping/checked/saturating forms are the sanctioned
+// spelling for everything else.
+
+pub fn flagged(a: u64, b: u64, xs: &[u64]) -> u64 {
+    let mut acc = a + b;
+    acc += b;
+    acc = acc * b;
+    acc *= b;
+    let shifted = a << b;
+    acc += xs.len() as u64;
+    acc.wrapping_add(shifted)
+}
+
+pub fn exempt(a: u64, i: usize) -> (u64, u64, u64, u64) {
+    let one = a + 1;
+    let rev = 1 + (i as u64);
+    let bytes = a * 8;
+    let bit = 1u64 << 3;
+    (one, rev, bytes, bit)
+}
+
+pub fn sanctioned(a: u64, b: u64) -> u64 {
+    a.wrapping_add(b).saturating_mul(b).wrapping_shl(b as u32)
+}

@@ -1,0 +1,25 @@
+// Fixture: P003 — panicking combinators on the hot path report as
+// P003 (D003 escalated for the panic-freedom set); test modules stay
+// exempt.
+
+pub fn hot_unwrap(v: Option<u32>) -> u32 {
+    v.unwrap()
+}
+
+pub fn hot_expect(v: Option<u32>) -> u32 {
+    v.expect("present")
+}
+
+pub fn hot_panic(flag: bool) {
+    if flag {
+        panic!("boom");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_may_unwrap() {
+        Some(1u32).unwrap();
+    }
+}

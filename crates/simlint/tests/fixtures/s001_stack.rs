@@ -1,0 +1,22 @@
+// Fixture: directive-stack resolution. A stack of directives all
+// resolves to the first code line below it — never to a sibling
+// directive — and an ordinary comment between a directive and its code
+// does not break the chain.
+
+use std::collections::HashMap;
+
+pub struct Cache {
+    entries: HashMap<u64, u64>,
+}
+
+pub fn stacked(c: &Cache) -> f64 {
+    // simlint::allow(D001): sum over commutative values
+    // simlint::allow(D004): bounded accumulation, fixture contract
+    c.entries.values().map(|v| *v as f64).sum::<f64>()
+}
+
+pub fn through_comment(c: &Cache) -> usize {
+    // simlint::allow(D001): count is order-independent
+    // (the directive above must look through this plain comment)
+    c.entries.keys().count()
+}

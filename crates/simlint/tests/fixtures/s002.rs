@@ -1,0 +1,24 @@
+// Fixture: S002 — an allow whose covered lines produce no finding is
+// itself stale. The live directive covers a real D003 and stays quiet;
+// the stale ones are reported at their own positions.
+
+pub fn live_allow(v: Option<u32>) -> u32 {
+    // simlint::allow(D003): fixture contract guarantees Some
+    v.unwrap()
+}
+
+pub fn stale_allow(v: Option<u32>) -> u32 {
+    // simlint::allow(D003): nothing panics here any more
+    v.unwrap_or(0)
+}
+
+pub fn detached_allow(v: Option<u32>) -> u32 {
+    // simlint::allow(D003): blank line below detaches this directive
+
+    v.unwrap_or(0)
+}
+
+pub fn wrong_rule_allow(c: &std::collections::HashMap<u64, u64>) -> usize {
+    // simlint::allow(D003): directive names the wrong rule
+    c.keys().count()
+}

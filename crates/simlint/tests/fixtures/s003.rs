@@ -1,0 +1,12 @@
+// Fixture: S003 — a directive naming a rule id that does not exist is
+// reported at its own position and silences nothing.
+
+pub fn typo_rule(v: Option<u32>) -> u32 {
+    // simlint::allow(D030): transposed digits
+    v.unwrap()
+}
+
+pub fn mixed_known_unknown(c: &std::collections::HashMap<u64, u64>) -> usize {
+    // simlint::allow(D001, D999): one real rule, one not
+    c.keys().count()
+}
