@@ -19,7 +19,10 @@ use std::time::Instant;
 /// v2: the ingest section measures the ring-backed dedup-check leg over
 /// pre-computed fingerprints (chunking excluded), and the cached side
 /// runs the second-sight admission policy.
-const SCHEMA: &str = "efdedup-bench-ingest/v2";
+/// v3: adds the upload-spool drain micro-bench
+/// (`spool_drain_ops_per_sec`, `spool_drain_mbps`) — the
+/// disaster-tolerance hot loop added with the cloud-outage work.
+const SCHEMA: &str = "efdedup-bench-ingest/v3";
 
 fn main() {
     let (files_per_source, chunks_per_file, reps) = if quick_mode() {
@@ -147,6 +150,43 @@ fn main() {
     println!("{:<26} {}", "cache on (8x16k, 2nd-sight)", fmt(on_ops));
     println!("{:<26} {}", "cache hit rate", fmt(hit_rate));
 
+    // --- Upload-spool drain: the disaster-tolerance hot loop -----------
+    // During a cloud outage the durable upload spool absorbs every
+    // unique chunk; when the uplink returns it drains under a bandwidth
+    // cap. One full cycle per chunk — WAL-backed enqueue, capped batch
+    // planning, acked retirement — is the bookkeeping cost a node pays
+    // on top of the upload itself, so it must stay far above uplink
+    // line rate.
+    let spool_entries = if quick_mode() { 2_000usize } else { 8_000 };
+    let spool_value = vec![0x5au8; 4096];
+    let spool_secs = best_secs(reps, || {
+        use ef_kvstore::{SpoolClass, SpoolDest, UploadSpool};
+        let mut spool = UploadSpool::new(64);
+        for i in 0..spool_entries {
+            spool.enqueue(
+                SpoolClass::Critical,
+                SpoolDest::Cloud,
+                bytes::Bytes::copy_from_slice(&(i as u64).to_be_bytes()),
+                Some(bytes::Bytes::from(spool_value.clone())),
+            );
+        }
+        let mut drained = 0usize;
+        while !spool.is_empty() {
+            let batch = spool.plan_cloud_batch(256 * 1024);
+            for (key, _) in &batch {
+                spool.retire_cloud(key);
+            }
+            drained += batch.len();
+        }
+        drained
+    });
+    let spool_ops = spool_entries as f64 / spool_secs;
+    let spool_mbps = (spool_entries * spool_value.len()) as f64 / 1e6 / spool_secs;
+
+    println!("\n{:<26} {:>12}", "upload-spool drain", "");
+    println!("{:<26} {} ops/s", "enqueue+plan+retire", fmt(spool_ops));
+    println!("{:<26} {} MB/s", "payload throughput", fmt(spool_mbps));
+
     // --- Dedup ratios: the fast path must not change the answer --------
     let ratio_fixed = ef_chunking::joint_dedup_ratio(&fixed, &views);
     let ratio_fast = ef_chunking::joint_dedup_ratio(&gear, &views);
@@ -174,6 +214,8 @@ fn main() {
          \"ingest_cache_off_ops_per_sec\": {off_ops:.1},\n  \
          \"ingest_cache_on_ops_per_sec\": {on_ops:.1},\n  \
          \"ingest_cache_hit_rate\": {hit_rate:.4},\n  \
+         \"spool_drain_ops_per_sec\": {spool_ops:.1},\n  \
+         \"spool_drain_mbps\": {spool_mbps:.2},\n  \
          \"dedup_ratio_fixed\": {ratio_fixed:.4},\n  \
          \"dedup_ratio_gear_seed\": {ratio_seed:.4},\n  \
          \"dedup_ratio_gear_fast\": {ratio_fast:.4},\n  \

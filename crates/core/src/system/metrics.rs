@@ -81,6 +81,12 @@ pub struct RobustnessMetrics {
     /// mitigations were not enabled).
     #[serde(default)]
     pub gray: ef_kvstore::GrayFailureStats,
+    /// Disaster-tolerance counters: durable upload-spool depth and drain
+    /// totals, mesh-vs-cloud repair counts, bytes and wire costs, outage
+    /// windows and time-to-recovery (all zero when no cloud uplink was
+    /// enabled and no disaster was injected).
+    #[serde(default)]
+    pub disaster: ef_kvstore::DisasterStats,
 }
 
 impl RobustnessMetrics {
@@ -110,6 +116,7 @@ impl RobustnessMetrics {
             integrity: cluster.integrity(),
             cache: cluster.cache_stats(),
             gray: cluster.gray_stats(),
+            disaster: cluster.disaster_stats(),
         }
     }
 
@@ -119,6 +126,10 @@ impl RobustnessMetrics {
     /// adapted timers, queue high-water mark), which accrue on every op
     /// once the mitigations are enabled even when nothing is wrong.
     /// Active mitigation — hedges, sheds, gray marks — is not quiet.
+    /// The same split applies to the disaster layer: routine spool
+    /// enqueue/drain traffic accrues on every unique once the uplink is
+    /// enabled and is ignored, while outage windows, ring wipes,
+    /// retransmits, spooled hints and repairs mean something went wrong.
     pub fn is_quiet(&self) -> bool {
         RobustnessMetrics {
             cache: ef_kvstore::CacheStats::default(),
@@ -127,6 +138,15 @@ impl RobustnessMetrics {
                 rto_adaptations: 0,
                 queue_peak: 0,
                 ..self.gray
+            },
+            disaster: ef_kvstore::DisasterStats {
+                spool_enqueued: 0,
+                spool_drained: 0,
+                spool_depth: 0,
+                spool_high_water: 0,
+                spool_bytes_enqueued: 0,
+                spool_bytes_drained: 0,
+                ..self.disaster
             },
             ..*self
         } == RobustnessMetrics::default()
@@ -236,6 +256,20 @@ mod tests {
         assert!(!r.is_quiet());
         r.gray.hedges_fired = 0;
         r.index_timeouts = 1;
+        assert!(!r.is_quiet());
+        r.index_timeouts = 0;
+        // Routine spool drain traffic is not fault activity...
+        r.disaster.spool_enqueued = 8;
+        r.disaster.spool_drained = 8;
+        r.disaster.spool_high_water = 3;
+        r.disaster.spool_bytes_enqueued = 1024;
+        r.disaster.spool_bytes_drained = 1024;
+        assert!(r.is_quiet());
+        // ...but a disaster window, a retransmit or a repair is.
+        r.disaster.outage_windows = 1;
+        assert!(!r.is_quiet());
+        r.disaster.outage_windows = 0;
+        r.disaster.mesh_repairs = 1;
         assert!(!r.is_quiet());
     }
 

@@ -73,6 +73,20 @@ pub struct ChaosScenarioConfig {
     /// Upper bound for every fail-slow factor draw (service, stall, and
     /// bandwidth); factors land in `[1, max_slow_factor]`.
     pub max_slow_factor: f64,
+    /// Cloud-outage windows to schedule: each blacks out every link
+    /// touching a cloud site for a window drawn early in the run, so
+    /// spooled uniques get to drain before any later ring disaster
+    /// (skipped drawlessly when the topology has no cloud site).
+    pub cloud_outages: usize,
+    /// Ring-outage windows to schedule: each wipes every node in one
+    /// edge site — volatile state, disks, and spools — for a window
+    /// drawn late in the run, forcing mesh repair from neighbor rings
+    /// on heal (skipped when fewer than two edge sites exist).
+    pub ring_outages: usize,
+    /// Degraded-uplink windows to schedule: each caps the effective
+    /// bandwidth of every link touching a cloud site by a drawn factor
+    /// (skipped drawlessly when the topology has no cloud site).
+    pub uplink_degrades: usize,
 }
 
 impl Default for ChaosScenarioConfig {
@@ -95,6 +109,9 @@ impl Default for ChaosScenarioConfig {
             storage_stalls: 0,
             congestions: 0,
             max_slow_factor: 4.0,
+            cloud_outages: 0,
+            ring_outages: 0,
+            uplink_degrades: 0,
         }
     }
 }
@@ -207,6 +224,42 @@ pub enum ChaosEvent {
         a: SiteId,
         /// The other site.
         b: SiteId,
+        /// Bandwidth divisor (≥ 1).
+        bandwidth_factor: f64,
+    },
+    /// Every link touching cloud site `site` is blacked out in
+    /// `[from, until)`: the uplink is cut, frames to or from the cloud
+    /// drop unconditionally, and spooled uniques accumulate locally.
+    CloudOutage {
+        /// Outage start.
+        from: SimTime,
+        /// Heal time.
+        until: SimTime,
+        /// The unreachable cloud site.
+        site: SiteId,
+    },
+    /// Every node in edge site `site` is wiped in `[from, until)`:
+    /// volatile state, disks, and upload spools are all destroyed, and
+    /// on heal the ring rebuilds from neighbor rings (mesh repair) with
+    /// the cloud catalog as last resort.
+    RingOutage {
+        /// Disaster start.
+        from: SimTime,
+        /// Heal (rebuild) time.
+        until: SimTime,
+        /// The wiped edge site.
+        site: SiteId,
+    },
+    /// Every link touching cloud site `site` is bandwidth-capped in
+    /// `[from, until)`: uploads still flow, `bandwidth_factor` times
+    /// slower.
+    UplinkDegraded {
+        /// Window start.
+        from: SimTime,
+        /// Window end.
+        until: SimTime,
+        /// The degraded cloud site.
+        site: SiteId,
         /// Bandwidth divisor (≥ 1).
         bandwidth_factor: f64,
     },
@@ -382,6 +435,44 @@ impl ChaosScenario {
             }
         }
 
+        // Disaster draws come last (append-only discipline again), so
+        // turning the disaster knobs on never reshuffles the existing
+        // schedule. Window bands are deliberate: cloud outages end by
+        // the 50% mark and ring outages start after the 55% mark, so a
+        // spool always gets a drain window before a ring wipe can
+        // destroy the only surviving copy of an undrained unique.
+        let clouds = topology.cloud_sites();
+        if !clouds.is_empty() {
+            for _ in 0..config.cloud_outages {
+                let site = clouds[pick(&mut rng, clouds.len())];
+                let from = SimTime::ZERO + dur * (rng.unit() * 0.35);
+                let until = from + dur * (0.05 + rng.unit() * 0.10);
+                events.push(ChaosEvent::CloudOutage { from, until, site });
+            }
+        }
+        if sites.len() >= 2 {
+            for _ in 0..config.ring_outages {
+                let site = sites[pick(&mut rng, sites.len())];
+                let from = SimTime::ZERO + dur * (0.55 + rng.unit() * 0.20);
+                let until = from + dur * (0.05 + rng.unit() * 0.10);
+                events.push(ChaosEvent::RingOutage { from, until, site });
+            }
+        }
+        if !clouds.is_empty() {
+            for _ in 0..config.uplink_degrades {
+                let site = clouds[pick(&mut rng, clouds.len())];
+                let from = SimTime::ZERO + dur * (rng.unit() * 0.6);
+                let until = from + dur * (0.1 + rng.unit() * 0.3);
+                let bandwidth_factor = 1.0 + rng.unit() * factor_span;
+                events.push(ChaosEvent::UplinkDegraded {
+                    from,
+                    until,
+                    site,
+                    bandwidth_factor,
+                });
+            }
+        }
+
         ChaosScenario {
             seed,
             config: *config,
@@ -444,13 +535,25 @@ impl ChaosScenario {
                 } => {
                     plan = plan.throttle(FaultScope::SitePair(a, b), bandwidth_factor, from, until);
                 }
+                ChaosEvent::CloudOutage { from, until, site } => {
+                    plan = plan.blackout(FaultScope::Site(site), from, until);
+                }
+                ChaosEvent::UplinkDegraded {
+                    from,
+                    until,
+                    site,
+                    bandwidth_factor,
+                } => {
+                    plan = plan.throttle(FaultScope::Site(site), bandwidth_factor, from, until);
+                }
                 ChaosEvent::Crash { .. }
                 | ChaosEvent::Revive { .. }
                 | ChaosEvent::CrashStop { .. }
                 | ChaosEvent::Restart { .. }
                 | ChaosEvent::Depart { .. }
                 | ChaosEvent::StorageRot { .. }
-                | ChaosEvent::StorageStall { .. } => {}
+                | ChaosEvent::StorageStall { .. }
+                | ChaosEvent::RingOutage { .. } => {}
             }
         }
         plan
@@ -483,13 +586,20 @@ impl ChaosScenario {
                 } => {
                     cluster.storage_stall_at(from, until, node, stall_factor);
                 }
-                // Slow nodes and congested links live entirely in the
-                // network's fault plan; the cluster only ever observes
-                // them through stretched RTTs.
+                ChaosEvent::CloudOutage { from, until, .. } => {
+                    cluster.cloud_outage_at(from, until);
+                }
+                ChaosEvent::RingOutage { from, until, site } => {
+                    cluster.ring_outage_at(from, until, site);
+                }
+                // Slow nodes, congested links, and degraded uplinks live
+                // entirely in the network's fault plan; the cluster only
+                // ever observes them through stretched RTTs.
                 ChaosEvent::Partition { .. }
                 | ChaosEvent::LossBurst { .. }
                 | ChaosEvent::SlowNode { .. }
-                | ChaosEvent::Congestion { .. } => {}
+                | ChaosEvent::Congestion { .. }
+                | ChaosEvent::UplinkDegraded { .. } => {}
             }
         }
     }
@@ -763,6 +873,139 @@ mod tests {
             extended.events().len(),
             plain.events().len() + grayed.slow_nodes + grayed.storage_stalls + grayed.congestions
         );
+    }
+
+    fn cloud_testbed() -> Network {
+        let topo = TopologyBuilder::new()
+            .edge_site(2)
+            .edge_site(2)
+            .edge_site(2)
+            .cloud_site(1)
+            .build();
+        Network::new(topo, NetworkConfig::paper_testbed())
+    }
+
+    #[test]
+    fn adding_disasters_leaves_the_existing_schedule_untouched() {
+        // Same append-only discipline as rot and gray failures: the
+        // disaster draws run after every pre-existing draw.
+        let net = cloud_testbed();
+        let base = ChaosScenarioConfig {
+            storage_rots: 1,
+            slow_nodes: 1,
+            congestions: 1,
+            ..ChaosScenarioConfig::default()
+        };
+        let disastered = ChaosScenarioConfig {
+            cloud_outages: 1,
+            ring_outages: 1,
+            uplink_degrades: 1,
+            ..base
+        };
+        let plain = ChaosScenario::generate(23, net.topology(), &base);
+        let extended = ChaosScenario::generate(23, net.topology(), &disastered);
+        assert_eq!(
+            &extended.events()[..plain.events().len()],
+            plain.events(),
+            "disaster knobs reshuffled the pre-existing schedule"
+        );
+        assert_eq!(extended.events().len(), plain.events().len() + 3);
+    }
+
+    #[test]
+    fn disaster_windows_respect_their_bands_and_reach_the_plan() {
+        let net = cloud_testbed();
+        let cfg = ChaosScenarioConfig {
+            crashes: 0,
+            partitions: 0,
+            loss_bursts: 0,
+            base_loss: 0.0,
+            cloud_outages: 1,
+            ring_outages: 1,
+            uplink_degrades: 1,
+            ..ChaosScenarioConfig::default()
+        };
+        for seed in 0..20u64 {
+            let s = ChaosScenario::generate(seed, net.topology(), &cfg);
+            assert_eq!(s.events().len(), 3, "seed {seed}");
+            let dur = cfg.duration;
+            let half = SimTime::ZERO + dur * 0.5;
+            let Some(&ChaosEvent::CloudOutage { from, until, site }) = s
+                .events()
+                .iter()
+                .find(|e| matches!(e, ChaosEvent::CloudOutage { .. }))
+            else {
+                panic!("seed {seed}: expected a cloud outage");
+            };
+            assert!(from < until && until <= half, "seed {seed}: outage band");
+            assert_eq!(net.topology().site_kind(site), ef_netsim::SiteKind::Cloud);
+            // The outage reaches the plan as an unconditional blackout
+            // on every link touching the cloud site.
+            let mut plan = s.fault_plan();
+            let cloud = net.topology().cloud_nodes()[0];
+            let edge = net.topology().edge_nodes()[0];
+            let mid = from + (until - from) * 0.5;
+            assert!(plan.blacked_out(edge, cloud, net.topology().site_of(edge), site, mid));
+            assert!(!plan.blacked_out(edge, cloud, net.topology().site_of(edge), site, until));
+            let Some(&ChaosEvent::RingOutage {
+                from: r_from,
+                until: r_until,
+                site: r_site,
+            }) = s
+                .events()
+                .iter()
+                .find(|e| matches!(e, ChaosEvent::RingOutage { .. }))
+            else {
+                panic!("seed {seed}: expected a ring outage");
+            };
+            // Ring wipes start strictly after every cloud outage has
+            // healed, so an undrained spool always gets a drain window
+            // before the disaster that could destroy its last copy.
+            assert!(r_from >= half, "seed {seed}: ring outage too early");
+            assert!(r_from < r_until && r_until < SimTime::ZERO + dur);
+            assert_eq!(net.topology().site_kind(r_site), ef_netsim::SiteKind::Edge);
+            let Some(&ChaosEvent::UplinkDegraded {
+                from: u_from,
+                until: u_until,
+                site: u_site,
+                bandwidth_factor,
+            }) = s
+                .events()
+                .iter()
+                .find(|e| matches!(e, ChaosEvent::UplinkDegraded { .. }))
+            else {
+                panic!("seed {seed}: expected a degraded uplink");
+            };
+            assert!(u_from < u_until);
+            assert!((1.0..=cfg.max_slow_factor).contains(&bandwidth_factor));
+            // The cap reaches the plan as a throttle on the cloud site.
+            let u_mid = u_from + (u_until - u_from) * 0.5;
+            let got = plan.service_factor(u_mid, edge, cloud, net.topology().site_of(edge), u_site);
+            assert!(
+                got >= bandwidth_factor - 1e-12,
+                "seed {seed}: throttle factor {bandwidth_factor} not applied: {got}"
+            );
+        }
+    }
+
+    #[test]
+    fn cloud_disasters_skip_drawlessly_without_a_cloud_site() {
+        // On a cloud-less topology the cloud-outage and uplink knobs
+        // must not consume randomness, or enabling them would reshuffle
+        // the ring-outage draws that follow.
+        let net = testbed();
+        let base = ChaosScenarioConfig {
+            ring_outages: 1,
+            ..ChaosScenarioConfig::default()
+        };
+        let with_cloud_knobs = ChaosScenarioConfig {
+            cloud_outages: 3,
+            uplink_degrades: 2,
+            ..base
+        };
+        let a = ChaosScenario::generate(31, net.topology(), &base);
+        let b = ChaosScenario::generate(31, net.topology(), &with_cloud_knobs);
+        assert_eq!(a.events(), b.events());
     }
 
     #[test]

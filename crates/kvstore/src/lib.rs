@@ -53,6 +53,7 @@ mod node;
 mod retry;
 mod ring;
 mod sim;
+mod spool;
 mod storage;
 mod threaded;
 
@@ -67,7 +68,8 @@ pub use msg::{ClientOp, Completion, Message, OpId, OpResult, Outbound};
 pub use node::{Consistency, NodeState};
 pub use retry::RetryPolicy;
 pub use ring::HashRing;
-pub use sim::{OpLatency, RecoveryStats, SimCluster};
+pub use sim::{CloudUplink, OpLatency, RecoveryStats, SimCluster};
+pub use spool::{DisasterStats, SpoolClass, SpoolDest, SpoolEntry, UploadSpool};
 pub use storage::{
     ReplayNotes, ScrubChunk, StorageEngine, StorageStats, WalError, WalRecord, WriteAheadLog,
 };

@@ -140,6 +140,29 @@ pub enum Message {
         /// Value, or `None` for a delete.
         value: Option<Bytes>,
     },
+    /// Edge → cloud: drain one spooled unique to the cloud catalog.
+    /// Resent on the next drain tick until the matching
+    /// [`Message::CloudUploadAck`] lands, so drains resume across
+    /// outages, drops, and corrupted frames.
+    CloudUpload {
+        /// The unique chunk's fingerprint key.
+        key: Bytes,
+        /// The chunk payload.
+        value: Bytes,
+    },
+    /// Cloud → edge: the upload for `key` is durably in the catalog;
+    /// the sender may retire the spool entry.
+    CloudUploadAck {
+        /// The acknowledged fingerprint key.
+        key: Bytes,
+    },
+    /// Wiped node → neighbor-ring holder: mesh-repair fetch for one
+    /// chunk; the holder answers with a [`Message::HintReplay`] at real
+    /// wire cost.
+    RepairRequest {
+        /// The fingerprint key to rebuild.
+        key: Bytes,
+    },
 }
 
 impl Message {
@@ -156,6 +179,8 @@ impl Message {
             Message::WriteAck { .. } => 0,
             Message::ReplicaRead { key, .. } => key.len(),
             Message::ReadResp { value, .. } => value.as_ref().map_or(0, Bytes::len),
+            Message::CloudUpload { key, value } => key.len() + value.len(),
+            Message::CloudUploadAck { key } | Message::RepairRequest { key } => key.len(),
         };
         HEADER + payload as u64
     }
@@ -214,6 +239,19 @@ impl Message {
                 field(&mut c, key);
                 opt(&mut c, value);
             }
+            Message::CloudUpload { key, value } => {
+                c.update_u64(6);
+                field(&mut c, key);
+                field(&mut c, value);
+            }
+            Message::CloudUploadAck { key } => {
+                c.update_u64(7);
+                field(&mut c, key);
+            }
+            Message::RepairRequest { key } => {
+                c.update_u64(8);
+                field(&mut c, key);
+            }
         }
         c.finish()
     }
@@ -260,6 +298,22 @@ mod tests {
             from: NodeId(1),
         };
         assert_eq!(ack.wire_size(), 48);
+        let up = Message::CloudUpload {
+            key: Bytes::from_static(b"0123"),
+            value: Bytes::from_static(b"0123456789"),
+        };
+        assert_eq!(up.wire_size(), 48 + 14);
+        let up_ack = Message::CloudUploadAck {
+            key: Bytes::from_static(b"0123"),
+        };
+        let repair = Message::RepairRequest {
+            key: Bytes::from_static(b"0123"),
+        };
+        assert_eq!(up_ack.wire_size(), 48 + 4);
+        assert_eq!(repair.wire_size(), 48 + 4);
+        // Same key, different kind tag: the checksums must differ or a
+        // rotted kind byte could alias an ack into a repair request.
+        assert_ne!(up_ack.frame_checksum(), repair.frame_checksum());
     }
 
     #[test]

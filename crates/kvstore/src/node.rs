@@ -425,6 +425,23 @@ impl NodeState {
         out
     }
 
+    /// Removes and returns the hints parked for `peer` without sending
+    /// or counting them dropped: the sim driver moves them into a
+    /// durable spool when `peer`'s whole ring is inside a disaster
+    /// window, so a later crash of *this* node cannot lose them.
+    pub(crate) fn take_hints_for(&mut self, peer: NodeId) -> Vec<(Bytes, Option<Bytes>)> {
+        let mut taken = Vec::new();
+        self.hints.retain(|(to, key, value)| {
+            if *to == peer {
+                taken.push((key.clone(), value.clone()));
+                false
+            } else {
+                true
+            }
+        });
+        taken
+    }
+
     /// Drops every hint parked for `peer` (permanent departure:
     /// replaying them would misdirect writes meant for the departed
     /// node's tokens, whose new owners are re-replicated explicitly).
@@ -491,6 +508,23 @@ impl NodeState {
             "node removed from its own ring view"
         );
         self.ring = ring;
+    }
+
+    /// The next sequence number this coordinator would issue. The
+    /// disaster driver snapshots this before burning a node's disk so a
+    /// rebuilt node can resume above it — the WAL-persisted floor that
+    /// normally guarantees uniqueness does not survive a ring wipe.
+    pub(crate) fn seq_watermark(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Resumes op sequence numbers at or above `floor`, persisting the
+    /// raised floor. Used when a node rebuilds with no surviving WAL:
+    /// op ids must stay unique across the wipe or post-heal completions
+    /// would alias pre-wipe ones.
+    pub(crate) fn resume_seq_from(&mut self, floor: u64) {
+        self.next_seq = self.next_seq.max(floor);
+        self.wal.set_seq_floor(self.next_seq);
     }
 
     /// Allocates the next operation id without starting an operation.
@@ -984,6 +1018,32 @@ impl NodeState {
                     }
                     None => self.durable_delete(key),
                 }
+                (Vec::new(), Vec::new())
+            }
+            Message::RepairRequest { key } => {
+                // Mesh repair: a wiped neighbor is rebuilding and asked
+                // for this chunk. Answer only with a verified read — a
+                // rotted local copy must never be propagated into the
+                // healing ring — and stay silent otherwise (the
+                // requester falls back to the cloud catalog or
+                // anti-entropy).
+                let out = match self.verified_get(&key) {
+                    Some(v) => vec![Outbound {
+                        to: from,
+                        msg: Message::HintReplay {
+                            key,
+                            value: Some(v),
+                        },
+                    }],
+                    None => Vec::new(),
+                };
+                (out, Vec::new())
+            }
+            // Cloud uploads and their acks terminate at the cluster
+            // driver (the cloud catalog is not a ring member); one
+            // reaching a node state machine is a misrouted frame and is
+            // ignored.
+            Message::CloudUpload { .. } | Message::CloudUploadAck { .. } => {
                 (Vec::new(), Vec::new())
             }
         }

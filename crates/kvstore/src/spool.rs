@@ -1,0 +1,713 @@
+//! Durable, WAL-backed upload spool: the cloud-outage survival kit.
+//!
+//! The paper's topology funnels every unique chunk over one uplink to
+//! the central cloud, so an uplink cut would either stall ingest or
+//! silently drop durability. The [`UploadSpool`] breaks that coupling:
+//! a unique accepted during an outage is appended to a local
+//! write-ahead log *first* (the client's ack never waits on the cloud),
+//! then drained under a bandwidth cap when the uplink heals. Transfers
+//! are resumable — an entry is retired only when the matching
+//! [`Message::CloudUploadAck`](crate::msg::Message) lands, so dropped
+//! or corrupted frames are simply re-sent on a later drain tick — and
+//! priority-classed: client [`SpoolClass::Critical`] payloads always
+//! drain before [`SpoolClass::Background`] traffic, reusing the
+//! ordering the admission controller already enforces for shedding.
+//!
+//! The same spool doubles as durable parking for hinted handoff during
+//! ring disasters: hints destined for a wiped site are moved off the
+//! holder's volatile heap into [`SpoolDest::Node`] entries, so a later
+//! crash of the hint holder cannot lose them (see
+//! `SimCluster::ring_outage_at`).
+//!
+//! Determinism: the spool draws no randomness and iterates only ordered
+//! structures; identical enqueue/ack sequences yield identical batches.
+
+use crate::storage::{WalRecord, WriteAheadLog};
+use bytes::Bytes;
+use ef_netsim::NodeId;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeSet, VecDeque};
+
+/// Drain priority of a spooled transfer.
+///
+/// Mirrors PR 6's shedding classes: client dedup payloads are the last
+/// thing shed and the first thing drained; repair/hint traffic yields.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum SpoolClass {
+    /// A client `CheckAndInsert` payload: drains before everything else.
+    Critical,
+    /// Hint replays and other repair traffic: drains after criticals.
+    Background,
+}
+
+/// Where a spooled transfer is bound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum SpoolDest {
+    /// The central cloud catalog, over the bandwidth-capped uplink.
+    Cloud,
+    /// A ring peer (a durably parked hint), sent once the peer is back.
+    Node(NodeId),
+}
+
+/// One pending spooled transfer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpoolEntry {
+    /// Drain priority.
+    pub class: SpoolClass,
+    /// Destination.
+    pub dest: SpoolDest,
+    /// The fingerprint key.
+    pub key: Bytes,
+    /// Payload; `None` is a parked delete hint (cloud entries always
+    /// carry a payload).
+    pub value: Option<Bytes>,
+    /// Transmissions attempted so far (0 = never sent).
+    attempts: u32,
+}
+
+impl SpoolEntry {
+    /// Payload bytes this entry charges against a drain tick's cap.
+    pub fn payload_len(&self) -> u64 {
+        (self.key.len() + self.value.as_ref().map_or(0, Bytes::len)) as u64
+    }
+}
+
+/// Disaster-tolerance counters, merged into
+/// `RobustnessMetrics::disaster`.
+///
+/// All-zero unless a cloud uplink was enabled or a disaster was
+/// injected, so clean-run quietness checks hold unchanged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct DisasterStats {
+    /// Entries accepted into upload spools.
+    #[serde(default)]
+    pub spool_enqueued: u64,
+    /// Entries fully drained (cloud-acked or hint-delivered).
+    #[serde(default)]
+    pub spool_drained: u64,
+    /// Re-sent entries: a transfer whose earlier frame was lost,
+    /// blacked out, or corrupted (resumability in action).
+    #[serde(default)]
+    pub spool_retransmits: u64,
+    /// Entries still pending at observation time.
+    #[serde(default)]
+    pub spool_depth: u64,
+    /// Highest pending-entry count any spool ever reached.
+    #[serde(default)]
+    pub spool_high_water: u64,
+    /// Payload bytes accepted into spools.
+    #[serde(default)]
+    pub spool_bytes_enqueued: u64,
+    /// Payload bytes fully drained.
+    #[serde(default)]
+    pub spool_bytes_drained: u64,
+    /// Hints moved off a volatile heap into a durable spool because
+    /// their target sat inside a ring-outage window.
+    #[serde(default)]
+    pub hints_spooled: u64,
+    /// Chunks rebuilt from a neighbor ring during mesh repair.
+    #[serde(default)]
+    pub mesh_repairs: u64,
+    /// Chunks no neighbor held, rebuilt from the cloud catalog.
+    #[serde(default)]
+    pub cloud_repairs: u64,
+    /// Payload bytes fetched from neighbor rings.
+    #[serde(default)]
+    pub repair_bytes_mesh: u64,
+    /// Payload bytes fetched from the cloud catalog.
+    #[serde(default)]
+    pub repair_bytes_cloud: u64,
+    /// Accumulated SNOD2 wire cost (milliseconds, rounded) of mesh
+    /// repair round-trips; with [`DisasterStats::repair_cost_cloud_ms`]
+    /// this prices a neighbor-ring hit below a cloud round-trip.
+    #[serde(default)]
+    pub repair_cost_mesh_ms: u64,
+    /// Accumulated wire cost (milliseconds, rounded) of cloud-fallback
+    /// repair round-trips.
+    #[serde(default)]
+    pub repair_cost_cloud_ms: u64,
+    /// Edge sites wiped by ring outages.
+    #[serde(default)]
+    pub ring_wipes: u64,
+    /// Cloud-outage windows registered with the cluster.
+    #[serde(default)]
+    pub outage_windows: u64,
+    /// Worst observed heal-to-repair-delivery latency in nanoseconds
+    /// (time-to-recovery for a wiped ring).
+    #[serde(default)]
+    pub recovery_ns_max: u64,
+}
+
+impl DisasterStats {
+    /// Folds `other` into `self`: counters add (saturating), peaks and
+    /// worst-case latencies take the max.
+    pub fn merge(&mut self, other: &DisasterStats) {
+        self.spool_enqueued = self.spool_enqueued.saturating_add(other.spool_enqueued);
+        self.spool_drained = self.spool_drained.saturating_add(other.spool_drained);
+        self.spool_retransmits = self
+            .spool_retransmits
+            .saturating_add(other.spool_retransmits);
+        self.spool_depth = self.spool_depth.saturating_add(other.spool_depth);
+        self.spool_high_water = self.spool_high_water.max(other.spool_high_water);
+        self.spool_bytes_enqueued = self
+            .spool_bytes_enqueued
+            .saturating_add(other.spool_bytes_enqueued);
+        self.spool_bytes_drained = self
+            .spool_bytes_drained
+            .saturating_add(other.spool_bytes_drained);
+        self.hints_spooled = self.hints_spooled.saturating_add(other.hints_spooled);
+        self.mesh_repairs = self.mesh_repairs.saturating_add(other.mesh_repairs);
+        self.cloud_repairs = self.cloud_repairs.saturating_add(other.cloud_repairs);
+        self.repair_bytes_mesh = self
+            .repair_bytes_mesh
+            .saturating_add(other.repair_bytes_mesh);
+        self.repair_bytes_cloud = self
+            .repair_bytes_cloud
+            .saturating_add(other.repair_bytes_cloud);
+        self.repair_cost_mesh_ms = self
+            .repair_cost_mesh_ms
+            .saturating_add(other.repair_cost_mesh_ms);
+        self.repair_cost_cloud_ms = self
+            .repair_cost_cloud_ms
+            .saturating_add(other.repair_cost_cloud_ms);
+        self.ring_wipes = self.ring_wipes.saturating_add(other.ring_wipes);
+        self.outage_windows = self.outage_windows.saturating_add(other.outage_windows);
+        self.recovery_ns_max = self.recovery_ns_max.max(other.recovery_ns_max);
+    }
+
+    /// True when no disaster machinery ever engaged.
+    pub fn is_quiet(&self) -> bool {
+        *self == DisasterStats::default()
+    }
+}
+
+/// A durable spool of pending outbound transfers.
+///
+/// Every mutation is written through an embedded [`WriteAheadLog`]
+/// before the in-memory queue changes: an enqueue appends a put, a
+/// retirement appends a delete, and the WAL's self-compacting snapshot
+/// keeps the on-disk footprint proportional to the *pending* set, not
+/// the total ever enqueued. [`UploadSpool::recover`] rebuilds the exact
+/// pending queue (priority order included) from the log alone, so a
+/// crash-stopped node resumes its drain where it left off.
+#[derive(Debug, Clone, Default)]
+pub struct UploadSpool {
+    wal: WriteAheadLog,
+    entries: VecDeque<SpoolEntry>,
+    /// Pending `(class, dest, key)` triples, mirroring `entries`: makes
+    /// the idempotent-enqueue check O(log n) instead of a full-queue
+    /// scan (the enqueue hot loop during an outage).
+    index: BTreeSet<(SpoolClass, SpoolDest, Bytes)>,
+    enqueued: u64,
+    drained: u64,
+    bytes_enqueued: u64,
+    bytes_drained: u64,
+    retransmits: u64,
+    high_water: u64,
+}
+
+/// Durable record-key prefix: class byte, dest tag, optional node id.
+fn encode_meta(class: SpoolClass, dest: SpoolDest, key: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(key.len() + 6);
+    out.push(match class {
+        SpoolClass::Critical => 0,
+        SpoolClass::Background => 1,
+    });
+    match dest {
+        SpoolDest::Cloud => out.push(0),
+        SpoolDest::Node(n) => {
+            out.push(1);
+            out.extend_from_slice(&n.0.to_be_bytes());
+        }
+    }
+    out.extend_from_slice(key);
+    out
+}
+
+fn decode_meta(encoded: &[u8]) -> Option<(SpoolClass, SpoolDest, Bytes)> {
+    let (&class_byte, rest) = encoded.split_first()?;
+    let class = match class_byte {
+        0 => SpoolClass::Critical,
+        1 => SpoolClass::Background,
+        _ => return None,
+    };
+    let (&dest_tag, rest) = rest.split_first()?;
+    match dest_tag {
+        0 => Some((class, SpoolDest::Cloud, Bytes::copy_from_slice(rest))),
+        1 => {
+            if rest.len() < 4 {
+                return None;
+            }
+            let (id, key) = rest.split_at(4);
+            let node = NodeId(u32::from_be_bytes([id[0], id[1], id[2], id[3]]));
+            Some((class, SpoolDest::Node(node), Bytes::copy_from_slice(key)))
+        }
+        _ => None,
+    }
+}
+
+/// Durable record value: presence byte then the payload.
+fn encode_value(value: &Option<Bytes>) -> Vec<u8> {
+    match value {
+        Some(v) => {
+            let mut out = Vec::with_capacity(v.len() + 1);
+            out.push(1);
+            out.extend_from_slice(v);
+            out
+        }
+        None => vec![0],
+    }
+}
+
+fn decode_value(encoded: &[u8]) -> Option<Option<Bytes>> {
+    let (&tag, rest) = encoded.split_first()?;
+    match tag {
+        0 => Some(None),
+        1 => Some(Some(Bytes::copy_from_slice(rest))),
+        _ => None,
+    }
+}
+
+impl UploadSpool {
+    /// An empty spool whose WAL self-compacts every `snapshot_every`
+    /// appends (0 disables compaction).
+    pub fn new(snapshot_every: u64) -> Self {
+        UploadSpool {
+            wal: WriteAheadLog::new(snapshot_every),
+            ..UploadSpool::default()
+        }
+    }
+
+    /// Accepts a transfer, writing it to the WAL before the queue.
+    ///
+    /// Idempotent per `(class, dest, key)`: a transfer already pending
+    /// is not duplicated (its payload is the same chunk) and `false` is
+    /// returned.
+    pub fn enqueue(
+        &mut self,
+        class: SpoolClass,
+        dest: SpoolDest,
+        key: Bytes,
+        value: Option<Bytes>,
+    ) -> bool {
+        if !self.index.insert((class, dest, key.clone())) {
+            return false;
+        }
+        let meta = encode_meta(class, dest, &key);
+        self.wal.append_put(&meta, &encode_value(&value));
+        let entry = SpoolEntry {
+            class,
+            dest,
+            key,
+            value,
+            attempts: 0,
+        };
+        self.enqueued += 1;
+        self.bytes_enqueued += entry.payload_len();
+        self.entries.push_back(entry);
+        self.high_water = self.high_water.max(self.entries.len() as u64);
+        true
+    }
+
+    /// Rebuilds a spool from a recovered WAL (crash-stop restart path).
+    pub fn recover(wal: WriteAheadLog) -> Self {
+        let mut spool = UploadSpool {
+            wal,
+            ..UploadSpool::default()
+        };
+        // The strict replay is safe here: the spool WAL is only ever
+        // handed over intact in the simulation (torn-tail injection
+        // targets storage WALs); an unreadable log yields an empty
+        // spool, which anti-entropy and re-upload absorb.
+        let records = spool.wal.replay().unwrap_or_default();
+        for record in records {
+            match record {
+                WalRecord::Put(meta, value) => {
+                    if let (Some((class, dest, key)), Some(value)) =
+                        (decode_meta(&meta), decode_value(&value))
+                    {
+                        spool.entries.push_back(SpoolEntry {
+                            class,
+                            dest,
+                            key,
+                            value,
+                            attempts: 0,
+                        });
+                    }
+                }
+                WalRecord::Delete(meta) => {
+                    if let Some((class, dest, key)) = decode_meta(&meta) {
+                        spool
+                            .entries
+                            .retain(|e| !(e.class == class && e.dest == dest && e.key == key));
+                    }
+                }
+            }
+        }
+        spool.index = spool
+            .entries
+            .iter()
+            .map(|e| (e.class, e.dest, e.key.clone()))
+            .collect();
+        spool.high_water = spool.entries.len() as u64;
+        spool
+    }
+
+    /// Consumes the spool, yielding its WAL for durable parking (the
+    /// inverse of [`UploadSpool::recover`]).
+    pub fn into_wal(self) -> WriteAheadLog {
+        self.wal
+    }
+
+    /// Plans one drain tick: pending cloud-bound entries in priority
+    /// order (criticals first, FIFO within a class), up to `byte_cap`
+    /// payload bytes — always at least one entry, so a chunk larger
+    /// than the cap still makes progress. Each planned entry counts a
+    /// transmission attempt; re-planning an entry whose earlier send
+    /// was never acked counts a retransmit.
+    pub fn plan_cloud_batch(&mut self, byte_cap: u64) -> Vec<(Bytes, Bytes)> {
+        let mut batch = Vec::new();
+        let mut budget = 0u64;
+        let mut order: Vec<usize> = (0..self.entries.len())
+            .filter(|&i| self.entries[i].dest == SpoolDest::Cloud)
+            .collect();
+        order.sort_by_key(|&i| (self.entries[i].class, i));
+        for i in order {
+            let len = self.entries[i].payload_len();
+            if !batch.is_empty() && budget + len > byte_cap {
+                break;
+            }
+            let entry = &mut self.entries[i];
+            if entry.attempts > 0 {
+                self.retransmits += 1;
+            }
+            entry.attempts += 1;
+            budget += len;
+            let value = entry.value.clone().unwrap_or_default();
+            batch.push((entry.key.clone(), value));
+            if budget >= byte_cap {
+                break;
+            }
+        }
+        batch
+    }
+
+    /// Retires the pending cloud transfer for `key` after its ack
+    /// landed, durably (a WAL delete). Returns the payload length, or
+    /// `None` for an unknown/already-retired key (stale ack).
+    pub fn retire_cloud(&mut self, key: &[u8]) -> Option<u64> {
+        let idx = self
+            .entries
+            .iter()
+            .position(|e| e.dest == SpoolDest::Cloud && e.key.as_ref() == key)?;
+        // VecDeque shifts the shorter side: retirement follows plan
+        // order (front-first), so acking a drained batch is O(1) per
+        // entry instead of a whole-queue memmove. `position` just
+        // returned `idx`, so the remove cannot miss.
+        let entry = self.entries.remove(idx)?;
+        self.index
+            .remove(&(entry.class, entry.dest, entry.key.clone()));
+        self.wal
+            .append_delete(&encode_meta(entry.class, entry.dest, &entry.key));
+        let len = entry.payload_len();
+        self.drained += 1;
+        self.bytes_drained += len;
+        Some(len)
+    }
+
+    /// Takes (and durably retires) every entry parked for `node`, in
+    /// FIFO order. Called when the node is reachable again; delivery
+    /// rides the ordinary hint-replay path, whose losses anti-entropy
+    /// backfills — matching volatile hint semantics.
+    pub fn take_for_node(&mut self, node: NodeId) -> Vec<SpoolEntry> {
+        let mut taken = Vec::new();
+        let mut i = 0;
+        while i < self.entries.len() {
+            if self.entries[i].dest == SpoolDest::Node(node) {
+                let Some(entry) = self.entries.remove(i) else {
+                    break; // unreachable: i < len by the loop guard
+                };
+                self.index
+                    .remove(&(entry.class, entry.dest, entry.key.clone()));
+                self.wal
+                    .append_delete(&encode_meta(entry.class, entry.dest, &entry.key));
+                self.drained += 1;
+                self.bytes_drained += entry.payload_len();
+                taken.push(entry);
+            } else {
+                i += 1;
+            }
+        }
+        taken
+    }
+
+    /// The pending entries in queue order (tests and audits; the drain
+    /// planner uses [`UploadSpool::plan_cloud_batch`]).
+    pub fn pending(&self) -> impl Iterator<Item = &SpoolEntry> {
+        self.entries.iter()
+    }
+
+    /// The distinct node destinations with pending entries, in id order
+    /// (the drain loop probes each for reachability).
+    pub fn node_dests(&self) -> Vec<NodeId> {
+        let mut dests: Vec<NodeId> = self
+            .entries
+            .iter()
+            .filter_map(|e| match e.dest {
+                SpoolDest::Node(node) => Some(node),
+                SpoolDest::Cloud => None,
+            })
+            .collect();
+        dests.sort_unstable();
+        dests.dedup();
+        dests
+    }
+
+    /// Pending entries (all destinations).
+    pub fn depth(&self) -> u64 {
+        self.entries.len() as u64
+    }
+
+    /// True when nothing is pending.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Highest pending count this spool ever reached.
+    pub fn high_water(&self) -> u64 {
+        self.high_water
+    }
+
+    /// Current durable footprint in bytes (snapshot + tail); bounded by
+    /// the pending set thanks to WAL self-compaction.
+    pub fn wal_bytes(&self) -> usize {
+        self.wal.len_bytes()
+    }
+
+    /// Folds this spool's counters into `stats`.
+    pub fn fold_into(&self, stats: &mut DisasterStats) {
+        stats.merge(&DisasterStats {
+            spool_enqueued: self.enqueued,
+            spool_drained: self.drained,
+            spool_retransmits: self.retransmits,
+            spool_depth: self.depth(),
+            spool_high_water: self.high_water,
+            spool_bytes_enqueued: self.bytes_enqueued,
+            spool_bytes_drained: self.bytes_drained,
+            ..DisasterStats::default()
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bytes(s: &str) -> Bytes {
+        Bytes::copy_from_slice(s.as_bytes())
+    }
+
+    #[test]
+    fn criticals_drain_before_background_fifo_within_class() {
+        let mut spool = UploadSpool::new(0);
+        assert!(spool.enqueue(
+            SpoolClass::Background,
+            SpoolDest::Cloud,
+            bytes("b1"),
+            Some(bytes("v")),
+        ));
+        assert!(spool.enqueue(
+            SpoolClass::Critical,
+            SpoolDest::Cloud,
+            bytes("c1"),
+            Some(bytes("v")),
+        ));
+        assert!(spool.enqueue(
+            SpoolClass::Critical,
+            SpoolDest::Cloud,
+            bytes("c2"),
+            Some(bytes("v")),
+        ));
+        let batch = spool.plan_cloud_batch(u64::MAX);
+        let keys: Vec<&[u8]> = batch.iter().map(|(k, _)| k.as_ref()).collect();
+        assert_eq!(keys, vec![b"c1".as_ref(), b"c2".as_ref(), b"b1".as_ref()]);
+    }
+
+    #[test]
+    fn byte_cap_limits_a_batch_but_never_starves_it() {
+        let mut spool = UploadSpool::new(0);
+        for i in 0..4 {
+            spool.enqueue(
+                SpoolClass::Critical,
+                SpoolDest::Cloud,
+                bytes(&format!("k{i}")),
+                Some(Bytes::from(vec![0u8; 100])),
+            );
+        }
+        // Each entry is 102 payload bytes; a 150-byte cap fits one.
+        assert_eq!(spool.plan_cloud_batch(150).len(), 1);
+        // A cap smaller than any entry still sends one (progress).
+        assert_eq!(spool.plan_cloud_batch(1).len(), 1);
+    }
+
+    #[test]
+    fn unacked_entries_are_replanned_and_counted_as_retransmits() {
+        let mut spool = UploadSpool::new(0);
+        spool.enqueue(
+            SpoolClass::Critical,
+            SpoolDest::Cloud,
+            bytes("k"),
+            Some(bytes("v")),
+        );
+        assert_eq!(spool.plan_cloud_batch(u64::MAX).len(), 1);
+        assert_eq!(spool.plan_cloud_batch(u64::MAX).len(), 1);
+        let mut stats = DisasterStats::default();
+        spool.fold_into(&mut stats);
+        assert_eq!(stats.spool_retransmits, 1);
+        // The ack retires it durably; a duplicate ack is a no-op.
+        assert_eq!(spool.retire_cloud(b"k"), Some(2));
+        assert_eq!(spool.retire_cloud(b"k"), None);
+        assert!(spool.is_empty());
+        assert!(spool.plan_cloud_batch(u64::MAX).is_empty());
+    }
+
+    #[test]
+    fn enqueue_is_idempotent_per_pending_transfer() {
+        let mut spool = UploadSpool::new(0);
+        assert!(spool.enqueue(
+            SpoolClass::Critical,
+            SpoolDest::Cloud,
+            bytes("k"),
+            Some(bytes("v")),
+        ));
+        assert!(!spool.enqueue(
+            SpoolClass::Critical,
+            SpoolDest::Cloud,
+            bytes("k"),
+            Some(bytes("v")),
+        ));
+        assert_eq!(spool.depth(), 1);
+        // Once drained, the same key may be spooled again.
+        spool.retire_cloud(b"k");
+        assert!(spool.enqueue(
+            SpoolClass::Critical,
+            SpoolDest::Cloud,
+            bytes("k"),
+            Some(bytes("v")),
+        ));
+    }
+
+    #[test]
+    fn recovery_rebuilds_the_exact_pending_queue() {
+        let mut spool = UploadSpool::new(0);
+        spool.enqueue(
+            SpoolClass::Background,
+            SpoolDest::Node(NodeId(7)),
+            bytes("hint"),
+            None,
+        );
+        spool.enqueue(
+            SpoolClass::Critical,
+            SpoolDest::Cloud,
+            bytes("acked"),
+            Some(bytes("x")),
+        );
+        spool.enqueue(
+            SpoolClass::Critical,
+            SpoolDest::Cloud,
+            bytes("pending"),
+            Some(bytes("payload")),
+        );
+        spool.retire_cloud(b"acked");
+        let before: Vec<SpoolEntry> = spool.entries.iter().cloned().collect();
+        let recovered = UploadSpool::recover(spool.into_wal());
+        let after: Vec<SpoolEntry> = recovered.entries.iter().cloned().collect();
+        assert_eq!(before, after);
+        assert_eq!(recovered.depth(), 2);
+    }
+
+    #[test]
+    fn node_entries_are_taken_fifo_and_survive_cloud_planning() {
+        let mut spool = UploadSpool::new(0);
+        spool.enqueue(
+            SpoolClass::Background,
+            SpoolDest::Node(NodeId(3)),
+            bytes("h1"),
+            Some(bytes("v1")),
+        );
+        spool.enqueue(
+            SpoolClass::Background,
+            SpoolDest::Node(NodeId(4)),
+            bytes("h2"),
+            None,
+        );
+        spool.enqueue(
+            SpoolClass::Background,
+            SpoolDest::Node(NodeId(3)),
+            bytes("h3"),
+            None,
+        );
+        // Cloud planning never touches parked hints.
+        assert!(spool.plan_cloud_batch(u64::MAX).is_empty());
+        let taken = spool.take_for_node(NodeId(3));
+        assert_eq!(taken.len(), 2);
+        assert_eq!(taken[0].key.as_ref(), b"h1");
+        assert_eq!(taken[1].key.as_ref(), b"h3");
+        assert_eq!(spool.depth(), 1);
+    }
+
+    #[test]
+    fn wal_compaction_bounds_the_durable_footprint() {
+        let mut spool = UploadSpool::new(8);
+        for i in 0..200 {
+            let key = bytes(&format!("key-{i:04}"));
+            spool.enqueue(
+                SpoolClass::Critical,
+                SpoolDest::Cloud,
+                key.clone(),
+                Some(Bytes::from(vec![0u8; 64])),
+            );
+            spool.retire_cloud(&key);
+        }
+        assert!(spool.is_empty());
+        // 200 puts + 200 deletes flowed through, but compaction folds
+        // retired entries away: the footprint stays near-empty instead
+        // of growing with history.
+        assert!(
+            spool.wal_bytes() < 1024,
+            "spool WAL grew unbounded: {} bytes",
+            spool.wal_bytes()
+        );
+        let mut stats = DisasterStats::default();
+        spool.fold_into(&mut stats);
+        assert_eq!(stats.spool_enqueued, 200);
+        assert_eq!(stats.spool_drained, 200);
+        assert_eq!(stats.spool_depth, 0);
+    }
+
+    #[test]
+    fn stats_merge_adds_counters_and_maxes_peaks() {
+        let a = DisasterStats {
+            spool_enqueued: 3,
+            spool_high_water: 5,
+            recovery_ns_max: 100,
+            mesh_repairs: 2,
+            ..DisasterStats::default()
+        };
+        let mut b = DisasterStats {
+            spool_enqueued: 4,
+            spool_high_water: 2,
+            recovery_ns_max: 900,
+            cloud_repairs: 1,
+            ..DisasterStats::default()
+        };
+        b.merge(&a);
+        assert_eq!(b.spool_enqueued, 7);
+        assert_eq!(b.spool_high_water, 5);
+        assert_eq!(b.recovery_ns_max, 900);
+        assert_eq!(b.mesh_repairs, 2);
+        assert_eq!(b.cloud_repairs, 1);
+        assert!(!b.is_quiet());
+        assert!(DisasterStats::default().is_quiet());
+    }
+}

@@ -476,10 +476,13 @@ fn decode_section(bytes: &[u8]) -> Result<Vec<WalRecord>, WalError> {
 /// persists the coordinator's sequence floor, so op ids issued after a
 /// restart never collide with pre-crash ones.
 ///
-/// Snapshotting is self-compacting: every `snapshot_every` tail records
-/// the full log is folded into its live key set and re-encoded as the
-/// new snapshot, bounding replay work and disk growth for workloads that
-/// overwrite or delete.
+/// Snapshotting is self-compacting: once the tail accumulates
+/// `snapshot_every` records — or as many records as the snapshot itself
+/// holds, whichever is larger — the full log is folded into its live key
+/// set and re-encoded as the new snapshot. The ratio trigger spaces
+/// compactions geometrically on growing states, so append cost stays
+/// amortized O(1) while disk growth stays within ~2x the live set for
+/// workloads that overwrite or delete.
 ///
 /// # Example
 ///
@@ -674,7 +677,17 @@ impl WriteAheadLog {
     /// error is held for [`WriteAheadLog::integrity_error`] — never
     /// swallowed.
     fn maybe_snapshot(&mut self) {
-        if self.snapshot_every == 0 || self.tail_records < self.snapshot_every {
+        // Ratio trigger: compact once the tail has grown to the size of
+        // the snapshot itself (but never before `snapshot_every`
+        // records). A fixed cadence re-encodes the whole live set every
+        // `snapshot_every` appends — O(state) work at O(1) intervals,
+        // quadratic on a monotonically growing state like an upload
+        // spool absorbing a long outage. The ratio spaces compactions
+        // geometrically, so each record is re-encoded O(1) amortized
+        // times while the footprint stays within ~2x the live set.
+        if self.snapshot_every == 0
+            || self.tail_records < self.snapshot_every.max(self.snapshot_entries)
+        {
             return;
         }
         if self.integrity_error.is_some() {

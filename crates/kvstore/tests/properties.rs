@@ -320,3 +320,98 @@ proptest! {
         prop_assert!(timers.rto_of(peer, observer).is_none());
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Partition-heal convergence: for arbitrary write schedules issued
+    /// through both sides of an arbitrary inter-site partition window,
+    /// once the partition heals and anti-entropy runs, (a) no key was
+    /// ever judged a duplicate without at least one unique verdict (a
+    /// false duplicate drops the only copy — data loss), and (b) every
+    /// key acked unique is readable, byte-identical, on *every* ring
+    /// replica — the sides reconverged rather than splitting brains.
+    #[test]
+    fn partition_heal_converges_without_false_duplicates(
+        schedule in proptest::collection::vec((0u8..12, 0u8..6), 1..24),
+        start_ms in 0u64..400,
+        window_ms in 50u64..800,
+    ) {
+        use ef_kvstore::{nth_op_id, ClientOp, OpId, OpResult, SimCluster};
+        use ef_netsim::{FaultPlan, Network, NetworkConfig, SiteId, TopologyBuilder};
+        use ef_simcore::{SimDuration, SimTime};
+        use std::collections::HashMap;
+
+        let topo = TopologyBuilder::new().edge_site(3).edge_site(3).build();
+        let mut net = Network::new(topo, NetworkConfig::paper_testbed());
+        let members = net.topology().edge_nodes();
+        let from = SimTime::ZERO + SimDuration::from_millis(start_ms);
+        let heal = from + SimDuration::from_millis(window_ms);
+        net.set_fault_plan(
+            FaultPlan::new(11).partition(SiteId(0), SiteId(1), from, heal),
+        );
+        let rf = ClusterConfig::default().replication_factor;
+        let mut cluster =
+            SimCluster::new(members.clone(), net, ClusterConfig::default());
+        cluster.enable_anti_entropy(SimDuration::from_millis(100), 4);
+
+        // Writes spaced to straddle the partition window, issued from
+        // both sites so each side keeps accepting what it can.
+        let mut key_of: HashMap<OpId, u8> = HashMap::new();
+        let mut next_seq: HashMap<_, u64> = HashMap::new();
+        let mut t = SimTime::ZERO + SimDuration::from_millis(3);
+        for &(key, coord) in &schedule {
+            let coordinator = members[coord as usize % members.len()];
+            let seq = next_seq.entry(coordinator).or_insert(0);
+            key_of.insert(nth_op_id(coordinator, *seq), key);
+            *seq += 1;
+            let kb = Bytes::from(vec![key]);
+            cluster.submit(t, coordinator, ClientOp::CheckAndInsert(kb.clone(), kb));
+            t += SimDuration::from_millis(67);
+        }
+        let done = cluster.run_until(heal.max(t) + SimDuration::from_secs(10));
+        prop_assert_eq!(cluster.inflight(), 0, "ops still in flight after heal");
+
+        let mut uniques: HashMap<u8, u32> = HashMap::new();
+        let mut dups: HashMap<u8, u32> = HashMap::new();
+        for l in &done {
+            let key = key_of[&l.op_id];
+            match l.result {
+                OpResult::Dedup { unique: true, .. } => {
+                    *uniques.entry(key).or_insert(0) += 1;
+                }
+                OpResult::Dedup { unique: false, .. } => {
+                    *dups.entry(key).or_insert(0) += 1;
+                }
+                OpResult::Unavailable { .. } => {}
+                ref other => {
+                    prop_assert!(false, "check-and-insert resolved {:?}", other);
+                }
+            }
+        }
+        for (key, d) in &dups {
+            prop_assert!(
+                uniques.get(key).copied().unwrap_or(0) >= 1,
+                "key {} judged duplicate {} times but never inserted", key, d
+            );
+        }
+        // Convergence: every acked-unique key on every replica, byte
+        // for byte — the healed sides agree.
+        for &key in uniques.keys() {
+            let kb = Bytes::from(vec![key]);
+            for replica in cluster.ring().replicas(&kb, rf) {
+                let got = cluster
+                    .node_mut(replica)
+                    .expect("no churn in this property")
+                    .storage_mut()
+                    .get(&kb);
+                prop_assert_eq!(
+                    got.as_ref(),
+                    Some(&kb),
+                    "replica {:?} missing or diverged on key {} after heal",
+                    replica, key
+                );
+            }
+        }
+    }
+}

@@ -8,9 +8,10 @@
 //!
 //! Faults compose in a fixed order per message:
 //!
-//! 1. **Partition** — if the source and destination sites are separated by an
-//!    active [`FaultPlan::partition`] window, the message is dropped
-//!    (probability 1, no RNG draw).
+//! 1. **Partition / blackout** — if the source and destination sites are
+//!    separated by an active [`FaultPlan::partition`] window, or the message
+//!    matches an active [`FaultPlan::blackout`] window (e.g. a cloud-uplink
+//!    cut), the message is dropped (probability 1, no RNG draw).
 //! 2. **Loss** — each matching [`FaultPlan::loss`] rule draws once; the
 //!    message is dropped if any draw fires.
 //! 3. **Degradation** — active [`FaultPlan::degrade`] windows scale the
@@ -123,6 +124,12 @@ struct PartitionRule {
     window: Window,
 }
 
+#[derive(Debug, Clone)]
+struct BlackoutRule {
+    scope: FaultScope,
+    window: Window,
+}
+
 /// Counters of what the plan did to traffic. Obtained via
 /// [`FaultPlan::stats`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -143,12 +150,15 @@ pub struct FaultStats {
     /// Messages whose serialization time was stretched by a congested-link
     /// bandwidth reduction.
     pub throttled: u64,
+    /// Messages dropped by an active blackout window (e.g. a cloud-uplink
+    /// cut during a disaster).
+    pub blacked_out: u64,
 }
 
 impl FaultStats {
     /// Total messages dropped for any reason.
     pub fn dropped(&self) -> u64 {
-        self.lost + self.partitioned
+        self.lost + self.partitioned + self.blacked_out
     }
 }
 
@@ -194,6 +204,7 @@ pub struct FaultPlan {
     degrade: Vec<DegradeRule>,
     bitrot: Vec<BitRotRule>,
     partitions: Vec<PartitionRule>,
+    blackouts: Vec<BlackoutRule>,
     slow: Vec<SlowRule>,
     throttle: Vec<ThrottleRule>,
     stats: FaultStats,
@@ -210,6 +221,7 @@ impl FaultPlan {
             degrade: Vec::new(),
             bitrot: Vec::new(),
             partitions: Vec::new(),
+            blackouts: Vec::new(),
             slow: Vec::new(),
             throttle: Vec::new(),
             stats: FaultStats::default(),
@@ -497,6 +509,36 @@ impl FaultPlan {
         self
     }
 
+    /// Schedules a blackout: during `[from, until)` every message matching
+    /// `scope` is dropped unconditionally. This is the disaster form of
+    /// loss — a cloud-uplink cut (`FaultScope::Site(cloud)`) or a severed
+    /// link — and, unlike a probability-1.0 loss rule, it consumes **no**
+    /// RNG draws, so adding one leaves every other rule's verdict trace
+    /// bit-identical (same replay-safety contract as [`FaultPlan::slow`]).
+    pub fn blackout(mut self, scope: FaultScope, from: SimTime, until: SimTime) -> Self {
+        self.blackouts.push(BlackoutRule {
+            scope,
+            window: Window { from, until },
+        });
+        self
+    }
+
+    /// True when an active blackout window covers a message from `src` to
+    /// `dst` at `t` — the oracle mitigations use to ask "is the uplink to
+    /// this destination cut right now?".
+    pub fn blacked_out(
+        &self,
+        src: NodeId,
+        dst: NodeId,
+        src_site: SiteId,
+        dst_site: SiteId,
+        t: SimTime,
+    ) -> bool {
+        self.blackouts
+            .iter()
+            .any(|r| r.window.contains(t) && r.scope.matches(src, dst, src_site, dst_site))
+    }
+
     /// True when an active partition separates the two sites at `t`.
     pub fn partitioned(&self, a: SiteId, b: SiteId, t: SimTime) -> bool {
         self.partitions
@@ -530,6 +572,11 @@ impl FaultPlan {
     ) -> FaultOutcome {
         if self.partitioned(src_site, dst_site, now) {
             self.stats.partitioned += 1;
+            return FaultOutcome::Drop;
+        }
+        // Blackouts are judged like partitions: unconditional, zero-draw.
+        if self.blacked_out(src, dst, src_site, dst_site, now) {
+            self.stats.blacked_out += 1;
             return FaultOutcome::Drop;
         }
         for rule in &self.loss {
@@ -841,6 +888,55 @@ mod tests {
                 .collect::<Vec<_>>()
         };
         assert_eq!(base(21), with_slow(21));
+    }
+
+    #[test]
+    fn blackout_window_drops_unconditionally_then_heals() {
+        let mut plan = FaultPlan::new(17).blackout(
+            FaultScope::Site(SiteId(1)),
+            SimTime::from_secs_f64(1.0),
+            SimTime::from_secs_f64(2.0),
+        );
+        let during = SimTime::from_secs_f64(1.5);
+        assert_eq!(
+            judge_all(&mut plan, 1, SimTime::ZERO)[0],
+            FaultOutcome::Deliver(SimDuration::ZERO)
+        );
+        for o in judge_all(&mut plan, 20, during) {
+            assert_eq!(o, FaultOutcome::Drop);
+        }
+        assert!(plan.blacked_out(NodeId(0), NodeId(2), SiteId(0), SiteId(1), during));
+        // Heal time is exclusive, like partitions.
+        assert_eq!(
+            judge_all(&mut plan, 1, SimTime::from_secs_f64(2.0))[0],
+            FaultOutcome::Deliver(SimDuration::ZERO)
+        );
+        assert_eq!(plan.stats().blacked_out, 20);
+        assert_eq!(plan.stats().dropped(), 20);
+        // Traffic not touching the blacked-out site is unaffected.
+        assert!(!plan.blacked_out(NodeId(0), NodeId(1), SiteId(0), SiteId(0), during));
+    }
+
+    #[test]
+    fn blackout_rules_leave_clean_plan_traces_untouched() {
+        // Blackouts are zero-draw: a plan with probabilistic rules must
+        // produce the same verdicts whether or not a (never-matching)
+        // blackout exists — unlike a probability-1.0 loss rule, which
+        // would consume one draw per message.
+        let base = |seed| {
+            let mut plan = FaultPlan::new(seed)
+                .loss(FaultScope::All, 0.3)
+                .jitter(FaultScope::All, SimDuration::from_millis(2));
+            judge_all(&mut plan, 100, SimTime::ZERO)
+        };
+        let with_blackout = |seed| {
+            let mut plan = FaultPlan::new(seed)
+                .loss(FaultScope::All, 0.3)
+                .jitter(FaultScope::All, SimDuration::from_millis(2))
+                .blackout(FaultScope::Site(SiteId(9)), SimTime::ZERO, SimTime::MAX);
+            judge_all(&mut plan, 100, SimTime::ZERO)
+        };
+        assert_eq!(base(21), with_blackout(21));
     }
 
     #[test]

@@ -373,6 +373,28 @@ impl Network {
             })
             .collect()
     }
+
+    /// The SNOD2 cost of fetching a chunk at `dst` from `src`, in
+    /// milliseconds of RTT — the same latency-based `v_ij` unit
+    /// [`Network::cost_matrix`] uses. Mesh repair extends the paper's
+    /// cost accounting to the recovery tier: a neighbor-ring holder
+    /// (inter-edge path) prices strictly below the erasure-coded cloud
+    /// catalog (WAN path), so a wiped ring prefers neighbors and falls
+    /// back to the cloud only for chunks no neighbor holds.
+    pub fn repair_cost_ms(&self, src: NodeId, dst: NodeId) -> f64 {
+        self.rtt(src, dst).as_millis_f64()
+    }
+
+    /// The cheapest live source for a repair fetch to `dst`, by
+    /// [`Network::repair_cost_ms`], with NodeId order breaking ties so
+    /// the choice is deterministic. `None` when `candidates` is empty.
+    pub fn cheapest_source(&self, candidates: &[NodeId], dst: NodeId) -> Option<NodeId> {
+        candidates.iter().copied().min_by(|&a, &b| {
+            self.repair_cost_ms(a, dst)
+                .total_cmp(&self.repair_cost_ms(b, dst))
+                .then(a.cmp(&b))
+        })
+    }
 }
 
 #[cfg(test)]
@@ -465,6 +487,56 @@ mod tests {
         assert!(wan_rtt > edge_rtt);
         // Paper numbers: 2*12.2 = 24.4 ms WAN RTT.
         assert!((wan_rtt.as_millis_f64() - 24.4).abs() < 1e-6);
+    }
+
+    #[test]
+    fn repair_tier_prices_neighbor_ring_below_cloud() {
+        let net = testbed();
+        // A node in edge site 1 repairing node 0: the inter-edge neighbor
+        // must be strictly cheaper than the cloud's WAN round trip.
+        let neighbor = net.repair_cost_ms(NodeId(2), NodeId(0));
+        let cloud = net.repair_cost_ms(NodeId(4), NodeId(0));
+        assert!(
+            neighbor < cloud,
+            "neighbor {neighbor}ms must undercut cloud {cloud}ms"
+        );
+        // cheapest_source prefers the intra/inter-edge holder over the
+        // cloud, and ties break deterministically by NodeId.
+        assert_eq!(
+            net.cheapest_source(&[NodeId(4), NodeId(2)], NodeId(0)),
+            Some(NodeId(2))
+        );
+        assert_eq!(
+            net.cheapest_source(&[NodeId(3), NodeId(2)], NodeId(0)),
+            Some(NodeId(2)),
+            "equal-cost holders must tie-break by NodeId"
+        );
+        assert_eq!(net.cheapest_source(&[], NodeId(0)), None);
+    }
+
+    #[test]
+    fn send_respects_blackout_windows() {
+        use crate::fault::{FaultPlan, FaultScope};
+        use crate::id::SiteId;
+        let mut net = testbed();
+        // Cut the cloud site's uplink: all WAN traffic dies, edge-to-edge
+        // traffic flows.
+        net.set_fault_plan(FaultPlan::new(8).blackout(
+            FaultScope::Site(SiteId(2)),
+            SimTime::ZERO,
+            SimTime::from_secs_f64(5.0),
+        ));
+        assert_eq!(net.send(SimTime::ZERO, NodeId(0), NodeId(4), 64), Ok(None));
+        assert_eq!(net.send(SimTime::ZERO, NodeId(4), NodeId(0), 64), Ok(None));
+        assert!(net
+            .send(SimTime::ZERO, NodeId(0), NodeId(2), 64)
+            .unwrap()
+            .is_some());
+        // After the window the uplink heals.
+        assert!(net
+            .send(SimTime::from_secs_f64(5.0), NodeId(0), NodeId(4), 64)
+            .unwrap()
+            .is_some());
     }
 
     #[test]

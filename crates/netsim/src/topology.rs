@@ -89,6 +89,14 @@ impl Topology {
             .collect()
     }
 
+    /// All cloud sites in id order.
+    pub fn cloud_sites(&self) -> Vec<SiteId> {
+        (0..self.sites.len() as u32)
+            .map(SiteId)
+            .filter(|s| self.site_kind(*s) == SiteKind::Cloud)
+            .collect()
+    }
+
     /// True when both nodes are in the same site.
     pub fn same_site(&self, a: NodeId, b: NodeId) -> bool {
         self.site_of(a) == self.site_of(b)
@@ -212,6 +220,7 @@ mod tests {
         assert!(t.is_cloud_node(NodeId(5)));
         assert!(!t.is_cloud_node(NodeId(0)));
         assert_eq!(t.edge_sites(), vec![SiteId(0), SiteId(1)]);
+        assert_eq!(t.cloud_sites(), vec![SiteId(2)]);
     }
 
     #[test]

@@ -92,6 +92,8 @@ pub const FAULT_ENUMS: &[&str] = &[
     "Liveness",
     "ClusterError",
     "DurableError",
+    "SpoolClass",
+    "SpoolDest",
 ];
 
 /// Identifier of a lint rule.

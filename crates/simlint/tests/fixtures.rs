@@ -362,6 +362,16 @@ fn e001_catches_the_wildcard_when_the_enum_grows() {
 }
 
 #[test]
+fn e001_polices_the_spool_enums() {
+    // The disaster-tolerance spool enums are policed like any fault
+    // enum: the phantom class exposes the planner's wildcard, while the
+    // exhaustive destination router is clean.
+    let findings = lint_fixture("e001_spool.rs");
+    assert_eq!(spans(&findings, RuleId::E001), vec![(21, 9)]);
+    assert_eq!(findings.len(), 1);
+}
+
+#[test]
 fn s002_reports_stale_suppressions() {
     let findings = lint_fixture("s002.rs");
     // Stale directive, blank-line-detached directive, wrong-rule

@@ -1,0 +1,30 @@
+// Fixture: E001 spool-enum drill — the disaster-tolerance spool enums
+// (`SpoolClass`, `SpoolDest`) joined the policed fault set when the
+// durable upload spool landed. A wildcard over either would silently
+// misroute a priority class or destination variant added later.
+
+pub enum SpoolClass {
+    Critical,
+    Background,
+    /// The class added after the planner below was written.
+    PhantomScrub,
+}
+
+pub enum SpoolDest {
+    Cloud,
+    Node(u32),
+}
+
+pub fn planner_written_before_the_class(c: &SpoolClass) -> u8 {
+    match c {
+        SpoolClass::Critical => 0,
+        _ => 1,
+    }
+}
+
+pub fn router_revisited(d: &SpoolDest) -> &'static str {
+    match d {
+        SpoolDest::Cloud => "uplink",
+        SpoolDest::Node(_) => "peer",
+    }
+}

@@ -253,3 +253,105 @@ fn departure_drops_parked_hints_in_simulated_cluster() {
         "hints for the departed node survived the drop"
     );
 }
+
+/// Regression: hints destined for a ring inside a `RingOutage` window
+/// are moved into the coordinator's durable upload spool, not parked in
+/// volatile memory (where the old behavior lost them to a coordinator
+/// crash) and not dropped like hints for a departed node. The
+/// coordinator crash-stops *after* the sweep and the hints still reach
+/// the wiped replicas once the ring heals.
+#[test]
+fn hints_for_a_wiped_ring_survive_a_coordinator_crash() {
+    use efdedup_repro::kvstore::{ClientOp, Consistency, SimCluster};
+    use efdedup_repro::netsim::SiteId;
+
+    let topo = TopologyBuilder::new()
+        .edge_site(2)
+        .edge_site(2)
+        .edge_site(2)
+        .cloud_site(1)
+        .build();
+    let net = Network::new(topo, NetworkConfig::paper_testbed());
+    let members = net.topology().edge_nodes();
+    let cloud = net.topology().nodes_in(SiteId(3))[0];
+    let mut cluster = SimCluster::new(
+        members.clone(),
+        net,
+        ClusterConfig {
+            replication_factor: 3,
+            consistency: Consistency::Quorum,
+            ..ClusterConfig::default()
+        },
+    );
+    cluster.enable_heartbeats_with_dead(
+        SimDuration::from_millis(20),
+        SimDuration::from_millis(100),
+        SimDuration::from_millis(500),
+    );
+    cluster.enable_cloud_uplink(cloud, 1 << 16, SimDuration::from_millis(10));
+    cluster.ring_outage_at(
+        SimTime::from_secs_f64(0.3),
+        SimTime::from_secs_f64(1.5),
+        SiteId(0),
+    );
+    // Mid-window writes through one surviving coordinator: replicas
+    // routed to wiped site-0 nodes park hints there.
+    let coordinator = members[2];
+    let keys: Vec<Bytes> = (0..30u32)
+        .map(|i| Bytes::from(format!("ring-out-{i}").into_bytes()))
+        .collect();
+    let mut t = SimTime::from_secs_f64(0.6);
+    for key in &keys {
+        cluster.submit(
+            t,
+            coordinator,
+            ClientOp::CheckAndInsert(key.clone(), key.clone()),
+        );
+        t += SimDuration::from_millis(2);
+    }
+    // Let the spool-drain ticks sweep the parked hints to durable
+    // storage, then kill the coordinator. Volatile hints die with it;
+    // spooled hints must not.
+    cluster.run_until(SimTime::from_secs_f64(0.9));
+    let mid = cluster.disaster_stats();
+    assert!(
+        mid.hints_spooled > 0,
+        "no hint ever crossed into the durable spool — scenario vacuous: {mid:?}"
+    );
+    cluster.crash_stop_at(SimTime::from_secs_f64(0.95), coordinator);
+    cluster.restart_at(SimTime::from_secs_f64(1.1), coordinator);
+    cluster.run_until(SimTime::from_secs_f64(4.0));
+
+    let end = cluster.disaster_stats();
+    assert_eq!(end.ring_wipes, 1, "{end:?}");
+    assert_eq!(
+        end.spool_depth, 0,
+        "spooled hints never replayed after the heal: {end:?}"
+    );
+    // End to end: every key the ring routes to a wiped node is back on
+    // that node, byte-identical, after heal + replay + mesh repair.
+    let wiped: Vec<_> = cluster.network().topology().nodes_in(SiteId(0)).to_vec();
+    let mut delivered = 0u32;
+    for key in &keys {
+        for replica in cluster.ring().replicas(key, 3) {
+            if !wiped.contains(&replica) {
+                continue;
+            }
+            let got = cluster
+                .node_mut(replica)
+                .expect("healed node rejoined")
+                .storage_mut()
+                .get(key);
+            assert_eq!(
+                got.as_ref(),
+                Some(key),
+                "key {key:?} missing on healed replica {replica}"
+            );
+            delivered += 1;
+        }
+    }
+    assert!(
+        delivered > 0,
+        "no key routed to the wiped site — widen the key set"
+    );
+}
