@@ -22,7 +22,12 @@ use std::time::Instant;
 /// v3: adds the upload-spool drain micro-bench
 /// (`spool_drain_ops_per_sec`, `spool_drain_mbps`) — the
 /// disaster-tolerance hot loop added with the cloud-outage work.
-const SCHEMA: &str = "efdedup-bench-ingest/v3";
+/// v4: adds the proof-of-possession micro-bench
+/// (`pop_challenge_ops_per_sec`, `pop_digest_mbps`) — the
+/// Byzantine-tolerance hot loop: derive a salted random-offset
+/// challenge and digest the claimed slice, the cost a replica pays per
+/// possession proof.
+const SCHEMA: &str = "efdedup-bench-ingest/v4";
 
 fn main() {
     let (files_per_source, chunks_per_file, reps) = if quick_mode() {
@@ -187,6 +192,48 @@ fn main() {
     println!("{:<26} {} ops/s", "enqueue+plan+retire", fmt(spool_ops));
     println!("{:<26} {} MB/s", "payload throughput", fmt(spool_mbps));
 
+    // --- Proof-of-possession: the Byzantine-tolerance hot loop ---------
+    // Per challenge a replica derives the salted slice coordinates and
+    // digests up to 512 bytes of the claimed chunk; the coordinator
+    // pays the same digest to verify. Both sides together bound the
+    // per-duplicate CPU overhead of arming the defense, so the rate
+    // must dwarf any realistic duplicate arrival rate.
+    let pop_stats = {
+        use ef_kvstore::{derive_challenge, key_token, nth_op_id, pop_digest};
+        let prover = NodeId(1);
+        // The coordinator challenges by fingerprint, not payload: token
+        // the 32-byte chunk hash (computed by ingest long before any
+        // challenge), untimed.
+        let tokens: Vec<u64> = payloads
+            .iter()
+            .map(|p| key_token(&Sha256::digest(p)))
+            .collect();
+        let secs = best_secs(reps, || {
+            let mut acc = 0u32;
+            for (i, p) in payloads.iter().enumerate() {
+                let challenge =
+                    derive_challenge(0x5eed, nth_op_id(NodeId(0), i as u64), tokens[i], prover);
+                acc = acc.wrapping_add(u32::from(pop_digest(challenge, p)[0]));
+            }
+            acc
+        });
+        let ops = payloads.len() as f64 / secs;
+        let sliced: usize = payloads
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                let c = derive_challenge(0x5eed, nth_op_id(NodeId(0), i as u64), tokens[i], prover);
+                (c.len as usize).min(p.len())
+            })
+            .sum();
+        (ops, sliced as f64 / 1e6 / secs)
+    };
+    let (pop_ops, pop_mbps) = pop_stats;
+
+    println!("\n{:<26} {:>12}", "proof-of-possession", "");
+    println!("{:<26} {} ops/s", "derive+digest challenge", fmt(pop_ops));
+    println!("{:<26} {} MB/s", "sliced digest throughput", fmt(pop_mbps));
+
     // --- Dedup ratios: the fast path must not change the answer --------
     let ratio_fixed = ef_chunking::joint_dedup_ratio(&fixed, &views);
     let ratio_fast = ef_chunking::joint_dedup_ratio(&gear, &views);
@@ -216,6 +263,8 @@ fn main() {
          \"ingest_cache_hit_rate\": {hit_rate:.4},\n  \
          \"spool_drain_ops_per_sec\": {spool_ops:.1},\n  \
          \"spool_drain_mbps\": {spool_mbps:.2},\n  \
+         \"pop_challenge_ops_per_sec\": {pop_ops:.1},\n  \
+         \"pop_digest_mbps\": {pop_mbps:.2},\n  \
          \"dedup_ratio_fixed\": {ratio_fixed:.4},\n  \
          \"dedup_ratio_gear_seed\": {ratio_seed:.4},\n  \
          \"dedup_ratio_gear_fast\": {ratio_fast:.4},\n  \

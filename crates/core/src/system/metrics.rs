@@ -87,6 +87,12 @@ pub struct RobustnessMetrics {
     /// enabled and no disaster was injected).
     #[serde(default)]
     pub disaster: ef_kvstore::DisasterStats,
+    /// Byzantine-tolerance counters: proof-of-possession challenges,
+    /// rejected false claims and poisoned bytes, trust-ledger strikes
+    /// and liar quarantines (all zero when PoP was not armed and no
+    /// peer misbehaved).
+    #[serde(default)]
+    pub byzantine: ef_kvstore::ByzantineStats,
 }
 
 impl RobustnessMetrics {
@@ -117,6 +123,7 @@ impl RobustnessMetrics {
             cache: cluster.cache_stats(),
             gray: cluster.gray_stats(),
             disaster: cluster.disaster_stats(),
+            byzantine: cluster.byzantine_stats(),
         }
     }
 
@@ -130,6 +137,10 @@ impl RobustnessMetrics {
     /// enqueue/drain traffic accrues on every unique once the uplink is
     /// enabled and is ignored, while outage windows, ring wipes,
     /// retransmits, spooled hints and repairs mean something went wrong.
+    /// And to the trust layer: challenges issued, passed, or answered
+    /// from the proven-possession cache are the routine price of armed
+    /// proof-of-possession, while failed challenges, rejected claims,
+    /// strikes and quarantines mean a peer actually lied.
     pub fn is_quiet(&self) -> bool {
         RobustnessMetrics {
             cache: ef_kvstore::CacheStats::default(),
@@ -147,6 +158,12 @@ impl RobustnessMetrics {
                 spool_bytes_enqueued: 0,
                 spool_bytes_drained: 0,
                 ..self.disaster
+            },
+            byzantine: ef_kvstore::ByzantineStats {
+                challenges_issued: 0,
+                challenges_passed: 0,
+                pop_cache_hits: 0,
+                ..self.byzantine
             },
             ..*self
         } == RobustnessMetrics::default()
@@ -270,6 +287,18 @@ mod tests {
         assert!(!r.is_quiet());
         r.disaster.outage_windows = 0;
         r.disaster.mesh_repairs = 1;
+        assert!(!r.is_quiet());
+        r.disaster.mesh_repairs = 0;
+        // Routine proof-of-possession traffic is not fault activity...
+        r.byzantine.challenges_issued = 20;
+        r.byzantine.challenges_passed = 18;
+        r.byzantine.pop_cache_hits = 7;
+        assert!(r.is_quiet());
+        // ...but a failed challenge or a quarantined liar is.
+        r.byzantine.challenges_failed = 1;
+        assert!(!r.is_quiet());
+        r.byzantine.challenges_failed = 0;
+        r.byzantine.liars_quarantined = 1;
         assert!(!r.is_quiet());
     }
 

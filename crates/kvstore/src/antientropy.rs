@@ -268,6 +268,32 @@ impl crate::sim::SimCluster {
                     clean.insert(b, false);
                     continue;
                 }
+                // An equivocating peer sends a summary that disagrees
+                // with the per-bucket digests it later answers with, so
+                // the exchange is internally inconsistent: the pair
+                // cannot converge this round either way. With the trust
+                // ledger armed the inconsistency is also *attributable*
+                // — the signed summary names its author — and charged as
+                // a provable lie.
+                let equivocators: Vec<NodeId> = [a, b]
+                    .into_iter()
+                    .filter(|&n| {
+                        self.network
+                            .fault_plan()
+                            .is_some_and(|plan| plan.equivocates_at(n, now))
+                    })
+                    .collect();
+                if !equivocators.is_empty() {
+                    clean.insert(a, false);
+                    clean.insert(b, false);
+                    if self.pop_armed() {
+                        for e in equivocators {
+                            self.byz_acc.equivocations_detected += 1;
+                            self.strike_peer(e);
+                        }
+                    }
+                    continue;
+                }
                 // A completed two-way exchange is proof of mutual
                 // reachability: un-suspect the pair and flush any hints
                 // still parked between them (e.g. hinted-on-timeout for a

@@ -48,6 +48,10 @@ pub struct CacheStats {
     /// zero when the policy is off).
     #[serde(default)]
     pub deferred: u64,
+    /// Entries invalidated by [`FingerprintCache::remove`] — e.g. when
+    /// the peer whose possession claim admitted them was quarantined.
+    #[serde(default)]
+    pub invalidations: u64,
 }
 
 impl CacheStats {
@@ -68,6 +72,7 @@ impl CacheStats {
         self.evictions = self.evictions.saturating_add(other.evictions);
         self.insertions = self.insertions.saturating_add(other.insertions);
         self.deferred = self.deferred.saturating_add(other.deferred);
+        self.invalidations = self.invalidations.saturating_add(other.invalidations);
     }
 }
 
@@ -320,6 +325,26 @@ impl FingerprintCache {
         self.stats.insertions += 1;
     }
 
+    /// Invalidates one entry, returning whether it was present. Used when
+    /// the admission that created the entry is retroactively distrusted —
+    /// e.g. the remote peer whose possession claim backed it was
+    /// quarantined for lying. A stale second-sight `present` bit after a
+    /// removal only costs a map probe; the entry map stays the sole
+    /// authority on hits, so one-sided soundness is untouched.
+    pub fn remove(&mut self, key: &[u8]) -> bool {
+        let shard = self.shard_index(key);
+        // simlint::allow(P001): shard_index reduces modulo shards.len()
+        let shard = &mut self.shards[shard];
+        match shard.entries.remove(key) {
+            Some(seq) => {
+                shard.order.remove(&seq);
+                self.stats.invalidations += 1;
+                true
+            }
+            None => false,
+        }
+    }
+
     /// Drops every entry — the volatile-state reset on crash-stop or
     /// departure. Counters survive (they describe the run, not the state).
     pub fn clear(&mut self) {
@@ -408,6 +433,34 @@ mod tests {
         assert!(cache.len() <= cache.capacity());
         let s = cache.stats();
         assert_eq!(s.insertions - s.evictions, cache.len() as u64);
+    }
+
+    #[test]
+    fn remove_invalidates_and_counts() {
+        let mut cache = FingerprintCache::new(2, 4);
+        cache.insert(key(1));
+        cache.insert(key(2));
+        assert!(cache.remove(&key(1)));
+        assert!(!cache.remove(&key(1)), "double remove must be a no-op");
+        assert!(!cache.remove(&key(9)), "absent key must report false");
+        assert!(!cache.contains(&key(1)));
+        assert!(cache.contains(&key(2)));
+        assert_eq!(cache.stats().invalidations, 1);
+        assert_eq!(cache.len(), 1);
+        // The freed slot is reusable and eviction bookkeeping survives.
+        cache.insert(key(3));
+        assert!(cache.contains(&key(3)));
+    }
+
+    #[test]
+    fn remove_with_second_sight_keeps_soundness() {
+        let mut cache = FingerprintCache::new(1, 4).with_second_sight();
+        cache.insert(key(1));
+        cache.insert(key(1));
+        assert!(cache.contains(&key(1)));
+        assert!(cache.remove(&key(1)));
+        // The stale present bit may probe the map, but can never hit.
+        assert!(!cache.contains(&key(1)));
     }
 
     #[test]

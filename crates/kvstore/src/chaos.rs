@@ -21,7 +21,7 @@
 
 use crate::msg::OpId;
 use crate::sim::SimCluster;
-use ef_netsim::{FaultPlan, FaultScope, Network, NodeId, SiteId, Topology};
+use ef_netsim::{ByzantineFault, FaultPlan, FaultScope, Network, NodeId, SiteId, Topology};
 use ef_simcore::{DetRng, SimDuration, SimTime};
 
 /// Knobs for [`ChaosScenario::generate`].
@@ -87,6 +87,13 @@ pub struct ChaosScenarioConfig {
     /// bandwidth of every link touching a cloud site by a drawn factor
     /// (skipped drawlessly when the topology has no cloud site).
     pub uplink_degrades: usize,
+    /// Byzantine liars to schedule: each picks a distinct edge node
+    /// that, for a window spanning most of the run, answers lookups
+    /// with false positive sightings, serves garbage bytes on repair
+    /// and restore fetches, equivocates during Merkle anti-entropy,
+    /// and floods bogus hints. The count is clamped to a strict
+    /// minority of the membership so honest quorums survive.
+    pub byzantine_liars: usize,
 }
 
 impl Default for ChaosScenarioConfig {
@@ -112,6 +119,7 @@ impl Default for ChaosScenarioConfig {
             cloud_outages: 0,
             ring_outages: 0,
             uplink_degrades: 0,
+            byzantine_liars: 0,
         }
     }
 }
@@ -262,6 +270,19 @@ pub enum ChaosEvent {
         site: SiteId,
         /// Bandwidth divisor (≥ 1).
         bandwidth_factor: f64,
+    },
+    /// `node` turns Byzantine in `[from, until)`: it lies on lookups,
+    /// serves garbage on repair fetches, equivocates during
+    /// anti-entropy, and floods bogus hints — all four behaviors of
+    /// [`ef_netsim::ByzantineFault`] at once, the strongest adversary
+    /// the proof-of-possession and trust-ledger defenses must defeat.
+    ByzantineLiar {
+        /// Window start.
+        from: SimTime,
+        /// Window end.
+        until: SimTime,
+        /// The lying node.
+        node: NodeId,
     },
 }
 
@@ -473,6 +494,24 @@ impl ChaosScenario {
             }
         }
 
+        // Byzantine draws come last (append-only discipline again), so
+        // arming liars never reshuffles the existing schedule. Liars
+        // are drawn from a shrinking pool of distinct nodes and clamped
+        // to a strict minority of the membership, so honest replicas
+        // always outnumber lying ones and a quorum of truth survives.
+        // Windows open early and close near the horizon: long enough
+        // for the trust ledger to accumulate strikes and quarantine the
+        // liar on-screen.
+        let mut liar_pool = edge.clone();
+        let tolerated = edge.len().saturating_sub(1) / 2;
+        let liars = config.byzantine_liars.min(tolerated);
+        for _ in 0..liars {
+            let node = liar_pool.remove(pick(&mut rng, liar_pool.len()));
+            let from = SimTime::ZERO + dur * (rng.unit() * 0.15);
+            let until = SimTime::ZERO + dur * (0.85 + rng.unit() * 0.10);
+            events.push(ChaosEvent::ByzantineLiar { from, until, node });
+        }
+
         ChaosScenario {
             seed,
             config: *config,
@@ -546,6 +585,18 @@ impl ChaosScenario {
                 } => {
                     plan = plan.throttle(FaultScope::Site(site), bandwidth_factor, from, until);
                 }
+                ChaosEvent::ByzantineLiar { from, until, node } => {
+                    // A liar exhibits all four behaviors for its whole
+                    // window — the composed worst case.
+                    for fault in [
+                        ByzantineFault::LieOnLookup,
+                        ByzantineFault::ServeGarbage,
+                        ByzantineFault::EquivocateSummary,
+                        ByzantineFault::HintFlood,
+                    ] {
+                        plan = plan.byzantine(node, fault, from, until);
+                    }
+                }
                 ChaosEvent::Crash { .. }
                 | ChaosEvent::Revive { .. }
                 | ChaosEvent::CrashStop { .. }
@@ -592,14 +643,17 @@ impl ChaosScenario {
                 ChaosEvent::RingOutage { from, until, site } => {
                     cluster.ring_outage_at(from, until, site);
                 }
-                // Slow nodes, congested links, and degraded uplinks live
-                // entirely in the network's fault plan; the cluster only
-                // ever observes them through stretched RTTs.
+                // Slow nodes, congested links, degraded uplinks, and
+                // Byzantine liars live entirely in the network's fault
+                // plan; the cluster consults the plan's oracles at
+                // dispatch and delivery time rather than scheduling
+                // anything per node.
                 ChaosEvent::Partition { .. }
                 | ChaosEvent::LossBurst { .. }
                 | ChaosEvent::SlowNode { .. }
                 | ChaosEvent::Congestion { .. }
-                | ChaosEvent::UplinkDegraded { .. } => {}
+                | ChaosEvent::UplinkDegraded { .. }
+                | ChaosEvent::ByzantineLiar { .. } => {}
             }
         }
     }
@@ -985,6 +1039,74 @@ mod tests {
                 got >= bandwidth_factor - 1e-12,
                 "seed {seed}: throttle factor {bandwidth_factor} not applied: {got}"
             );
+        }
+    }
+
+    #[test]
+    fn adding_byzantine_liars_leaves_the_existing_schedule_untouched() {
+        // Same append-only discipline as every fault family before it:
+        // the Byzantine draws run after all pre-existing draws.
+        let net = cloud_testbed();
+        let base = ChaosScenarioConfig {
+            storage_rots: 1,
+            slow_nodes: 1,
+            cloud_outages: 1,
+            ring_outages: 1,
+            ..ChaosScenarioConfig::default()
+        };
+        let lying = ChaosScenarioConfig {
+            byzantine_liars: 2,
+            ..base
+        };
+        let plain = ChaosScenario::generate(29, net.topology(), &base);
+        let extended = ChaosScenario::generate(29, net.topology(), &lying);
+        assert_eq!(
+            &extended.events()[..plain.events().len()],
+            plain.events(),
+            "byzantine knob reshuffled the pre-existing schedule"
+        );
+        assert_eq!(extended.events().len(), plain.events().len() + 2);
+    }
+
+    #[test]
+    fn byzantine_liars_are_a_bounded_minority_and_reach_the_plan() {
+        let net = testbed();
+        let cfg = ChaosScenarioConfig {
+            crashes: 0,
+            partitions: 0,
+            loss_bursts: 0,
+            base_loss: 0.0,
+            // Ask for far more liars than tolerable: the clamp must
+            // keep a strict majority of the six edge nodes honest.
+            byzantine_liars: 6,
+            ..ChaosScenarioConfig::default()
+        };
+        for seed in 0..20u64 {
+            let s = ChaosScenario::generate(seed, net.topology(), &cfg);
+            let edge = net.topology().edge_nodes();
+            assert_eq!(s.events().len(), (edge.len() - 1) / 2, "seed {seed}");
+            let mut liars = std::collections::BTreeSet::new();
+            let dur = cfg.duration;
+            for ev in s.events() {
+                let ChaosEvent::ByzantineLiar { from, until, node } = *ev else {
+                    panic!("seed {seed}: expected a liar, got {ev:?}");
+                };
+                assert!(liars.insert(node), "seed {seed}: liar {node} reused");
+                // Windows open in the first 15% and close in the
+                // 85–95% band, so quarantine convergence is on-screen.
+                assert!(from < SimTime::ZERO + dur * 0.15, "seed {seed}");
+                assert!(until >= SimTime::ZERO + dur * 0.85, "seed {seed}");
+                assert!(until < SimTime::ZERO + dur, "seed {seed}");
+                // The liar event arms all four behaviors in the plan.
+                let plan = s.fault_plan();
+                let mid = from + (until - from) * 0.5;
+                assert!(plan.lies_on_lookup_at(node, mid), "seed {seed}");
+                assert!(plan.serves_garbage_at(node, mid), "seed {seed}");
+                assert!(plan.equivocates_at(node, mid), "seed {seed}");
+                assert!(plan.hint_floods_at(node, mid), "seed {seed}");
+                assert!(!plan.lies_on_lookup_at(node, until), "seed {seed}");
+            }
+            assert!(2 * liars.len() < edge.len(), "seed {seed}: liar majority");
         }
     }
 

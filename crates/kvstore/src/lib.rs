@@ -56,6 +56,7 @@ mod sim;
 mod spool;
 mod storage;
 mod threaded;
+mod trust;
 
 pub use antientropy::MerkleTree;
 pub use cache::{CacheStats, FingerprintCache};
@@ -74,6 +75,7 @@ pub use storage::{
     ReplayNotes, ScrubChunk, StorageEngine, StorageStats, WalError, WalRecord, WriteAheadLog,
 };
 pub use threaded::ThreadedCluster;
+pub use trust::{derive_challenge, pop_digest, ByzantineStats, PopChallenge, TrustLedger};
 
 /// Hashes a key to its position ("token") on the ring.
 ///

@@ -18,6 +18,7 @@ use crate::integrity::IntegrityStats;
 use crate::msg::{ClientOp, Completion, Message, OpId, OpResult, Outbound};
 use crate::ring::HashRing;
 use crate::storage::{StorageEngine, WalError, WalRecord, WriteAheadLog};
+use crate::trust::{derive_challenge, pop_digest, ByzantineStats, PopChallenge};
 use bytes::Bytes;
 use ef_netsim::NodeId;
 use std::collections::{BTreeMap, BTreeSet};
@@ -60,6 +61,12 @@ enum OpKind {
     CaiRead,
     /// The write phase of a check-and-insert.
     CaiWrite,
+    /// A check-and-insert whose remote positive sighting is awaiting a
+    /// proof of possession: the claiming replica must answer a
+    /// [`Message::PopChallenge`] before the duplicate verdict can
+    /// complete. Entered only when proofs are armed
+    /// ([`NodeState::arm_pop`]).
+    PopWait,
 }
 
 impl OpKind {
@@ -93,6 +100,13 @@ struct Pending {
     /// soundly completes the read phase early; a "not found" teaches
     /// nothing (the backup may simply not hold the key) and is ignored.
     hedge: Option<NodeId>,
+    /// The replica that supplied the first positive sighting
+    /// (`pending.value`). `None` for a local read: the coordinator's
+    /// own copy is possession itself and is never challenged.
+    value_from: Option<NodeId>,
+    /// The replica a proof-of-possession challenge is outstanding to
+    /// (`OpKind::PopWait` only).
+    pop_peer: Option<NodeId>,
 }
 
 /// Post-completion read-repair bookkeeping: late responses still arrive
@@ -146,6 +160,21 @@ pub struct NodeState {
     /// Integrity counters: checksum mismatches caught serving reads, and
     /// scrub/repair work attributed to this node by the driver.
     integrity: IntegrityStats,
+    /// Proof-of-possession seed; `None` keeps every legacy code path
+    /// bit-identical (no challenges, no gating).
+    pop_seed: Option<u64>,
+    /// Proven-possession cache: (prover, key) pairs whose possession
+    /// proof verified, amortizing repeat challenges for hot chunks.
+    pop_proven: BTreeSet<(NodeId, Bytes)>,
+    /// Byzantine-defense counters accumulated at this coordinator.
+    byz: ByzantineStats,
+    /// Peers that answered a challenge with a provably wrong digest or
+    /// retracted a claim, awaiting driver-side trust-ledger strikes.
+    pop_strikes: Vec<NodeId>,
+    /// (op, prover) pairs behind completed proven duplicate verdicts,
+    /// drained by the driver to attribute fingerprint-cache entries to
+    /// their source peer (for later invalidation on quarantine).
+    dedup_sources: Vec<(OpId, NodeId)>,
 }
 
 impl NodeState {
@@ -182,6 +211,11 @@ impl NodeState {
             rereplicated: 0,
             hints_dropped: 0,
             integrity: IntegrityStats::default(),
+            pop_seed: None,
+            pop_proven: BTreeSet::new(),
+            byz: ByzantineStats::default(),
+            pop_strikes: Vec::new(),
+            dedup_sources: Vec::new(),
         }
     }
 
@@ -306,6 +340,46 @@ impl NodeState {
     /// Integrity counters accumulated at this node (diagnostics).
     pub fn integrity(&self) -> IntegrityStats {
         self.integrity
+    }
+
+    /// Arms proof-of-possession: from now on a remote positive dedup
+    /// sighting only completes after the claiming replica proves it
+    /// holds the chunk. Challenge parameters derive purely from
+    /// `seed`, the op id, the key token, and the prover — the service
+    /// path draws no RNG, so replays stay bit-identical.
+    pub fn arm_pop(&mut self, seed: u64) {
+        self.pop_seed = Some(seed);
+    }
+
+    /// True when proof-of-possession gating is armed.
+    pub fn pop_armed(&self) -> bool {
+        self.pop_seed.is_some()
+    }
+
+    /// Byzantine-defense counters accumulated at this coordinator
+    /// (diagnostics).
+    pub fn byz_stats(&self) -> ByzantineStats {
+        self.byz
+    }
+
+    /// Drains the peers that provably lied on a possession challenge
+    /// since the last call; the driver charges them trust strikes.
+    pub(crate) fn take_pop_strikes(&mut self) -> Vec<NodeId> {
+        std::mem::take(&mut self.pop_strikes)
+    }
+
+    /// Drains the (op, prover) attribution of proven duplicate
+    /// verdicts since the last call; the driver uses it to tie
+    /// fingerprint-cache admissions to their source peer.
+    pub(crate) fn take_dedup_sources(&mut self) -> Vec<(OpId, NodeId)> {
+        std::mem::take(&mut self.dedup_sources)
+    }
+
+    /// Forgets every proven-possession cache entry attributed to
+    /// `peer` (it was quarantined for lying: its past proofs no longer
+    /// vouch for anything).
+    pub(crate) fn forget_proven(&mut self, peer: NodeId) {
+        self.pop_proven.retain(|(p, _)| *p != peer);
     }
 
     /// Mutable access to the node's integrity counters, for the driver
@@ -573,6 +647,8 @@ impl NodeState {
             payload,
             degraded: false,
             hedge: None,
+            value_from: None,
+            pop_peer: None,
         };
         let mut outbound = Vec::new();
 
@@ -612,7 +688,8 @@ impl NodeState {
             } else {
                 pending.outstanding.insert(replica);
                 let msg = match kind {
-                    OpKind::Read | OpKind::CaiRead => Message::ReplicaRead {
+                    // begin() never starts in PopWait; reads cover it.
+                    OpKind::Read | OpKind::CaiRead | OpKind::PopWait => Message::ReplicaRead {
                         op_id,
                         key: pending.key.clone(),
                     },
@@ -638,6 +715,32 @@ impl NodeState {
     /// alongside the optional completion.
     fn check_done(&mut self, op_id: OpId, pending: Pending) -> (Vec<Outbound>, Option<Completion>) {
         if pending.acks >= pending.required {
+            // Proof-of-possession gate: when armed, a duplicate verdict
+            // built on a *remote* sighting must not complete until the
+            // claiming replica proves it holds the chunk. A local
+            // sighting (value_from == None) is possession itself.
+            if pending.kind == OpKind::CaiRead && pending.value.is_some() {
+                if let (Some(prover), Some(_)) = (pending.value_from, self.pop_seed) {
+                    if prover != self.id {
+                        if self.pop_proven.contains(&(prover, pending.key.clone())) {
+                            // Already proven for this (peer, chunk):
+                            // complete below without a fresh round-trip.
+                            if pending.pop_peer.is_none() {
+                                self.byz.pop_cache_hits += 1;
+                            }
+                            self.dedup_sources.push((op_id, prover));
+                        } else {
+                            return self.start_pop(op_id, pending, prover);
+                        }
+                    }
+                }
+            }
+            if pending.kind == OpKind::PopWait {
+                // Nothing but the proof (or its timeout) resolves a
+                // gated op: park it and keep waiting.
+                self.pending.insert(op_id, pending);
+                return (Vec::new(), None);
+            }
             return match pending.kind {
                 OpKind::Write => (
                     Vec::new(),
@@ -693,12 +796,15 @@ impl NodeState {
                     }
                     (outbound, Some(completion))
                 }
+                // Parked by the gate above before the match; kept for
+                // exhaustiveness.
+                OpKind::PopWait => (Vec::new(), None),
             };
         }
         if pending.outstanding.is_empty() {
             // No more responders can arrive.
             return match pending.kind {
-                OpKind::CaiRead => {
+                OpKind::CaiRead | OpKind::PopWait => {
                     // Graceful degradation: the read quorum is
                     // unreachable, so *assume unique* and insert. Worst
                     // case is a redundant upload — never a false
@@ -756,8 +862,11 @@ impl NodeState {
         pending.outstanding.clear();
         // The read phase is over: a straggling hedge response must not
         // complete the write phase (it would flip an already-degraded
-        // "assume unique" into a late duplicate verdict mid-write).
+        // "assume unique" into a late duplicate verdict mid-write), and
+        // any rejected sighting is fully forgotten.
         pending.hedge = None;
+        pending.value_from = None;
+        pending.pop_peer = None;
         let replicas = self.ring.replicas(&pending.key, self.replication_factor);
         pending.required = self
             .consistency
@@ -813,6 +922,115 @@ impl NodeState {
         out
     }
 
+    /// Gates a remote positive sighting behind a possession proof:
+    /// parks the op as [`OpKind::PopWait`] and challenges `prover` to
+    /// digest a challenge-chosen slice of the chunk it claims to hold.
+    fn start_pop(
+        &mut self,
+        op_id: OpId,
+        mut pending: Pending,
+        prover: NodeId,
+    ) -> (Vec<Outbound>, Option<Completion>) {
+        // simlint::allow(D003): the gate only fires when proofs are armed
+        let seed = self.pop_seed.expect("gated ops require an armed pop seed");
+        let challenge = derive_challenge(seed, op_id, crate::key_token(&pending.key), prover);
+        self.byz.challenges_issued += 1;
+        pending.kind = OpKind::PopWait;
+        pending.pop_peer = Some(prover);
+        let out = vec![Outbound {
+            to: prover,
+            msg: Message::PopChallenge {
+                op_id,
+                key: pending.key.clone(),
+                nonce: challenge.nonce,
+                offset: challenge.offset,
+                len: challenge.len,
+            },
+        }];
+        self.pending.insert(op_id, pending);
+        (out, None)
+    }
+
+    /// Resolves a possession proof. A verifying digest — checked
+    /// against the digest of the coordinator's *own* payload bytes
+    /// (the store is content-addressed: same key ⇒ same bytes) —
+    /// admits the duplicate verdict and caches the proof. A wrong
+    /// digest or a retracted claim reverts the sighting and falls back
+    /// to inserting: at worst a redundant upload, never data loss.
+    fn on_pop_response(
+        &mut self,
+        op_id: OpId,
+        prover: NodeId,
+        held: bool,
+        digest: [u8; 32],
+    ) -> (Vec<Outbound>, Option<Completion>) {
+        let Some(mut pending) = self.pending.remove(&op_id) else {
+            return (Vec::new(), None);
+        };
+        if pending.kind != OpKind::PopWait || pending.pop_peer != Some(prover) {
+            // Stray or duplicate proof; put the op back untouched.
+            self.pending.insert(op_id, pending);
+            return (Vec::new(), None);
+        }
+        // simlint::allow(D003): PopWait is only entered with pop armed
+        let seed = self.pop_seed.expect("gated ops require an armed pop seed");
+        let challenge = derive_challenge(seed, op_id, crate::key_token(&pending.key), prover);
+        let own = pending
+            .payload
+            .clone()
+            .flatten()
+            // simlint::allow(D003): CAI ops always carry a concrete value
+            .expect("check-and-insert keeps its payload");
+        if held && digest == pop_digest(challenge, &own) {
+            self.byz.challenges_passed += 1;
+            self.pop_proven.insert((prover, pending.key.clone()));
+            if pending.acks >= pending.required {
+                // Quorum path: re-enter check_done, whose gate now sees
+                // the proven entry and completes the verdict normally
+                // (read repair included).
+                pending.kind = OpKind::CaiRead;
+                return self.check_done(op_id, pending);
+            }
+            // Hedged-sighting path: the proof confirms a backup's claim
+            // before the quorum resolved — complete directly, exactly
+            // as an unproven hedge win used to.
+            self.dedup_sources.push((op_id, prover));
+            return (
+                Vec::new(),
+                Some(Completion {
+                    op_id,
+                    result: OpResult::Dedup {
+                        unique: false,
+                        degraded: false,
+                    },
+                }),
+            );
+        }
+        // The claim was positive moments ago; a wrong digest is proof
+        // of fabrication and a retraction is self-contradiction. Both
+        // strike — timeouts and drops never reach this path, so lossy
+        // links cannot frame an honest peer.
+        self.byz.challenges_failed += 1;
+        if held {
+            self.byz.false_claims_rejected += 1;
+        }
+        self.pop_strikes.push(prover);
+        pending.kind = OpKind::CaiRead;
+        pending.value = None;
+        pending.value_from = None;
+        pending.pop_peer = None;
+        if pending.acks >= pending.required || pending.outstanding.is_empty() {
+            // The rejected sighting was the verdict's only basis:
+            // treat the key as absent and insert it (sound — at worst
+            // redundant).
+            return self.check_done(op_id, pending);
+        }
+        // A hedged sighting failed its proof mid-quorum: keep waiting
+        // for the real responders.
+        self.pending.insert(op_id, pending);
+        (Vec::new(), None)
+    }
+
     /// Re-sends the pending op's outstanding requests (retry after an
     /// RTO). Replicas apply retransmitted writes idempotently and
     /// duplicate acks are already ignored, so spurious retries are safe.
@@ -821,6 +1039,30 @@ impl NodeState {
         let Some(p) = self.pending.get(&op_id) else {
             return Vec::new();
         };
+        if p.kind == OpKind::PopWait {
+            // Re-challenge the prover (the challenge re-derives
+            // identically, so a duplicate answer verifies the same).
+            let Some(prover) = p.pop_peer else {
+                return Vec::new();
+            };
+            if self.down.contains(&prover) || self.pop_seed.is_none() {
+                return Vec::new();
+            }
+            // simlint::allow(D003): checked is_none() just above
+            let seed = self.pop_seed.expect("checked above");
+            let challenge = derive_challenge(seed, op_id, crate::key_token(&p.key), prover);
+            self.retries += 1;
+            return vec![Outbound {
+                to: prover,
+                msg: Message::PopChallenge {
+                    op_id,
+                    key: p.key.clone(),
+                    nonce: challenge.nonce,
+                    offset: challenge.offset,
+                    len: challenge.len,
+                },
+            }];
+        }
         let mut out = Vec::new();
         for &peer in &p.outstanding {
             if self.down.contains(&peer) {
@@ -829,7 +1071,7 @@ impl NodeState {
                 continue;
             }
             let msg = match p.kind {
-                OpKind::Read | OpKind::CaiRead => Message::ReplicaRead {
+                OpKind::Read | OpKind::CaiRead | OpKind::PopWait => Message::ReplicaRead {
                     op_id,
                     key: p.key.clone(),
                 },
@@ -922,7 +1164,11 @@ impl NodeState {
         }
         p.outstanding.clear();
         match p.kind {
-            OpKind::CaiRead => {
+            OpKind::CaiRead | OpKind::PopWait => {
+                // An unanswered possession challenge degrades exactly
+                // like an unreachable read quorum: assume unique and
+                // insert. Silence is never a strike — only a provably
+                // wrong proof is.
                 p.degraded = true;
                 self.start_cai_write(op_id, p)
             }
@@ -1039,6 +1285,43 @@ impl NodeState {
                 };
                 (out, Vec::new())
             }
+            Message::PopChallenge {
+                op_id,
+                key,
+                nonce,
+                offset,
+                len,
+            } => {
+                // Prover role: digest the challenged slice of the
+                // *stored* bytes. A missing or rot-quarantined copy is
+                // answered honestly with a retraction.
+                let challenge = PopChallenge { nonce, offset, len };
+                let (held, digest) = match self.verified_get(&key) {
+                    Some(v) => (true, pop_digest(challenge, &v)),
+                    None => (false, [0u8; 32]),
+                };
+                (
+                    vec![Outbound {
+                        to: from,
+                        msg: Message::PopResponse {
+                            op_id,
+                            from: self.id,
+                            held,
+                            digest,
+                        },
+                    }],
+                    Vec::new(),
+                )
+            }
+            Message::PopResponse {
+                op_id,
+                from,
+                held,
+                digest,
+            } => {
+                let (out, completion) = self.on_pop_response(op_id, from, held, digest);
+                (out, completion.into_iter().collect())
+            }
             // Cloud uploads and their acks terminate at the cluster
             // driver (the cloud catalog is not a ring member); one
             // reaching a node state machine is a misrouted frame and is
@@ -1065,6 +1348,23 @@ impl NodeState {
                 if matches!(pending.kind, OpKind::Read | OpKind::CaiRead) {
                     if let Some(Some(value)) = read_value {
                         self.hedges_won += 1;
+                        if pending.kind == OpKind::CaiRead
+                            && self.pop_seed.is_some()
+                            && from != self.id
+                        {
+                            // A hedged positive sighting must not
+                            // short-circuit proof of possession: park
+                            // the sighting and challenge the backup
+                            // (or admit it from the proven cache).
+                            pending.value = Some(value.clone());
+                            pending.value_from = Some(from);
+                            if self.pop_proven.contains(&(from, pending.key.clone())) {
+                                self.byz.pop_cache_hits += 1;
+                                self.dedup_sources.push((op_id, from));
+                            } else {
+                                return self.start_pop(op_id, pending, from);
+                            }
+                        }
                         let result = match pending.kind {
                             OpKind::Read => OpResult::Value(Some(value)),
                             _ => OpResult::Dedup {
@@ -1089,6 +1389,9 @@ impl NodeState {
                     pending.answered_none.push(from);
                 }
                 if pending.value.is_none() {
+                    if v.is_some() {
+                        pending.value_from = Some(from);
+                    }
                     pending.value = v;
                 }
             }
@@ -1128,6 +1431,15 @@ impl NodeState {
         let mut completions = Vec::new();
         for op_id in op_ids {
             if let Some(mut pending) = self.pending.remove(&op_id) {
+                if pending.kind == OpKind::PopWait && pending.pop_peer == Some(peer) {
+                    // The prover died mid-challenge: the sighting is
+                    // unproven, so forget it and fall back to insert
+                    // (no strike — death is not a lie).
+                    pending.kind = OpKind::CaiRead;
+                    pending.value = None;
+                    pending.value_from = None;
+                    pending.pop_peer = None;
+                }
                 pending.outstanding.remove(&peer);
                 // Repairs to a just-failed peer would be dropped anyway.
                 let (_, completion) = self.check_done(op_id, pending);

@@ -13,13 +13,14 @@ use crate::cache::{CacheStats, FingerprintCache};
 use crate::cluster::ClusterConfig;
 use crate::failure::HeartbeatDetector;
 use crate::gray::{AdaptiveTimeouts, GrayFailureStats};
-use crate::integrity::IntegrityStats;
+use crate::integrity::{checksum64, IntegrityStats};
 use crate::msg::{ClientOp, Message, OpId, OpResult, Outbound};
 use crate::node::NodeState;
 use crate::retry::RetryPolicy;
 use crate::ring::HashRing;
 use crate::spool::{DisasterStats, SpoolClass, SpoolDest, UploadSpool};
 use crate::storage::WriteAheadLog;
+use crate::trust::{splitmix, ByzantineStats, TrustLedger};
 use bytes::Bytes;
 use ef_netsim::{Network, NodeId, SiteId};
 use ef_simcore::{DetRng, SimDuration, SimTime, Simulator};
@@ -267,6 +268,32 @@ pub struct SimCluster {
     /// Driver-level disaster counters (spool counters live in the spools
     /// themselves and are folded in by `disaster_stats`).
     disaster_acc: DisasterStats,
+    /// Proof-of-possession challenge seed (None until
+    /// [`SimCluster::enable_pop`]); restarted and healed nodes are
+    /// re-armed from it.
+    pub(crate) pop_seed: Option<u64>,
+    /// Per-peer Byzantine strike ledger: provably-wrong possession
+    /// proofs, poisoned repair bytes and summary equivocations accrue
+    /// here until the liar crosses the quarantine threshold.
+    trust: TrustLedger,
+    /// Driver-level Byzantine counters (node-held counters are folded in
+    /// by `byzantine_stats`, or here when a node dies).
+    pub(crate) byz_acc: ByzantineStats,
+    /// Ground-truth content digests of every payload a client submitted,
+    /// recorded at `Event::Start` while PoP is armed: the content-address
+    /// check applied to every peer-served repair/restore byte.
+    content_digests: BTreeMap<Bytes, u64>,
+    /// Which remote prover backed each cache-admitted duplicate verdict:
+    /// prover → (coordinator, key) admissions. A later quarantine of the
+    /// prover invalidates exactly these entries.
+    cache_sources: BTreeMap<NodeId, Vec<(NodeId, Bytes)>>,
+    /// Mesh-repair fetches awaiting verified bytes: (key, healing target)
+    /// → surviving holders not yet tried. A poisoned response re-fetches
+    /// from the next candidate (then the cloud catalog).
+    pending_repairs: BTreeMap<(Bytes, NodeId), Vec<NodeId>>,
+    /// Sequence number for fabricated hint-flood keys (deterministic,
+    /// never collides with client fingerprints).
+    flood_seq: u64,
 }
 
 /// Configuration of the durable-spool cloud uplink.
@@ -361,6 +388,13 @@ impl SimCluster {
             wiped_seq: BTreeMap::new(),
             upload_payloads: HashMap::new(),
             disaster_acc: DisasterStats::default(),
+            pop_seed: None,
+            trust: TrustLedger::new(),
+            byz_acc: ByzantineStats::default(),
+            content_digests: BTreeMap::new(),
+            cache_sources: BTreeMap::new(),
+            pending_repairs: BTreeMap::new(),
+            flood_seq: 0,
         }
     }
 
@@ -692,6 +726,57 @@ impl SimCluster {
         self.hedging = Some(budget);
     }
 
+    /// Arms proof-of-possession dedup gating and the Byzantine defenses,
+    /// with challenge derivation seeded by `seed`:
+    ///
+    /// * every remote positive dedup sighting (quorum reads and hedged
+    ///   probes alike) must answer a salted-digest challenge over the
+    ///   claimed chunk before it can complete a duplicate verdict — an
+    ///   index-only liar cannot compute it;
+    /// * every peer-served repair/restore byte (hint replays, mesh-repair
+    ///   responses) is verified against the content digest the client's
+    ///   original payload established; poisoned bytes are rejected and
+    ///   re-fetched from the next-rarest holder or the cloud catalog;
+    /// * provable lies accrue per-peer strikes in the [`TrustLedger`];
+    ///   at [`TrustLedger::STRIKE_THRESHOLD`] the liar is quarantined
+    ///   (heartbeats silenced, so the ordinary suspect → dead machinery
+    ///   takes it out of service), its proven-possession grants are
+    ///   revoked, and every fingerprint-cache entry its claims admitted
+    ///   is invalidated.
+    ///
+    /// Silence is never a strike: timeouts, crashes and lost frames keep
+    /// resolving exactly as without PoP, so a lossy link cannot condemn
+    /// an honest peer. Call before submitting ops.
+    pub fn enable_pop(&mut self, seed: u64) {
+        self.pop_seed = Some(seed);
+        for state in self.nodes.values_mut() {
+            state.arm_pop(seed);
+        }
+    }
+
+    /// True when proof-of-possession gating is armed.
+    pub fn pop_armed(&self) -> bool {
+        self.pop_seed.is_some()
+    }
+
+    /// Byzantine-tolerance counters: challenges issued and their
+    /// outcomes, poisoned bytes rejected, floods suppressed,
+    /// equivocations detected, strikes, quarantines, cache
+    /// invalidations and re-fetches. All zeros unless
+    /// [`SimCluster::enable_pop`] armed the defenses.
+    pub fn byzantine_stats(&self) -> ByzantineStats {
+        let mut total = self.byz_acc;
+        for node in self.nodes.values() {
+            total.absorb(&node.byz_stats());
+        }
+        total
+    }
+
+    /// Strikes the trust ledger currently holds against `peer`.
+    pub fn trust_strikes_of(&self, peer: NodeId) -> u32 {
+        self.trust.strikes_of(peer)
+    }
+
     /// Enables admission control: a coordinator with `max_pending` ops
     /// already in flight sheds new client ops as
     /// [`OpResult::Unavailable`] instead of queueing them behind work it
@@ -875,6 +960,20 @@ impl SimCluster {
             let now = ev.time;
             match ev.payload {
                 Event::Start { coordinator, op } => {
+                    // Content-address ground truth: while PoP is armed,
+                    // remember the digest of every payload a client
+                    // submits. Peer-served repair bytes are later checked
+                    // against it — the client-side anchor no Byzantine
+                    // replica can forge.
+                    if self.pop_seed.is_some() {
+                        if let ClientOp::Put(key, value) | ClientOp::CheckAndInsert(key, value) =
+                            &op
+                        {
+                            self.content_digests
+                                .entry(key.clone())
+                                .or_insert_with(|| checksum64(value));
+                        }
+                    }
                     let Some(node) = self.nodes.get_mut(&coordinator) else {
                         // The coordinator crash-stopped or departed
                         // before this submission fired: the client sees
@@ -1038,6 +1137,40 @@ impl SimCluster {
                         }
                         _ => {}
                     }
+                    // Content-address verification: with PoP armed, every
+                    // peer-served repair/restore payload must match the
+                    // digest the client's original upload established. A
+                    // mismatch is a *provable* lie (honest replicas serve
+                    // only verified reads of content-addressed chunks):
+                    // the bytes are rejected before they can poison the
+                    // receiver's store, the sender is struck, and a
+                    // pending mesh repair re-fetches from the next
+                    // holder. A key no client ever wrote is a fabricated
+                    // flood hint and is suppressed the same way. CAI read
+                    // responses are deliberately *not* driver-verified —
+                    // defeating lookup lies is the PoP protocol's job.
+                    if self.pop_seed.is_some() {
+                        if let Message::HintReplay {
+                            key,
+                            value: Some(value),
+                        } = &msg
+                        {
+                            let expected = self.content_digests.get(key).copied();
+                            if expected != Some(checksum64(value)) {
+                                self.byz_acc.poisoned_bytes_rejected += value.len() as u64;
+                                if expected.is_none() {
+                                    self.byz_acc.hint_floods_suppressed += 1;
+                                }
+                                let key = key.clone();
+                                self.strike_peer(from);
+                                self.refetch_repair(now, key, to);
+                                return true;
+                            }
+                            // Verified bytes retire any pending re-fetch
+                            // bookkeeping for this (key, target).
+                            self.pending_repairs.remove(&(key.clone(), to));
+                        }
+                    }
                     // Time-to-recovery: a repair or hint payload landing
                     // on a node healed after a ring wipe advances the
                     // worst-case observed heal-to-delivery latency.
@@ -1079,6 +1212,12 @@ impl SimCluster {
                         return true;
                     };
                     let (outbound, completions) = node.on_message(from, msg);
+                    // Harvest PoP verdicts *before* recording completions:
+                    // cache-source attribution needs the op's key, which
+                    // `record` retires.
+                    if self.pop_seed.is_some() {
+                        self.harvest_node_trust(to);
+                    }
                     for c in completions {
                         self.record(c.op_id, c.result, now);
                     }
@@ -1138,6 +1277,45 @@ impl SimCluster {
                                 },
                             );
                         }
+                        // Byzantine hint flood: inside its window the
+                        // compromised node sprays fabricated hint replays
+                        // for chunks nobody ever wrote, riding the same
+                        // billed links as honest repair traffic. With PoP
+                        // armed the receivers' content-address check
+                        // suppresses and strikes each one; without it the
+                        // bogus keys pollute their indexes — the attack
+                        // the defense exists for.
+                        let floods = self
+                            .network
+                            .fault_plan()
+                            .is_some_and(|plan| plan.hint_floods_at(node, now));
+                        if floods {
+                            let targets: Vec<NodeId> = self
+                                .nodes
+                                .keys()
+                                .copied()
+                                .filter(|p| *p != node && !self.crashed.contains(p))
+                                .take(2)
+                                .collect();
+                            let mut bogus = Vec::new();
+                            for target in targets {
+                                self.flood_seq += 1;
+                                let mut key = Vec::with_capacity(26);
+                                key.extend_from_slice(b"byz-flood-");
+                                key.extend_from_slice(&(node.0 as u64).to_le_bytes());
+                                key.extend_from_slice(&self.flood_seq.to_le_bytes());
+                                let value =
+                                    Self::fabricated_bytes(self.flood_seq ^ (node.0 as u64), 64);
+                                bogus.push(Outbound {
+                                    to: target,
+                                    msg: Message::HintReplay {
+                                        key: Bytes::from(key),
+                                        value: Some(value),
+                                    },
+                                });
+                            }
+                            self.dispatch(now, node, bogus);
+                        }
                         // Sweep the local detector and apply transitions.
                         let transitions = self.detectors.get_mut(&node).map(|d| d.sweep(now));
                         if let Some(sweep) = transitions {
@@ -1146,6 +1324,9 @@ impl SimCluster {
                                     break;
                                 };
                                 let completions = state.on_peer_failure(down);
+                                if self.pop_seed.is_some() {
+                                    self.harvest_node_trust(node);
+                                }
                                 for c in completions {
                                     self.record(c.op_id, c.result, now);
                                 }
@@ -1379,12 +1560,18 @@ impl SimCluster {
         if self.crashed.contains(&coordinator) {
             return;
         }
-        let avoid: BTreeSet<NodeId> = self
+        let mut avoid: BTreeSet<NodeId> = self
             .slow
             .iter()
             .filter(|(obs, _)| *obs == coordinator)
             .map(|&(_, peer)| peer)
             .collect();
+        // Trust-aware steering: a hedge is a leap of faith toward a
+        // backup replica — never waste it on a quarantined liar, nor on
+        // a peer already striking in the trust ledger (its next lie
+        // would only cost a PoP round-trip to refute).
+        avoid.extend(self.quarantined.iter().copied());
+        avoid.extend(self.trust.striking_peers());
         let Some(ob) = self
             .nodes
             .get_mut(&coordinator)
@@ -1617,6 +1804,7 @@ impl SimCluster {
         }
         // The node's integrity counters outlive its volatile state.
         self.integrity_acc.merge(&state.integrity());
+        self.byz_acc.absorb(&state.byz_stats());
         self.gray_acc.hedges_won += state.hedges_won();
         let (wal, completions) = state.crash();
         for c in completions {
@@ -1663,9 +1851,16 @@ impl SimCluster {
         // that departed while this node was down, so the recovered view
         // needs no catch-up surgery. Data the node should have received
         // meanwhile arrives via peer hint replay and anti-entropy.
-        let Ok(recovered) = NodeState::recover(node, self.ring.clone(), &self.config, wal) else {
+        let Ok(mut recovered) = NodeState::recover(node, self.ring.clone(), &self.config, wal)
+        else {
             return; // unreachable: the lattice above already vetted the log
         };
+        // Proof-of-possession is cluster policy, not durable node state:
+        // a restarted node re-arms (and re-proves peers from scratch —
+        // the proven set is volatile by design).
+        if let Some(seed) = self.pop_seed {
+            recovered.arm_pop(seed);
+        }
         self.crashed.remove(&node);
         self.recovery.restarts += 1;
         self.recovery.wal_records_replayed += recovered.wal_records_replayed();
@@ -1712,6 +1907,7 @@ impl SimCluster {
         if let Some(state) = self.nodes.remove(&node) {
             // The node's integrity counters outlive it.
             self.integrity_acc.merge(&state.integrity());
+            self.byz_acc.absorb(&state.byz_stats());
             self.gray_acc.hedges_won += state.hedges_won();
             let (_lost_disk, completions) = state.crash();
             for c in completions {
@@ -1898,6 +2094,9 @@ impl SimCluster {
             if let Some(&floor) = self.wiped_seq.get(&node) {
                 state.resume_seq_from(floor);
             }
+            if let Some(seed) = self.pop_seed {
+                state.arm_pop(seed);
+            }
             self.crashed.remove(&node);
             self.nodes.insert(node, state);
             self.restarted_at.insert(node, now);
@@ -1983,6 +2182,17 @@ impl SimCluster {
                     self.disaster_acc.repair_bytes_mesh += sizes.get(&key).copied().unwrap_or(0);
                     self.disaster_acc.repair_cost_mesh_ms +=
                         self.network.repair_cost_ms(source, target).round() as u64;
+                    if self.pop_seed.is_some() {
+                        // Remember the untried holders so a poisoned
+                        // replay can re-fetch from the next-cheapest one.
+                        let remaining: Vec<NodeId> = candidates
+                            .iter()
+                            .copied()
+                            .filter(|&c| c != source)
+                            .collect();
+                        self.pending_repairs
+                            .insert((key.clone(), target), remaining);
+                    }
                     let msg = Message::RepairRequest { key };
                     self.dispatch(now, target, vec![Outbound { to: source, msg }]);
                 }
@@ -2022,7 +2232,11 @@ impl SimCluster {
         let Some(state) = self.nodes.get_mut(&observer) else {
             return;
         };
-        for c in state.on_peer_failure(dead) {
+        let completions = state.on_peer_failure(dead);
+        if self.pop_seed.is_some() {
+            self.harvest_node_trust(observer);
+        }
+        for c in completions {
             self.record(c.op_id, c.result, now);
         }
         if !self.departed.contains(&dead) {
@@ -2052,8 +2266,186 @@ impl SimCluster {
         self.dispatch(now, observer, outbound);
     }
 
+    /// Drains `node`'s PoP verdicts into driver state: duplicate-verdict
+    /// source attribution (so a later quarantine can invalidate exactly
+    /// the cache entries the prover's claims admitted) and strikes for
+    /// provably-wrong possession proofs.
+    fn harvest_node_trust(&mut self, node: NodeId) {
+        let (strikes, sources) = match self.nodes.get_mut(&node) {
+            Some(state) => (state.take_pop_strikes(), state.take_dedup_sources()),
+            None => return,
+        };
+        for (op_id, prover) in sources {
+            if let Some(key) = self.cache_keys.get(&op_id) {
+                self.cache_sources
+                    .entry(prover)
+                    .or_default()
+                    .push((node, key.clone()));
+            }
+        }
+        for peer in strikes {
+            self.strike_peer(peer);
+        }
+    }
+
+    /// Charges one provable lie to `peer`; at the ledger threshold the
+    /// liar is quarantined.
+    pub(crate) fn strike_peer(&mut self, peer: NodeId) {
+        self.byz_acc.liar_strikes += 1;
+        if self.trust.strike(peer) {
+            self.quarantine_liar(peer);
+        }
+    }
+
+    /// Quarantines a peer the trust ledger condemned: silence its
+    /// heartbeats (the existing suspect → dead lattice evicts it),
+    /// revoke every proven-possession grant it earned, and invalidate
+    /// every fingerprint-cache entry its claims admitted — the poisoned
+    /// claims must not outlive the liar.
+    fn quarantine_liar(&mut self, peer: NodeId) {
+        if self.quarantined.insert(peer) {
+            self.byz_acc.liars_quarantined += 1;
+            self.integrity_acc.quarantines += 1;
+        }
+        for (coord, key) in self.cache_sources.remove(&peer).unwrap_or_default() {
+            if let Some(cache) = self.caches.as_mut().and_then(|c| c.get_mut(&coord)) {
+                if cache.remove(&key) {
+                    self.byz_acc.cache_invalidations += 1;
+                }
+            }
+        }
+        for state in self.nodes.values_mut() {
+            state.forget_proven(peer);
+        }
+    }
+
+    /// Re-fetches a mesh-repair chunk whose served bytes failed
+    /// content-address verification: the next surviving holder by wire
+    /// cost is asked, and when none remain the cloud catalog decodes it
+    /// — the WAN round-trip priced separately in [`DisasterStats`].
+    fn refetch_repair(&mut self, now: SimTime, key: Bytes, target: NodeId) {
+        let Some(mut remaining) = self.pending_repairs.remove(&(key.clone(), target)) else {
+            return;
+        };
+        while let Some(source) = self.network.cheapest_source(&remaining, target) {
+            remaining.retain(|&n| n != source);
+            if self.crashed.contains(&source) || !self.nodes.contains_key(&source) {
+                continue;
+            }
+            self.byz_acc.refetches += 1;
+            self.disaster_acc.mesh_repairs += 1;
+            self.disaster_acc.repair_cost_mesh_ms +=
+                self.network.repair_cost_ms(source, target).round() as u64;
+            self.pending_repairs
+                .insert((key.clone(), target), remaining);
+            let msg = Message::RepairRequest { key };
+            self.dispatch(now, target, vec![Outbound { to: source, msg }]);
+            return;
+        }
+        let (Some(value), Some(uplink)) = (self.cloud_store.get(&key).cloned(), self.uplink) else {
+            return; // no honest copy left at this layer
+        };
+        self.byz_acc.refetches += 1;
+        self.disaster_acc.cloud_repairs += 1;
+        self.disaster_acc.repair_bytes_cloud += value.len() as u64;
+        self.disaster_acc.repair_cost_cloud_ms +=
+            self.network.repair_cost_ms(uplink.cloud, target).round() as u64;
+        let msg = Message::HintReplay {
+            key,
+            value: Some(value),
+        };
+        self.dispatch(now, uplink.cloud, vec![Outbound { to: target, msg }]);
+    }
+
+    /// Rewrites what a Byzantine sender *would have sent* into the lie
+    /// its active fault windows dictate. The network itself stays
+    /// truthful — rules are zero-draw oracles — so honest runs and
+    /// liar runs share a bit-identical fault-verdict trace.
+    fn byzantine_rewrite(&self, now: SimTime, sender: NodeId, msg: Message) -> Message {
+        let Some(plan) = self.network.fault_plan() else {
+            return msg;
+        };
+        match msg {
+            // Fabricated positive dedup sighting: "I already hold this
+            // fingerprint" for a chunk the liar never stored, trying to
+            // suppress the client's upload and silently lose the chunk.
+            Message::ReadResp {
+                op_id,
+                from,
+                value: None,
+            } if plan.lies_on_lookup_at(sender, now) => {
+                let tag = op_id.seq ^ ((op_id.coordinator.0 as u64) << 32) ^ sender.0 as u64;
+                Message::ReadResp {
+                    op_id,
+                    from,
+                    value: Some(Self::fabricated_bytes(tag, 32)),
+                }
+            }
+            // The liar cannot compute the true possession digest for a
+            // chunk it lacks, so it upgrades its honest "not held" into
+            // a held claim with a fabricated digest — the provable lie
+            // the coordinator's verification catches and strikes.
+            Message::PopResponse {
+                op_id,
+                from,
+                held: false,
+                ..
+            } if plan.lies_on_lookup_at(sender, now) => {
+                let tag = op_id.seq ^ sender.0 as u64;
+                let mut digest = [0u8; 32];
+                let mut s = tag;
+                for chunk in digest.chunks_mut(8) {
+                    s = splitmix(s);
+                    chunk.copy_from_slice(&s.to_le_bytes());
+                }
+                Message::PopResponse {
+                    op_id,
+                    from,
+                    held: true,
+                    digest,
+                }
+            }
+            // Poisoned repair bytes: the right key, fabricated content —
+            // same length, so wire-cost accounting cannot tell them
+            // apart; only content-address verification can.
+            Message::HintReplay {
+                key,
+                value: Some(v),
+            } if plan.serves_garbage_at(sender, now) => {
+                let tag = crate::key_token(&key) ^ sender.0 as u64;
+                let garbage = Self::fabricated_bytes(tag, v.len());
+                Message::HintReplay {
+                    key,
+                    value: Some(garbage),
+                }
+            }
+            other => other,
+        }
+    }
+
+    /// Deterministic fabricated bytes for Byzantine rewrites: a splitmix
+    /// stream over `seed`, truncated to `len` (min 8).
+    fn fabricated_bytes(seed: u64, len: usize) -> Bytes {
+        let len = len.max(8);
+        let mut out = Vec::with_capacity(len + 8);
+        let mut s = seed;
+        while out.len() < len {
+            s = splitmix(s);
+            out.extend_from_slice(&s.to_le_bytes());
+        }
+        out.truncate(len);
+        Bytes::from(out)
+    }
+
     pub(crate) fn dispatch(&mut self, now: SimTime, from: NodeId, outbound: Vec<Outbound>) {
         for ob in outbound {
+            // A compromised sender's frames leave the node already
+            // rewritten into its lies; everyone else's pass through
+            // untouched (the common case costs one oracle probe).
+            let ob = Outbound {
+                to: ob.to,
+                msg: self.byzantine_rewrite(now, from, ob.msg),
+            };
             // Adaptive RTT sampling: stamp the *first* transmission of
             // each (op, peer) request edge. Karn's rule — retransmits
             // keep the original stamp, so a retried request's eventual
@@ -3453,5 +3845,347 @@ mod tests {
         // After the heal the spooled hints replayed: nothing pending.
         let end = cluster.disaster_stats();
         assert_eq!(end.spool_depth, 0, "{end:?}");
+    }
+
+    // ---- Byzantine-peer tolerance (proof-of-possession + trust) ----
+
+    use ef_netsim::{ByzantineFault, FaultPlan};
+
+    /// A 1-site / 4-node cluster with one Byzantine node running `fault`
+    /// for the whole run.
+    fn byzantine_cluster(fault: ByzantineFault) -> (SimCluster, Vec<NodeId>, NodeId) {
+        let mut net = edge_network(1, 4);
+        let members = net.topology().edge_nodes();
+        let liar = members[1];
+        net.set_fault_plan(FaultPlan::new(41).byzantine(
+            liar,
+            fault,
+            SimTime::ZERO,
+            SimTime::from_secs_f64(100.0),
+        ));
+        let cluster = SimCluster::new(
+            members.clone(),
+            net,
+            ClusterConfig {
+                replication_factor: 2,
+                consistency: Consistency::Quorum,
+                ..ClusterConfig::default()
+            },
+        );
+        (cluster, members, liar)
+    }
+
+    fn submit_unique_chunks(cluster: &mut SimCluster, coord: NodeId, n: u32) {
+        let mut t = SimTime::ZERO;
+        for i in 0..n {
+            cluster.submit(
+                t,
+                coord,
+                ClientOp::CheckAndInsert(
+                    Bytes::from(format!("chunk-{i}").into_bytes()),
+                    Bytes::from(format!("payload-{i}").into_bytes()),
+                ),
+            );
+            t += SimDuration::from_millis(5);
+        }
+    }
+
+    #[test]
+    fn lookup_liar_pollutes_dedup_without_pop() {
+        // The attack baseline: with proof-of-possession off, a lying
+        // replica's fabricated positive sighting turns fresh chunks into
+        // "duplicates" — the client skips the upload and the chunk is
+        // silently lost.
+        let (mut cluster, members, liar) = byzantine_cluster(ByzantineFault::LieOnLookup);
+        submit_unique_chunks(&mut cluster, members[0], 40);
+        let done = cluster.run();
+        assert_eq!(done.len(), 40);
+        let false_dups = done
+            .iter()
+            .filter(|l| matches!(l.result, OpResult::Dedup { unique: false, .. }))
+            .count();
+        assert!(
+            false_dups > 0,
+            "lookup liar never polluted a verdict — attack not wired"
+        );
+        // No defense armed: nothing was challenged, nobody struck.
+        let stats = cluster.byzantine_stats();
+        assert_eq!(stats.challenges_issued, 0, "{stats:?}");
+        assert_eq!(cluster.trust_strikes_of(liar), 0);
+    }
+
+    #[test]
+    fn pop_defeats_lookup_liar_and_quarantines() {
+        let (mut cluster, members, liar) = byzantine_cluster(ByzantineFault::LieOnLookup);
+        cluster.enable_pop(0xB12A);
+        submit_unique_chunks(&mut cluster, members[0], 40);
+        let done = cluster.run();
+        assert_eq!(done.len(), 40);
+        // Every chunk is genuinely fresh; with PoP armed the liar's
+        // claims fail their challenges, so no verdict is polluted.
+        for l in &done {
+            assert!(
+                matches!(
+                    l.result,
+                    OpResult::Dedup { unique: true, .. } | OpResult::Written
+                ),
+                "false duplicate slipped through PoP: {:?}",
+                l.result
+            );
+        }
+        let stats = cluster.byzantine_stats();
+        assert!(stats.challenges_issued > 0, "{stats:?}");
+        assert!(stats.challenges_failed > 0, "{stats:?}");
+        assert!(stats.false_claims_rejected > 0, "{stats:?}");
+        assert!(
+            cluster.trust_strikes_of(liar) >= 3,
+            "liar strikes: {}",
+            cluster.trust_strikes_of(liar)
+        );
+        assert_eq!(stats.liars_quarantined, 1, "{stats:?}");
+    }
+
+    #[test]
+    fn honest_pop_verdicts_match_pop_off() {
+        // Satellite guarantee: on an honest cluster, arming PoP changes
+        // costs (challenge round-trips) but never verdicts.
+        let verdicts = |pop: bool| {
+            let net = edge_network(2, 2);
+            let members = net.topology().edge_nodes();
+            let mut cluster = SimCluster::new(
+                members.clone(),
+                net,
+                ClusterConfig {
+                    replication_factor: 2,
+                    consistency: Consistency::Quorum,
+                    ..ClusterConfig::default()
+                },
+            );
+            if pop {
+                cluster.enable_pop(7);
+            }
+            let mut t = SimTime::ZERO;
+            // First pass: 20 fresh chunks; second pass: the same chunks
+            // from the *other* side of the ring — genuine duplicates
+            // whose positive sightings must survive the challenge.
+            for pass in 0..2u32 {
+                for i in 0..20u32 {
+                    let coord = members[((i + pass) % 4) as usize];
+                    cluster.submit(
+                        t,
+                        coord,
+                        ClientOp::CheckAndInsert(
+                            Bytes::from(format!("chunk-{i}").into_bytes()),
+                            Bytes::from(format!("payload-{i}").into_bytes()),
+                        ),
+                    );
+                    t += SimDuration::from_millis(10);
+                }
+            }
+            let mut done = cluster.run();
+            done.sort_by_key(|l| (l.op_id.coordinator, l.op_id.seq));
+            let stats = cluster.byzantine_stats();
+            let verdicts: Vec<(OpId, bool)> = done
+                .iter()
+                .filter_map(|l| match l.result {
+                    OpResult::Dedup { unique, .. } => Some((l.op_id, unique)),
+                    _ => None,
+                })
+                .collect();
+            (verdicts, stats)
+        };
+        let (off, off_stats) = verdicts(false);
+        let (on, on_stats) = verdicts(true);
+        assert_eq!(off, on, "PoP changed an honest verdict");
+        assert!(off.iter().any(|(_, unique)| !unique), "no duplicates seen");
+        assert_eq!(off_stats.challenges_issued, 0);
+        assert!(on_stats.challenges_issued > 0, "{on_stats:?}");
+        assert!(on_stats.challenges_passed > 0, "{on_stats:?}");
+        assert_eq!(on_stats.challenges_failed, 0, "{on_stats:?}");
+        assert_eq!(on_stats.liar_strikes, 0, "{on_stats:?}");
+    }
+
+    #[test]
+    fn hint_floods_land_without_pop_and_are_suppressed_with_it() {
+        use ef_simcore::SimDuration;
+        let flood_keys = |pop: bool| -> (usize, ByzantineStats) {
+            let (mut cluster, members, _liar) = byzantine_cluster(ByzantineFault::HintFlood);
+            cluster.enable_heartbeats(SimDuration::from_millis(100), SimDuration::from_millis(350));
+            if pop {
+                cluster.enable_pop(9);
+            }
+            cluster.run_until(SimTime::from_secs_f64(1.0));
+            let mut landed = 0;
+            for &m in &members {
+                if let Some(state) = cluster.node_mut(m) {
+                    landed += state
+                        .storage()
+                        .iter_live()
+                        .filter(|(k, _)| k.starts_with(b"byz-flood-"))
+                        .count();
+                }
+            }
+            let stats = cluster.byzantine_stats();
+            (landed, stats)
+        };
+        let (landed_off, stats_off) = flood_keys(false);
+        assert!(landed_off > 0, "flood attack never landed a junk key");
+        assert_eq!(stats_off.hint_floods_suppressed, 0);
+        let (landed_on, stats_on) = flood_keys(true);
+        assert_eq!(landed_on, 0, "flooded keys got past the armed driver");
+        assert!(stats_on.hint_floods_suppressed > 0, "{stats_on:?}");
+        assert!(stats_on.liars_quarantined >= 1, "{stats_on:?}");
+    }
+
+    #[test]
+    fn poisoned_repair_bytes_rejected_and_refetched() {
+        // Ring wipe + heal where *every* survivor serves garbage on the
+        // repair path: each mesh serve is rejected by content-address
+        // verification, the re-fetch walks the remaining (equally
+        // rotten) holders, and the cloud catalog finally supplies the
+        // honest bytes — zero poisoned chunks acked into storage.
+        let mut net = edge_cloud_network(3, 2);
+        let members = net.topology().edge_nodes();
+        let mut plan = FaultPlan::new(17);
+        for &survivor in &members[2..6] {
+            plan = plan.byzantine(
+                survivor,
+                ByzantineFault::ServeGarbage,
+                SimTime::ZERO,
+                SimTime::from_secs_f64(100.0),
+            );
+        }
+        net.set_fault_plan(plan);
+        let cloud = net.topology().nodes_in(SiteId(3))[0];
+        let mut cluster = SimCluster::new(
+            members.clone(),
+            net,
+            ClusterConfig {
+                replication_factor: 3,
+                consistency: Consistency::Quorum,
+                ..ClusterConfig::default()
+            },
+        );
+        cluster.enable_pop(23);
+        cluster.enable_cloud_uplink(cloud, 1 << 16, SimDuration::from_millis(10));
+        let mut t = SimTime::ZERO;
+        for i in 0..40u32 {
+            cluster.submit(
+                t,
+                members[(i % 6) as usize],
+                ClientOp::CheckAndInsert(
+                    Bytes::from(format!("chunk-{i}").into_bytes()),
+                    Bytes::from(format!("payload-{i}").into_bytes()),
+                ),
+            );
+            t += SimDuration::from_millis(1);
+        }
+        cluster.ring_outage_at(
+            SimTime::from_secs_f64(0.5),
+            SimTime::from_secs_f64(0.8),
+            SiteId(0),
+        );
+        cluster.run_until(SimTime::from_secs_f64(3.0));
+        let stats = cluster.byzantine_stats();
+        assert!(stats.poisoned_bytes_rejected > 0, "{stats:?}");
+        assert!(stats.refetches > 0, "{stats:?}");
+        assert!(
+            cluster.disaster_stats().cloud_repairs > 0,
+            "no cloud fallback: {:?}",
+            cluster.disaster_stats()
+        );
+        // Every healed replica holds the honest bytes, byte for byte.
+        let wiped: Vec<NodeId> = cluster.network().topology().nodes_in(SiteId(0)).to_vec();
+        let mut rehydrated = 0;
+        for i in 0..40u32 {
+            let key = Bytes::from(format!("chunk-{i}").into_bytes());
+            let want = Bytes::from(format!("payload-{i}").into_bytes());
+            for target in cluster.ring().replicas(&key, 3) {
+                if !wiped.contains(&target) {
+                    continue;
+                }
+                let got = cluster
+                    .node_mut(target)
+                    .expect("healed node is back")
+                    .storage_mut()
+                    .get(&key);
+                if got.is_some() {
+                    assert_eq!(got, Some(want.clone()), "chunk-{i} poisoned on {target}");
+                    rehydrated += 1;
+                }
+            }
+        }
+        assert!(rehydrated > 0, "no chunk repaired onto the wiped site");
+    }
+
+    #[test]
+    fn proven_possession_cache_amortizes_repeat_challenges() {
+        // One coordinator, one remote holder: the first duplicate
+        // verdict for a chunk pays a challenge round trip, a repeat of
+        // the *same* chunk rides the proven-possession cache. The grant
+        // is deliberately per (peer, chunk) — proving possession of one
+        // chunk must never vouch for any other, or a liar could prove
+        // one honest chunk and then fabricate the rest.
+        let net = edge_network(1, 2);
+        let members = net.topology().edge_nodes();
+        let mut cluster = SimCluster::new(
+            members.clone(),
+            net,
+            ClusterConfig {
+                replication_factor: 1,
+                consistency: Consistency::One,
+                ..ClusterConfig::default()
+            },
+        );
+        cluster.enable_pop(3);
+        let key = (0..64u32)
+            .map(|i| Bytes::from(format!("chunk-{i}").into_bytes()))
+            .find(|k| cluster.ring().replicas(k, 1)[0] == members[1])
+            .expect("placement starved the test");
+        cluster.submit(
+            SimTime::ZERO,
+            members[1],
+            ClientOp::Put(key.clone(), Bytes::from_static(b"payload")),
+        );
+        cluster.run();
+        let mut t = SimTime::from_secs_f64(1.0);
+        for _ in 0..2 {
+            cluster.submit(
+                t,
+                members[0],
+                ClientOp::CheckAndInsert(key.clone(), Bytes::from_static(b"payload")),
+            );
+            t += SimDuration::from_millis(100);
+        }
+        let done = cluster.run();
+        assert_eq!(done.len(), 2);
+        for l in &done {
+            assert!(
+                matches!(l.result, OpResult::Dedup { unique: false, .. }),
+                "planted key not judged duplicate: {:?}",
+                l.result
+            );
+        }
+        let stats = cluster.byzantine_stats();
+        assert_eq!(stats.challenges_issued, 1, "{stats:?}");
+        assert_eq!(stats.challenges_passed, 1, "{stats:?}");
+        assert_eq!(stats.pop_cache_hits, 1, "{stats:?}");
+    }
+
+    #[test]
+    fn equivocating_summary_detected_in_antientropy() {
+        let (mut cluster, members, liar) = byzantine_cluster(ByzantineFault::EquivocateSummary);
+        cluster.enable_pop(31);
+        cluster.enable_anti_entropy(SimDuration::from_millis(100), 4);
+        submit_unique_chunks(&mut cluster, members[0], 10);
+        cluster.run_until(SimTime::from_secs_f64(1.0));
+        let stats = cluster.byzantine_stats();
+        assert!(stats.equivocations_detected > 0, "{stats:?}");
+        assert!(
+            cluster.trust_strikes_of(liar) >= 3,
+            "equivocator strikes: {}",
+            cluster.trust_strikes_of(liar)
+        );
+        assert_eq!(stats.liars_quarantined, 1, "{stats:?}");
     }
 }

@@ -130,6 +130,40 @@ struct BlackoutRule {
     window: Window,
 }
 
+/// A Byzantine behavior a compromised node exhibits inside a window.
+///
+/// Unlike every other fault family — which models *non-malicious*
+/// degradation (loss, rot, slowness) — a Byzantine rule marks a node
+/// that actively lies. The network itself never alters traffic for
+/// these rules: they are pure oracles the cluster driver consults to
+/// rewrite what the compromised node *would have sent*, so the rules
+/// are zero-draw and leave every verdict trace bit-identical.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ByzantineFault {
+    /// The node answers dedup lookups for keys it does not hold with a
+    /// fabricated positive sighting ("I already hold this fingerprint"),
+    /// trying to suppress a client upload and silently lose the chunk.
+    LieOnLookup,
+    /// The node serves fabricated bytes on mesh-repair and restore
+    /// fetches (repair responses and hint replays) instead of the chunk
+    /// its content address names.
+    ServeGarbage,
+    /// The node claims divergent Merkle buckets during anti-entropy
+    /// summary exchange that it cannot back with any entries.
+    EquivocateSummary,
+    /// The node floods peers with bogus hint replays for chunks nobody
+    /// ever wrote, trying to pollute their indexes and waste repair
+    /// bandwidth.
+    HintFlood,
+}
+
+#[derive(Debug, Clone)]
+struct ByzantineRule {
+    node: NodeId,
+    fault: ByzantineFault,
+    window: Window,
+}
+
 /// Counters of what the plan did to traffic. Obtained via
 /// [`FaultPlan::stats`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -207,6 +241,7 @@ pub struct FaultPlan {
     blackouts: Vec<BlackoutRule>,
     slow: Vec<SlowRule>,
     throttle: Vec<ThrottleRule>,
+    byzantine: Vec<ByzantineRule>,
     stats: FaultStats,
 }
 
@@ -224,6 +259,7 @@ impl FaultPlan {
             blackouts: Vec::new(),
             slow: Vec::new(),
             throttle: Vec::new(),
+            byzantine: Vec::new(),
             stats: FaultStats::default(),
         }
     }
@@ -537,6 +573,65 @@ impl FaultPlan {
         self.blackouts
             .iter()
             .any(|r| r.window.contains(t) && r.scope.matches(src, dst, src_site, dst_site))
+    }
+
+    /// Schedules a Byzantine window: during `[from, until)` the given
+    /// node exhibits `fault` (see [`ByzantineFault`]). The rule never
+    /// touches traffic here — the network keeps delivering the liar's
+    /// frames verbatim — and never draws from the plan's RNG, so adding
+    /// one leaves every other rule's verdict trace bit-identical. The
+    /// cluster driver consults the oracles below to decide what the
+    /// compromised node fabricates.
+    pub fn byzantine(
+        mut self,
+        node: NodeId,
+        fault: ByzantineFault,
+        from: SimTime,
+        until: SimTime,
+    ) -> Self {
+        self.byzantine.push(ByzantineRule {
+            node,
+            fault,
+            window: Window { from, until },
+        });
+        self
+    }
+
+    /// True when `node` exhibits `fault` at `t`. Zero RNG draws.
+    pub fn byzantine_at(&self, node: NodeId, fault: ByzantineFault, t: SimTime) -> bool {
+        self.byzantine
+            .iter()
+            .any(|r| r.node == node && r.fault == fault && r.window.contains(t))
+    }
+
+    /// True when `node` fabricates positive dedup sightings at `t`.
+    pub fn lies_on_lookup_at(&self, node: NodeId, t: SimTime) -> bool {
+        self.byzantine_at(node, ByzantineFault::LieOnLookup, t)
+    }
+
+    /// True when `node` serves garbage on repair/restore fetches at `t`.
+    pub fn serves_garbage_at(&self, node: NodeId, t: SimTime) -> bool {
+        self.byzantine_at(node, ByzantineFault::ServeGarbage, t)
+    }
+
+    /// True when `node` equivocates anti-entropy summaries at `t`.
+    pub fn equivocates_at(&self, node: NodeId, t: SimTime) -> bool {
+        self.byzantine_at(node, ByzantineFault::EquivocateSummary, t)
+    }
+
+    /// True when `node` floods peers with bogus hints at `t`.
+    pub fn hint_floods_at(&self, node: NodeId, t: SimTime) -> bool {
+        self.byzantine_at(node, ByzantineFault::HintFlood, t)
+    }
+
+    /// Every node with at least one Byzantine rule, in any window —
+    /// sorted and deduplicated. Sweep tests use this to assert that
+    /// every injected liar was eventually quarantined.
+    pub fn byzantine_nodes(&self) -> Vec<NodeId> {
+        let mut nodes: Vec<NodeId> = self.byzantine.iter().map(|r| r.node).collect();
+        nodes.sort();
+        nodes.dedup();
+        nodes
     }
 
     /// True when an active partition separates the two sites at `t`.
@@ -937,6 +1032,84 @@ mod tests {
             judge_all(&mut plan, 100, SimTime::ZERO)
         };
         assert_eq!(base(21), with_blackout(21));
+    }
+
+    #[test]
+    fn byzantine_windows_scope_in_time_and_by_behavior() {
+        let liar = NodeId(1);
+        let honest = NodeId(2);
+        let from = SimTime::from_secs_f64(1.0);
+        let until = SimTime::from_secs_f64(2.0);
+        let plan = FaultPlan::new(19)
+            .byzantine(liar, ByzantineFault::LieOnLookup, from, until)
+            .byzantine(liar, ByzantineFault::ServeGarbage, from, until)
+            .byzantine(liar, ByzantineFault::EquivocateSummary, from, until)
+            .byzantine(liar, ByzantineFault::HintFlood, from, until);
+        let mid = SimTime::from_secs_f64(1.5);
+        assert!(plan.lies_on_lookup_at(liar, mid));
+        assert!(plan.serves_garbage_at(liar, mid));
+        assert!(plan.equivocates_at(liar, mid));
+        assert!(plan.hint_floods_at(liar, mid));
+        // Half-open window: active at `from`, healed at `until`.
+        assert!(plan.lies_on_lookup_at(liar, from));
+        assert!(!plan.lies_on_lookup_at(liar, until));
+        assert!(!plan.lies_on_lookup_at(liar, SimTime::ZERO));
+        // An honest node never matches, and behaviors don't bleed: a
+        // lookup liar without a garbage rule serves honest bytes.
+        assert!(!plan.lies_on_lookup_at(honest, mid));
+        let lookup_only =
+            FaultPlan::new(20).byzantine(liar, ByzantineFault::LieOnLookup, from, until);
+        assert!(lookup_only.lies_on_lookup_at(liar, mid));
+        assert!(!lookup_only.serves_garbage_at(liar, mid));
+        assert_eq!(plan.byzantine_nodes(), vec![liar]);
+        assert!(lookup_only.byzantine_nodes().contains(&liar));
+    }
+
+    #[test]
+    fn byzantine_rules_leave_clean_plan_traces_untouched() {
+        // Byzantine rules are pure oracles: the network neither drops nor
+        // rewrites the liar's frames, so a plan with probabilistic rules
+        // must produce the same verdicts whether or not Byzantine windows
+        // exist — even with oracle queries interleaved between messages.
+        let base = |seed| {
+            let mut plan = FaultPlan::new(seed)
+                .loss(FaultScope::All, 0.3)
+                .jitter(FaultScope::All, SimDuration::from_millis(2));
+            judge_all(&mut plan, 100, SimTime::ZERO)
+        };
+        let with_byzantine = |seed| {
+            let mut plan = FaultPlan::new(seed)
+                .loss(FaultScope::All, 0.3)
+                .jitter(FaultScope::All, SimDuration::from_millis(2))
+                .byzantine(
+                    NodeId(0),
+                    ByzantineFault::LieOnLookup,
+                    SimTime::ZERO,
+                    SimTime::MAX,
+                )
+                .byzantine(
+                    NodeId(0),
+                    ByzantineFault::HintFlood,
+                    SimTime::ZERO,
+                    SimTime::MAX,
+                );
+            (0..100)
+                .map(|_| {
+                    // Oracle queries between every judged message.
+                    plan.lies_on_lookup_at(NodeId(0), SimTime::ZERO);
+                    plan.equivocates_at(NodeId(0), SimTime::ZERO);
+                    plan.judge(
+                        SimTime::ZERO,
+                        NodeId(0),
+                        NodeId(2),
+                        SiteId(0),
+                        SiteId(1),
+                        SimDuration::from_millis(5),
+                    )
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(base(21), with_byzantine(21));
     }
 
     #[test]

@@ -52,7 +52,7 @@ mod link;
 mod network;
 mod topology;
 
-pub use fault::{FaultOutcome, FaultPlan, FaultScope, FaultStats};
+pub use fault::{ByzantineFault, FaultOutcome, FaultPlan, FaultScope, FaultStats};
 pub use id::{NodeId, SiteId};
 pub use link::{LinkParams, NetworkConfig};
 pub use network::{Delivery, Network, NetworkError};

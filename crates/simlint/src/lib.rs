@@ -86,6 +86,7 @@ pub const HOT_PATH_FILES: &[&str] = &[
 /// Fault/liveness enums whose `match`es must stay exhaustive (E001):
 /// adding a variant must force every handler site to be revisited.
 pub const FAULT_ENUMS: &[&str] = &[
+    "ByzantineFault",
     "ChaosEvent",
     "FaultRule",
     "FaultScope",

@@ -362,6 +362,16 @@ fn e001_catches_the_wildcard_when_the_enum_grows() {
 }
 
 #[test]
+fn e001_polices_the_byzantine_fault_family() {
+    // The trust layer's attack enum is policed like any fault enum:
+    // the phantom `HintFlood` drill exposes the dispatcher's wildcard,
+    // while the revisited handler and the guarded wildcard are clean.
+    let findings = lint_fixture("e001_byzantine.rs");
+    assert_eq!(spans(&findings, RuleId::E001), vec![(19, 9)]);
+    assert_eq!(findings.len(), 1);
+}
+
+#[test]
 fn e001_polices_the_spool_enums() {
     // The disaster-tolerance spool enums are policed like any fault
     // enum: the phantom class exposes the planner's wildcard, while the

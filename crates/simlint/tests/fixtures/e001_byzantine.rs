@@ -1,0 +1,40 @@
+// Fixture: E001 over the Byzantine fault family — a trust-layer
+// dispatcher written before `HintFlood` existed swallows the new
+// attack with its `_` arm; the revisited handler that enumerates every
+// behavior is clean, as is a *guarded* wildcard (it still forces a
+// decision when the enum grows).
+
+pub enum ByzantineFault {
+    LieOnLookup,
+    ServeGarbage,
+    EquivocateSummary,
+    /// The attack added after the dispatcher below was written.
+    HintFlood,
+}
+
+pub fn dispatcher_written_before_the_attack(f: &ByzantineFault) -> &'static str {
+    match f {
+        ByzantineFault::LieOnLookup => "challenge",
+        ByzantineFault::ServeGarbage => "verify",
+        _ => "swallowed",
+    }
+}
+
+pub fn dispatcher_revisited(f: &ByzantineFault) -> &'static str {
+    match f {
+        ByzantineFault::LieOnLookup => "challenge",
+        ByzantineFault::ServeGarbage => "verify",
+        ByzantineFault::EquivocateSummary => "strike",
+        ByzantineFault::HintFlood => "suppress",
+    }
+}
+
+pub fn guarded_wildcard_is_out_of_scope(f: &ByzantineFault, armed: bool) -> &'static str {
+    match f {
+        ByzantineFault::LieOnLookup => "challenge",
+        _ if armed => "strike",
+        ByzantineFault::ServeGarbage => "verify",
+        ByzantineFault::EquivocateSummary => "strike",
+        ByzantineFault::HintFlood => "suppress",
+    }
+}

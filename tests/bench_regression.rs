@@ -38,9 +38,28 @@ fn record() -> String {
 #[test]
 fn record_carries_the_schema_tag() {
     assert!(
-        record().contains("\"schema\": \"efdedup-bench-ingest/v3\""),
+        record().contains("\"schema\": \"efdedup-bench-ingest/v4\""),
         "unknown or missing schema tag"
     );
+}
+
+#[test]
+fn pop_challenge_rate_dwarfs_duplicate_arrival() {
+    // A proof-of-possession challenge (derive salted slice coordinates,
+    // digest ≤ 512 bytes of the claimed chunk) rides on every remote
+    // duplicate verdict once the defense is armed. At 4 KB chunks even
+    // a 1 GB/s ingest stream arrives below ~250k duplicates/s, so the
+    // challenge loop must clear that with a wide margin or the defense
+    // would throttle ingest instead of the liar.
+    let json = record();
+    let ops = metric(&json, "pop_challenge_ops_per_sec");
+    let mbps = metric(&json, "pop_digest_mbps");
+    assert!(
+        ops >= 250_000.0,
+        "proof-of-possession challenge loop fell to {ops} ops/s — within \
+         reach of duplicate arrival rates"
+    );
+    assert!(mbps > 0.0, "sliced digest throughput not positive: {mbps}");
 }
 
 #[test]
