@@ -13,7 +13,10 @@
 //! * [`DurableStore`] — chunk placement across cloud storage nodes under
 //!   either γ-way [`Durability::Replicated`] or Reed–Solomon
 //!   [`Durability::ErasureCoded`] (the paper's future-work extension),
-//!   surviving node failures within the configured tolerance.
+//!   surviving node failures within the configured tolerance,
+//! * [`ContainerLayout`] / [`RestoreStats`] ([`restore`] module) —
+//!   container placement and restore-path accounting (fragmentation,
+//!   locality, capped-rewrite defrag), per arXiv 2411.01407.
 //!
 //! Every boundary verifies content addresses: uploads whose payload does
 //! not hash to the claimed address are refused with a typed
@@ -40,8 +43,12 @@
 
 mod catalog;
 mod durable;
+pub mod restore;
 mod store;
 
 pub use catalog::{FileCatalog, FileId, Manifest, RestoreError};
 pub use durable::{Durability, DurableError, DurableStore};
+pub use restore::{
+    restore_profile, ContainerLayout, DefragPolicy, RestoreAccountant, RestoreProfile, RestoreStats,
+};
 pub use store::{ChunkStore, ChunkStoreStats, IntegrityError};

@@ -51,10 +51,28 @@ pub struct SystemConfig {
     /// earlier cached runs stay comparable.
     #[serde(default)]
     pub cache_second_sight: bool,
+    /// Container capacity in bytes for the restore-path layout model:
+    /// unique chunks append into fixed-capacity containers in arrival
+    /// order, and `SystemMetrics::restore` measures how many containers
+    /// a per-node restore touches (DESIGN.md §18).
+    #[serde(default = "default_container_bytes")]
+    pub container_bytes: usize,
+    /// Duplicate-rewrite policy of the restore-path layout model:
+    /// [`ef_cloudstore::DefragPolicy::Off`] (default) keeps maximum
+    /// dedup; `CapRewrite { window }` rewrites stale duplicates to the
+    /// write frontier, trading stored bytes for restore locality.
+    #[serde(default)]
+    pub defrag: ef_cloudstore::DefragPolicy,
 }
 
 fn default_cache_shards() -> usize {
     8
+}
+
+fn default_container_bytes() -> usize {
+    // 64 chunks of the default 4 KiB — small enough that fragmentation
+    // is visible at test scale, large enough to amortize a seek.
+    256 * 1024
 }
 
 impl SystemConfig {
@@ -73,6 +91,8 @@ impl SystemConfig {
             cache_capacity: 0,
             cache_shards: default_cache_shards(),
             cache_second_sight: false,
+            container_bytes: default_container_bytes(),
+            defrag: ef_cloudstore::DefragPolicy::Off,
         }
     }
 
@@ -81,6 +101,15 @@ impl SystemConfig {
     pub fn with_cache(capacity: usize) -> Self {
         SystemConfig {
             cache_capacity: capacity,
+            ..Self::paper_testbed()
+        }
+    }
+
+    /// The paper-testbed calibration with capped-rewrite defrag enabled
+    /// at `window` containers behind the write frontier.
+    pub fn with_defrag(window: u32) -> Self {
+        SystemConfig {
+            defrag: ef_cloudstore::DefragPolicy::CapRewrite { window },
             ..Self::paper_testbed()
         }
     }
@@ -111,6 +140,10 @@ impl SystemConfig {
         assert!(
             self.cache_capacity == 0 || self.cache_shards > 0,
             "an enabled cache needs at least one shard"
+        );
+        assert!(
+            self.container_bytes > 0,
+            "container capacity must be positive"
         );
     }
 }
@@ -159,6 +192,31 @@ mod tests {
         cfg.validate();
         assert_eq!(cfg.cache_capacity, 4096);
         assert!(cfg.cache_shards > 0);
+    }
+
+    #[test]
+    fn defrag_defaults_off_and_with_defrag_enables() {
+        assert_eq!(
+            SystemConfig::default().defrag,
+            ef_cloudstore::DefragPolicy::Off
+        );
+        let cfg = SystemConfig::with_defrag(2);
+        cfg.validate();
+        assert_eq!(
+            cfg.defrag,
+            ef_cloudstore::DefragPolicy::CapRewrite { window: 2 }
+        );
+        assert!(cfg.container_bytes > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "container capacity")]
+    fn zero_container_bytes_rejected() {
+        SystemConfig {
+            container_bytes: 0,
+            ..SystemConfig::default()
+        }
+        .validate();
     }
 
     #[test]

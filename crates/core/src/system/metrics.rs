@@ -206,6 +206,12 @@ pub struct SystemMetrics {
     /// when `SystemConfig::cache_capacity` is 0, the default).
     #[serde(default)]
     pub cache: ef_kvstore::CacheStats,
+    /// Restore-path accounting over the container layout the run built:
+    /// per-node fragmentation (distinct containers per restore), read
+    /// locality, serving-node spread, and defrag rewrite costs (absent
+    /// fields in serialized input default to zero).
+    #[serde(default)]
+    pub restore: ef_cloudstore::RestoreStats,
     /// Per-node details.
     pub nodes: Vec<NodeMetrics>,
 }
@@ -241,11 +247,13 @@ mod tests {
             mean_node_throughput_mbps: 0.0,
             robustness: RobustnessMetrics::default(),
             cache: ef_kvstore::CacheStats::default(),
+            restore: ef_cloudstore::RestoreStats::default(),
             nodes: Vec::new(),
         };
         assert_eq!(m.aggregate_cost(0.0), 1_000.0);
         assert_eq!(m.aggregate_cost(2.0), 1_100.0);
         assert!(m.robustness.is_quiet());
+        assert!(m.restore.is_quiet());
     }
 
     #[test]

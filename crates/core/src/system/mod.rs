@@ -28,6 +28,7 @@ mod run;
 mod workload;
 
 pub use config::SystemConfig;
+pub use ef_cloudstore::{DefragPolicy, RestoreStats};
 pub use ef_kvstore::{CacheStats, GrayFailureStats};
 pub use metrics::{NodeMetrics, RobustnessMetrics, SystemMetrics};
 pub use run::{run_system, Strategy};

@@ -6,6 +6,7 @@ use crate::system::config::SystemConfig;
 use crate::system::metrics::{NodeMetrics, RobustnessMetrics, SystemMetrics};
 use crate::system::workload::Workload;
 use bytes::Bytes;
+use ef_cloudstore::{restore_profile, ContainerLayout, RestoreAccountant, RestoreStats};
 use ef_kvstore::{CacheStats, ClusterConfig, Consistency, FingerprintCache, LocalCluster};
 use ef_netsim::{Network, NodeId};
 use std::collections::BTreeSet;
@@ -75,7 +76,8 @@ pub fn run_system(
     let mut local_lookups = vec![0u64; n];
     let mut remote_served = vec![0u64; n]; // lookups this node served for peers
     let mut cache_stats = CacheStats::default();
-    let scope_unique_total: u64 = match strategy {
+    let chunk_bytes = workload.chunk_size();
+    let (scope_unique_total, restore): (u64, RestoreStats) = match strategy {
         Strategy::Smart(partition) => {
             partition
                 .validate(n)
@@ -99,6 +101,16 @@ pub fn run_system(
             let ring_of: Vec<usize> = (0..n)
                 // simlint::allow(D003): validate(n) above proved every node is covered
                 .map(|i| partition.ring_of(i).expect("covered"))
+                .collect();
+
+            // One container layout per ring: unique chunks append at
+            // the ring's write frontier, duplicates go through the
+            // configured defrag policy (a no-op under the default
+            // `DefragPolicy::Off`).
+            let mut layouts: Vec<ContainerLayout> = partition
+                .rings()
+                .iter()
+                .map(|_| ContainerLayout::new(config.container_bytes))
                 .collect();
 
             // Per-agent fingerprint caches in front of the ring index
@@ -137,7 +149,9 @@ pub fn run_system(
                     let cluster = &mut clusters[ring_of[node]];
                     let key = hash.as_bytes();
                     if cache_on && caches[node].contains(key) {
-                        // Duplicate confirmed locally.
+                        // Duplicate confirmed locally: still a defrag
+                        // opportunity for the layout model.
+                        layouts[ring_of[node]].on_duplicate(hash, chunk_bytes, config.defrag);
                         local_lookups[node] += 1;
                         continue;
                     }
@@ -163,6 +177,9 @@ pub fn run_system(
                         .expect("local cluster always available");
                     if is_new {
                         unique[node] += 1;
+                        layouts[ring_of[node]].place(*hash, chunk_bytes);
+                    } else {
+                        layouts[ring_of[node]].on_duplicate(hash, chunk_bytes, config.defrag);
                     }
                     if cache_on {
                         // Either verdict proves the fingerprint is now
@@ -174,10 +191,50 @@ pub fn run_system(
             for cache in &caches {
                 cache_stats.absorb(&cache.stats());
             }
-            clusters.iter().map(|c| c.distinct_keys() as u64).sum()
+
+            // Restore pass: replay each node's stream as one logical
+            // restore against its ring's layout. The serving node per
+            // chunk mirrors the lookup path — a local replica when the
+            // reader holds one, otherwise the RTT-nearest replica.
+            let mut accountant = RestoreAccountant::new();
+            for node in 0..n {
+                let stream = workload.stream(node);
+                if stream.is_empty() {
+                    continue;
+                }
+                let layout = &layouts[ring_of[node]];
+                let cluster = &clusters[ring_of[node]];
+                let me = edge_ids[node];
+                let mut servers: BTreeSet<NodeId> = BTreeSet::new();
+                for hash in stream {
+                    let replicas = cluster
+                        .ring()
+                        .replicas(hash.as_bytes(), config.replication_factor);
+                    let server = if replicas.contains(&me) {
+                        me
+                    } else {
+                        replicas
+                            .iter()
+                            .copied()
+                            .min_by(|a, b| network.rtt(me, *a).cmp(&network.rtt(me, *b)))
+                            // simlint::allow(D003): replicas() returns at least the key's home node
+                            .expect("replica set non-empty")
+                    };
+                    servers.insert(server);
+                }
+                accountant.record(&restore_profile(layout, stream), servers.len() as u64);
+            }
+            for layout in &layouts {
+                accountant.absorb_layout(layout);
+            }
+            (
+                clusters.iter().map(|c| c.distinct_keys() as u64).sum(),
+                accountant.finish(),
+            )
         }
         Strategy::CloudAssisted => {
             let mut index: BTreeSet<[u8; 32]> = BTreeSet::new();
+            let mut layout = ContainerLayout::new(config.container_bytes);
             let max_len = chunks.iter().copied().max().unwrap_or(0) as usize;
             for pos in 0..max_len {
                 for node in 0..n {
@@ -189,22 +246,35 @@ pub fn run_system(
                     lookup_ms_total[node] += network.rtt(me, cloud).as_millis_f64();
                     if index.insert(*hash.as_bytes()) {
                         unique[node] += 1;
+                        layout.place(*hash, chunk_bytes);
+                    } else {
+                        layout.on_duplicate(hash, chunk_bytes, config.defrag);
                     }
                 }
             }
-            index.len() as u64
+            (
+                index.len() as u64,
+                cloud_restore_stats(workload, n, &layout),
+            )
         }
         Strategy::CloudOnly => {
             // No edge lookups; dedup happens at the cloud.
             let mut index: BTreeSet<[u8; 32]> = BTreeSet::new();
+            let mut layout = ContainerLayout::new(config.container_bytes);
             for (node, node_unique) in unique.iter_mut().enumerate() {
                 for hash in workload.stream(node) {
                     if index.insert(*hash.as_bytes()) {
                         *node_unique += 1;
+                        layout.place(*hash, chunk_bytes);
+                    } else {
+                        layout.on_duplicate(hash, chunk_bytes, config.defrag);
                     }
                 }
             }
-            index.len() as u64
+            (
+                index.len() as u64,
+                cloud_restore_stats(workload, n, &layout),
+            )
         }
     };
 
@@ -291,8 +361,25 @@ pub fn run_system(
         // `RobustnessMetrics::from_sim`.
         robustness: RobustnessMetrics::default(),
         cache: cache_stats,
+        restore,
         nodes,
     }
+}
+
+/// Restore accounting for the cloud baselines: one logical restore per
+/// node stream against the single cloud-side layout, everything served
+/// by the one cloud endpoint.
+fn cloud_restore_stats(workload: &Workload, n: usize, layout: &ContainerLayout) -> RestoreStats {
+    let mut accountant = RestoreAccountant::new();
+    for node in 0..n {
+        let stream = workload.stream(node);
+        if stream.is_empty() {
+            continue;
+        }
+        accountant.record(&restore_profile(layout, stream), 1);
+    }
+    accountant.absorb_layout(layout);
+    accountant.finish()
 }
 
 fn nearest_cloud(network: &Network, from: NodeId, cloud: &[NodeId]) -> NodeId {
@@ -533,6 +620,72 @@ mod tests {
             on.cache.hits + on.cache.misses,
             on.total_chunks,
             "every chunk is exactly one lookup"
+        );
+    }
+
+    #[test]
+    fn restore_stats_populate_for_every_strategy() {
+        let (smart, ca, co) = run_all(8, 300);
+        for m in [&smart, &ca, &co] {
+            assert_eq!(m.restore.restores, 8, "{}", m.strategy);
+            // Every manifest chunk was placed by its scope's layout, so
+            // a restore reads all of them.
+            assert_eq!(m.restore.chunks_read, m.total_chunks, "{}", m.strategy);
+            assert!(
+                m.restore.fragmentation_mean >= 1.0,
+                "{}: fragmentation {}",
+                m.strategy,
+                m.restore.fragmentation_mean
+            );
+            assert!(
+                (0.0..=1.0).contains(&m.restore.locality),
+                "{}: locality {}",
+                m.strategy,
+                m.restore.locality
+            );
+            // Default policy is Off: no rewrites anywhere.
+            assert_eq!(m.restore.rewrites, 0, "{}", m.strategy);
+            assert_eq!(m.restore.rewrite_bytes, 0, "{}", m.strategy);
+        }
+        // Ring restores fan out over replica holders; the cloud baselines
+        // are served by the single cloud endpoint.
+        assert!(smart.restore.node_fragmentation_mean >= 1.0);
+        assert_eq!(ca.restore.node_fragmentation_mean, 1.0);
+        assert_eq!(co.restore.node_fragmentation_mean, 1.0);
+    }
+
+    #[test]
+    fn defrag_rewrites_without_touching_dedup_verdicts() {
+        let net = testbed();
+        let ds = datasets::accelerometer(8, 42);
+        let w = Workload::from_dataset(&ds, 8, 600, 0);
+        let partition = smart_partition(8, 2);
+        let off = run_system(
+            &net,
+            &w,
+            &Strategy::Smart(partition.clone()),
+            &SystemConfig::paper_testbed(),
+        );
+        let cfg_on = SystemConfig {
+            // Small containers so the write frontier moves often enough
+            // for duplicates to fall out of the window at test scale.
+            container_bytes: 16 * 4096,
+            ..SystemConfig::with_defrag(1)
+        };
+        let on = run_system(&net, &w, &Strategy::Smart(partition), &cfg_on);
+        // The layout model observes the ingest stream; it never feeds
+        // back into dedup verdicts.
+        assert_eq!(off.unique_chunks, on.unique_chunks);
+        assert_eq!(off.dedup_ratio, on.dedup_ratio);
+        assert_eq!(off.storage_bytes, on.storage_bytes);
+        assert_eq!(off.restore.rewrites, 0);
+        assert!(
+            on.restore.rewrites > 0,
+            "capped rewrite never fired on a duplicate-rich stream"
+        );
+        assert_eq!(
+            on.restore.rewrite_bytes,
+            on.restore.rewrites * w.chunk_size() as u64
         );
     }
 

@@ -20,6 +20,13 @@
 //! the evaluation depends on — cross-source redundancy structure for (1),
 //! high inter-frame redundancy for (2) — as documented in `DESIGN.md` §6.
 //!
+//! Pool-model corpora are *byte-aligned*: they never exercise the
+//! insert/delete shift redundancy content-defined chunking exists for.
+//! The [`workload`] module adds seed-deterministic shift-redundant
+//! generators (versioned backups, layered images, rotated logs) behind
+//! [`WorkloadKind`], with closed-form expected dedup ratios for
+//! validation; see `DESIGN.md` §18.
+//!
 //! # Example
 //!
 //! ```
@@ -46,6 +53,10 @@
 pub mod datasets;
 mod model;
 mod vector;
+pub mod workload;
 
 pub use model::{ChunkRef, GenerativeModel, ModelError, SourceSpec};
 pub use vector::{CharacteristicVector, VectorError};
+pub use workload::{
+    ByteAlignedConfig, LayeredImagesConfig, LogAppendConfig, VersionedBackupConfig, WorkloadKind,
+};

@@ -1,0 +1,144 @@
+//! Golden-vector pins for the shift-redundant workload generators.
+//!
+//! Corpus generation must be bit-stable across refactors: the
+//! closed-form validation, the bench record, and the golden chunk
+//! boundaries downstream all assume `(kind, seed)` reproduces the same
+//! bytes forever — like the gear fast path's pins in `ef-chunking`.
+//! Each pin fixes, at seed 42: the stream count, the total corpus
+//! bytes, the SHA-256 of stream 0's first 4 KiB, a digest over every
+//! stream's digest, and the first gear-CDC chunk boundaries of
+//! stream 0 (1 KiB / 4 KiB / 32 KiB ladder). If a change breaks one of
+//! these on purpose, regenerate via the values in the assertion
+//! message — and bump the bench record plus EXPERIMENTS.md tables,
+//! which are measured on these corpora.
+
+use ef_chunking::{Chunker, GearChunkerBuilder, Sha256};
+use ef_datagen::WorkloadKind;
+
+const SEED: u64 = 42;
+
+struct Golden {
+    label: &'static str,
+    streams: usize,
+    total_bytes: u64,
+    head_sha: &'static str,
+    digest_of_digests: &'static str,
+    gear_chunks: usize,
+    first_boundaries: [usize; 4],
+}
+
+const GOLDENS: [Golden; 4] = [
+    Golden {
+        label: "versioned-backup",
+        streams: 8,
+        total_bytes: 2100963,
+        head_sha: "84018ecf16d2bf7822cc3636f9a695f765c432a78f275d027887cde19c54af54",
+        digest_of_digests: "0f56a118c0aa0fff0addf1f1b0da3a0386d137a69d20b7d5dba8b5c9dfcb63c4",
+        gear_chunks: 395,
+        first_boundaries: [5809, 9969, 13843, 19193],
+    },
+    Golden {
+        label: "layered-images",
+        streams: 6,
+        total_bytes: 1671913,
+        head_sha: "1ebebd214f2d9bd2fd129a8ead873b4094b9ad571d2186ff40dc8e42a1d15a97",
+        digest_of_digests: "fa4b58f3e2c49d3eeb00333b330ad06e67c4cb05777c16137994f74aa160f0c8",
+        gear_chunks: 336,
+        first_boundaries: [5159, 10874, 15555, 24023],
+    },
+    Golden {
+        label: "log-append",
+        streams: 8,
+        total_bytes: 1386497,
+        head_sha: "b096d0b8a276aef2df3914f81a0c2d8df3dbf802130e363c1368031b3014ef44",
+        digest_of_digests: "7e6b043bae428d04568576b580e03fc1cdd472f40eb2241463f223aebf7bc169",
+        gear_chunks: 280,
+        first_boundaries: [6092, 12313, 19602, 21760],
+    },
+    Golden {
+        label: "byte-aligned",
+        streams: 4,
+        total_bytes: 6553600,
+        head_sha: "dda6e10c8b7bc2f91793254e56d82131bd14ade7a3ce0cf585007ba92ba7dba3",
+        digest_of_digests: "c9832c9478a74c210d712ed5e3b8ac9e403f50dd146cda51bcad343c06f0204a",
+        gear_chunks: 1281,
+        first_boundaries: [4863, 12668, 20288, 26313],
+    },
+];
+
+fn hex(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+fn observe(kind: &WorkloadKind) -> Golden {
+    let streams = kind.streams(SEED);
+    let gear = GearChunkerBuilder::new()
+        .min_size(1024)
+        .target_size(4096)
+        .max_size(32 * 1024)
+        .build()
+        .unwrap();
+    let head = &streams[0][..4096.min(streams[0].len())];
+    let mut dod = Vec::new();
+    for s in &streams {
+        dod.extend_from_slice(&Sha256::digest(s));
+    }
+    let bounds = gear.boundaries(&streams[0]);
+    let mut first = [0usize; 4];
+    for (i, slot) in first.iter_mut().enumerate() {
+        *slot = bounds.get(i).copied().unwrap_or(0);
+    }
+    Golden {
+        label: kind.label(),
+        streams: streams.len(),
+        total_bytes: streams.iter().map(|s| s.len() as u64).sum(),
+        head_sha: Box::leak(hex(&Sha256::digest(head)).into_boxed_str()),
+        digest_of_digests: Box::leak(hex(&Sha256::digest(&dod)).into_boxed_str()),
+        gear_chunks: streams.iter().map(|s| gear.chunk(s).len()).sum(),
+        first_boundaries: first,
+    }
+}
+
+#[test]
+fn workload_corpora_match_their_pins() {
+    let mut drifted = Vec::new();
+    for (kind, pin) in WorkloadKind::all().iter().zip(&GOLDENS) {
+        let got = observe(kind);
+        assert_eq!(got.label, pin.label, "kind order changed");
+        let matches = got.streams == pin.streams
+            && got.total_bytes == pin.total_bytes
+            && got.head_sha == pin.head_sha
+            && got.digest_of_digests == pin.digest_of_digests
+            && got.gear_chunks == pin.gear_chunks
+            && got.first_boundaries == pin.first_boundaries;
+        if !matches {
+            drifted.push(format!(
+                "    Golden {{\n        label: \"{}\",\n        streams: {},\n        \
+                 total_bytes: {},\n        head_sha: \"{}\",\n        \
+                 digest_of_digests: \"{}\",\n        gear_chunks: {},\n        \
+                 first_boundaries: {:?},\n    }},",
+                got.label,
+                got.streams,
+                got.total_bytes,
+                got.head_sha,
+                got.digest_of_digests,
+                got.gear_chunks,
+                got.first_boundaries
+            ));
+        }
+    }
+    assert!(
+        drifted.is_empty(),
+        "workload corpora drifted from their pins; if intentional, replace \
+         the affected GOLDENS entries with:\n{}",
+        drifted.join("\n")
+    );
+}
+
+#[test]
+fn same_seed_runs_are_bit_identical_and_seeds_differ() {
+    for kind in WorkloadKind::all() {
+        assert_eq!(kind.streams(7), kind.streams(7), "{}", kind.label());
+        assert_ne!(kind.streams(7), kind.streams(8), "{}", kind.label());
+    }
+}

@@ -430,6 +430,38 @@ fn directive_stacks_resolve_to_the_statement_below() {
 }
 
 #[test]
+fn workload_gen_shapes_fire_every_rule() {
+    // The workload generators' tempting mistakes, in their own shape:
+    // wall-clock corpus seeding, hash-ordered version emission, a float
+    // edit-rate fold in hash order, and an unwrap on the clock read.
+    let findings = lint_fixture("workload_gen.rs");
+    assert_eq!(spans(&findings, RuleId::D001), vec![(24, 32), (33, 22)]);
+    assert_eq!(spans(&findings, RuleId::D002), vec![(16, 26)]);
+    assert_eq!(spans(&findings, RuleId::D003), vec![(17, 48)]);
+    assert_eq!(spans(&findings, RuleId::D004), vec![(33, 31)]);
+    // The BTreeMap half — the real generators' shape — and the
+    // #[cfg(test)] module are clean.
+    assert!(findings.iter().all(|f| f.line < 36));
+}
+
+#[test]
+fn the_real_workload_generators_lint_clean() {
+    // The production generators must exemplify what the fixture above
+    // pins: every byte from a labeled DetRng substream, ordered
+    // containers only, no clock, no panic outside #[cfg(test)].
+    let findings = lint_real("datagen/src/workload.rs", &SIM_CTX);
+    assert!(
+        findings.iter().all(|f| f.suppressed),
+        "workload module has unsuppressed findings: {:?}",
+        findings
+            .iter()
+            .filter(|f| !f.suppressed)
+            .map(Finding::render)
+            .collect::<Vec<_>>()
+    );
+}
+
+#[test]
 fn wal_recovery_shapes_fire_every_rule() {
     // The crash-recovery subsystem's tempting mistakes, in its own
     // shape: hash-ordered WAL replay, wall-clock snapshot stamps,

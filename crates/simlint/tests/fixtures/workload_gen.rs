@@ -1,0 +1,60 @@
+// Fixture: the workload-generator shapes. The real generators
+// (ef-datagen's workload module) derive every byte from a DetRng
+// substream keyed by the corpus label precisely to avoid each finding
+// below; this fixture pins the linter against the tempting
+// entropy-and-HashMap rewrite of the same machinery.
+use std::collections::{BTreeMap, HashMap};
+
+struct LooseCorpus {
+    versions: HashMap<u32, Vec<u8>>,
+    edit_rate: HashMap<u32, f64>,
+}
+
+fn seed_from_wall_clock() -> u64 {
+    // Seeding a corpus from the host clock: two "identical" benchmark
+    // runs chunk different bytes and every pinned ratio drifts.
+    let now = std::time::SystemTime::now();
+    now.elapsed().map(|d| d.as_nanos() as u64).unwrap()
+}
+
+fn emit_versions_in_hash_order(corpus: &LooseCorpus) -> Vec<u8> {
+    // Iterating the version map concatenates streams in hash order —
+    // the corpus bytes (and thus every golden digest) change per run.
+    let mut out = Vec::new();
+    for (_v, bytes) in &corpus.versions {
+        out.extend_from_slice(bytes);
+    }
+    out
+}
+
+fn mean_edit_rate_folds_floats_in_hash_order(corpus: &LooseCorpus) -> f64 {
+    // Float accumulation in hash order: the dedup-ratio closed form is
+    // fed a run-dependent edit rate.
+    corpus.edit_rate.values().sum::<f64>() / corpus.edit_rate.len() as f64
+}
+
+struct SeededCorpus {
+    ordered_versions: BTreeMap<u32, Vec<u8>>,
+}
+
+fn emit_versions_in_key_order(corpus: &SeededCorpus, seed: u64) -> Vec<u8> {
+    // The deterministic shape: ordered map, caller-supplied seed mixed
+    // with the version index — same seed, same bytes, forever.
+    let mut out = Vec::new();
+    for (v, bytes) in &corpus.ordered_versions {
+        out.extend_from_slice(bytes);
+        out.push((seed ^ u64::from(*v)) as u8);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_code_is_exempt() {
+        let c: HashMap<u32, f64> = HashMap::new();
+        assert!(c.values().sum::<f64>() == 0.0);
+    }
+}

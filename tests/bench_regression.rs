@@ -38,8 +38,85 @@ fn record() -> String {
 #[test]
 fn record_carries_the_schema_tag() {
     assert!(
-        record().contains("\"schema\": \"efdedup-bench-ingest/v4\""),
+        record().contains("\"schema\": \"efdedup-bench-ingest/v5\""),
         "unknown or missing schema tag"
+    );
+}
+
+#[test]
+fn cdc_beats_fixed_size_on_the_versioned_corpus() {
+    // The headline the chunking choice depends on: on a corpus with
+    // real insert/delete shift redundancy (versioned backups), gear-CDC
+    // must find strictly more redundancy than equal-size chunking. The
+    // byte-aligned pool corpus keys (`dedup_ratio_fixed` vs
+    // `dedup_ratio_gear_fast`) deliberately show the opposite — that
+    // control pins the regime where alignment survives.
+    let json = record();
+    let fixed = metric(&json, "dedup_ratio_fixed_versioned");
+    let gear = metric(&json, "dedup_ratio_gear_versioned");
+    let gear_seed = metric(&json, "dedup_ratio_gear_versioned_seed");
+    assert!(fixed >= 1.0, "fixed ratio below 1: {fixed}");
+    assert!(
+        gear > fixed,
+        "gear-CDC lost to fixed-size on the shift-redundant corpus: {gear} vs {fixed}"
+    );
+    assert!(
+        gear_seed > fixed,
+        "seed gear path lost to fixed-size: {gear_seed} vs {fixed}"
+    );
+}
+
+#[test]
+fn versioned_ratio_tracks_the_closed_form() {
+    // The measured gear ratio must sit within the documented tolerance
+    // of the arXiv 1701.04451 closed form (20% — the form is a
+    // first-order coverage model; see DESIGN.md §18).
+    let json = record();
+    let expected = metric(&json, "dedup_ratio_versioned_expected");
+    let err = metric(&json, "versioned_model_err_pct");
+    assert!(expected > 1.0, "closed form degenerate: {expected}");
+    assert!(
+        err <= 20.0,
+        "measured versioned ratio drifted {err}% from the closed form"
+    );
+}
+
+#[test]
+fn restore_metrics_are_present_and_bounded() {
+    let json = record();
+    let frag = metric(&json, "restore_fragmentation_mean");
+    let loc = metric(&json, "restore_locality");
+    assert!(frag >= 1.0, "fragmentation below 1 container: {frag}");
+    assert!((0.0..=1.0).contains(&loc), "locality out of range: {loc}");
+    let loc_defrag = metric(&json, "restore_locality_defrag");
+    assert!(
+        (0.0..=1.0).contains(&loc_defrag),
+        "defrag locality out of range: {loc_defrag}"
+    );
+    assert!(
+        metric(&json, "restore_rewrite_overhead_pct") >= 0.0,
+        "negative rewrite overhead"
+    );
+}
+
+#[test]
+fn capped_rewrite_defragments_the_latest_restore() {
+    // Capping sacrifices old-version locality to keep the *latest*
+    // backup sequential — the restore with an SLA. The aggregate
+    // metrics may move either way; the latest-version ones must
+    // improve or the policy is useless.
+    let json = record();
+    let frag_off = metric(&json, "restore_latest_fragmentation");
+    let frag_on = metric(&json, "restore_latest_fragmentation_defrag");
+    let loc_off = metric(&json, "restore_latest_locality");
+    let loc_on = metric(&json, "restore_latest_locality_defrag");
+    assert!(
+        frag_on <= frag_off,
+        "defrag increased latest-restore fragmentation: {frag_on} vs {frag_off}"
+    );
+    assert!(
+        loc_on >= loc_off,
+        "defrag reduced latest-restore locality: {loc_on} vs {loc_off}"
     );
 }
 
